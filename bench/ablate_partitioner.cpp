@@ -1,0 +1,106 @@
+// Ablation: multilevel partitioner design choices (DESIGN.md §5).
+//
+// On key graphs harvested from the Twitter-like workload, measures how edge
+// cut, balance and wall time react to (a) disabling FM refinement,
+// (b) disabling coarsening, (c) the number of initial-partition trials, and
+// (d) sweeping the balance constraint α (the locality/balance trade-off the
+// paper fixes at Metis' default 1.03).
+#include <chrono>
+#include <cstdio>
+
+#include "core/bipartite.hpp"
+#include "core/manager.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/quality.hpp"
+#include "sim/pipeline.hpp"
+#include "workload/twitter_like.hpp"
+
+using namespace lar;
+
+namespace {
+
+core::KeyGraph harvest_key_graph(std::uint64_t tuples) {
+  const Topology topo = make_two_stage_topology(6);
+  const Placement place = Placement::round_robin(topo, 6);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kRoundRobin;
+  cfg.pair_stats_capacity = 0;
+  sim::PipelineModel model(topo, place, cfg, FieldsRouting::kHash);
+  workload::TwitterLikeGenerator gen({});
+  for (std::uint64_t i = 0; i < tuples; ++i) model.process(gen.next());
+  core::BipartiteGraphBuilder builder;
+  for (const auto& hop : model.collect_hop_stats()) {
+    builder.add_pairs(hop.in_op, hop.out_op, hop.pairs);
+  }
+  return builder.build();
+}
+
+struct Row {
+  std::uint64_t cut;
+  double imbalance;
+  double millis;
+};
+
+Row run(const partition::Graph& g, const partition::PartitionOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = partition::partition_graph(g, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  return Row{result.edge_cut, result.achieved_imbalance,
+             std::chrono::duration<double, std::milli>(t1 - t0).count()};
+}
+
+void print_row(const char* label, const Row& row,
+               std::uint64_t total_weight) {
+  std::printf("%-28s cut=%-10llu (%.1f%% of weight)  imbalance=%-6.3f %.1f ms\n",
+              label, static_cast<unsigned long long>(row.cut),
+              100.0 * static_cast<double>(row.cut) /
+                  static_cast<double>(total_weight),
+              row.imbalance, row.millis);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "# Ablation — multilevel partitioner (key graph from 300k Twitter-like "
+      "tuples, 6 parts)\n");
+  const core::KeyGraph kg = harvest_key_graph(300'000);
+  const partition::Graph& g = kg.graph;
+  const std::uint64_t w = g.total_edge_weight();
+  std::printf("# graph: %zu vertices, %zu edges, total pair weight %llu\n\n",
+              g.num_vertices(), g.num_edges(),
+              static_cast<unsigned long long>(w));
+
+  partition::PartitionOptions base;
+  base.num_parts = 6;
+  print_row("baseline (full multilevel)", run(g, base), w);
+
+  partition::PartitionOptions no_fm = base;
+  no_fm.enable_refinement = false;
+  print_row("no FM refinement", run(g, no_fm), w);
+
+  partition::PartitionOptions no_coarsen = base;
+  no_coarsen.coarsen_to = 1u << 30;  // never coarsen
+  print_row("no coarsening", run(g, no_coarsen), w);
+
+  partition::PartitionOptions one_trial = base;
+  one_trial.initial_trials = 1;
+  print_row("1 initial trial (vs 4)", run(g, one_trial), w);
+
+  partition::PartitionOptions many_trials = base;
+  many_trials.initial_trials = 16;
+  print_row("16 initial trials", run(g, many_trials), w);
+
+  std::printf("\n# alpha sweep: locality/balance trade-off (expected "
+              "locality = 1 - cut/weight)\n");
+  std::printf("%-8s %-18s %-10s\n", "alpha", "expected-locality", "imbalance");
+  for (const double alpha : {1.001, 1.03, 1.10, 1.25, 1.50, 2.00}) {
+    partition::PartitionOptions opts = base;
+    opts.alpha = alpha;
+    const Row row = run(g, opts);
+    std::printf("%-8.3f %-18.3f %-10.3f\n", alpha,
+                1.0 - static_cast<double>(row.cut) / static_cast<double>(w),
+                row.imbalance);
+  }
+  return 0;
+}

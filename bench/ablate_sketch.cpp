@@ -1,0 +1,56 @@
+// Ablation: SpaceSaving statistics capacity vs. reconfiguration quality
+// (DESIGN.md §5).
+//
+// Figure 12 studies truncating *exact* statistics to the top-N pairs; this
+// ablation instead bounds the per-POI sketch itself (what a deployment would
+// actually budget — the paper's "1 MB of memory per POI is sufficient") and
+// measures the locality the resulting plans achieve, against exact counting.
+#include <cstdio>
+
+#include "core/manager.hpp"
+#include "sim/simulator.hpp"
+#include "workload/twitter_like.hpp"
+
+using namespace lar;
+
+namespace {
+
+double locality_with_capacity(std::size_t capacity, std::uint64_t window) {
+  const std::uint32_t n = 6;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kRoundRobin;
+  cfg.pair_stats_capacity = capacity;
+  sim::Simulator simulator(topo, place, cfg, FieldsRouting::kTable);
+  core::Manager manager(topo, place, {});
+  workload::TwitterLikeConfig wcfg;
+  wcfg.new_key_fraction = 0.0;  // isolate the sketch effect
+  wcfg.recent_fraction = 0.0;
+  wcfg.seed = 21;
+  workload::TwitterLikeGenerator gen(wcfg);
+  simulator.run_window(gen, window);
+  simulator.reconfigure(manager);
+  return simulator.run_window(gen, window).edge_locality[1];
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "# Ablation — SpaceSaving capacity per POI vs achieved locality\n"
+      "# (~16 B per monitored pair: 4096 entries ~ 64 kB, 65536 ~ 1 MB — the "
+      "paper's budget)\n"
+      "# expected: locality saturates well before exact counting, because "
+      "Zipfian pair frequencies concentrate the optimization value in the "
+      "head\n\n");
+  constexpr std::uint64_t kWindow = 300'000;
+  std::printf("%-14s %-10s\n", "capacity", "locality");
+  for (const std::size_t capacity : {256u, 1024u, 4096u, 16'384u, 65'536u}) {
+    std::printf("%-14zu %-10.3f\n", capacity,
+                locality_with_capacity(capacity, kWindow));
+  }
+  std::printf("%-14s %-10.3f\n", "exact",
+              locality_with_capacity(0, kWindow));
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Every benchmark prints a self-describing header (what the paper's figure
+// shows, what shape to expect) followed by whitespace-separated data columns
+// that regenerate the figure's series.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/manager.hpp"
+#include "sim/simulator.hpp"
+#include "topology/placement.hpp"
+#include "topology/topology.hpp"
+#include "workload/synthetic.hpp"
+
+namespace lar::bench {
+
+/// One synthetic-workload measurement point (the Section 4.2 setup): the
+/// two-stage topology on `parallelism` servers, the given fields routing,
+/// and the synthetic generator with the given locality/padding.
+struct SyntheticPoint {
+  std::uint32_t parallelism = 6;
+  double locality = 0.6;      // fraction of correlated tuples
+  std::uint32_t padding = 0;  // payload bytes
+  FieldsRouting routing = FieldsRouting::kHash;
+  double nic_bandwidth = sim::kTenGbps;
+};
+
+/// Sustainable throughput in tuples/s for the point, measured over `window`
+/// sampled tuples.  Deterministic.
+inline double synthetic_throughput(const SyntheticPoint& p,
+                                   std::uint64_t window = 100'000) {
+  const Topology topo = make_two_stage_topology(p.parallelism);
+  const Placement place = Placement::round_robin(topo, p.parallelism);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kAlignedField0;
+  cfg.nic_bandwidth = p.nic_bandwidth;
+  cfg.seed = 17;
+  sim::Simulator simulator(topo, place, cfg, p.routing);
+  // Key universe 1000x the parallelism: large enough that hash routing is
+  // load-balanced (key-count granularity skew ~2%), small enough that every
+  // key recurs within the window (see DESIGN.md).
+  workload::SyntheticGenerator gen({.num_values = p.parallelism * 1000,
+                                    .locality = p.locality,
+                                    .padding = p.padding,
+                                    .seed = 17});
+  return simulator.run_window(gen, window).throughput;
+}
+
+inline void print_header(const char* figure, const char* description,
+                         const char* expectation) {
+  std::printf("# %s\n# %s\n# expected shape: %s\n", figure, description,
+              expectation);
+}
+
+/// Formats tuples/s as the paper's Ktuples/s axis.
+inline double ktps(double tuples_per_sec) { return tuples_per_sec / 1000.0; }
+
+}  // namespace lar::bench

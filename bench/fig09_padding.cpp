@@ -1,0 +1,34 @@
+// Figure 9: throughput when varying tuple size (padding 0-5 kB), with
+// locality 80%, for parallelism in {2, 4, 6}.
+#include "bench_util.hpp"
+
+using namespace lar;
+using namespace lar::bench;
+
+int main() {
+  print_header(
+      "Figure 9 — throughput vs padding",
+      "panels (a)-(c): parallelism {2,4,6}, locality 80%; columns: padding B, "
+      "locality-aware, hash-based, worst-case (Ktuples/s)",
+      "the locality-aware advantage grows with both padding and parallelism; "
+      "hash-based approaches worst-case in the hardest configurations");
+
+  char panel = 'a';
+  for (const std::uint32_t n : {2u, 4u, 6u}) {
+    std::printf("\n# (%c) parallelism=%u, locality=80%%\n", panel++, n);
+    std::printf("%-10s %-16s %-12s %-12s\n", "padding", "locality-aware",
+                "hash-based", "worst-case");
+    for (std::uint32_t padding = 0; padding <= 5000; padding += 500) {
+      SyntheticPoint p{.parallelism = n, .locality = 0.80, .padding = padding};
+      p.routing = FieldsRouting::kIdentity;
+      const double aware = synthetic_throughput(p);
+      p.routing = FieldsRouting::kHash;
+      const double hash = synthetic_throughput(p);
+      p.routing = FieldsRouting::kWorstCase;
+      const double worst = synthetic_throughput(p);
+      std::printf("%-10u %-16.1f %-12.1f %-12.1f\n", padding, ktps(aware),
+                  ktps(hash), ktps(worst));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 11: locality (a) and load balance (b) over 25 weeks on the drifting
+// Twitter-like workload with parallelism 6, comparing:
+//   online  — reconfiguration every week,
+//   offline — one reconfiguration after week 1,
+//   hash    — no reconfiguration.
+#include <cstdio>
+#include <vector>
+
+#include "core/manager.hpp"
+#include "sim/simulator.hpp"
+#include "workload/twitter_like.hpp"
+
+using namespace lar;
+
+namespace {
+
+struct WeeklySeries {
+  std::vector<double> locality;
+  std::vector<double> balance;
+};
+
+WeeklySeries run(bool reconfig_every_week, bool reconfig_at_all, int weeks,
+                 std::uint64_t tuples_per_week) {
+  const std::uint32_t n = 6;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kRoundRobin;
+  sim::Simulator simulator(topo, place, cfg, FieldsRouting::kTable);
+  core::Manager manager(topo, place, {});
+  workload::TwitterLikeConfig wcfg;  // defaults reproduce Sec 4.3 dynamics
+  wcfg.seed = 11;
+  workload::TwitterLikeGenerator gen(wcfg);
+
+  WeeklySeries series;
+  for (int w = 0; w < weeks; ++w) {
+    const auto report = simulator.run_window(gen, tuples_per_week);
+    series.locality.push_back(report.edge_locality[1]);
+    // Load balance of the hashtag-counting stage (op 2), the paper's most
+    // skew-exposed operator.
+    series.balance.push_back(report.op_load_balance[2]);
+    if (reconfig_at_all && (reconfig_every_week || w == 0)) {
+      simulator.reconfigure(manager);
+    }
+    gen.advance_epoch();
+  }
+  return series;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "# Figure 11 — locality (a) and load balance (b) over 25 weeks, "
+      "parallelism 6\n"
+      "# online: reconfiguration every week; offline: once after week 1; "
+      "hash-based: never\n"
+      "# expected shape: (a) hash ~16.6%% (=1/6); online sustains the highest "
+      "locality; offline decays toward the stable-correlation floor.  (b) "
+      "hash ~1.1; online corrects imbalance spikes; offline drifts upward\n");
+
+  constexpr int kWeeks = 25;
+  constexpr std::uint64_t kTuplesPerWeek = 150'000;
+  const WeeklySeries online = run(true, true, kWeeks, kTuplesPerWeek);
+  const WeeklySeries offline = run(false, true, kWeeks, kTuplesPerWeek);
+  const WeeklySeries hash = run(false, false, kWeeks, kTuplesPerWeek);
+
+  std::printf("\n# (a) locality\n%-6s %-10s %-10s %-10s\n", "week", "online",
+              "offline", "hash");
+  for (int w = 0; w < kWeeks; ++w) {
+    std::printf("%-6d %-10.3f %-10.3f %-10.3f\n", w + 1, online.locality[w],
+                offline.locality[w], hash.locality[w]);
+  }
+
+  std::printf("\n# (b) load balance (most loaded POI / average)\n");
+  std::printf("%-6s %-10s %-10s %-10s\n", "week", "online", "offline", "hash");
+  for (int w = 0; w < kWeeks; ++w) {
+    std::printf("%-6d %-10.3f %-10.3f %-10.3f\n", w + 1, online.balance[w],
+                offline.balance[w], hash.balance[w]);
+  }
+
+  auto tail_mean = [&](const std::vector<double>& v) {
+    double s = 0;
+    for (int w = kWeeks - 10; w < kWeeks; ++w) s += v[w];
+    return s / 10;
+  };
+  std::printf(
+      "\n# steady state (mean of last 10 weeks): locality online=%.3f "
+      "offline=%.3f hash=%.3f (paper: ~0.50 / ~0.40 / 0.166)\n",
+      tail_mean(online.locality), tail_mean(offline.locality),
+      tail_mean(hash.locality));
+  return 0;
+}

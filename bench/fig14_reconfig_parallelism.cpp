@@ -1,0 +1,54 @@
+// Figure 14: average throughput with and without reconfiguration for
+// parallelisms 2-6, padding 4 kB, on the 1 Gb/s network (Flickr-like
+// workload).  With reconfiguration, the average is measured after the first
+// reconfiguration, as in the paper.
+#include <cstdio>
+
+#include "core/manager.hpp"
+#include "sim/simulator.hpp"
+#include "workload/flickr_like.hpp"
+
+using namespace lar;
+
+namespace {
+
+constexpr std::uint64_t kWindow = 150'000;
+
+/// (throughput w/o reconfig, throughput after first reconfig) in Ktuples/s.
+std::pair<double, double> run(std::uint32_t parallelism) {
+  const Topology topo = make_two_stage_topology(parallelism);
+  const Placement place = Placement::round_robin(topo, parallelism);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kRoundRobin;
+  cfg.nic_bandwidth = sim::kOneGbps;
+  sim::Simulator simulator(topo, place, cfg, FieldsRouting::kTable);
+  core::Manager manager(topo, place, {});
+  workload::FlickrLikeConfig wcfg;
+  wcfg.padding = 4'000;
+  wcfg.seed = 14;
+  workload::FlickrLikeGenerator gen(wcfg);
+
+  const double before = simulator.run_window(gen, kWindow).throughput;
+  simulator.reconfigure(manager);
+  const double after = simulator.run_window(gen, kWindow).throughput;
+  return {before / 1000.0, after / 1000.0};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "# Figure 14 — average throughput vs parallelism, padding 4kB, "
+      "1 Gb/s network\n"
+      "# columns: parallelism, w/ reconfiguration, w/o reconfiguration "
+      "(Ktuples/s)\n"
+      "# expected shape: the gap between the two grows with parallelism\n");
+  std::printf("%-12s %-12s %-12s %-8s\n", "parallelism", "w/reconf",
+              "w/o-reconf", "gain");
+  for (std::uint32_t n = 2; n <= 6; ++n) {
+    const auto [without, with] = run(n);
+    std::printf("%-12u %-12.1f %-12.1f %-8.2f\n", n, with, without,
+                with / without);
+  }
+  return 0;
+}

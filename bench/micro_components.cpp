@@ -1,0 +1,137 @@
+// Component micro-benchmarks (google-benchmark): the per-tuple and
+// per-reconfiguration costs that the paper argues are small enough for
+// online use — SpaceSaving updates, routing decisions, graph partitioning
+// and end-to-end plan computation.
+#include <benchmark/benchmark.h>
+
+#include "core/manager.hpp"
+#include "core/pair_stats.hpp"
+#include "partition/partitioner.hpp"
+#include "sim/pipeline.hpp"
+#include "sketch/space_saving.hpp"
+#include "sketch/zipf.hpp"
+#include "topology/routing.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/twitter_like.hpp"
+
+namespace {
+
+using namespace lar;
+
+void BM_SpaceSavingAdd(benchmark::State& state) {
+  sketch::SpaceSaving<std::uint64_t> sketch(
+      static_cast<std::size_t>(state.range(0)));
+  sketch::ZipfSampler zipf(100'000, 1.1);
+  Rng rng(1);
+  std::vector<std::uint64_t> keys(1 << 14);
+  for (auto& k : keys) k = zipf.sample(rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sketch.add(keys[i++ & (keys.size() - 1)]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceSavingAdd)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_PairStatsRecord(benchmark::State& state) {
+  core::PairStats stats(1 << 16);
+  sketch::ZipfSampler zipf(10'000, 1.1);
+  Rng rng(2);
+  std::vector<std::pair<Key, Key>> pairs(1 << 14);
+  for (auto& p : pairs) p = {zipf.sample(rng), 1'000'000 + zipf.sample(rng)};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [in, out] = pairs[i++ & (pairs.size() - 1)];
+    stats.record(in, out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PairStatsRecord);
+
+void BM_HashRouting(benchmark::State& state) {
+  HashFieldsRouter router(0, 6);
+  Tuple t{.fields = {12345, 678}, .padding = 0};
+  for (auto _ : state) {
+    t.fields[0] += 1;
+    benchmark::DoNotOptimize(router.route(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashRouting);
+
+void BM_TableRouting(benchmark::State& state) {
+  auto table = std::make_shared<RoutingTable>();
+  for (Key k = 0; k < static_cast<Key>(state.range(0)); ++k) {
+    table->assign(k, static_cast<InstanceIndex>(k % 6));
+  }
+  TableFieldsRouter router(0, 6, table);
+  Tuple t{.fields = {0, 0}, .padding = 0};
+  Key k = 0;
+  for (auto _ : state) {
+    t.fields[0] = (k++) % (2 * state.range(0));  // 50% hits, 50% fallback
+    benchmark::DoNotOptimize(router.route(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableRouting)->Arg(1 << 10)->Arg(1 << 17);
+
+void BM_PartitionKeyGraph(benchmark::State& state) {
+  // A bipartite key graph of the size a weekly reconfiguration handles.
+  const std::size_t tags = static_cast<std::size_t>(state.range(0));
+  core::BipartiteGraphBuilder builder;
+  std::vector<core::PairCount> pairs;
+  Rng rng(3);
+  sketch::ZipfSampler loc_zipf(300, 1.0);
+  for (std::size_t t = 0; t < tags; ++t) {
+    // Each tag co-occurs with a home and two noise locations.
+    pairs.push_back({loc_zipf.sample(rng), 1'000'000 + t, 50});
+    pairs.push_back({loc_zipf.sample(rng), 1'000'000 + t, 5});
+    pairs.push_back({loc_zipf.sample(rng), 1'000'000 + t, 3});
+  }
+  builder.add_pairs(1, 2, pairs);
+  const core::KeyGraph kg = builder.build();
+  partition::PartitionOptions opts;
+  opts.num_parts = 6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::partition_graph(kg.graph, opts));
+  }
+  state.counters["vertices"] =
+      static_cast<double>(kg.graph.num_vertices());
+}
+BENCHMARK(BM_PartitionKeyGraph)->Arg(2'000)->Arg(20'000)->Unit(benchmark::kMillisecond);
+
+void BM_ManagerComputePlan(benchmark::State& state) {
+  // Full plan computation (graph build + partition + tables + moves) on a
+  // realistic weekly statistics snapshot.
+  const Topology topo = make_two_stage_topology(6);
+  const Placement place = Placement::round_robin(topo, 6);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kRoundRobin;
+  sim::PipelineModel model(topo, place, cfg, FieldsRouting::kHash);
+  workload::TwitterLikeGenerator gen({});
+  for (int i = 0; i < 200'000; ++i) model.process(gen.next());
+  const auto stats = model.collect_hop_stats();
+  for (auto _ : state) {
+    core::Manager manager(topo, place, {});
+    benchmark::DoNotOptimize(manager.compute_plan(stats));
+  }
+  state.counters["pairs"] = static_cast<double>(stats[0].pairs.size());
+}
+BENCHMARK(BM_ManagerComputePlan)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineProcess(benchmark::State& state) {
+  const Topology topo = make_two_stage_topology(6);
+  const Placement place = Placement::round_robin(topo, 6);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kAlignedField0;
+  sim::PipelineModel model(topo, place, cfg, FieldsRouting::kHash);
+  workload::SyntheticGenerator gen(
+      {.num_values = 720, .locality = 0.8, .padding = 0, .seed = 4});
+  for (auto _ : state) {
+    model.process(gen.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PipelineProcess);
+
+}  // namespace

@@ -1,0 +1,49 @@
+// Hashing primitives used across the library.
+//
+// Stream routing must be *deterministic across processes and runs*, so we do
+// not rely on std::hash (which is implementation-defined and may be identity
+// for integers).  We provide FNV-1a for strings/bytes and a Murmur3-style
+// finalizer for integers, plus a boost-style combiner.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace lar {
+
+/// 64-bit FNV-1a over an arbitrary byte range.  Deterministic, portable,
+/// good avalanche behaviour for short keys (words, hashtags, country codes).
+[[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t len) noexcept;
+
+/// Convenience overload for string views.
+[[nodiscard]] inline std::uint64_t fnv1a64(std::string_view s) noexcept {
+  return fnv1a64(s.data(), s.size());
+}
+
+/// Murmur3/SplitMix-style 64-bit integer finalizer.  Bijective; turns
+/// low-entropy integers (sequential ids) into well-distributed hashes.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines two hashes (order-dependent).  Boost-style with a 64-bit
+/// golden-ratio constant.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t value) noexcept {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// Hash of a (key, key) pair; used by the pair-frequency sketches.
+[[nodiscard]] constexpr std::uint64_t hash_pair(std::uint64_t a,
+                                                std::uint64_t b) noexcept {
+  return hash_combine(mix64(a), mix64(b));
+}
+
+}  // namespace lar

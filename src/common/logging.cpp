@@ -1,0 +1,53 @@
+#include "common/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace lar {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+
+bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >=
+         static_cast<int>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  using namespace std::chrono;
+  const auto now = duration_cast<milliseconds>(
+                       steady_clock::now().time_since_epoch())
+                       .count();
+  char prefix[64];
+  const int n = std::snprintf(prefix, sizeof prefix, "[%s %10lld.%03lld] ",
+                              level_tag(level),
+                              static_cast<long long>(now / 1000),
+                              static_cast<long long>(now % 1000));
+  std::string line;
+  line.reserve(static_cast<std::size_t>(n) + msg.size() + 1);
+  line.append(prefix, static_cast<std::size_t>(n));
+  line += msg;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace detail
+}  // namespace lar

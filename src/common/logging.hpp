@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// The control-plane protocol (manager <-> operator instances) logs its
+// message flow at kDebug; experiments run with kWarn to keep benchmark output
+// clean.  Thread-safe: each log line is formatted into one string and written
+// with a single fwrite.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace lar {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded cheaply.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+[[nodiscard]] bool log_enabled(LogLevel level) noexcept;
+
+/// Builds one log line via operator<< and emits it on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define LAR_LOG(level)                         \
+  if (!::lar::detail::log_enabled(level)) {    \
+  } else                                       \
+    ::lar::detail::LogMessage(level)
+
+#define LAR_DEBUG LAR_LOG(::lar::LogLevel::kDebug)
+#define LAR_INFO LAR_LOG(::lar::LogLevel::kInfo)
+#define LAR_WARN LAR_LOG(::lar::LogLevel::kWarn)
+#define LAR_ERROR LAR_LOG(::lar::LogLevel::kError)
+
+}  // namespace lar

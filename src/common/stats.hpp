@@ -1,0 +1,61 @@
+// Small statistics helpers: running aggregates and load-balance metrics.
+//
+// The paper reports "load balance" as the ratio between the most loaded
+// operator instance and the average load (Fig 11b); `imbalance()` computes
+// exactly that.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <span>
+#include <vector>
+
+namespace lar {
+
+/// Incremental mean / min / max / variance (Welford).
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  /// Population variance; 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// max(load) / mean(load) over per-instance loads; 1.0 = perfectly balanced.
+/// Returns 1.0 for empty or all-zero input (a vacuously balanced system).
+[[nodiscard]] inline double imbalance(std::span<const std::uint64_t> loads) noexcept {
+  if (loads.empty()) return 1.0;
+  const std::uint64_t total = std::accumulate(loads.begin(), loads.end(),
+                                              std::uint64_t{0});
+  if (total == 0) return 1.0;
+  const std::uint64_t max = *std::max_element(loads.begin(), loads.end());
+  const double mean = static_cast<double>(total) / static_cast<double>(loads.size());
+  return static_cast<double>(max) / mean;
+}
+
+}  // namespace lar

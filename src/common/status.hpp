@@ -1,0 +1,138 @@
+// Lightweight Status / Result types for recoverable errors.
+//
+// Following the Core Guidelines we use exceptions for *programming* errors
+// (violated preconditions -> LAR_CHECK aborts in debug) but plain value
+// returns for *expected* failures (a queue that is closed, a key that has no
+// state yet).  Result<T> is a minimal std::expected stand-in (we target
+// C++20, std::expected is C++23).
+#pragma once
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lar {
+
+/// Error codes used across the library.
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,        ///< Key / id not present.
+  kClosed,          ///< Channel or engine already shut down.
+  kInvalidArgument, ///< Caller passed a value outside the documented domain.
+  kExhausted,       ///< Bounded resource (queue, sketch) is full.
+  kTimeout,         ///< Blocking call exceeded its deadline.
+  kFailedPrecondition, ///< Operation not legal in the current state.
+  kInternal,        ///< Bug; should never surface in a correct build.
+};
+
+/// Human-readable name of an error code.
+[[nodiscard]] constexpr const char* to_string(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kClosed: return "closed";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kExhausted: return "exhausted";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// A status: either OK or an error code with a message.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  /// Constructs an error status.  `code` must not be kOk.
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk);
+  }
+
+  static Status ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "ok";
+    return std::string(lar::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Result<T>: either a value or a Status error.  Minimal expected<T, Status>.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit from error status.  `status.is_ok()` is a precondition failure.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).is_ok());
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
+
+  /// The error status; precondition: !is_ok().
+  [[nodiscard]] const Status& status() const {
+    assert(!is_ok());
+    return std::get<Status>(data_);
+  }
+
+  /// The value; precondition: is_ok().
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(is_ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  /// Value if present, otherwise `fallback`.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "LAR_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace detail
+
+/// Precondition/invariant check that stays on in release builds.  Used for
+/// conditions whose violation means a bug, never for data-dependent errors.
+#define LAR_CHECK(expr)                                       \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::lar::detail::check_failed(#expr, __FILE__, __LINE__); \
+    }                                                         \
+  } while (0)
+
+}  // namespace lar

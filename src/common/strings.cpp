@@ -1,0 +1,60 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace lar {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string format_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  const char* units[] = {"B", "kB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1000.0 && u < 4) {
+    v /= 1000.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f %s", v, units[u]);
+  return buf;
+}
+
+}  // namespace lar

@@ -1,0 +1,26 @@
+// Small string helpers shared by examples, benches and trace I/O.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lar {
+
+/// Splits `s` on `sep`, keeping empty fields.  "a,,b" -> {"a","","b"}.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Formats a double with `digits` decimal places (locale-independent).
+[[nodiscard]] std::string format_double(double v, int digits = 2);
+
+/// Formats a byte count as a human-readable string ("12.0 kB", "3.4 MB").
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace lar

@@ -1,0 +1,80 @@
+// Reconfiguration advisor — the paper's Section 6 future work:
+// "we will design estimators able to predict the impact of a
+// reconfiguration to provide more fine-grained information to the manager.
+// When the workload is very volatile, it is important to avoid triggering
+// reconfigurations for ephemeral correlations, as the cost of reconfiguring
+// would not be amortized."
+//
+// The advisor scores a candidate plan against the currently observed
+// locality and load balance: the predicted benefit is the locality gain
+// (expected locality of the plan minus measured locality) plus the balance
+// improvement, amortized over the reconfiguration period; the cost is the
+// state migration volume.  Deploy only when benefit outweighs cost.
+#pragma once
+
+#include <algorithm>
+
+#include "core/plan.hpp"
+
+namespace lar::core {
+
+struct AdvisorOptions {
+  /// Tuples the application processes between two reconfiguration
+  /// opportunities (the amortization horizon).
+  double tuples_per_period = 1e6;
+
+  /// Cost of migrating one key's state, expressed in tuple-equivalents
+  /// (serialize + ship + import + buffering disturbance).
+  double cost_per_move = 50.0;
+
+  /// Benefit of raising locality by 1.0 for one tuple, in tuple-equivalents
+  /// (a remote hop costs roughly one extra tuple's work; see the simulator
+  /// calibration).
+  double benefit_per_locality_point = 0.7;
+
+  /// Weight of load-balance improvement: reducing max/avg from b to b' frees
+  /// roughly (1 - b'/b) of the bottleneck server per tuple.
+  double benefit_per_balance_point = 1.0;
+
+  /// Minimum net benefit (in tuple-equivalents) to recommend deployment;
+  /// > 0 adds hysteresis against ephemeral correlations.
+  double min_net_benefit = 0.0;
+};
+
+/// The advisor's verdict with its reasoning, for observability.
+struct AdvisorVerdict {
+  bool deploy = false;
+  double predicted_benefit = 0.0;  ///< tuple-equivalents per period
+  double migration_cost = 0.0;     ///< tuple-equivalents
+};
+
+/// Scores `plan` against the currently measured `locality` (of the
+/// optimizable hops) and `balance` (max/avg load of the most skewed
+/// stateful operator).  Pure function of its inputs; stateless.
+[[nodiscard]] inline AdvisorVerdict evaluate_plan(
+    const ReconfigurationPlan& plan, double current_locality,
+    double current_balance, const AdvisorOptions& options = {}) {
+  AdvisorVerdict verdict;
+  if (plan.tables.empty()) return verdict;  // nothing to deploy
+
+  const double locality_gain =
+      std::max(0.0, plan.expected_locality - current_locality);
+  // Balance improvement: the plan's partition imbalance approximates the
+  // post-deployment balance; improvement frees bottleneck capacity.
+  const double balance_gain =
+      current_balance > 0.0 && plan.imbalance < current_balance
+          ? 1.0 - plan.imbalance / current_balance
+          : 0.0;
+
+  verdict.predicted_benefit =
+      options.tuples_per_period *
+      (options.benefit_per_locality_point * locality_gain +
+       options.benefit_per_balance_point * balance_gain);
+  verdict.migration_cost =
+      options.cost_per_move * static_cast<double>(plan.total_moves());
+  verdict.deploy = verdict.predicted_benefit - verdict.migration_cost >
+                   options.min_net_benefit;
+  return verdict;
+}
+
+}  // namespace lar::core

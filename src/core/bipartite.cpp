@@ -1,0 +1,67 @@
+#include "core/bipartite.hpp"
+
+#include <algorithm>
+
+namespace lar::core {
+
+void BipartiteGraphBuilder::add_pairs(OperatorId in_op, OperatorId out_op,
+                                      const std::vector<PairCount>& pairs) {
+  hops_.push_back(Hop{in_op, out_op, pairs});
+}
+
+KeyGraph BipartiteGraphBuilder::build() const {
+  KeyGraph out;
+  partition::GraphBuilder builder;
+  std::unordered_map<KeyVertex, partition::VertexId, KeyVertexHash> ids;
+
+  auto vertex_of = [&](OperatorId op, Key key) {
+    const KeyVertex kv{op, key};
+    auto it = ids.find(kv);
+    if (it != ids.end()) return it->second;
+    const partition::VertexId id = builder.add_vertex(0);
+    ids.emplace(kv, id);
+    out.vertices.push_back(kv);
+    return id;
+  };
+
+  for (const auto& hop : hops_) {
+    // Respect the statistics budget: keep the heaviest pairs of this hop.
+    std::vector<PairCount> pairs = hop.pairs;
+    if (top_edges_ != 0 && pairs.size() > top_edges_) {
+      std::partial_sort(pairs.begin(),
+                        pairs.begin() + static_cast<std::ptrdiff_t>(top_edges_),
+                        pairs.end(), [](const PairCount& a, const PairCount& b) {
+                          return a.count > b.count;
+                        });
+      pairs.resize(top_edges_);
+    }
+    // Canonical order: callers merge snapshots through hash maps, whose
+    // iteration order is unspecified.  Vertex numbering (and therefore the
+    // seeded partitioner's output) must depend only on the pair *set*, or
+    // identical statistics could yield different plans and phantom key moves.
+    std::sort(pairs.begin(), pairs.end(),
+              [](const PairCount& a, const PairCount& b) {
+                return a.in != b.in ? a.in < b.in : a.out < b.out;
+              });
+    for (const auto& pc : pairs) {
+      if (pc.count == 0) continue;
+      const partition::VertexId a = vertex_of(hop.in_op, pc.in);
+      const partition::VertexId b = vertex_of(hop.out_op, pc.out);
+      // A key pair with in == out across two *different* operators is two
+      // distinct vertices, so a != b always holds here unless the caller
+      // recorded a hop from an operator to itself with identical keys;
+      // self-edges carry no cut information either way.
+      if (a == b) {
+        builder.add_vertex_weight(a, 2 * pc.count);
+        continue;
+      }
+      builder.add_edge(a, b, pc.count);
+      builder.add_vertex_weight(a, pc.count);
+      builder.add_vertex_weight(b, pc.count);
+    }
+  }
+  out.graph = builder.build();
+  return out;
+}
+
+}  // namespace lar::core

@@ -1,0 +1,76 @@
+// Bipartite key-graph construction (Section 3.3, Figure 5).
+//
+// Merged pair statistics become a vertex- and edge-weighted graph:
+// each vertex is a key *qualified by the operator it routes into* (so "java"
+// as an input of A and "java" as an input of B are distinct vertices), with
+// weight = key frequency; each edge weight is the pair co-occurrence count.
+// Partitioning this graph into one part per server yields the key->server
+// assignment from which routing tables are generated.
+//
+// Chains longer than two stateful POs compose naturally: pairs recorded at
+// A couple (A-key, B-key) and pairs recorded at B couple (B-key, C-key);
+// shared B-key vertices stitch the per-hop bipartite graphs into one.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pair_stats.hpp"
+#include "partition/graph.hpp"
+#include "topology/types.hpp"
+
+namespace lar::core {
+
+/// A key as routed into a specific operator.
+struct KeyVertex {
+  OperatorId op = 0;
+  Key key = 0;
+
+  friend bool operator==(const KeyVertex&, const KeyVertex&) = default;
+};
+
+struct KeyVertexHash {
+  [[nodiscard]] std::size_t operator()(const KeyVertex& v) const noexcept {
+    return static_cast<std::size_t>(hash_pair(v.op, v.key));
+  }
+};
+
+/// The built graph plus the vertex id <-> key mapping.
+struct KeyGraph {
+  partition::Graph graph;
+  std::vector<KeyVertex> vertices;  ///< partition vertex id -> key vertex
+
+  [[nodiscard]] std::size_t num_keys() const noexcept {
+    return vertices.size();
+  }
+};
+
+/// Accumulates merged pair statistics and builds the partition input.
+class BipartiteGraphBuilder {
+ public:
+  /// Adds the merged statistics of the hop `in_op` -> `out_op`: every pair
+  /// (k, k') was observed `count` times where k routed a tuple into `in_op`
+  /// and k' routed its successor tuple into `out_op`.
+  void add_pairs(OperatorId in_op, OperatorId out_op,
+                 const std::vector<PairCount>& pairs);
+
+  /// Keeps only the `top_edges` heaviest pairs per hop before building
+  /// (0 = keep all).  Models the bounded statistics budget of Figure 12.
+  void set_top_edges(std::size_t top_edges) noexcept { top_edges_ = top_edges; }
+
+  /// Builds the graph.  Vertex weights are the sums of incident pair counts;
+  /// parallel pair observations are merged.
+  [[nodiscard]] KeyGraph build() const;
+
+ private:
+  struct Hop {
+    OperatorId in_op;
+    OperatorId out_op;
+    std::vector<PairCount> pairs;
+  };
+  std::vector<Hop> hops_;
+  std::size_t top_edges_ = 0;
+};
+
+}  // namespace lar::core

@@ -1,0 +1,24 @@
+// Umbrella header: the public API of the locality-aware routing library.
+//
+// Typical usage (see examples/):
+//
+//   lar::Topology topo = lar::make_two_stage_topology(6);
+//   lar::Placement placement = lar::Placement::round_robin(topo, 6);
+//   lar::core::Manager manager(topo, placement, {});
+//   ... collect lar::core::PairStats in your stateful operators ...
+//   auto plan = manager.compute_plan(stats);
+//   ... deploy plan.tables / migrate plan.moves ...
+#pragma once
+
+#include "core/advisor.hpp"
+#include "core/bipartite.hpp"
+#include "core/locality.hpp"
+#include "core/manager.hpp"
+#include "core/pair_stats.hpp"
+#include "core/plan.hpp"
+#include "core/snapshot.hpp"
+#include "topology/key_dict.hpp"
+#include "topology/placement.hpp"
+#include "topology/routing.hpp"
+#include "topology/topology.hpp"
+#include "topology/types.hpp"

@@ -1,0 +1,42 @@
+// Locality and load-balance measurement primitives.
+//
+// Engines (runtime and simulator) count, per fields-grouped edge, how many
+// tuples stayed on their server versus crossed the network, and how many
+// tuples each instance received.  These are the y-axes of Figures 11a/11b.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace lar::core {
+
+/// Tuple counts of one edge split by destination locality.
+struct EdgeTraffic {
+  std::uint64_t local = 0;   ///< dest instance on the emitting server
+  std::uint64_t remote = 0;  ///< dest instance on another server
+
+  /// Fraction of tuples that stayed local; 0 when no traffic.
+  [[nodiscard]] double locality() const noexcept {
+    const std::uint64_t total = local + remote;
+    return total == 0 ? 0.0 : static_cast<double>(local) /
+                                  static_cast<double>(total);
+  }
+
+  EdgeTraffic& operator+=(const EdgeTraffic& other) noexcept {
+    local += other.local;
+    remote += other.remote;
+    return *this;
+  }
+};
+
+/// Load-balance factor over per-instance tuple counts: max / average
+/// (1.0 = perfectly balanced), the paper's Figure 11b metric.
+[[nodiscard]] inline double load_balance(
+    std::span<const std::uint64_t> per_instance_load) noexcept {
+  return imbalance(per_instance_load);
+}
+
+}  // namespace lar::core

@@ -1,0 +1,287 @@
+#include "core/manager.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.hpp"
+#include "common/status.hpp"
+#include "core/snapshot.hpp"
+#include "partition/quality.hpp"
+
+namespace lar::core {
+
+namespace {
+
+/// Per-operator balance repair (Section 3.1 states the α bound per PO: "the
+/// number of data tuples received by a POI should not be higher than α times
+/// the average number of tuples received by POIs of the same PO").  The
+/// single-constraint partitioner balances the *combined* key mass of all
+/// operators per server; this pass greedily moves minimum-cut-penalty keys
+/// of each overloaded operator from its hottest to its coldest server until
+/// the per-operator bound holds (or no safe move remains).
+void repair_per_op_balance(const KeyGraph& key_graph,
+                           std::vector<std::uint32_t>& assignment,
+                           const std::vector<std::uint32_t>& servers,
+                           double alpha) {
+  const partition::Graph& g = key_graph.graph;
+  const std::size_t num_parts = servers.size();
+  // server id -> slot in `servers` (or -1 if outside this repair domain).
+  std::unordered_map<std::uint32_t, std::size_t> slot_of;
+  for (std::size_t i = 0; i < servers.size(); ++i) slot_of[servers[i]] = i;
+
+  std::unordered_map<OperatorId, std::vector<partition::VertexId>> by_op;
+  for (partition::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (slot_of.contains(assignment[v])) {
+      by_op[key_graph.vertices[v].op].push_back(v);
+    }
+  }
+
+  for (auto& [op, vertices] : by_op) {
+    std::vector<std::uint64_t> mass(num_parts, 0);
+    std::uint64_t total = 0;
+    for (const auto v : vertices) {
+      mass[slot_of.at(assignment[v])] += g.vertex_weight(v);
+      total += g.vertex_weight(v);
+    }
+    const double cap =
+        alpha * static_cast<double>(total) / static_cast<double>(num_parts) +
+        1.0;
+
+    // Bounded number of rounds; each round moves one key off the hottest
+    // server, so progress is monotone in its mass.
+    for (std::size_t round = 0; round < vertices.size(); ++round) {
+      const auto hot_slot = static_cast<std::size_t>(
+          std::max_element(mass.begin(), mass.end()) - mass.begin());
+      if (static_cast<double>(mass[hot_slot]) <= cap) break;
+      const auto cold_slot = static_cast<std::size_t>(
+          std::min_element(mass.begin(), mass.end()) - mass.begin());
+      const std::uint32_t hot = servers[hot_slot];
+      const std::uint32_t cold = servers[cold_slot];
+
+      // Pick the hot-server key with the smallest cut penalty for moving to
+      // the cold server; skip keys so heavy the move would just swap roles.
+      partition::VertexId best = static_cast<partition::VertexId>(-1);
+      std::int64_t best_penalty = 0;
+      for (const auto v : vertices) {
+        if (assignment[v] != hot) continue;
+        const std::uint64_t w = g.vertex_weight(v);
+        if (mass[cold_slot] + w >= mass[hot_slot]) continue;  // no net gain
+        std::int64_t to_hot = 0;
+        std::int64_t to_cold = 0;
+        const auto nbrs = g.neighbors(v);
+        const auto wgts = g.neighbor_weights(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          if (assignment[nbrs[i]] == hot) {
+            to_hot += static_cast<std::int64_t>(wgts[i]);
+          } else if (assignment[nbrs[i]] == cold) {
+            to_cold += static_cast<std::int64_t>(wgts[i]);
+          }
+        }
+        const std::int64_t penalty = to_hot - to_cold;  // cut increase
+        if (best == static_cast<partition::VertexId>(-1) ||
+            penalty < best_penalty) {
+          best = v;
+          best_penalty = penalty;
+        }
+      }
+      if (best == static_cast<partition::VertexId>(-1)) break;
+      mass[hot_slot] -= g.vertex_weight(best);
+      mass[cold_slot] += g.vertex_weight(best);
+      assignment[best] = cold;
+    }
+  }
+}
+
+/// Hierarchical key placement (Section 6 future work): partition the key
+/// graph across racks first, then each rack's induced subgraph across its
+/// servers.  Cut pairs preferentially land inside racks.
+std::vector<std::uint32_t> hierarchical_partition(
+    const partition::Graph& g, const Placement& placement,
+    partition::PartitionOptions options) {
+  const std::uint32_t racks = placement.num_racks();
+  partition::PartitionOptions rack_options = options;
+  rack_options.num_parts = racks;
+  const partition::PartitionResult rack_part =
+      partition::partition_graph(g, rack_options);
+
+  std::vector<std::uint32_t> assignment(g.num_vertices(), 0);
+  for (std::uint32_t r = 0; r < racks; ++r) {
+    std::vector<partition::VertexId> members;
+    for (partition::VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (rack_part.assignment[v] == r) members.push_back(v);
+    }
+    const std::vector<ServerId> servers = placement.servers_in_rack(r);
+    LAR_CHECK(!servers.empty());
+    if (members.empty()) continue;
+    const partition::Subgraph sub = partition::induced_subgraph(g, members);
+    partition::PartitionOptions server_options = options;
+    server_options.num_parts = static_cast<std::uint32_t>(servers.size());
+    server_options.seed = options.seed + r + 1;
+    const partition::PartitionResult server_part =
+        partition::partition_graph(sub.graph, server_options);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      assignment[sub.to_parent[i]] = servers[server_part.assignment[i]];
+    }
+  }
+  return assignment;
+}
+
+}  // namespace
+
+Manager::Manager(const Topology& topology, const Placement& placement,
+                 ManagerOptions options)
+    : topology_(topology), placement_(placement), options_(options) {
+  LAR_CHECK(topology.validate().is_ok());
+  options_.partition.num_parts = placement.num_servers();
+  // Optimizable hops: fields edges whose emitter carries an upstream
+  // fields-routed key ("anchor") to correlate with — the emitter itself when
+  // stateful, or the nearest fields-routed ancestor when stateless relays
+  // sit in between (Figure 3's B -> C -> D).
+  const auto anchors = compute_stats_anchors(topology);
+  for (const auto& edge : topology.edges()) {
+    if (edge.grouping == GroupingType::kFields &&
+        anchors[edge.from].has_value()) {
+      hops_.push_back(edge);
+    }
+  }
+}
+
+ReconfigurationPlan Manager::compute_plan(const std::vector<HopStats>& stats) {
+  ReconfigurationPlan plan;
+  plan.version = next_version_++;
+
+  // 1. Key graph from the merged statistics.
+  BipartiteGraphBuilder builder;
+  builder.set_top_edges(options_.top_edges);
+  for (const auto& hop : stats) {
+    builder.add_pairs(hop.in_op, hop.out_op, hop.pairs);
+  }
+  const KeyGraph key_graph = builder.build();
+  plan.graph_vertices = key_graph.graph.num_vertices();
+  plan.graph_edges = key_graph.graph.num_edges();
+  if (key_graph.graph.num_vertices() == 0) {
+    plan.expected_locality = 0.0;
+    return plan;  // nothing observed yet: stay on hash routing
+  }
+
+  // 2. Partition keys across servers under the balance constraint, then
+  //    repair per-operator balance (the α bound of Section 3.1 is per PO).
+  //    With a multi-rack placement and rack_aware set, partition
+  //    hierarchically (racks, then servers per rack) and keep the repair
+  //    moves rack-internal so they never reintroduce uplink traffic.
+  const bool hierarchical =
+      options_.rack_aware && placement_.num_racks() > 1;
+  partition::PartitionResult part;
+  if (hierarchical) {
+    part.assignment = hierarchical_partition(key_graph.graph, placement_,
+                                             options_.partition);
+    for (std::uint32_t r = 0; r < placement_.num_racks(); ++r) {
+      repair_per_op_balance(key_graph, part.assignment,
+                            placement_.servers_in_rack(r),
+                            options_.partition.alpha);
+    }
+  } else {
+    part = partition::partition_graph(key_graph.graph, options_.partition);
+    std::vector<std::uint32_t> all_servers(options_.partition.num_parts);
+    for (std::uint32_t s = 0; s < all_servers.size(); ++s) all_servers[s] = s;
+    repair_per_op_balance(key_graph, part.assignment, all_servers,
+                          options_.partition.alpha);
+  }
+  plan.edge_cut = partition::edge_cut(key_graph.graph, part.assignment);
+  plan.imbalance = partition::partition_imbalance(
+      key_graph.graph, part.assignment, options_.partition.num_parts);
+  const std::uint64_t total_pair_weight = key_graph.graph.total_edge_weight();
+  plan.expected_locality =
+      total_pair_weight == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(plan.edge_cut) /
+                      static_cast<double>(total_pair_weight);
+
+  // 3. Routing tables: map each key to an instance of its operator hosted on
+  //    the assigned server.  Several local instances -> spread keys among
+  //    them by hash; no local instance -> hash fallback over all instances.
+  std::unordered_map<OperatorId, std::shared_ptr<RoutingTable>> tables;
+  for (std::size_t v = 0; v < key_graph.vertices.size(); ++v) {
+    const KeyVertex& kv = key_graph.vertices[v];
+    const ServerId server = part.assignment[v];
+    const auto& locals = placement_.local_instances(kv.op, server);
+    auto [it, inserted] = tables.try_emplace(kv.op);
+    if (inserted) it->second = std::make_shared<RoutingTable>();
+    if (locals.empty()) continue;  // key keeps hash routing
+    const InstanceIndex target =
+        locals[mix64(kv.key) % locals.size()];
+    it->second->assign(kv.key, target);
+    ++plan.keys_assigned;
+  }
+
+  // 4. Migration lists: diff the new tables against the deployed ones over
+  //    the union of their explicit keys (anything else stays hash-routed on
+  //    the same instance either way).
+  for (auto& [op, table] : tables) {
+    table->set_version(plan.version);
+    const std::uint32_t parallelism = topology_.op(op).parallelism;
+    const std::shared_ptr<const RoutingTable> old = current_table(op);
+
+    std::unordered_set<Key> keys;
+    for (const auto& [key, inst] : table->entries()) keys.insert(key);
+    if (old != nullptr) {
+      for (const auto& [key, inst] : old->entries()) keys.insert(key);
+    }
+    std::vector<KeyMove> moves;
+    for (const Key key : keys) {
+      const InstanceIndex before =
+          old != nullptr ? old->route(key, parallelism)
+                         : hash_instance(key, parallelism);
+      const InstanceIndex after = table->route(key, parallelism);
+      if (before != after) moves.push_back(KeyMove{key, before, after});
+    }
+    if (topology_.op(op).stateful && !moves.empty()) {
+      std::sort(moves.begin(), moves.end(),
+                [](const KeyMove& a, const KeyMove& b) { return a.key < b.key; });
+      plan.moves.emplace(op, std::move(moves));
+    }
+    plan.tables.emplace(op, std::move(table));
+  }
+
+  // Fault tolerance: persist the configuration before any engine sees it.
+  if (!options_.snapshot_path.empty()) {
+    const Status saved = save_plan(plan, options_.snapshot_path);
+    if (!saved.is_ok()) {
+      LAR_ERROR << "manager: snapshot failed: " << saved.to_string();
+    }
+  }
+
+  LAR_INFO << "manager: plan v" << plan.version << " keys="
+           << plan.keys_assigned << " cut=" << plan.edge_cut
+           << " expected_locality=" << plan.expected_locality
+           << " imbalance=" << plan.imbalance
+           << " moves=" << plan.total_moves();
+  return plan;
+}
+
+void Manager::mark_deployed(const ReconfigurationPlan& plan) {
+  for (const auto& [op, table] : plan.tables) {
+    deployed_[op] = table;
+  }
+}
+
+Result<ReconfigurationPlan> Manager::restore_from_snapshot() {
+  if (options_.snapshot_path.empty()) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "manager has no snapshot_path configured");
+  }
+  Result<ReconfigurationPlan> restored = load_plan(options_.snapshot_path);
+  if (!restored.is_ok()) return restored;
+  mark_deployed(restored.value());
+  // Future plans must get fresh versions.
+  next_version_ = std::max(next_version_, restored.value().version + 1);
+  return restored;
+}
+
+std::shared_ptr<const RoutingTable> Manager::current_table(
+    OperatorId op) const {
+  auto it = deployed_.find(op);
+  return it == deployed_.end() ? nullptr : it->second;
+}
+
+}  // namespace lar::core

@@ -1,0 +1,111 @@
+// The Manager (Section 3.3-3.4): turns collected pair statistics into
+// optimized routing tables and migration plans.
+//
+// The Manager is engine-agnostic: the threaded runtime feeds it statistics
+// gathered over its control-plane protocol and executes the plan with the
+// full DAG-ordered migration choreography; the simulator and the offline
+// analysis mode call compute_plan() directly and apply tables atomically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bipartite.hpp"
+#include "core/pair_stats.hpp"
+#include "core/plan.hpp"
+#include "partition/partitioner.hpp"
+#include "topology/placement.hpp"
+#include "topology/routing.hpp"
+#include "topology/topology.hpp"
+
+namespace lar::core {
+
+/// Manager tuning.
+struct ManagerOptions {
+  /// Balance constraint and partitioner knobs.  num_parts is overridden with
+  /// the server count of the Placement.  alpha defaults to 1.03, the Metis
+  /// default the paper uses (Section 4.3).
+  partition::PartitionOptions partition;
+
+  /// Keep only the heaviest `top_edges` pairs per hop when building the key
+  /// graph (0 = all).  This is the x-axis of Figure 12.
+  std::size_t top_edges = 0;
+
+  /// Hierarchical (rack-aware) key placement — the paper's Section 6 future
+  /// work: when the Placement defines multiple racks, the key graph is first
+  /// partitioned across racks and then, within each rack, across its
+  /// servers.  Pairs that cannot be server-local (e.g. because of the
+  /// balance constraint) then tend to stay rack-local, keeping traffic off
+  /// the rack uplinks.  Ignored when the placement has a single rack.
+  bool rack_aware = false;
+
+  /// If non-empty, every computed plan's routing tables are saved to this
+  /// file before the plan is handed to the engine — the paper's fault
+  /// tolerance rule ("the manager saves all routing configurations to stable
+  /// storage before starting reconfiguration", Section 3.4).  A restarted
+  /// manager calls restore_from_snapshot() to recover the deployed tables.
+  std::string snapshot_path;
+};
+
+/// Merged statistics for one optimizable hop: pairs (k, k') where k routed a
+/// tuple into `in_op` and k' routed the successor tuple into `out_op`.
+struct HopStats {
+  OperatorId in_op = 0;
+  OperatorId out_op = 0;
+  std::vector<PairCount> pairs;
+};
+
+/// Computes reconfiguration plans and remembers the currently deployed
+/// tables (needed to derive state-migration lists).
+class Manager {
+ public:
+  Manager(const Topology& topology, const Placement& placement,
+          ManagerOptions options);
+
+  /// The hops this topology can optimize: fields-grouped edges X -> Y where
+  /// X is stateful (and therefore fields-routed itself, able to observe
+  /// (input key, output key) pairs).
+  [[nodiscard]] const std::vector<EdgeSpec>& optimizable_hops() const noexcept {
+    return hops_;
+  }
+
+  /// Builds the key graph from `stats`, partitions it across servers, and
+  /// derives routing tables plus migration lists relative to the currently
+  /// deployed tables.  Does NOT deploy the plan; call mark_deployed() once
+  /// the engine has applied it.
+  [[nodiscard]] ReconfigurationPlan compute_plan(
+      const std::vector<HopStats>& stats);
+
+  /// Records `plan` as the deployed configuration, so the next plan's
+  /// migration lists diff against it.
+  void mark_deployed(const ReconfigurationPlan& plan);
+
+  /// Recovers the deployed tables from options().snapshot_path after a
+  /// manager restart.  Returns the restored plan (tables only; engines can
+  /// re-apply it).  Fails if no snapshot exists.
+  [[nodiscard]] Result<ReconfigurationPlan> restore_from_snapshot();
+
+  /// Currently deployed table for `op` (nullptr = pure hash routing).
+  [[nodiscard]] std::shared_ptr<const RoutingTable> current_table(
+      OperatorId op) const;
+
+  [[nodiscard]] const ManagerOptions& options() const noexcept {
+    return options_;
+  }
+  void set_top_edges(std::size_t top_edges) noexcept {
+    options_.top_edges = top_edges;
+  }
+
+ private:
+  const Topology& topology_;
+  const Placement& placement_;
+  ManagerOptions options_;
+  std::vector<EdgeSpec> hops_;
+  std::uint64_t next_version_ = 1;
+  std::unordered_map<OperatorId, std::shared_ptr<const RoutingTable>>
+      deployed_;
+};
+
+}  // namespace lar::core

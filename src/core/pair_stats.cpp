@@ -1,0 +1,66 @@
+#include "core/pair_stats.hpp"
+
+#include <unordered_map>
+
+namespace lar::core {
+
+PairStats::PairStats(std::size_t capacity)
+    : capacity_(capacity), approx_(capacity == 0 ? 1 : capacity) {}
+
+void PairStats::record(Key in, Key out) {
+  if (capacity_ == 0) {
+    exact_.add(KeyPair{in, out});
+  } else {
+    approx_.add(KeyPair{in, out});
+  }
+}
+
+std::vector<PairCount> PairStats::snapshot(std::size_t top_n) const {
+  std::vector<PairCount> out;
+  auto convert = [&out](const auto& entries) {
+    out.reserve(entries.size());
+    for (const auto& e : entries) {
+      out.push_back(PairCount{e.key.in, e.key.out, e.count});
+    }
+  };
+  if (capacity_ == 0) {
+    convert(top_n == 0 ? exact_.entries() : exact_.top(top_n));
+  } else {
+    convert(top_n == 0 ? approx_.entries() : approx_.top(top_n));
+  }
+  return out;
+}
+
+std::uint64_t PairStats::total() const noexcept {
+  return capacity_ == 0 ? exact_.total() : approx_.total();
+}
+
+std::size_t PairStats::size() const noexcept {
+  return capacity_ == 0 ? exact_.size() : approx_.size();
+}
+
+void PairStats::reset() {
+  if (capacity_ == 0) {
+    exact_.clear();
+  } else {
+    approx_.clear();
+  }
+}
+
+std::vector<PairCount> merge_pair_counts(
+    const std::vector<std::vector<PairCount>>& snapshots) {
+  std::unordered_map<KeyPair, std::uint64_t, KeyPairHash> merged;
+  for (const auto& snapshot : snapshots) {
+    for (const auto& pc : snapshot) {
+      merged[KeyPair{pc.in, pc.out}] += pc.count;
+    }
+  }
+  std::vector<PairCount> out;
+  out.reserve(merged.size());
+  for (const auto& [pair, count] : merged) {
+    out.push_back(PairCount{pair.in, pair.out, count});
+  }
+  return out;
+}
+
+}  // namespace lar::core

@@ -1,0 +1,83 @@
+// Key-pair instrumentation (Section 3.2, Figure 4).
+//
+// Every stateful POI records, for each tuple it processes, the pair
+// (input key that routed the tuple to this instance,
+//  output key that decides where the tuple goes next)
+// in bounded memory using SpaceSaving.  The manager periodically collects
+// these statistics from all instances, merges them, and partitions the
+// resulting bipartite key graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "sketch/exact_counter.hpp"
+#include "sketch/space_saving.hpp"
+#include "topology/types.hpp"
+
+namespace lar::core {
+
+/// An (input key, output key) co-occurrence.
+struct KeyPair {
+  Key in = 0;
+  Key out = 0;
+
+  friend bool operator==(const KeyPair&, const KeyPair&) = default;
+};
+
+struct KeyPairHash {
+  [[nodiscard]] std::size_t operator()(const KeyPair& p) const noexcept {
+    return static_cast<std::size_t>(hash_pair(p.in, p.out));
+  }
+};
+
+/// One observed pair with its (possibly approximate) frequency.
+struct PairCount {
+  Key in = 0;
+  Key out = 0;
+  std::uint64_t count = 0;
+};
+
+/// Per-POI pair-frequency collector.
+///
+/// `capacity` bounds the number of monitored pairs (the paper budgets ~1 MB
+/// per POI, i.e. tens of thousands of entries); capacity 0 selects exact
+/// counting, which is what the offline analysis mode uses.
+class PairStats {
+ public:
+  explicit PairStats(std::size_t capacity);
+
+  /// Records one tuple's (input key, output key) observation.
+  void record(Key in, Key out);
+
+  /// The monitored pairs, most frequent first, truncated to `top_n`
+  /// (top_n == 0 means all).
+  [[nodiscard]] std::vector<PairCount> snapshot(std::size_t top_n = 0) const;
+
+  /// Total number of recorded observations.
+  [[nodiscard]] std::uint64_t total() const noexcept;
+
+  /// Number of distinct monitored pairs currently stored.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Forgets everything.  Called after each reconfiguration so the next one
+  /// only reflects recent data (Section 3.2).
+  void reset();
+
+  [[nodiscard]] bool is_exact() const noexcept { return capacity_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  // Exactly one of these is active, chosen by capacity_ at construction.
+  sketch::SpaceSaving<KeyPair, KeyPairHash> approx_;
+  sketch::ExactCounter<KeyPair, KeyPairHash> exact_;
+};
+
+/// Merges snapshots from several POIs of the same PO into one pair list
+/// (counts of identical pairs are summed).
+[[nodiscard]] std::vector<PairCount> merge_pair_counts(
+    const std::vector<std::vector<PairCount>>& snapshots);
+
+}  // namespace lar::core

@@ -1,0 +1,54 @@
+// Reconfiguration plan: the output of the Manager's optimization round.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/routing.hpp"
+#include "topology/types.hpp"
+
+namespace lar::core {
+
+/// One key whose owning instance changes, requiring state migration.
+struct KeyMove {
+  Key key = 0;
+  InstanceIndex from = 0;
+  InstanceIndex to = 0;
+};
+
+/// Everything needed to transition the application to new routing tables
+/// (Section 3.4): the tables themselves plus, per stateful operator, the
+/// list of key states that must migrate between its instances.
+struct ReconfigurationPlan {
+  /// Monotonic plan version; also stamped on every table.
+  std::uint64_t version = 0;
+
+  /// destination operator -> new routing table for all its inbound
+  /// fields-grouped edges.  Shared and immutable once published.
+  std::unordered_map<OperatorId, std::shared_ptr<const RoutingTable>> tables;
+
+  /// operator -> key moves between its instances (old owner -> new owner).
+  std::unordered_map<OperatorId, std::vector<KeyMove>> moves;
+
+  // --- diagnostics -------------------------------------------------------
+  /// Locality the partitioner predicts on the training data:
+  /// 1 - edge_cut / total pair weight (the "Metis reports an expected
+  /// locality of 75%" number of Section 4.3).
+  double expected_locality = 0.0;
+  std::uint64_t edge_cut = 0;        ///< cut weight of the key graph
+  double imbalance = 1.0;            ///< partition imbalance (max/avg)
+  std::size_t keys_assigned = 0;     ///< explicit routing table entries
+  std::size_t graph_vertices = 0;
+  std::size_t graph_edges = 0;
+
+  /// Total number of key moves across all operators.
+  [[nodiscard]] std::size_t total_moves() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [op, m] : moves) n += m.size();
+    return n;
+  }
+};
+
+}  // namespace lar::core

@@ -1,0 +1,116 @@
+#include "core/snapshot.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace lar::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'A', 'R', 'P'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool write_pod(std::FILE* f, const T& value) {
+  return std::fwrite(&value, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool read_pod(std::FILE* f, T& value) {
+  return std::fread(&value, sizeof(T), 1, f) == 1;
+}
+
+}  // namespace
+
+Status save_plan(const ReconfigurationPlan& plan, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    File file(std::fopen(tmp.c_str(), "wb"));
+    if (file == nullptr) {
+      return {ErrorCode::kInvalidArgument, "cannot open " + tmp};
+    }
+    std::FILE* f = file.get();
+    bool ok = std::fwrite(kMagic, 1, 4, f) == 4;
+    ok = ok && write_pod(f, kFormatVersion);
+    ok = ok && write_pod(f, plan.version);
+    ok = ok && write_pod(f, plan.expected_locality);
+    ok = ok && write_pod(f, plan.edge_cut);
+    ok = ok && write_pod(f, plan.imbalance);
+    const auto num_tables = static_cast<std::uint32_t>(plan.tables.size());
+    ok = ok && write_pod(f, num_tables);
+    for (const auto& [op, table] : plan.tables) {
+      ok = ok && write_pod(f, op);
+      const std::uint64_t table_version = table->version();
+      ok = ok && write_pod(f, table_version);
+      const auto entries = static_cast<std::uint64_t>(table->size());
+      ok = ok && write_pod(f, entries);
+      for (const auto& [key, instance] : table->entries()) {
+        ok = ok && write_pod(f, key) && write_pod(f, instance);
+      }
+    }
+    if (!ok) {
+      std::remove(tmp.c_str());
+      return {ErrorCode::kInternal, "short write to " + tmp};
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return {ErrorCode::kInternal, "cannot rename snapshot into " + path};
+  }
+  return Status::ok();
+}
+
+Result<ReconfigurationPlan> load_plan(const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  std::FILE* f = file.get();
+  char magic[4];
+  std::uint32_t format = 0;
+  if (std::fread(magic, 1, 4, f) != 4 || std::memcmp(magic, kMagic, 4) != 0 ||
+      !read_pod(f, format) || format != kFormatVersion) {
+    return Status(ErrorCode::kInvalidArgument,
+                  path + " is not a routing snapshot");
+  }
+  ReconfigurationPlan plan;
+  std::uint32_t num_tables = 0;
+  if (!read_pod(f, plan.version) || !read_pod(f, plan.expected_locality) ||
+      !read_pod(f, plan.edge_cut) || !read_pod(f, plan.imbalance) ||
+      !read_pod(f, num_tables)) {
+    return Status(ErrorCode::kInvalidArgument, path + " is truncated");
+  }
+  for (std::uint32_t t = 0; t < num_tables; ++t) {
+    OperatorId op = 0;
+    std::uint64_t table_version = 0;
+    std::uint64_t entries = 0;
+    if (!read_pod(f, op) || !read_pod(f, table_version) ||
+        !read_pod(f, entries)) {
+      return Status(ErrorCode::kInvalidArgument, path + " is truncated");
+    }
+    auto table = std::make_shared<RoutingTable>();
+    table->set_version(table_version);
+    for (std::uint64_t e = 0; e < entries; ++e) {
+      Key key = 0;
+      InstanceIndex instance = 0;
+      if (!read_pod(f, key) || !read_pod(f, instance)) {
+        return Status(ErrorCode::kInvalidArgument, path + " is truncated");
+      }
+      table->assign(key, instance);
+    }
+    plan.tables.emplace(op, std::move(table));
+    plan.keys_assigned += entries;
+  }
+  return plan;
+}
+
+}  // namespace lar::core

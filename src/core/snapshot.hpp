@@ -1,0 +1,30 @@
+// Routing-configuration persistence (fault tolerance, Section 3.4):
+// "To handle fault tolerance, the manager saves all routing configurations
+// to stable storage before starting reconfiguration."
+//
+// A snapshot stores the plan version and every routing table (key ->
+// instance per destination operator).  Migration lists are deliberately NOT
+// stored: they are transient choreography; after a manager restart the next
+// compute_plan() re-derives moves by diffing against the restored tables.
+//
+// Format: "LARP" magic, format version, plan version, diagnostics, then per
+// table: operator id, table version, entry count, (key, instance) pairs.
+// Little-endian binary.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "core/plan.hpp"
+
+namespace lar::core {
+
+/// Writes `plan`'s routing tables to `path` (atomically: temp file + rename).
+[[nodiscard]] Status save_plan(const ReconfigurationPlan& plan,
+                               const std::string& path);
+
+/// Reads a snapshot back.  The returned plan carries tables and diagnostics;
+/// its `moves` are empty.
+[[nodiscard]] Result<ReconfigurationPlan> load_plan(const std::string& path);
+
+}  // namespace lar::core

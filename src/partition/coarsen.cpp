@@ -1,0 +1,72 @@
+#include "partition/coarsen.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lar::partition {
+
+CoarseLevel coarsen_once(const Graph& fine, Rng& rng) {
+  const std::size_t n = fine.num_vertices();
+  constexpr VertexId kUnmatched = static_cast<VertexId>(-1);
+  std::vector<VertexId> match(n, kUnmatched);
+
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+
+  for (const VertexId v : order) {
+    if (match[v] != kUnmatched) continue;
+    const auto nbrs = fine.neighbors(v);
+    const auto wgts = fine.neighbor_weights(v);
+    VertexId best = kUnmatched;
+    std::uint64_t best_w = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId u = nbrs[i];
+      if (u == v || match[u] != kUnmatched) continue;
+      if (best == kUnmatched || wgts[i] > best_w) {
+        best = u;
+        best_w = wgts[i];
+      }
+    }
+    if (best != kUnmatched) {
+      match[v] = best;
+      match[best] = v;
+    } else {
+      match[v] = v;  // singleton
+    }
+  }
+
+  // Assign coarse ids: the lower-numbered endpoint of each match owns the id.
+  CoarseLevel level;
+  level.fine_to_coarse.assign(n, kUnmatched);
+  GraphBuilder builder;
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId u = match[v];
+    if (u < v) continue;  // already handled when visiting u's pair owner
+    const std::uint64_t w =
+        fine.vertex_weight(v) + (u != v ? fine.vertex_weight(u) : 0);
+    const VertexId c = builder.add_vertex(w);
+    level.fine_to_coarse[v] = c;
+    level.fine_to_coarse[u] = c;
+  }
+
+  // Project edges; the builder merges the resulting parallel edges.
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId cv = level.fine_to_coarse[v];
+    const auto nbrs = fine.neighbors(v);
+    const auto wgts = fine.neighbor_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId cu = level.fine_to_coarse[nbrs[i]];
+      // Keep each undirected fine edge once (v < neighbor) and drop edges
+      // internal to a coarse vertex.
+      if (nbrs[i] <= v || cu == cv) continue;
+      builder.add_edge(cv, cu, wgts[i]);
+    }
+  }
+  level.graph = builder.build();
+  return level;
+}
+
+}  // namespace lar::partition

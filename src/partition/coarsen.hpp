@@ -1,0 +1,28 @@
+// Coarsening phase of the multilevel partitioner: heavy-edge matching (HEM).
+//
+// Matching pairs of vertices connected by heavy edges and collapsing them
+// hides those edges inside coarse vertices, so they can never be cut by the
+// initial partition — the same strategy Metis uses.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "partition/graph.hpp"
+
+namespace lar::partition {
+
+/// One level of the coarsening hierarchy.
+struct CoarseLevel {
+  Graph graph;                            ///< the coarser graph
+  std::vector<VertexId> fine_to_coarse;   ///< fine vertex -> coarse vertex
+};
+
+/// Collapses a maximal heavy-edge matching of `fine` into a coarser graph.
+/// Visits vertices in a random order (from `rng`) and matches each unmatched
+/// vertex with its unmatched neighbor of maximum edge weight; unmatchable
+/// vertices survive as singletons.  Coarse vertex weights are the sums of
+/// their constituents; parallel coarse edges are merged.
+[[nodiscard]] CoarseLevel coarsen_once(const Graph& fine, Rng& rng);
+
+}  // namespace lar::partition

@@ -1,0 +1,101 @@
+#include "partition/graph.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace lar::partition {
+
+Subgraph induced_subgraph(const Graph& g,
+                          const std::vector<VertexId>& vertices) {
+  Subgraph sub;
+  sub.to_parent = vertices;
+  std::vector<VertexId> to_local(g.num_vertices(),
+                                 static_cast<VertexId>(-1));
+  GraphBuilder builder;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    LAR_CHECK(vertices[i] < g.num_vertices());
+    to_local[vertices[i]] = static_cast<VertexId>(i);
+    builder.add_vertex(g.vertex_weight(vertices[i]));
+  }
+  for (const VertexId v : vertices) {
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.neighbor_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId u = nbrs[i];
+      if (u <= v || to_local[u] == static_cast<VertexId>(-1)) continue;
+      builder.add_edge(to_local[v], to_local[u], wgts[i]);
+    }
+  }
+  sub.graph = builder.build();
+  return sub;
+}
+
+VertexId GraphBuilder::add_vertex(std::uint64_t weight) {
+  vertex_weights_.push_back(weight);
+  return static_cast<VertexId>(vertex_weights_.size() - 1);
+}
+
+void GraphBuilder::add_vertex_weight(VertexId v, std::uint64_t delta) {
+  LAR_CHECK(v < vertex_weights_.size());
+  vertex_weights_[v] += delta;
+}
+
+void GraphBuilder::add_edge(VertexId a, VertexId b, std::uint64_t weight) {
+  LAR_CHECK(a != b);
+  LAR_CHECK(a < vertex_weights_.size() && b < vertex_weights_.size());
+  edges_.push_back(HalfEdge{a, b, weight});
+}
+
+Graph GraphBuilder::build() {
+  Graph g;
+  const std::size_t v = vertex_weights_.size();
+  g.vertex_weights_ = std::move(vertex_weights_);
+  vertex_weights_.clear();
+  g.total_vertex_weight_ = 0;
+  for (const auto w : g.vertex_weights_) g.total_vertex_weight_ += w;
+
+  // Canonicalize (min, max) and sort so duplicates become adjacent.
+  for (auto& e : edges_) {
+    if (e.from > e.to) std::swap(e.from, e.to);
+  }
+  std::sort(edges_.begin(), edges_.end(),
+            [](const HalfEdge& x, const HalfEdge& y) {
+              return x.from != y.from ? x.from < y.from : x.to < y.to;
+            });
+  // Merge parallel edges in place.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (out > 0 && edges_[out - 1].from == edges_[i].from &&
+        edges_[out - 1].to == edges_[i].to) {
+      edges_[out - 1].weight += edges_[i].weight;
+    } else {
+      edges_[out++] = edges_[i];
+    }
+  }
+  edges_.resize(out);
+
+  // Degree counting pass, then fill.
+  g.offsets_.assign(v + 1, 0);
+  for (const auto& e : edges_) {
+    ++g.offsets_[e.from + 1];
+    ++g.offsets_[e.to + 1];
+  }
+  for (std::size_t i = 1; i <= v; ++i) g.offsets_[i] += g.offsets_[i - 1];
+
+  g.adj_to_.resize(edges_.size() * 2);
+  g.adj_w_.resize(edges_.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  g.total_edge_weight_ = 0;
+  for (const auto& e : edges_) {
+    g.adj_to_[cursor[e.from]] = e.to;
+    g.adj_w_[cursor[e.from]++] = e.weight;
+    g.adj_to_[cursor[e.to]] = e.from;
+    g.adj_w_[cursor[e.to]++] = e.weight;
+    g.total_edge_weight_ += e.weight;
+  }
+  edges_.clear();
+  return g;
+}
+
+}  // namespace lar::partition

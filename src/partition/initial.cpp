@@ -1,0 +1,103 @@
+#include "partition/initial.hpp"
+
+#include <limits>
+#include <queue>
+#include <tuple>
+
+#include "common/status.hpp"
+#include "partition/quality.hpp"
+
+namespace lar::partition {
+
+namespace {
+
+/// One growing attempt from a random seed; returns the side vector.
+std::vector<std::uint8_t> grow_once(const Graph& g, std::uint64_t target0,
+                                    const std::array<std::uint64_t, 2>& max_side,
+                                    Rng& rng) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::uint8_t> side(n, 1);
+  if (n == 0) return side;
+
+  // gain[v] = (weight of edges from v into side 0) - (weight to side 1),
+  // i.e. the cut delta of absorbing v is -gain[v].
+  std::vector<std::int64_t> gain(n);
+  for (VertexId v = 0; v < n; ++v) {
+    std::int64_t sum = 0;
+    for (const auto w : g.neighbor_weights(v)) sum += static_cast<std::int64_t>(w);
+    gain[v] = -sum;
+  }
+
+  // Max-heap with lazy invalidation: entries are (gain at push time, vertex).
+  std::priority_queue<std::pair<std::int64_t, VertexId>> frontier;
+  const std::uint64_t total = g.total_vertex_weight();
+  // Side 1 must also fit under its cap: grow at least until that holds.
+  const std::uint64_t lo0 = total > max_side[1] ? total - max_side[1] : 0;
+  const std::uint64_t goal = std::max(target0, lo0);
+
+  std::uint64_t w0 = 0;
+  std::size_t added = 0;
+
+  auto absorb = [&](VertexId v) {
+    side[v] = 0;
+    w0 += g.vertex_weight(v);
+    ++added;
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.neighbor_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId u = nbrs[i];
+      if (side[u] == 0) continue;
+      gain[u] += 2 * static_cast<std::int64_t>(wgts[i]);
+      frontier.emplace(gain[u], u);
+    }
+  };
+
+  absorb(static_cast<VertexId>(rng.below(n)));
+
+  while (w0 < goal && added < n) {
+    VertexId pick = static_cast<VertexId>(-1);
+    while (!frontier.empty()) {
+      const auto [gval, v] = frontier.top();
+      frontier.pop();
+      if (side[v] == 0 || gval != gain[v]) continue;  // stale or absorbed
+      if (w0 + g.vertex_weight(v) > max_side[0] && w0 >= lo0) continue;
+      pick = v;
+      break;
+    }
+    if (pick == static_cast<VertexId>(-1)) {
+      // Disconnected graph or everything on the frontier is too heavy:
+      // absorb an arbitrary leftover vertex to make progress.
+      for (VertexId v = 0; v < n; ++v) {
+        if (side[v] == 1 &&
+            (w0 + g.vertex_weight(v) <= max_side[0] || w0 < lo0)) {
+          pick = v;
+          break;
+        }
+      }
+      if (pick == static_cast<VertexId>(-1)) break;  // cannot grow further
+    }
+    absorb(pick);
+  }
+  return side;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> grow_bisection(
+    const Graph& g, std::uint64_t target0,
+    const std::array<std::uint64_t, 2>& max_side, Rng& rng, int trials) {
+  LAR_CHECK(trials >= 1);
+  std::vector<std::uint8_t> best;
+  std::uint64_t best_cut = std::numeric_limits<std::uint64_t>::max();
+  for (int t = 0; t < trials; ++t) {
+    std::vector<std::uint8_t> side = grow_once(g, target0, max_side, rng);
+    const std::uint64_t cut = bisection_cut(g, side);
+    if (cut < best_cut) {
+      best_cut = cut;
+      best = std::move(side);
+    }
+  }
+  return best;
+}
+
+}  // namespace lar::partition

@@ -1,0 +1,141 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "partition/coarsen.hpp"
+#include "partition/initial.hpp"
+#include "partition/quality.hpp"
+#include "partition/refine.hpp"
+
+namespace lar::partition {
+
+namespace {
+
+/// Bisects `g` with multilevel coarsening; side-0 target weight `target0`.
+std::vector<std::uint8_t> multilevel_bisect(
+    const Graph& g, std::uint64_t target0,
+    const std::array<std::uint64_t, 2>& max_side,
+    const PartitionOptions& options, Rng& rng) {
+  // Coarsening: stop when small enough or matching stops making progress.
+  std::vector<CoarseLevel> levels;
+  const Graph* cur = &g;
+  while (cur->num_vertices() > options.coarsen_to) {
+    CoarseLevel lvl = coarsen_once(*cur, rng);
+    if (lvl.graph.num_vertices() >
+        static_cast<std::size_t>(0.95 * static_cast<double>(cur->num_vertices()))) {
+      break;  // diminishing returns (e.g. star graphs match poorly)
+    }
+    levels.push_back(std::move(lvl));
+    cur = &levels.back().graph;
+  }
+
+  std::vector<std::uint8_t> side =
+      grow_bisection(*cur, target0, max_side, rng, options.initial_trials);
+  if (options.enable_refinement) {
+    fm_refine(*cur, side, max_side, options.refinement_passes);
+  }
+
+  // Uncoarsen: project through each level and refine on the finer graph.
+  for (std::size_t i = levels.size(); i > 0; --i) {
+    const Graph& finer = (i >= 2) ? levels[i - 2].graph : g;
+    const auto& map = levels[i - 1].fine_to_coarse;
+    std::vector<std::uint8_t> fine_side(finer.num_vertices());
+    for (VertexId v = 0; v < finer.num_vertices(); ++v) {
+      fine_side[v] = side[map[v]];
+    }
+    side = std::move(fine_side);
+    if (options.enable_refinement) {
+      fm_refine(finer, side, max_side, options.refinement_passes);
+    }
+  }
+  return side;
+}
+
+/// Recursively assigns parts [part_begin, part_begin + part_count) to the
+/// vertices of `g` (whose global ids are `to_global`), writing into `out`.
+void recurse(const Graph& g, const std::vector<VertexId>& to_global,
+             std::uint32_t part_begin, std::uint32_t part_count,
+             std::uint64_t max_per_part, const PartitionOptions& options,
+             Rng& rng, std::vector<std::uint32_t>& out) {
+  if (part_count == 1) {
+    for (const VertexId v : to_global) out[v] = part_begin;
+    return;
+  }
+  const std::uint32_t k0 = part_count / 2;
+  const std::uint32_t k1 = part_count - k0;
+  const std::uint64_t total = g.total_vertex_weight();
+  const std::uint64_t target0 =
+      static_cast<std::uint64_t>(static_cast<double>(total) *
+                                 static_cast<double>(k0) /
+                                 static_cast<double>(part_count));
+  // Each side must eventually fit k parts of at most max_per_part each.
+  const std::array<std::uint64_t, 2> max_side{max_per_part * k0,
+                                              max_per_part * k1};
+  const std::vector<std::uint8_t> side =
+      multilevel_bisect(g, target0, max_side, options, rng);
+
+  std::vector<VertexId> left;
+  std::vector<VertexId> right;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    (side[v] == 0 ? left : right).push_back(v);
+  }
+
+  auto descend = [&](const std::vector<VertexId>& local_ids,
+                     std::uint32_t begin, std::uint32_t count) {
+    if (local_ids.empty()) return;
+    std::vector<VertexId> global_ids(local_ids.size());
+    for (std::size_t i = 0; i < local_ids.size(); ++i) {
+      global_ids[i] = to_global[local_ids[i]];
+    }
+    if (count == 1) {
+      for (const VertexId v : global_ids) out[v] = begin;
+      return;
+    }
+    Subgraph sub = induced_subgraph(g, local_ids);
+    // Map subgraph-local ids to true global ids before recursing.
+    for (auto& v : sub.to_parent) v = to_global[v];
+    recurse(sub.graph, sub.to_parent, begin, count, max_per_part, options, rng,
+            out);
+  };
+  descend(left, part_begin, k0);
+  descend(right, part_begin + k0, k1);
+}
+
+}  // namespace
+
+PartitionResult partition_graph(const Graph& g,
+                                const PartitionOptions& options) {
+  LAR_CHECK(options.num_parts >= 1);
+  LAR_CHECK(options.alpha >= 1.0);
+
+  PartitionResult result;
+  result.assignment.assign(g.num_vertices(), 0);
+  if (g.num_vertices() == 0 || options.num_parts == 1) {
+    result.edge_cut = options.num_parts == 1 ? 0 : 0;
+    result.achieved_imbalance =
+        partition_imbalance(g, result.assignment, std::max(options.num_parts, 1u));
+    return result;
+  }
+
+  Rng rng(options.seed);
+  const double avg = static_cast<double>(g.total_vertex_weight()) /
+                     static_cast<double>(options.num_parts);
+  // +1 absorbs rounding; the alpha bound is on real-valued averages.
+  const auto max_per_part =
+      static_cast<std::uint64_t>(std::ceil(avg * options.alpha)) + 1;
+
+  std::vector<VertexId> all(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+  recurse(g, all, 0, options.num_parts, max_per_part, options, rng,
+          result.assignment);
+
+  result.edge_cut = edge_cut(g, result.assignment);
+  result.achieved_imbalance =
+      partition_imbalance(g, result.assignment, options.num_parts);
+  return result;
+}
+
+}  // namespace lar::partition

@@ -1,0 +1,60 @@
+#include "partition/quality.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace lar::partition {
+
+std::uint64_t edge_cut(const Graph& g,
+                       std::span<const std::uint32_t> assignment) {
+  LAR_CHECK(assignment.size() == g.num_vertices());
+  std::uint64_t cut = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.neighbor_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] > v && assignment[nbrs[i]] != assignment[v]) cut += wgts[i];
+    }
+  }
+  return cut;
+}
+
+std::uint64_t bisection_cut(const Graph& g,
+                            std::span<const std::uint8_t> side) {
+  LAR_CHECK(side.size() == g.num_vertices());
+  std::uint64_t cut = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.neighbor_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] > v && side[nbrs[i]] != side[v]) cut += wgts[i];
+    }
+  }
+  return cut;
+}
+
+std::vector<std::uint64_t> part_weights(
+    const Graph& g, std::span<const std::uint32_t> assignment,
+    std::uint32_t num_parts) {
+  LAR_CHECK(assignment.size() == g.num_vertices());
+  std::vector<std::uint64_t> weights(num_parts, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    LAR_CHECK(assignment[v] < num_parts);
+    weights[assignment[v]] += g.vertex_weight(v);
+  }
+  return weights;
+}
+
+double partition_imbalance(const Graph& g,
+                           std::span<const std::uint32_t> assignment,
+                           std::uint32_t num_parts) {
+  LAR_CHECK(num_parts >= 1);
+  const auto weights = part_weights(g, assignment, num_parts);
+  const std::uint64_t max = *std::max_element(weights.begin(), weights.end());
+  const double avg = static_cast<double>(g.total_vertex_weight()) /
+                     static_cast<double>(num_parts);
+  return avg == 0.0 ? 1.0 : static_cast<double>(max) / avg;
+}
+
+}  // namespace lar::partition

@@ -1,0 +1,30 @@
+// Partition quality metrics: edge cut and balance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "partition/graph.hpp"
+
+namespace lar::partition {
+
+/// Sum of weights of edges whose endpoints lie in different parts.
+[[nodiscard]] std::uint64_t edge_cut(const Graph& g,
+                                     std::span<const std::uint32_t> assignment);
+
+/// Edge cut of a two-sided assignment (0/1 per vertex).
+[[nodiscard]] std::uint64_t bisection_cut(const Graph& g,
+                                          std::span<const std::uint8_t> side);
+
+/// Total vertex weight per part.
+[[nodiscard]] std::vector<std::uint64_t> part_weights(
+    const Graph& g, std::span<const std::uint32_t> assignment,
+    std::uint32_t num_parts);
+
+/// max(part weight) / (total weight / num_parts); 1.0 = perfect balance.
+[[nodiscard]] double partition_imbalance(const Graph& g,
+                                         std::span<const std::uint32_t> assignment,
+                                         std::uint32_t num_parts);
+
+}  // namespace lar::partition

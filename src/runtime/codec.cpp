@@ -1,0 +1,39 @@
+#include "runtime/codec.hpp"
+
+#include <cstring>
+
+namespace lar::runtime {
+
+namespace {
+constexpr std::size_t kHeader = 16;  // matches Tuple::serialized_size()
+}
+
+std::vector<std::byte> encode_tuple(const Tuple& tuple) {
+  std::vector<std::byte> out(tuple.serialized_size());
+  std::uint64_t nfields = tuple.fields.size();
+  std::uint64_t padding = tuple.padding;
+  std::memcpy(out.data(), &nfields, 8);
+  std::memcpy(out.data() + 8, &padding, 8);
+  std::memcpy(out.data() + kHeader, tuple.fields.data(),
+              tuple.fields.size() * sizeof(Key));
+  // The remaining `padding` bytes stay zero: the payload content does not
+  // matter, its copy cost does.
+  return out;
+}
+
+Tuple decode_tuple(std::span<const std::byte> bytes) {
+  LAR_CHECK(bytes.size() >= kHeader);
+  std::uint64_t nfields = 0;
+  std::uint64_t padding = 0;
+  std::memcpy(&nfields, bytes.data(), 8);
+  std::memcpy(&padding, bytes.data() + 8, 8);
+  Tuple t;
+  t.padding = static_cast<std::uint32_t>(padding);
+  t.fields.resize(nfields);
+  LAR_CHECK(bytes.size() >= kHeader + nfields * sizeof(Key));
+  std::memcpy(t.fields.data(), bytes.data() + kHeader,
+              nfields * sizeof(Key));
+  return t;
+}
+
+}  // namespace lar::runtime

@@ -1,0 +1,27 @@
+// Wire codec for tuples crossing simulated server boundaries.
+//
+// The runtime engine runs every server in one process, but a tuple sent to a
+// POI on a *different* server takes the "network" path: it is serialized
+// into a flat byte buffer (padding bytes materialized, so the copy cost is
+// real), counted against the edge's byte counters, and parsed back on the
+// receiving side — the same work a real broker/transport would do, minus the
+// kernel.  Same-server tuples are handed over by move, the "address in
+// memory" fast path the paper describes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "topology/types.hpp"
+
+namespace lar::runtime {
+
+/// Serializes `tuple` (fields, then padding as zero bytes).
+[[nodiscard]] std::vector<std::byte> encode_tuple(const Tuple& tuple);
+
+/// Parses a buffer produced by encode_tuple().
+[[nodiscard]] Tuple decode_tuple(std::span<const std::byte> bytes);
+
+}  // namespace lar::runtime

@@ -1,0 +1,475 @@
+#include "runtime/engine.hpp"
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.hpp"
+#include "runtime/codec.hpp"
+
+namespace lar::runtime {
+
+// ---------------------------------------------------------------------------
+// Poi: one deployed operator instance.
+// ---------------------------------------------------------------------------
+
+struct Engine::Poi {
+  Poi(OperatorId op_id, InstanceIndex idx, ServerId srv,
+      std::size_t queue_capacity)
+      : op(op_id), index(idx), server(srv), inbox(queue_capacity) {}
+
+  const OperatorId op;
+  const InstanceIndex index;
+  const ServerId server;
+
+  std::unique_ptr<Operator> logic;
+  Channel<Message> inbox;
+  std::thread thread;
+
+  // Parallel to topology.out_edges(op):
+  std::vector<std::unique_ptr<Router>> routers;
+  std::vector<std::optional<core::PairStats>> pair_stats;
+
+  std::atomic<std::uint64_t> processed{0};
+
+  // --- reconfiguration state, touched only by the POI thread --------------
+  std::optional<ReconfMsg> staged;
+  std::uint32_t propagate_seen = 0;
+  std::uint32_t propagate_expected = 0;
+  bool actions_done = true;  ///< propagate wave handled (tables installed)
+  std::unordered_set<Key> awaiting;                      ///< state not here yet
+  std::unordered_map<Key, std::vector<DataMsg>> pending;  ///< buffered tuples
+};
+
+// ---------------------------------------------------------------------------
+// Construction / lifecycle.
+// ---------------------------------------------------------------------------
+
+Engine::Engine(const Topology& topology, const Placement& placement,
+               OperatorFactory factory, EngineOptions options)
+    : topology_(topology),
+      placement_(placement),
+      options_(options),
+      factory_(std::move(factory)),
+      manager_inbox_(1 << 16),
+      edge_counters_(topology.edges().size()) {
+  LAR_CHECK(topology.validate().is_ok());
+  LAR_CHECK(factory_ != nullptr);
+
+  anchors_ = compute_stats_anchors(topology);
+  poi_index_.resize(topology.num_operators());
+  for (OperatorId op = 0; op < topology.num_operators(); ++op) {
+    const std::uint32_t parallelism = topology.op(op).parallelism;
+    poi_index_[op].resize(parallelism);
+    for (InstanceIndex i = 0; i < parallelism; ++i) {
+      poi_index_[op][i] = pois_.size();
+      pois_.push_back(std::make_unique<Poi>(op, i, placement.server_of(op, i),
+                                            options_.queue_capacity));
+      Poi& poi = *pois_.back();
+      poi.logic = factory_(op, i);
+      LAR_CHECK(poi.logic != nullptr);
+
+      const auto& out = topology.out_edges(op);
+      poi.routers.reserve(out.size());
+      poi.pair_stats.reserve(out.size());
+      for (const std::uint32_t eid : out) {
+        const EdgeSpec& edge = topology.edges()[eid];
+        poi.routers.push_back(make_router(
+            edge, eid, topology, placement, poi.server, options_.fields_mode,
+            nullptr, options_.seed * 7919 + eid * 131 + i));
+        if (edge.grouping == GroupingType::kFields &&
+            anchors_[edge.from].has_value()) {
+          poi.pair_stats.emplace_back(
+              std::in_place, options_.pair_stats_capacity);
+        } else {
+          poi.pair_stats.emplace_back(std::nullopt);
+        }
+      }
+
+      std::uint32_t expected = 0;
+      for (const std::uint32_t eid : topology.in_edges(op)) {
+        expected += topology.op(topology.edges()[eid].from).parallelism;
+      }
+      poi.propagate_expected = topology.op(op).is_source ? 1 : expected;
+    }
+  }
+}
+
+Engine::~Engine() { shutdown(); }
+
+void Engine::start() {
+  LAR_CHECK(!started_);
+  started_ = true;
+  for (auto& poi : pois_) {
+    poi->thread = std::thread([this, p = poi.get()] { poi_loop(*p); });
+  }
+}
+
+void Engine::shutdown() {
+  if (!started_ || shut_down_) return;
+  flush();
+  shut_down_ = true;
+  for (auto& poi : pois_) {
+    poi->inbox.push_unbounded(Message{ShutdownMsg{}});
+  }
+  for (auto& poi : pois_) {
+    if (poi->thread.joinable()) poi->thread.join();
+  }
+}
+
+Engine::Poi& Engine::poi_at(OperatorId op, InstanceIndex index) {
+  return *pois_[poi_index_[op][index]];
+}
+
+Operator& Engine::operator_at(OperatorId op, InstanceIndex index) {
+  return *poi_at(op, index).logic;
+}
+
+// ---------------------------------------------------------------------------
+// Data plane.
+// ---------------------------------------------------------------------------
+
+void Engine::inject(Tuple tuple) {
+  LAR_CHECK(started_ && !shut_down_);
+  const auto sources = topology_.sources();
+  LAR_CHECK(!sources.empty());
+  const OperatorId src = sources[inject_seq_.load(std::memory_order_relaxed) %
+                                 sources.size()];
+  const std::uint32_t par = topology_.op(src).parallelism;
+  InstanceIndex instance = 0;
+  switch (options_.source_mode) {
+    case SourceMode::kAlignedField0:
+      LAR_CHECK(!tuple.fields.empty());
+      instance = static_cast<InstanceIndex>(tuple.fields[0] % par);
+      break;
+    case SourceMode::kRoundRobin:
+      instance =
+          static_cast<InstanceIndex>(inject_seq_.load(std::memory_order_relaxed) % par);
+      break;
+  }
+  inject_seq_.fetch_add(1, std::memory_order_relaxed);
+  tuples_injected_.fetch_add(1, std::memory_order_relaxed);
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  poi_at(src, instance).inbox.push(
+      Message{DataMsg{std::move(tuple), DataMsg::kInjected}});
+}
+
+void Engine::flush() {
+  std::uint64_t v = in_flight_.load(std::memory_order_acquire);
+  while (v != 0) {
+    in_flight_.wait(v, std::memory_order_acquire);
+    v = in_flight_.load(std::memory_order_acquire);
+  }
+}
+
+void Engine::poi_loop(Poi& poi) {
+  while (auto msg = poi.inbox.pop()) {
+    if (std::holds_alternative<ShutdownMsg>(*msg)) return;
+    std::visit(
+        [&](auto&& m) {
+          using T = std::decay_t<decltype(m)>;
+          if constexpr (std::is_same_v<T, DataMsg>) {
+            handle_data(poi, std::move(m));
+          } else if constexpr (std::is_same_v<T, GetMetricsMsg>) {
+            send_metrics(poi);
+          } else if constexpr (std::is_same_v<T, ReconfMsg>) {
+            handle_reconf(poi, std::move(m));
+          } else if constexpr (std::is_same_v<T, PropagateMsg>) {
+            handle_propagate(poi, m);
+          } else if constexpr (std::is_same_v<T, MigrateMsg>) {
+            handle_migrate(poi, std::move(m));
+          }
+        },
+        std::move(*msg));
+  }
+}
+
+void Engine::handle_data(Poi& poi, DataMsg msg) {
+  Key in_key = msg.anchor;
+  if (msg.edge != DataMsg::kInjected) {
+    const EdgeSpec& edge = topology_.edges()[msg.edge];
+    if (edge.grouping == GroupingType::kFields) {
+      LAR_CHECK(edge.key_field < msg.tuple.fields.size());
+      in_key = msg.tuple.fields[edge.key_field];
+      // Buffer tuples whose key state is still in flight (Section 3.4:
+      // "tuples are buffered and are only processed once the state of their
+      // key is received").
+      if (poi.awaiting.contains(in_key)) {
+        poi.pending[in_key].push_back(std::move(msg));
+        tuples_buffered_.fetch_add(1, std::memory_order_relaxed);
+        return;  // stays in flight until drained by handle_migrate()
+      }
+    }
+  }
+  process_tuple(poi, msg.tuple, in_key);
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    in_flight_.notify_all();
+  }
+}
+
+void Engine::process_tuple(Poi& poi, const Tuple& tuple, Key in_key) {
+  poi.processed.fetch_add(1, std::memory_order_relaxed);
+  // Emitter bound to the POI currently processing a tuple; routes emissions
+  // on every outbound edge and records pair statistics.  A local class so it
+  // shares this member function's access to Engine internals.
+  struct RoutingEmitter final : Emitter {
+    Engine& engine;
+    Poi& poi;
+    Key in_key;
+
+    RoutingEmitter(Engine& e, Poi& p, Key k)
+        : engine(e), poi(p), in_key(k) {}
+
+    void emit(Tuple tuple) override {
+      const auto& out = engine.topology_.out_edges(poi.op);
+      for (std::size_t k = 0; k < out.size(); ++k) {
+        const EdgeSpec& edge = engine.topology_.edges()[out[k]];
+        if (poi.pair_stats[k].has_value() && in_key != kNoKey) {
+          LAR_CHECK(edge.key_field < tuple.fields.size());
+          poi.pair_stats[k]->record(in_key, tuple.fields[edge.key_field]);
+        }
+        engine.send_data(poi, static_cast<std::uint32_t>(k), tuple, in_key);
+      }
+    }
+  } emitter(*this, poi, in_key);
+  poi.logic->process(tuple, emitter);
+}
+
+void Engine::send_data(Poi& poi, std::uint32_t out_pos, const Tuple& tuple,
+                       Key in_key) {
+  const std::uint32_t eid = topology_.out_edges(poi.op)[out_pos];
+  const EdgeSpec& edge = topology_.edges()[eid];
+  const InstanceIndex dst = poi.routers[out_pos]->route(tuple);
+  Poi& target = poi_at(edge.to, dst);
+  EdgeCounters& counters = edge_counters_[eid];
+
+  // The receiver's anchor: a fields hop re-anchors at its own key, anything
+  // else forwards the sender's.
+  const Key anchor = edge.grouping == GroupingType::kFields
+                         ? tuple.fields[edge.key_field]
+                         : in_key;
+
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (target.server == poi.server) {
+    counters.local.fetch_add(1, std::memory_order_relaxed);
+    target.inbox.push(Message{DataMsg{tuple, eid, anchor}});
+  } else {
+    counters.remote.fetch_add(1, std::memory_order_relaxed);
+    const std::vector<std::byte> wire = encode_tuple(tuple);
+    counters.remote_bytes.fetch_add(wire.size(), std::memory_order_relaxed);
+    target.inbox.push(Message{DataMsg{decode_tuple(wire), eid, anchor}});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control plane: the reconfiguration protocol (POI side).
+// ---------------------------------------------------------------------------
+
+void Engine::send_metrics(Poi& poi) {
+  MetricsReply reply;
+  reply.from = InstanceId{poi.op, poi.index};
+  const auto& out = topology_.out_edges(poi.op);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    if (!poi.pair_stats[k].has_value()) continue;
+    reply.stats.emplace_back(out[k], poi.pair_stats[k]->snapshot());
+  }
+  manager_inbox_.push(ManagerReply{std::move(reply)});
+}
+
+void Engine::handle_reconf(Poi& poi, ReconfMsg msg) {
+  LAR_CHECK(!poi.staged.has_value());  // one reconfiguration at a time
+  const std::uint64_t version = msg.version;
+  poi.staged = std::move(msg);
+  poi.propagate_seen = 0;
+  poi.actions_done = false;
+  // Buffering must start now: upstream POIs may switch to the new tables
+  // (and route keys here) before this POI's own propagate arrives.
+  for (const Key key : poi.staged->receive) poi.awaiting.insert(key);
+  manager_inbox_.push(
+      ManagerReply{AckReconfReply{InstanceId{poi.op, poi.index}, version}});
+}
+
+void Engine::handle_propagate(Poi& poi, const PropagateMsg& msg) {
+  LAR_CHECK(poi.staged.has_value() && poi.staged->version == msg.version);
+  ++poi.propagate_seen;
+  if (poi.propagate_seen == poi.propagate_expected) {
+    run_reconfig_actions(poi);
+  }
+}
+
+void Engine::run_reconfig_actions(Poi& poi) {
+  ReconfMsg& staged = *poi.staged;
+  const auto& out = topology_.out_edges(poi.op);
+
+  // update_routing: install the new tables on outbound fields edges and
+  // restart statistics collection from a clean slate.
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    const EdgeSpec& edge = topology_.edges()[out[k]];
+    if (edge.grouping != GroupingType::kFields) continue;
+    auto it = staged.tables.find(edge.to);
+    if (it == staged.tables.end()) continue;
+    poi.routers[k] = std::make_unique<TableFieldsRouter>(
+        edge.key_field, topology_.op(edge.to).parallelism, it->second);
+    if (poi.pair_stats[k].has_value()) poi.pair_stats[k]->reset();
+  }
+
+  // Export and ship the state of keys this instance no longer owns.  No
+  // more tuples for them can arrive: every predecessor switched tables
+  // before propagating here, and channels are FIFO.
+  for (const auto& [key, dest] : staged.send) {
+    std::vector<std::byte> state = poi.logic->export_key_state(key);
+    poi.logic->drop_key_state(key);
+    poi_at(poi.op, dest).inbox.push_unbounded(
+        Message{MigrateMsg{staged.version, key, std::move(state)}});
+  }
+
+  poi.actions_done = true;
+  maybe_finish_reconfig(poi);
+}
+
+void Engine::handle_migrate(Poi& poi, MigrateMsg msg) {
+  states_migrated_.fetch_add(1, std::memory_order_relaxed);
+  poi.logic->import_key_state(msg.key, msg.state);
+  if (poi.awaiting.erase(msg.key) == 0) return;
+  // Drain tuples that were buffered waiting for this key's state.
+  if (auto it = poi.pending.find(msg.key); it != poi.pending.end()) {
+    std::vector<DataMsg> buffered = std::move(it->second);
+    poi.pending.erase(it);
+    for (DataMsg& dm : buffered) {
+      process_tuple(poi, dm.tuple, msg.key);
+      if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        in_flight_.notify_all();
+      }
+    }
+  }
+  maybe_finish_reconfig(poi);
+}
+
+void Engine::maybe_finish_reconfig(Poi& poi) {
+  if (!poi.staged.has_value() || !poi.actions_done || !poi.awaiting.empty()) {
+    return;
+  }
+  const std::uint64_t version = poi.staged->version;
+  // Forward the wave: one PROPAGATE per successor POI per edge.
+  for (const std::uint32_t eid : topology_.out_edges(poi.op)) {
+    const EdgeSpec& edge = topology_.edges()[eid];
+    const std::uint32_t parallelism = topology_.op(edge.to).parallelism;
+    for (InstanceIndex i = 0; i < parallelism; ++i) {
+      poi_at(edge.to, i).inbox.push_unbounded(
+          Message{PropagateMsg{version}});
+    }
+  }
+  poi.staged.reset();
+  manager_inbox_.push(
+      ManagerReply{ReconfDoneReply{InstanceId{poi.op, poi.index}, version}});
+}
+
+// ---------------------------------------------------------------------------
+// Control plane: the reconfiguration protocol (manager side).
+// ---------------------------------------------------------------------------
+
+core::ReconfigurationPlan Engine::reconfigure(core::Manager& manager) {
+  LAR_CHECK(started_ && !shut_down_);
+
+  // 1) + 2) GET_METRICS -> SEND_METRICS.
+  for (auto& poi : pois_) {
+    poi->inbox.push_unbounded(Message{GetMetricsMsg{}});
+  }
+  std::unordered_map<std::uint32_t, std::vector<std::vector<core::PairCount>>>
+      per_edge;
+  for (std::size_t i = 0; i < pois_.size(); ++i) {
+    auto reply = manager_inbox_.pop();
+    LAR_CHECK(reply.has_value());
+    auto* metrics = std::get_if<MetricsReply>(&*reply);
+    LAR_CHECK(metrics != nullptr);
+    for (auto& [eid, counts] : metrics->stats) {
+      per_edge[eid].push_back(std::move(counts));
+    }
+  }
+  std::vector<core::HopStats> hop_stats;
+  for (auto& [eid, snapshots] : per_edge) {
+    const EdgeSpec& edge = topology_.edges()[eid];
+    hop_stats.push_back(core::HopStats{anchors_[edge.from].value(), edge.to,
+                                       core::merge_pair_counts(snapshots)});
+  }
+
+  // compute_reconfiguration.
+  core::ReconfigurationPlan plan = manager.compute_plan(hop_stats);
+  if (plan.tables.empty()) {
+    manager.mark_deployed(plan);
+    return plan;  // nothing observed yet; stay on current routing
+  }
+
+  // 3) + 4) SEND_RECONF -> ACK_RECONF.
+  for (auto& poi : pois_) {
+    ReconfMsg msg;
+    msg.version = plan.version;
+    for (const std::uint32_t eid : topology_.out_edges(poi->op)) {
+      const EdgeSpec& edge = topology_.edges()[eid];
+      if (edge.grouping != GroupingType::kFields) continue;
+      if (auto it = plan.tables.find(edge.to); it != plan.tables.end()) {
+        msg.tables.emplace(edge.to, it->second);
+      }
+    }
+    if (auto it = plan.moves.find(poi->op); it != plan.moves.end()) {
+      for (const core::KeyMove& mv : it->second) {
+        if (mv.from == poi->index) msg.send.emplace_back(mv.key, mv.to);
+        if (mv.to == poi->index) msg.receive.push_back(mv.key);
+      }
+    }
+    poi->inbox.push_unbounded(Message{std::move(msg)});
+  }
+  for (std::size_t i = 0; i < pois_.size(); ++i) {
+    auto reply = manager_inbox_.pop();
+    LAR_CHECK(reply.has_value());
+    auto* ack = std::get_if<AckReconfReply>(&*reply);
+    LAR_CHECK(ack != nullptr && ack->version == plan.version);
+  }
+
+  // 5) PROPAGATE into the sources; the wave does the rest.
+  for (const OperatorId src : topology_.sources()) {
+    const std::uint32_t parallelism = topology_.op(src).parallelism;
+    for (InstanceIndex i = 0; i < parallelism; ++i) {
+      poi_at(src, i).inbox.push_unbounded(
+          Message{PropagateMsg{plan.version}});
+    }
+  }
+  for (std::size_t i = 0; i < pois_.size(); ++i) {
+    auto reply = manager_inbox_.pop();
+    LAR_CHECK(reply.has_value());
+    auto* done = std::get_if<ReconfDoneReply>(&*reply);
+    LAR_CHECK(done != nullptr && done->version == plan.version);
+  }
+
+  manager.mark_deployed(plan);
+  LAR_INFO << "engine: reconfiguration v" << plan.version << " deployed ("
+           << plan.total_moves() << " key states migrated)";
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.
+// ---------------------------------------------------------------------------
+
+EngineMetrics Engine::metrics() const {
+  EngineMetrics out;
+  out.tuples_injected = tuples_injected_.load(std::memory_order_relaxed);
+  out.tuples_buffered = tuples_buffered_.load(std::memory_order_relaxed);
+  out.states_migrated = states_migrated_.load(std::memory_order_relaxed);
+  out.edges.reserve(edge_counters_.size());
+  for (const auto& c : edge_counters_) {
+    out.edges.push_back(EdgeMetricsSnapshot{
+        c.local.load(std::memory_order_relaxed),
+        c.remote.load(std::memory_order_relaxed),
+        c.remote_bytes.load(std::memory_order_relaxed)});
+  }
+  out.instance_processed.resize(topology_.num_operators());
+  for (const auto& poi : pois_) {
+    auto& per_op = out.instance_processed[poi->op];
+    if (per_op.size() < poi->index + 1) per_op.resize(poi->index + 1);
+    per_op[poi->index] = poi->processed.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace lar::runtime

@@ -1,0 +1,183 @@
+// The threaded execution engine: a miniature Storm-like runtime in one
+// process.
+//
+// Every operator instance (POI) runs on its own thread with a bounded FIFO
+// inbox carrying both data tuples and control messages.  Servers are
+// *logical*: a tuple moving between POIs on the same server is handed over
+// by move (the paper's "address in memory" fast path), while a tuple whose
+// destination POI lives on a different server is serialized, byte-counted
+// and parsed back — the full cost of a network hop minus the wire.
+//
+// The engine hosts the paper's online reconfiguration protocol end to end
+// (Figure 6 / Algorithm 1): metric collection, plan computation via
+// core::Manager, configuration staging with acks, the DAG-ordered PROPAGATE
+// wave, per-key state migration between sibling instances, and buffering of
+// tuples whose key state has not arrived yet — all while the data stream
+// keeps flowing.
+//
+// This engine is the repository's *correctness* substrate (its invariants
+// are what the integration tests exercise); throughput figures come from
+// lar::sim, because wall-clock numbers from a thread-per-POI runtime on an
+// arbitrary CI machine would measure the host, not the algorithm.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/manager.hpp"
+#include "core/plan.hpp"
+#include "runtime/message.hpp"
+#include "runtime/operator.hpp"
+#include "runtime/queue.hpp"
+#include "topology/placement.hpp"
+#include "topology/routing.hpp"
+#include "topology/topology.hpp"
+
+namespace lar::runtime {
+
+struct EngineOptions {
+  /// Per-POI inbox capacity for data tuples (control messages bypass the
+  /// bound so the reconfiguration wave can never deadlock against back
+  /// pressure).
+  std::size_t queue_capacity = 4096;
+
+  /// Capacity of each POI's pair-statistics sketch (0 = exact).
+  std::size_t pair_stats_capacity = 1 << 16;
+
+  /// Router used on fields-grouped edges before the first reconfiguration.
+  FieldsRouting fields_mode = FieldsRouting::kTable;
+
+  /// How inject() picks the source instance.
+  SourceMode source_mode = SourceMode::kRoundRobin;
+
+  std::uint64_t seed = 1;
+};
+
+/// Copyable snapshot of one edge's traffic counters.
+struct EdgeMetricsSnapshot {
+  std::uint64_t local = 0;
+  std::uint64_t remote = 0;
+  std::uint64_t remote_bytes = 0;
+
+  [[nodiscard]] double locality() const noexcept {
+    const std::uint64_t total = local + remote;
+    return total == 0 ? 0.0
+                      : static_cast<double>(local) / static_cast<double>(total);
+  }
+};
+
+/// Snapshot of all engine counters.
+struct EngineMetrics {
+  std::vector<EdgeMetricsSnapshot> edges;                    // per edge id
+  std::vector<std::vector<std::uint64_t>> instance_processed;  // [op][inst]
+  std::uint64_t tuples_injected = 0;
+
+  /// Tuples that arrived for a key whose migrated state had not landed yet
+  /// and were parked until it did (Section 3.4's buffering).  A measure of
+  /// how much the stream overlapped with reconfigurations.
+  std::uint64_t tuples_buffered = 0;
+
+  /// Key states shipped between sibling instances across all
+  /// reconfigurations.
+  std::uint64_t states_migrated = 0;
+};
+
+/// Deploys and runs a Topology.  Lifecycle: construct -> start() ->
+/// inject()* / reconfigure()* -> flush() -> shutdown().
+class Engine {
+ public:
+  Engine(const Topology& topology, const Placement& placement,
+         OperatorFactory factory, EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Spawns one thread per POI.
+  void start();
+
+  /// Feeds one tuple to a source POI (blocking under back pressure).
+  /// Thread-safe with respect to itself and reconfigure().
+  void inject(Tuple tuple);
+
+  /// Blocks until every injected tuple has been fully processed (including
+  /// tuples buffered behind in-flight state migrations).
+  void flush();
+
+  /// Runs one full online reconfiguration round against the live stream:
+  /// GET_METRICS -> compute plan -> SEND_RECONF/ACK -> PROPAGATE wave with
+  /// state migration.  Blocks until every POI reports completion.  The data
+  /// stream is NOT paused.  Returns the deployed plan.
+  core::ReconfigurationPlan reconfigure(core::Manager& manager);
+
+  /// Flushes, then stops and joins all POI threads.  Idempotent.
+  void shutdown();
+
+  /// Counter snapshot (consistent only when quiescent, e.g. after flush()).
+  [[nodiscard]] EngineMetrics metrics() const;
+
+  /// Direct access to an operator instance for state inspection in tests
+  /// and examples.  Only meaningful while quiescent.
+  [[nodiscard]] Operator& operator_at(OperatorId op, InstanceIndex index);
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const Placement& placement() const noexcept {
+    return placement_;
+  }
+
+ private:
+  struct Poi;  // one operator instance: thread, inbox, routers, migration state
+
+  void poi_loop(Poi& poi);
+  void handle_data(Poi& poi, DataMsg msg);
+  void process_tuple(Poi& poi, const Tuple& tuple, Key in_key);
+  void handle_reconf(Poi& poi, ReconfMsg msg);
+  void handle_propagate(Poi& poi, const PropagateMsg& msg);
+  void handle_migrate(Poi& poi, MigrateMsg msg);
+  void run_reconfig_actions(Poi& poi);
+  void maybe_finish_reconfig(Poi& poi);
+  void send_metrics(Poi& poi);
+
+  /// Routes `tuple` over edge at out-position `out_pos` from `poi`,
+  /// serializing if cross-server; `in_key` is the emitting tuple's anchor
+  /// key, forwarded to the receiver on non-fields edges.
+  void send_data(Poi& poi, std::uint32_t out_pos, const Tuple& tuple,
+                 Key in_key);
+
+  [[nodiscard]] Poi& poi_at(OperatorId op, InstanceIndex index);
+
+  const Topology& topology_;
+  const Placement& placement_;
+  EngineOptions options_;
+  OperatorFactory factory_;
+  std::vector<std::optional<OperatorId>> anchors_;
+
+  std::vector<std::unique_ptr<Poi>> pois_;           // all instances, flat
+  std::vector<std::vector<std::size_t>> poi_index_;  // [op][instance] -> flat
+
+  Channel<ManagerReply> manager_inbox_;
+
+  // Quiescence tracking: +1 per enqueued data tuple (including injected and
+  // buffered ones), -1 once fully processed.
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<std::uint64_t> tuples_injected_{0};
+  std::atomic<std::uint64_t> tuples_buffered_{0};
+  std::atomic<std::uint64_t> states_migrated_{0};
+  std::atomic<std::uint64_t> inject_seq_{0};
+
+  struct EdgeCounters {
+    std::atomic<std::uint64_t> local{0};
+    std::atomic<std::uint64_t> remote{0};
+    std::atomic<std::uint64_t> remote_bytes{0};
+  };
+  std::vector<EdgeCounters> edge_counters_;
+
+  bool started_ = false;
+  bool shut_down_ = false;
+};
+
+}  // namespace lar::runtime

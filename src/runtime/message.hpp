@@ -1,0 +1,100 @@
+// Messages exchanged on the runtime's data and control planes.
+//
+// The control messages are exactly the paper's reconfiguration protocol
+// (Figure 6 / Algorithm 1): GET_METRICS, SEND_METRICS, SEND_RECONF,
+// ACK_RECONF, PROPAGATE and MIGRATE, plus a completion notification so the
+// manager knows the wave has finished and a shutdown sentinel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "core/pair_stats.hpp"
+#include "topology/routing.hpp"
+#include "topology/types.hpp"
+
+namespace lar::runtime {
+
+/// A data tuple in flight.  `edge` identifies the topology edge it traveled
+/// (the receiving POI derives its routing key from the edge's key_field);
+/// edge == kInjected marks tuples pushed by the source injector.
+struct DataMsg {
+  static constexpr std::uint32_t kInjected = static_cast<std::uint32_t>(-1);
+  Tuple tuple;
+  std::uint32_t edge = kInjected;
+
+  /// The key of the nearest upstream fields-grouped hop ("anchor"): for a
+  /// fields edge, the routing key itself; for shuffle / local-or-shuffle
+  /// edges, propagated from the sender unchanged.  kNoKey before any fields
+  /// hop.  This is what lets a stateless relay record (stateful-input,
+  /// stateful-output) key pairs for hops like Figure 3's B -> C -> D.
+  Key anchor = kNoKey;
+};
+
+/// Manager -> POI: send me your pair statistics.
+struct GetMetricsMsg {};
+
+/// Manager -> POI: the new configuration (paper Section 3.4).
+struct ReconfMsg {
+  std::uint64_t version = 0;
+
+  /// Destination operator -> new routing table, for this POI's outbound
+  /// fields-grouped edges ("reconfiguration_router").
+  std::unordered_map<OperatorId, std::shared_ptr<const RoutingTable>> tables;
+
+  /// Keys whose state this POI must send away ("reconfiguration_send").
+  std::vector<std::pair<Key, InstanceIndex>> send;
+
+  /// Keys whose state this POI will receive ("reconfiguration_receive").
+  std::vector<Key> receive;
+};
+
+/// Predecessor POI (or manager, for sources) -> POI: the reconfiguration
+/// wave reached you on this channel.
+struct PropagateMsg {
+  std::uint64_t version = 0;
+};
+
+/// Sibling POI -> POI: state of one reassigned key ("6: Exchange keys").
+/// `state` is opaque operator-defined bytes; empty means the old owner had
+/// no state for the key yet.
+struct MigrateMsg {
+  std::uint64_t version = 0;
+  Key key = 0;
+  std::vector<std::byte> state;
+};
+
+/// Engine -> POI: drain and exit.
+struct ShutdownMsg {};
+
+using Message = std::variant<DataMsg, GetMetricsMsg, ReconfMsg, PropagateMsg,
+                             MigrateMsg, ShutdownMsg>;
+
+// --- replies to the manager ------------------------------------------------
+
+/// POI -> manager: pair statistics per outbound optimizable edge.
+struct MetricsReply {
+  InstanceId from;
+  /// edge id -> merged pair counts observed by this POI on that edge.
+  std::vector<std::pair<std::uint32_t, std::vector<core::PairCount>>> stats;
+};
+
+/// POI -> manager: configuration received and staged.
+struct AckReconfReply {
+  InstanceId from;
+  std::uint64_t version = 0;
+};
+
+/// POI -> manager: propagation handled, state exchanged, wave forwarded.
+struct ReconfDoneReply {
+  InstanceId from;
+  std::uint64_t version = 0;
+};
+
+using ManagerReply = std::variant<MetricsReply, AckReconfReply, ReconfDoneReply>;
+
+}  // namespace lar::runtime

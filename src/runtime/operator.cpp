@@ -1,0 +1,51 @@
+#include "runtime/operator.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/status.hpp"
+
+namespace lar::runtime {
+
+void CountingOperator::process(const Tuple& tuple, Emitter& emitter) {
+  LAR_CHECK(key_field_ < tuple.fields.size());
+  ++counts_[tuple.fields[key_field_]];
+  emitter.emit(tuple);
+}
+
+std::vector<std::byte> CountingOperator::export_key_state(Key key) {
+  auto it = counts_.find(key);
+  if (it == counts_.end()) return {};
+  std::vector<std::byte> out(sizeof(std::uint64_t));
+  std::memcpy(out.data(), &it->second, sizeof(std::uint64_t));
+  return out;
+}
+
+void CountingOperator::import_key_state(Key key,
+                                        std::span<const std::byte> state) {
+  if (state.empty()) return;
+  LAR_CHECK(state.size() == sizeof(std::uint64_t));
+  std::uint64_t value = 0;
+  std::memcpy(&value, state.data(), sizeof(std::uint64_t));
+  counts_[key] += value;  // += so partial local counts merge correctly
+}
+
+void CountingOperator::drop_key_state(Key key) { counts_.erase(key); }
+
+std::vector<std::pair<Key, std::uint64_t>> CountingOperator::top(
+    std::size_t k) const {
+  std::vector<std::pair<Key, std::uint64_t>> out(counts_.begin(),
+                                                 counts_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::uint64_t CountingOperator::count(Key key) const {
+  auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace lar::runtime

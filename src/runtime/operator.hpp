@@ -1,0 +1,103 @@
+// User-facing operator interface and library-provided operators.
+//
+// Operators receive tuples and emit tuples; the engine owns routing, pair
+// statistics and state migration choreography.  Stateful operators expose
+// per-key state as opaque bytes so the engine can move it between instances
+// during reconfiguration without understanding it.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/types.hpp"
+
+namespace lar::runtime {
+
+/// Sink for tuples an operator emits; the engine routes them on every
+/// outbound edge of the operator.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void emit(Tuple tuple) = 0;
+};
+
+/// One operator instance's processing logic.  Each POI gets its own object;
+/// all calls happen on the owning POI thread, so implementations need no
+/// synchronization.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Handles one tuple; may emit any number of downstream tuples.
+  virtual void process(const Tuple& tuple, Emitter& emitter) = 0;
+
+  /// Serializes this instance's state for `key` (stateful operators only).
+  /// Returning an empty vector means "no state"; the engine still delivers
+  /// the (empty) migration message so the receiver can unblock the key.
+  /// The engine calls this exactly when no further tuple for `key` can
+  /// arrive, and drops the local state afterwards via drop_key_state().
+  [[nodiscard]] virtual std::vector<std::byte> export_key_state(Key /*key*/) {
+    return {};
+  }
+
+  /// Installs state for `key` previously produced by export_key_state() on
+  /// another instance.  Empty `state` should be a no-op.
+  virtual void import_key_state(Key /*key*/,
+                                std::span<const std::byte> /*state*/) {}
+
+  /// Forgets local state for `key` after it was exported.
+  virtual void drop_key_state(Key /*key*/) {}
+};
+
+/// Creates the operator object for a given POI.
+using OperatorFactory =
+    std::function<std::unique_ptr<Operator>(OperatorId, InstanceIndex)>;
+
+/// Stateless pass-through: forwards every tuple unchanged (the engine does
+/// the counting).  The shape of the paper's stateless extract/lower POs.
+class PassThroughOperator final : public Operator {
+ public:
+  void process(const Tuple& tuple, Emitter& emitter) override {
+    emitter.emit(tuple);
+  }
+};
+
+/// Stateful per-key counter keyed on one tuple field — the paper's
+/// evaluation operator ("counts the number of occurrences of the different
+/// values").  Forwards tuples downstream unchanged.
+class CountingOperator final : public Operator {
+ public:
+  explicit CountingOperator(std::uint32_t key_field) : key_field_(key_field) {}
+
+  void process(const Tuple& tuple, Emitter& emitter) override;
+
+  [[nodiscard]] std::vector<std::byte> export_key_state(Key key) override;
+  void import_key_state(Key key, std::span<const std::byte> state) override;
+  void drop_key_state(Key key) override;
+
+  /// Current count for `key` (0 if absent).  Test/inspection hook.
+  [[nodiscard]] std::uint64_t count(Key key) const;
+
+  /// All (key, count) pairs held by this instance.
+  [[nodiscard]] const std::unordered_map<Key, std::uint64_t>& counts()
+      const noexcept {
+    return counts_;
+  }
+
+  /// The `k` most frequent keys of this instance, descending — the paper's
+  /// motivating query ("maintains a list of trending hashtags").  Because
+  /// fields grouping puts all occurrences of a key on one instance, a
+  /// per-instance top-k is exact for the keys it owns.
+  [[nodiscard]] std::vector<std::pair<Key, std::uint64_t>> top(
+      std::size_t k) const;
+
+ private:
+  std::uint32_t key_field_;
+  std::unordered_map<Key, std::uint64_t> counts_;
+};
+
+}  // namespace lar::runtime

@@ -1,0 +1,104 @@
+// Bounded blocking MPSC channel used for both data and control messages.
+//
+// One channel per operator instance (POI).  Multiple producers (upstream
+// POIs, the injector thread, the manager) push; the owning POI thread pops.
+// A mutex + condition-variable implementation is deliberately chosen over a
+// lock-free ring: the runtime engine is the *correctness* substrate of this
+// repository (performance figures come from lar::sim), and the FIFO
+// guarantee across producers is what makes the reconfiguration wave safe —
+// a PROPAGATE enqueued after a data tuple is always dequeued after it.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/status.hpp"
+
+namespace lar::runtime {
+
+/// Bounded blocking FIFO.  push() blocks while full (back pressure);
+/// pop() blocks while empty.  close() wakes everyone; push() on a closed
+/// channel is ignored, pop() drains remaining items then returns nullopt.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity) : capacity_(capacity) {
+    LAR_CHECK(capacity >= 1);
+  }
+
+  /// Blocking push; returns false iff the channel is closed.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Push that ignores the capacity bound (still FIFO with bounded pushes
+  /// from the same producer).  Used for control messages: the
+  /// reconfiguration wave must never block behind data back pressure, or a
+  /// full queue could deadlock two sibling instances migrating state to
+  /// each other.  Returns false iff closed.
+  bool push_unbounded(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false if full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; returns nullopt once closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Closes the channel: producers fail fast, the consumer drains then ends.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace lar::runtime

@@ -1,0 +1,61 @@
+// Cluster cost model for the performance simulator.
+//
+// The simulator reproduces the paper's testbed (Section 4.1: HPE DL380 Gen9
+// workers, 2x10 cores, 10 Gb/s jumbo-frame network, optionally throttled to
+// 1 Gb/s) as a flow-level model: every server has a CPU budget in abstract
+// work units per second and a full-duplex NIC budget in bytes per second.
+// Processing a tuple costs its operator's cpu_cost_per_tuple units; sending
+// a tuple to another server costs serialization CPU on both ends (a fixed
+// per-message part plus a per-byte part) and NIC bytes on both ends.
+//
+// Calibration (see EXPERIMENTS.md): cpu_capacity and the serialization costs
+// are set so that the single-server throughput (~110 Ktuples/s), the 22%
+// penalty of hash routing at padding 0, and the 1->2 server throughput drop
+// at 20 kB padding all match the paper's reported behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/types.hpp"
+
+namespace lar::sim {
+
+using lar::SourceMode;
+
+struct SimConfig {
+  /// CPU work units per second per server.  1 unit ~ one trivial stateful
+  /// update; 225k units/s reproduces the paper's ~110 Ktuples/s on one
+  /// server for the 3-operator chain.
+  double cpu_capacity = 225'000.0;
+
+  /// NIC bandwidth in bytes per second, each direction (full duplex).
+  /// 1.25e9 = 10 Gb/s (jumbo frames), 1.25e8 = the throttled 1 Gb/s setup.
+  double nic_bandwidth = 1.25e9;
+
+  /// Shared uplink bandwidth per rack, bytes per second each direction;
+  /// traffic between servers of different racks consumes it on both racks.
+  /// 0 disables the rack model (flat network).  Models the hierarchical
+  /// networks of the paper's Section 6 future work.
+  double rack_uplink_bandwidth = 0.0;
+
+  /// Serialization/deserialization CPU per network message, per side.
+  double per_msg_cpu = 0.12;
+
+  /// Serialization/deserialization CPU per payload byte, per side
+  /// (5e-5 units/byte ~ 4.5 GB/s of memcpy+syscall per core-equivalent).
+  double per_byte_cpu = 5.0e-5;
+
+  SourceMode source_mode = SourceMode::kRoundRobin;
+
+  /// Capacity of each POI's pair-statistics sketch (0 = exact counting).
+  std::size_t pair_stats_capacity = 1 << 17;
+
+  std::uint64_t seed = 1;
+};
+
+/// 10 Gb/s in bytes per second.
+inline constexpr double kTenGbps = 1.25e9;
+/// 1 Gb/s in bytes per second.
+inline constexpr double kOneGbps = 1.25e8;
+
+}  // namespace lar::sim

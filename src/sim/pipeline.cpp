@@ -1,0 +1,179 @@
+#include "sim/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace lar::sim {
+
+PipelineModel::PipelineModel(const Topology& topology,
+                             const Placement& placement,
+                             const SimConfig& config,
+                             FieldsRouting fields_mode)
+    : topology_(topology), placement_(placement), config_(config) {
+  LAR_CHECK(topology.validate().is_ok());
+  anchors_ = compute_stats_anchors(topology);
+
+  const auto& edges = topology.edges();
+  routers_.resize(edges.size());
+  pair_stats_.resize(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const EdgeSpec& edge = edges[e];
+    const std::uint32_t src_par = topology.op(edge.from).parallelism;
+    routers_[e].reserve(src_par);
+    for (InstanceIndex i = 0; i < src_par; ++i) {
+      routers_[e].push_back(make_router(
+          edge, static_cast<std::uint32_t>(e), topology, placement,
+          placement.server_of(edge.from, i), fields_mode, nullptr,
+          /*seed=*/config.seed * 1000003 + e * 131 + i));
+    }
+    // Instrument the emitting POIs of optimizable hops: fields edges whose
+    // emitter carries an upstream fields-routed key (its "anchor"); for a
+    // stateful emitter that is the emitter itself, for a stateless one the
+    // nearest fields-routed ancestor (paper Figure 3's B -> C -> D shape).
+    if (edge.grouping == GroupingType::kFields &&
+        anchors_[edge.from].has_value()) {
+      pair_stats_[e].reserve(src_par);
+      for (InstanceIndex i = 0; i < src_par; ++i) {
+        pair_stats_[e].emplace_back(config.pair_stats_capacity);
+      }
+    }
+  }
+
+  stats_.edge_traffic.assign(edges.size(), {});
+  stats_.edge_remote_bytes.assign(edges.size(), 0);
+  stats_.edge_rack_remote.assign(edges.size(), 0);
+  stats_.cpu_units.assign(placement.num_servers(), 0.0);
+  stats_.nic_out.assign(placement.num_servers(), 0);
+  stats_.nic_in.assign(placement.num_servers(), 0);
+  stats_.uplink_out.assign(placement.num_racks(), 0);
+  stats_.uplink_in.assign(placement.num_racks(), 0);
+  stats_.instance_load.resize(topology.num_operators());
+  for (OperatorId op = 0; op < topology.num_operators(); ++op) {
+    stats_.instance_load[op].assign(topology.op(op).parallelism, 0);
+  }
+}
+
+void PipelineModel::process(const Tuple& tuple) {
+  ++stats_.tuples;
+  for (const OperatorId src : topology_.sources()) {
+    const std::uint32_t par = topology_.op(src).parallelism;
+    InstanceIndex instance = 0;
+    switch (config_.source_mode) {
+      case SourceMode::kAlignedField0:
+        LAR_CHECK(!tuple.fields.empty());
+        instance = static_cast<InstanceIndex>(tuple.fields[0] % par);
+        break;
+      case SourceMode::kRoundRobin:
+        instance = static_cast<InstanceIndex>(source_seq_ % par);
+        break;
+    }
+    deliver(src, instance, /*routed_in_key=*/kNoKey, tuple);
+  }
+  ++source_seq_;
+}
+
+void PipelineModel::deliver(OperatorId op, InstanceIndex instance,
+                            Key routed_in_key, const Tuple& tuple) {
+  const ServerId server = placement_.server_of(op, instance);
+  stats_.cpu_units[server] += topology_.op(op).cpu_cost_per_tuple;
+  ++stats_.instance_load[op][instance];
+
+  for (const std::uint32_t e : topology_.out_edges(op)) {
+    const EdgeSpec& edge = topology_.edges()[e];
+    const InstanceIndex dst = routers_[e][instance]->route(tuple);
+    const ServerId dst_server = placement_.server_of(edge.to, dst);
+
+    if (!pair_stats_[e].empty() && routed_in_key != kNoKey) {
+      LAR_CHECK(edge.key_field < tuple.fields.size());
+      pair_stats_[e][instance].record(routed_in_key,
+                                      tuple.fields[edge.key_field]);
+    }
+
+    Key next_in_key = routed_in_key;
+    if (edge.grouping == GroupingType::kFields) {
+      LAR_CHECK(edge.key_field < tuple.fields.size());
+      next_in_key = tuple.fields[edge.key_field];
+    }
+
+    if (dst_server == server) {
+      ++stats_.edge_traffic[e].local;
+    } else {
+      ++stats_.edge_traffic[e].remote;
+      const std::uint32_t bytes = tuple.serialized_size();
+      stats_.edge_remote_bytes[e] += bytes;
+      stats_.nic_out[server] += bytes;
+      stats_.nic_in[dst_server] += bytes;
+      const std::uint32_t src_rack = placement_.rack_of(server);
+      const std::uint32_t dst_rack = placement_.rack_of(dst_server);
+      if (src_rack != dst_rack) {
+        ++stats_.edge_rack_remote[e];
+        stats_.uplink_out[src_rack] += bytes;
+        stats_.uplink_in[dst_rack] += bytes;
+      }
+      const double ser_cpu =
+          config_.per_msg_cpu + config_.per_byte_cpu * bytes;
+      stats_.cpu_units[server] += ser_cpu;
+      stats_.cpu_units[dst_server] += ser_cpu;
+    }
+    deliver(edge.to, dst, next_in_key, tuple);
+  }
+}
+
+void PipelineModel::set_table(OperatorId op,
+                              std::shared_ptr<const RoutingTable> table) {
+  LAR_CHECK(table != nullptr);
+  const auto& edges = topology_.edges();
+  for (const std::uint32_t e : topology_.in_edges(op)) {
+    if (edges[e].grouping != GroupingType::kFields) continue;
+    const EdgeSpec& edge = edges[e];
+    const std::uint32_t fanout = topology_.op(edge.to).parallelism;
+    for (InstanceIndex i = 0; i < routers_[e].size(); ++i) {
+      // Replace whatever router was there with a table router; cheaper than
+      // probing for an existing TableFieldsRouter and semantically equal.
+      routers_[e][i] = std::make_unique<TableFieldsRouter>(
+          edge.key_field, fanout, table);
+    }
+  }
+}
+
+std::vector<core::HopStats> PipelineModel::collect_hop_stats() const {
+  std::vector<core::HopStats> out;
+  const auto& edges = topology_.edges();
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (pair_stats_[e].empty()) continue;
+    std::vector<std::vector<core::PairCount>> snapshots;
+    snapshots.reserve(pair_stats_[e].size());
+    for (const auto& ps : pair_stats_[e]) snapshots.push_back(ps.snapshot());
+    // The hop's input side is the emitter's anchor operator, not
+    // necessarily the emitter itself (stateless relays pass keys through).
+    out.push_back(core::HopStats{anchors_[edges[e].from].value(), edges[e].to,
+                                 core::merge_pair_counts(snapshots)});
+  }
+  return out;
+}
+
+void PipelineModel::reset_pair_stats() {
+  for (auto& per_edge : pair_stats_) {
+    for (auto& ps : per_edge) ps.reset();
+  }
+}
+
+void PipelineModel::reset_stats() {
+  stats_.tuples = 0;
+  std::fill(stats_.edge_traffic.begin(), stats_.edge_traffic.end(),
+            core::EdgeTraffic{});
+  std::fill(stats_.edge_remote_bytes.begin(), stats_.edge_remote_bytes.end(),
+            0);
+  std::fill(stats_.edge_rack_remote.begin(), stats_.edge_rack_remote.end(), 0);
+  std::fill(stats_.cpu_units.begin(), stats_.cpu_units.end(), 0.0);
+  std::fill(stats_.nic_out.begin(), stats_.nic_out.end(), 0);
+  std::fill(stats_.nic_in.begin(), stats_.nic_in.end(), 0);
+  std::fill(stats_.uplink_out.begin(), stats_.uplink_out.end(), 0);
+  std::fill(stats_.uplink_in.begin(), stats_.uplink_in.end(), 0);
+  for (auto& loads : stats_.instance_load) {
+    std::fill(loads.begin(), loads.end(), 0);
+  }
+}
+
+}  // namespace lar::sim

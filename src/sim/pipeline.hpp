@@ -1,0 +1,94 @@
+// Flow-level pipeline model: runs tuples through the *real* routing code
+// paths (the same Router objects the threaded runtime uses) and accounts CPU,
+// NIC bytes, per-edge locality, per-instance load and pair statistics.
+//
+// The model is exact with respect to routing decisions — routing tables
+// produced by the Manager are installed verbatim — and statistical with
+// respect to time: feeding N sample tuples yields per-tuple resource demands
+// from which the throughput solver derives the sustainable rate.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/locality.hpp"
+#include "core/manager.hpp"
+#include "core/pair_stats.hpp"
+#include "sim/config.hpp"
+#include "topology/placement.hpp"
+#include "topology/routing.hpp"
+#include "topology/topology.hpp"
+
+namespace lar::sim {
+
+/// Resource demands and traffic counters accumulated over processed tuples.
+struct TrafficStats {
+  std::uint64_t tuples = 0;  ///< source tuples processed
+
+  std::vector<core::EdgeTraffic> edge_traffic;  ///< per topology edge
+  std::vector<std::uint64_t> edge_remote_bytes; ///< per topology edge
+  /// per topology edge: tuples that crossed a rack boundary (subset of
+  /// edge_traffic[e].remote).
+  std::vector<std::uint64_t> edge_rack_remote;
+
+  std::vector<double> cpu_units;      ///< per server
+  std::vector<std::uint64_t> nic_out; ///< per server, bytes
+  std::vector<std::uint64_t> nic_in;  ///< per server, bytes
+  std::vector<std::uint64_t> uplink_out;  ///< per rack, bytes
+  std::vector<std::uint64_t> uplink_in;   ///< per rack, bytes
+
+  /// per operator, per instance: tuples received.
+  std::vector<std::vector<std::uint64_t>> instance_load;
+};
+
+/// Deploys a Topology + Placement as a routing cascade.
+class PipelineModel {
+ public:
+  /// `fields_mode` selects the router used on fields-grouped edges until a
+  /// table is installed (kTable starts with empty tables = hash fallback).
+  PipelineModel(const Topology& topology, const Placement& placement,
+                const SimConfig& config, FieldsRouting fields_mode);
+
+  /// Feeds one tuple through the whole DAG, updating all counters and the
+  /// per-POI pair statistics.
+  void process(const Tuple& tuple);
+
+  /// Installs `table` on every inbound fields-grouped edge of `op`
+  /// (replacing hash or a previous table).  Takes effect immediately.
+  void set_table(OperatorId op, std::shared_ptr<const RoutingTable> table);
+
+  /// Merged pair statistics per optimizable hop, ready for the Manager.
+  [[nodiscard]] std::vector<core::HopStats> collect_hop_stats() const;
+
+  /// Clears pair statistics (the paper resets them after reconfiguration).
+  void reset_pair_stats();
+
+  [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
+  void reset_stats();
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const Placement& placement() const noexcept {
+    return placement_;
+  }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+
+ private:
+  void deliver(OperatorId op, InstanceIndex instance, Key routed_in_key,
+               const Tuple& tuple);
+
+  const Topology& topology_;
+  const Placement& placement_;
+  SimConfig config_;
+  // routers_[edge_id][src_instance]
+  std::vector<std::vector<std::unique_ptr<Router>>> routers_;
+  // pair_stats_[edge_id][src_instance]: stats recorded by the emitting POI
+  // for optimizable hops (empty vector for other edges).
+  std::vector<std::vector<core::PairStats>> pair_stats_;
+  std::uint64_t source_seq_ = 0;
+  /// Per operator: whose input key tuples seen here were last routed by.
+  std::vector<std::optional<OperatorId>> anchors_;
+  TrafficStats stats_;
+};
+
+}  // namespace lar::sim

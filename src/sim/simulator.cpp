@@ -1,0 +1,130 @@
+#include "sim/simulator.hpp"
+
+#include <limits>
+
+#include "common/stats.hpp"
+#include "common/status.hpp"
+
+namespace lar::sim {
+
+Simulator::Simulator(const Topology& topology, const Placement& placement,
+                     const SimConfig& config, FieldsRouting fields_mode)
+    : model_(topology, placement, config, fields_mode) {}
+
+WindowReport Simulator::run_window(workload::TupleGenerator& gen,
+                                   std::uint64_t n) {
+  LAR_CHECK(n > 0);
+  model_.reset_stats();
+  for (std::uint64_t i = 0; i < n; ++i) model_.process(gen.next());
+  return report_from_stats();
+}
+
+WindowReport Simulator::report_from_stats() const {
+  const TrafficStats& s = model_.stats();
+  const SimConfig& cfg = model_.config();
+  LAR_CHECK(s.tuples > 0);
+  const auto tuples = static_cast<double>(s.tuples);
+
+  WindowReport report;
+  report.window_tuples = s.tuples;
+  report.throughput = std::numeric_limits<double>::infinity();
+  for (ServerId srv = 0; srv < s.cpu_units.size(); ++srv) {
+    struct Candidate {
+      double rate;
+      Resource resource;
+    };
+    const Candidate candidates[] = {
+        {s.cpu_units[srv] > 0.0
+             ? cfg.cpu_capacity / (s.cpu_units[srv] / tuples)
+             : std::numeric_limits<double>::infinity(),
+         Resource::kCpu},
+        {s.nic_out[srv] > 0
+             ? cfg.nic_bandwidth / (static_cast<double>(s.nic_out[srv]) / tuples)
+             : std::numeric_limits<double>::infinity(),
+         Resource::kNicOut},
+        {s.nic_in[srv] > 0
+             ? cfg.nic_bandwidth / (static_cast<double>(s.nic_in[srv]) / tuples)
+             : std::numeric_limits<double>::infinity(),
+         Resource::kNicIn},
+    };
+    for (const auto& c : candidates) {
+      if (c.rate < report.throughput) {
+        report.throughput = c.rate;
+        report.bottleneck = c.resource;
+        report.bottleneck_server = srv;
+      }
+    }
+  }
+
+  // Shared rack uplinks (only when a rack model is configured).
+  if (cfg.rack_uplink_bandwidth > 0.0) {
+    for (std::uint32_t rack = 0; rack < s.uplink_out.size(); ++rack) {
+      const struct {
+        std::uint64_t bytes;
+        Resource resource;
+      } uplinks[] = {{s.uplink_out[rack], Resource::kUplinkOut},
+                     {s.uplink_in[rack], Resource::kUplinkIn}};
+      for (const auto& u : uplinks) {
+        if (u.bytes == 0) continue;
+        const double rate = cfg.rack_uplink_bandwidth /
+                            (static_cast<double>(u.bytes) / tuples);
+        if (rate < report.throughput) {
+          report.throughput = rate;
+          report.bottleneck = u.resource;
+          report.bottleneck_server = rack;  // rack id in uplink context
+        }
+      }
+    }
+  }
+
+  report.edge_locality.reserve(s.edge_traffic.size());
+  for (const auto& et : s.edge_traffic) {
+    report.edge_locality.push_back(et.locality());
+  }
+  report.edge_rack_locality.reserve(s.edge_traffic.size());
+  for (std::size_t e = 0; e < s.edge_traffic.size(); ++e) {
+    const std::uint64_t total =
+        s.edge_traffic[e].local + s.edge_traffic[e].remote;
+    report.edge_rack_locality.push_back(
+        total == 0 ? 0.0
+                   : 1.0 - static_cast<double>(s.edge_rack_remote[e]) /
+                               static_cast<double>(total));
+  }
+  report.op_load_balance.reserve(s.instance_load.size());
+  for (const auto& loads : s.instance_load) {
+    report.op_load_balance.push_back(imbalance(loads));
+  }
+  return report;
+}
+
+core::ReconfigurationPlan Simulator::reconfigure(core::Manager& manager) {
+  core::ReconfigurationPlan plan =
+      manager.compute_plan(model_.collect_hop_stats());
+  apply_plan(plan);
+  manager.mark_deployed(plan);
+  model_.reset_pair_stats();
+  return plan;
+}
+
+void Simulator::apply_plan(const core::ReconfigurationPlan& plan) {
+  for (const auto& [op, table] : plan.tables) {
+    model_.set_table(op, table);
+  }
+}
+
+Simulator::AdvisedReconfig Simulator::reconfigure_if_beneficial(
+    core::Manager& manager, double current_locality, double current_balance,
+    const core::AdvisorOptions& advisor_options) {
+  AdvisedReconfig out;
+  out.plan = manager.compute_plan(model_.collect_hop_stats());
+  out.verdict = core::evaluate_plan(out.plan, current_locality,
+                                    current_balance, advisor_options);
+  if (out.verdict.deploy) {
+    apply_plan(out.plan);
+    manager.mark_deployed(out.plan);
+    model_.reset_pair_stats();
+  }
+  return out;
+}
+
+}  // namespace lar::sim

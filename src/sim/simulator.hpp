@@ -1,0 +1,100 @@
+// Simulator: windows, throughput solving and Manager integration.
+//
+// A "window" feeds N sample tuples through the PipelineModel and converts the
+// accumulated resource demands into the maximum sustainable source rate:
+//
+//   R* = min over servers s of
+//          min( cpu_capacity / cpu_units_per_tuple(s),
+//               nic_bandwidth / bytes_out_per_tuple(s),
+//               nic_bandwidth / bytes_in_per_tuple(s) )
+//
+// which is exactly the saturation point of the first bottleneck resource —
+// the quantity the paper's throughput plots measure once Storm's back
+// pressure settles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/advisor.hpp"
+#include "core/manager.hpp"
+#include "sim/pipeline.hpp"
+#include "workload/workload.hpp"
+
+namespace lar::sim {
+
+/// What saturated first.
+enum class Resource { kCpu, kNicOut, kNicIn, kUplinkOut, kUplinkIn };
+
+[[nodiscard]] constexpr const char* to_string(Resource r) noexcept {
+  switch (r) {
+    case Resource::kCpu: return "cpu";
+    case Resource::kNicOut: return "nic-out";
+    case Resource::kNicIn: return "nic-in";
+    case Resource::kUplinkOut: return "uplink-out";
+    case Resource::kUplinkIn: return "uplink-in";
+  }
+  return "?";
+}
+
+/// Result of one simulation window.
+struct WindowReport {
+  double throughput = 0.0;  ///< sustainable source tuples/s
+  Resource bottleneck = Resource::kCpu;
+  ServerId bottleneck_server = 0;
+
+  std::vector<double> edge_locality;   ///< per topology edge (0 if no traffic)
+  /// Per edge: fraction of tuples that stayed within one rack (>= server
+  /// locality; == 1 for single-rack placements).
+  std::vector<double> edge_rack_locality;
+  std::vector<double> op_load_balance; ///< per operator: max/avg instance load
+  std::uint64_t window_tuples = 0;
+};
+
+/// Drives a PipelineModel window by window.
+class Simulator {
+ public:
+  Simulator(const Topology& topology, const Placement& placement,
+            const SimConfig& config, FieldsRouting fields_mode);
+
+  /// Feeds `n` tuples from `gen` and returns the window's report.
+  /// Traffic counters reset at the start of each window; pair statistics
+  /// accumulate across windows until a reconfiguration consumes them.
+  WindowReport run_window(workload::TupleGenerator& gen, std::uint64_t n);
+
+  /// Runs one full optimization round: collects pair statistics, asks the
+  /// manager for a plan, installs the new tables and resets the statistics.
+  /// Returns the plan (with diagnostics).
+  core::ReconfigurationPlan reconfigure(core::Manager& manager);
+
+  /// Installs the tables of an externally computed plan (offline mode).
+  void apply_plan(const core::ReconfigurationPlan& plan);
+
+  /// Advisor-gated reconfiguration (paper Section 6 future work): computes a
+  /// candidate plan, scores it against the given measured locality/balance
+  /// (typically from the last WindowReport), and only deploys — migrating
+  /// state and resetting statistics — when the predicted benefit outweighs
+  /// the migration cost.  A rejected plan leaves routing AND statistics
+  /// untouched, so evidence keeps accumulating toward the next opportunity.
+  /// Returns the verdict and, when deployed, the plan.
+  struct AdvisedReconfig {
+    core::AdvisorVerdict verdict;
+    core::ReconfigurationPlan plan;  ///< meaningful only when verdict.deploy
+  };
+  AdvisedReconfig reconfigure_if_beneficial(
+      core::Manager& manager, double current_locality, double current_balance,
+      const core::AdvisorOptions& advisor_options = {});
+
+  [[nodiscard]] PipelineModel& model() noexcept { return model_; }
+  [[nodiscard]] const SimConfig& config() const noexcept {
+    return model_.config();
+  }
+
+ private:
+  [[nodiscard]] WindowReport report_from_stats() const;
+
+  PipelineModel model_;
+};
+
+}  // namespace lar::sim

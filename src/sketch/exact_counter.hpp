@@ -1,0 +1,67 @@
+// Exact frequency counter with the same interface shape as SpaceSaving.
+//
+// Used (a) as ground truth in property tests of the sketch, and (b) by the
+// *offline* analysis mode of the paper (Section 3.2), where a large data
+// sample is counted exactly before computing routing tables once.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace lar::sketch {
+
+/// Unbounded exact counter.  Not thread-safe.
+template <typename Key, typename Hash = std::hash<Key>>
+class ExactCounter {
+ public:
+  struct Entry {
+    Key key;
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;  ///< always 0; mirrors SpaceSaving::Entry.
+  };
+
+  void add(const Key& key, std::uint64_t weight = 1) {
+    counts_[key] += weight;
+    total_ += weight;
+  }
+
+  /// Exact count of `key` (0 if never seen).
+  [[nodiscard]] std::uint64_t count(const Key& key) const {
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// All entries, sorted by decreasing count.
+  [[nodiscard]] std::vector<Entry> entries() const {
+    std::vector<Entry> out;
+    out.reserve(counts_.size());
+    for (const auto& [k, c] : counts_) out.push_back(Entry{k, c, 0});
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      return a.count > b.count;
+    });
+    return out;
+  }
+
+  /// The `k` most frequent entries.
+  [[nodiscard]] std::vector<Entry> top(std::size_t k) const {
+    std::vector<Entry> out = entries();
+    if (out.size() > k) out.resize(k);
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t size() const noexcept { return counts_.size(); }
+
+  void clear() noexcept {
+    counts_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::unordered_map<Key, std::uint64_t, Hash> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace lar::sketch

@@ -1,0 +1,172 @@
+// SpaceSaving: approximate top-k frequency estimation in bounded memory.
+//
+// Metwally, Agrawal, El Abbadi — "Efficient computation of frequent and top-k
+// elements in data streams" (ICDT'05).  This is the sketch the paper uses in
+// every stateful operator instance to count (input key, output key) pairs
+// with a fixed memory budget (Section 3.2), and the same algorithm used by
+// the related systems it cites (partial key grouping, DKG, E-store).
+//
+// Guarantees (N = total weight added, m = capacity):
+//   * every stored count overestimates the true frequency by at most the
+//     smallest stored count (tracked per entry as `error`);
+//   * any item with true frequency > N/m is guaranteed to be stored.
+//
+// Implementation: hash map (key -> slot) + indexed binary min-heap over the
+// counts, giving O(log m) updates and O(1) min lookup for eviction.  The
+// textbook Stream-Summary structure gives O(1) updates but its linked bucket
+// list is cache-hostile; for the capacities used here (10^2..10^6) the heap
+// is both simpler and faster in practice.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace lar::sketch {
+
+/// Bounded-memory top-k counter.  Key must be hashable (via Hash) and
+/// equality-comparable.  Not thread-safe; each operator instance owns one.
+template <typename Key, typename Hash = std::hash<Key>>
+class SpaceSaving {
+ public:
+  /// One monitored item.  `count` overestimates the true frequency by at
+  /// most `error` (error == 0 means the count is exact).
+  struct Entry {
+    Key key;
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;
+  };
+
+  /// `capacity` = maximum number of monitored items; must be >= 1.
+  explicit SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+    LAR_CHECK(capacity >= 1);
+    entries_.reserve(capacity);
+    heap_.reserve(capacity);
+    pos_.reserve(capacity);
+    index_.reserve(capacity * 2);
+  }
+
+  /// Adds `weight` occurrences of `key`.
+  void add(const Key& key, std::uint64_t weight = 1) {
+    total_ += weight;
+    if (auto it = index_.find(key); it != index_.end()) {
+      entries_[it->second].count += weight;
+      sift_down(pos_[it->second]);
+      return;
+    }
+    if (entries_.size() < capacity_) {
+      const std::size_t slot = entries_.size();
+      entries_.push_back(Entry{key, weight, 0});
+      heap_.push_back(slot);
+      pos_.push_back(slot);
+      index_.emplace(key, slot);
+      sift_up(heap_.size() - 1);
+      return;
+    }
+    // Evict the current minimum: the new key inherits its count as error.
+    const std::size_t slot = heap_[0];
+    Entry& e = entries_[slot];
+    index_.erase(e.key);
+    e.error = e.count;
+    e.count += weight;
+    e.key = key;
+    index_.emplace(key, slot);
+    sift_down(0);
+  }
+
+  /// Estimated count of `key`, or nullopt if the key is not monitored.
+  /// The true count is in [count - error, count].
+  [[nodiscard]] std::optional<Entry> estimate(const Key& key) const {
+    auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    return entries_[it->second];
+  }
+
+  /// All monitored entries, sorted by decreasing count.
+  [[nodiscard]] std::vector<Entry> entries() const {
+    std::vector<Entry> out = entries_;
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      return a.count > b.count;
+    });
+    return out;
+  }
+
+  /// The `k` entries with the highest counts (fewer if not enough items).
+  [[nodiscard]] std::vector<Entry> top(std::size_t k) const {
+    std::vector<Entry> out = entries();
+    if (out.size() > k) out.resize(k);
+    return out;
+  }
+
+  /// Total weight added since construction / last clear.
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Number of monitored items (<= capacity).
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Smallest monitored count — the worst-case overestimation of any entry,
+  /// and the threshold new keys must beat.  0 while not yet full.
+  [[nodiscard]] std::uint64_t min_count() const noexcept {
+    return entries_.size() < capacity_ ? 0 : entries_[heap_[0]].count;
+  }
+
+  /// Drops all state.  The paper resets statistics after each
+  /// reconfiguration so that only recent data drives the next one.
+  void clear() noexcept {
+    entries_.clear();
+    heap_.clear();
+    pos_.clear();
+    index_.clear();
+    total_ = 0;
+  }
+
+ private:
+  // Indexed min-heap over entries_[...].count.
+  // heap_[h] = slot, pos_[slot] = h.
+  [[nodiscard]] bool less(std::size_t h1, std::size_t h2) const noexcept {
+    return entries_[heap_[h1]].count < entries_[heap_[h2]].count;
+  }
+
+  void swap_heap(std::size_t h1, std::size_t h2) noexcept {
+    std::swap(heap_[h1], heap_[h2]);
+    pos_[heap_[h1]] = h1;
+    pos_[heap_[h2]] = h2;
+  }
+
+  void sift_up(std::size_t h) noexcept {
+    while (h > 0) {
+      const std::size_t parent = (h - 1) / 2;
+      if (!less(h, parent)) break;
+      swap_heap(h, parent);
+      h = parent;
+    }
+  }
+
+  void sift_down(std::size_t h) noexcept {
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t smallest = h;
+      const std::size_t l = 2 * h + 1;
+      const std::size_t r = 2 * h + 2;
+      if (l < n && less(l, smallest)) smallest = l;
+      if (r < n && less(r, smallest)) smallest = r;
+      if (smallest == h) return;
+      swap_heap(h, smallest);
+      h = smallest;
+    }
+  }
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+  std::vector<std::size_t> heap_;
+  std::vector<std::size_t> pos_;
+  std::unordered_map<Key, std::size_t, Hash> index_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace lar::sketch

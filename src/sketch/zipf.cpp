@@ -1,0 +1,34 @@
+#include "sketch/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace lar::sketch {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
+  LAR_CHECK(n >= 1);
+  LAR_CHECK(s >= 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding drift
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t i) const noexcept {
+  if (i >= cdf_.size()) return 0.0;
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace lar::sketch

@@ -1,0 +1,37 @@
+// Zipfian sampling.
+//
+// The paper argues (Section 3.2) that real streams follow Zipfian key
+// distributions, which is why bounded top-k statistics capture most of the
+// optimization potential.  Both synthetic workload generators use this
+// sampler for key popularity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lar::sketch {
+
+/// Samples ranks in [0, n) with P(rank = i) proportional to 1/(i+1)^s.
+/// Precomputes the CDF once (O(n) memory) and samples in O(log n).
+class ZipfSampler {
+ public:
+  /// `n` >= 1 items, exponent `s` >= 0 (s = 0 is uniform).
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws one rank using the caller's RNG stream.
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+
+  /// Probability mass of rank `i`.
+  [[nodiscard]] double pmf(std::size_t i) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double exponent() const noexcept { return s_; }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i); cdf_.back() == 1.
+  double s_;
+};
+
+}  // namespace lar::sketch

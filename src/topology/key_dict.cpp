@@ -1,0 +1,28 @@
+#include "topology/key_dict.hpp"
+
+#include "common/status.hpp"
+
+namespace lar {
+
+Key KeyDict::intern(std::string_view name) {
+  if (auto it = ids_.find(std::string(name)); it != ids_.end()) {
+    return it->second;
+  }
+  const Key id = names_.size();
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<Key> KeyDict::find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& KeyDict::name(Key key) const {
+  LAR_CHECK(key < names_.size());
+  return names_[static_cast<std::size_t>(key)];
+}
+
+}  // namespace lar

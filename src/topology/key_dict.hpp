@@ -1,0 +1,40 @@
+// String <-> Key interning.
+//
+// Applications name keys with strings ("#java", "Asia"); everything below
+// the public API routes on dense integer Keys.  The dictionary is append-only
+// and grows with the number of *distinct* keys, which is bounded in practice
+// by the workload vocabulary.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/types.hpp"
+
+namespace lar {
+
+/// Append-only bidirectional mapping between strings and dense Keys.
+/// Not thread-safe; intern keys before starting the engine or guard
+/// externally.
+class KeyDict {
+ public:
+  /// Returns the Key for `name`, interning it on first use.
+  Key intern(std::string_view name);
+
+  /// The Key for `name` if already interned.
+  [[nodiscard]] std::optional<Key> find(std::string_view name) const;
+
+  /// The string for `key`.  Precondition: key was returned by intern().
+  [[nodiscard]] const std::string& name(Key key) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, Key> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace lar

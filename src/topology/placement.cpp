@@ -1,0 +1,85 @@
+#include "topology/placement.hpp"
+
+#include <algorithm>
+
+namespace lar {
+
+Placement Placement::round_robin(const Topology& topology,
+                                 std::uint32_t num_servers) {
+  LAR_CHECK(num_servers >= 1);
+  Placement p;
+  p.num_servers_ = num_servers;
+  p.rack_of_server_.assign(num_servers, 0);
+  p.servers_.resize(topology.num_operators());
+  for (OperatorId op = 0; op < topology.num_operators(); ++op) {
+    const std::uint32_t parallelism = topology.op(op).parallelism;
+    p.servers_[op].resize(parallelism);
+    for (InstanceIndex i = 0; i < parallelism; ++i) {
+      p.servers_[op][i] = i % num_servers;
+    }
+  }
+  p.build_locals();
+  return p;
+}
+
+Placement Placement::round_robin_racked(const Topology& topology,
+                                        std::uint32_t num_servers,
+                                        std::uint32_t servers_per_rack) {
+  LAR_CHECK(servers_per_rack >= 1);
+  LAR_CHECK(num_servers % servers_per_rack == 0);
+  Placement p = round_robin(topology, num_servers);
+  p.num_racks_ = num_servers / servers_per_rack;
+  for (ServerId s = 0; s < num_servers; ++s) {
+    p.rack_of_server_[s] = s / servers_per_rack;
+  }
+  return p;
+}
+
+Placement Placement::with_racks(
+    std::vector<std::uint32_t> rack_of_server) const {
+  LAR_CHECK(rack_of_server.size() == num_servers_);
+  Placement p = *this;
+  std::uint32_t max_rack = 0;
+  for (const auto r : rack_of_server) max_rack = std::max(max_rack, r);
+  p.num_racks_ = max_rack + 1;
+  std::vector<bool> seen(p.num_racks_, false);
+  for (const auto r : rack_of_server) seen[r] = true;
+  for (const bool s : seen) LAR_CHECK(s && "empty rack id in mapping");
+  p.rack_of_server_ = std::move(rack_of_server);
+  return p;
+}
+
+std::vector<ServerId> Placement::servers_in_rack(std::uint32_t rack) const {
+  LAR_CHECK(rack < num_racks_);
+  std::vector<ServerId> out;
+  for (ServerId s = 0; s < num_servers_; ++s) {
+    if (rack_of_server_[s] == rack) out.push_back(s);
+  }
+  return out;
+}
+
+Placement Placement::explicit_placement(
+    std::vector<std::vector<ServerId>> servers, std::uint32_t num_servers) {
+  LAR_CHECK(num_servers >= 1);
+  Placement p;
+  p.num_servers_ = num_servers;
+  p.rack_of_server_.assign(num_servers, 0);
+  p.servers_ = std::move(servers);
+  for (const auto& per_op : p.servers_) {
+    for (const auto s : per_op) LAR_CHECK(s < num_servers);
+  }
+  p.build_locals();
+  return p;
+}
+
+void Placement::build_locals() {
+  locals_.assign(servers_.size(), {});
+  for (std::size_t op = 0; op < servers_.size(); ++op) {
+    locals_[op].assign(num_servers_, {});
+    for (InstanceIndex i = 0; i < servers_[op].size(); ++i) {
+      locals_[op][servers_[op][i]].push_back(i);
+    }
+  }
+}
+
+}  // namespace lar

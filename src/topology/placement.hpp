@@ -1,0 +1,99 @@
+// Static assignment of operator instances (POIs) to servers.
+//
+// The paper assumes POI placement is fixed (Section 3.1, "we assume that the
+// deployment of POIs on servers is static") and optimizes *key* placement on
+// top of it.  The evaluation deploys instance i of every PO on server i; the
+// round-robin constructor generalizes that to any parallelism/server count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "topology/topology.hpp"
+#include "topology/types.hpp"
+
+namespace lar {
+
+/// Maps every POI of a Topology to a server.
+class Placement {
+ public:
+  /// Instance i of every PO runs on server (i % num_servers) — the paper's
+  /// layout whenever parallelism == num_servers.  All servers share one rack.
+  [[nodiscard]] static Placement round_robin(const Topology& topology,
+                                             std::uint32_t num_servers);
+
+  /// Like round_robin, but servers are grouped into racks of
+  /// `servers_per_rack` consecutive servers (server s is in rack
+  /// s / servers_per_rack).  num_servers must be a multiple of
+  /// servers_per_rack.  Racks model the paper's future-work hierarchical
+  /// network: crossing a rack boundary is more expensive than staying
+  /// within one (Section 6).
+  [[nodiscard]] static Placement round_robin_racked(
+      const Topology& topology, std::uint32_t num_servers,
+      std::uint32_t servers_per_rack);
+
+  /// Fully explicit placement: `servers[op][instance]` = server id.
+  [[nodiscard]] static Placement explicit_placement(
+      std::vector<std::vector<ServerId>> servers, std::uint32_t num_servers);
+
+  [[nodiscard]] std::uint32_t num_servers() const noexcept {
+    return num_servers_;
+  }
+
+  /// Server hosting the given POI.
+  [[nodiscard]] ServerId server_of(OperatorId op, InstanceIndex index) const {
+    LAR_CHECK(op < servers_.size());
+    LAR_CHECK(index < servers_[op].size());
+    return servers_[op][index];
+  }
+  [[nodiscard]] ServerId server_of(InstanceId id) const {
+    return server_of(id.op, id.index);
+  }
+
+  /// Instances of `op` hosted on `server` (possibly empty).
+  [[nodiscard]] const std::vector<InstanceIndex>& local_instances(
+      OperatorId op, ServerId server) const {
+    LAR_CHECK(op < locals_.size());
+    LAR_CHECK(server < num_servers_);
+    return locals_[op][server];
+  }
+
+  [[nodiscard]] std::uint32_t parallelism_of(OperatorId op) const {
+    LAR_CHECK(op < servers_.size());
+    return static_cast<std::uint32_t>(servers_[op].size());
+  }
+
+  // --- rack topology --------------------------------------------------------
+
+  [[nodiscard]] std::uint32_t num_racks() const noexcept { return num_racks_; }
+
+  /// Rack hosting `server` (0 for every server in a rack-less deployment).
+  [[nodiscard]] std::uint32_t rack_of(ServerId server) const {
+    LAR_CHECK(server < rack_of_server_.size());
+    return rack_of_server_[server];
+  }
+
+  /// All servers of `rack`, ascending.
+  [[nodiscard]] std::vector<ServerId> servers_in_rack(std::uint32_t rack) const;
+
+  /// Copy of this placement with an explicit server -> rack mapping (one
+  /// entry per server; racks must be 0..max contiguous and non-empty).
+  /// Server numbering need not align with racks — this is exactly the case
+  /// where hierarchical partitioning beats flat recursive bisection, whose
+  /// top-level split only matches racks when they are contiguous ranges.
+  [[nodiscard]] Placement with_racks(
+      std::vector<std::uint32_t> rack_of_server) const;
+
+ private:
+  Placement() = default;
+  void build_locals();
+
+  std::uint32_t num_servers_ = 0;
+  std::uint32_t num_racks_ = 1;
+  std::vector<std::uint32_t> rack_of_server_;           // [server]
+  std::vector<std::vector<ServerId>> servers_;          // [op][instance]
+  std::vector<std::vector<std::vector<InstanceIndex>>> locals_;  // [op][server]
+};
+
+}  // namespace lar

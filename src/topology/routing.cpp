@@ -1,0 +1,168 @@
+#include "topology/routing.hpp"
+
+namespace lar {
+
+ShuffleRouter::ShuffleRouter(std::uint32_t fanout, std::uint64_t seed)
+    : fanout_(fanout), next_(static_cast<std::uint32_t>(mix64(seed) % fanout)) {
+  LAR_CHECK(fanout >= 1);
+}
+
+InstanceIndex ShuffleRouter::route(const Tuple& /*tuple*/) {
+  const InstanceIndex out = next_;
+  next_ = (next_ + 1) % fanout_;
+  return out;
+}
+
+LocalOrShuffleRouter::LocalOrShuffleRouter(
+    std::vector<InstanceIndex> local_instances, std::uint32_t fanout,
+    std::uint64_t seed)
+    : locals_(std::move(local_instances)),
+      fanout_(fanout),
+      next_(static_cast<std::uint32_t>(mix64(seed) % fanout)) {
+  LAR_CHECK(fanout >= 1);
+}
+
+InstanceIndex LocalOrShuffleRouter::route(const Tuple& /*tuple*/) {
+  if (!locals_.empty()) {
+    const InstanceIndex out = locals_[next_ % locals_.size()];
+    next_ = (next_ + 1) % fanout_;
+    return out;
+  }
+  const InstanceIndex out = next_;
+  next_ = (next_ + 1) % fanout_;
+  return out;
+}
+
+HashFieldsRouter::HashFieldsRouter(std::uint32_t key_field,
+                                   std::uint32_t fanout)
+    : key_field_(key_field), fanout_(fanout) {
+  LAR_CHECK(fanout >= 1);
+}
+
+InstanceIndex HashFieldsRouter::route(const Tuple& tuple) {
+  LAR_CHECK(key_field_ < tuple.fields.size());
+  return hash_instance(tuple.fields[key_field_], fanout_);
+}
+
+IdentityFieldsRouter::IdentityFieldsRouter(std::uint32_t key_field,
+                                           std::uint32_t fanout,
+                                           std::uint32_t offset)
+    : key_field_(key_field), fanout_(fanout), offset_(offset) {
+  LAR_CHECK(fanout >= 1);
+}
+
+InstanceIndex IdentityFieldsRouter::route(const Tuple& tuple) {
+  LAR_CHECK(key_field_ < tuple.fields.size());
+  return static_cast<InstanceIndex>(
+      (tuple.fields[key_field_] + offset_) % fanout_);
+}
+
+PermutationFieldsRouter::PermutationFieldsRouter(std::uint32_t key_field,
+                                                 std::uint32_t fanout,
+                                                 std::uint64_t seed)
+    : key_field_(key_field), fanout_(fanout) {
+  LAR_CHECK(fanout >= 1);
+  perm_.resize(fanout);
+  for (std::uint32_t i = 0; i < fanout; ++i) perm_[i] = i;
+  Rng rng(seed);
+  for (std::uint32_t i = fanout; i > 1; --i) {
+    std::swap(perm_[i - 1], perm_[rng.below(i)]);
+  }
+}
+
+InstanceIndex PermutationFieldsRouter::route(const Tuple& tuple) {
+  LAR_CHECK(key_field_ < tuple.fields.size());
+  return perm_[tuple.fields[key_field_] % fanout_];
+}
+
+PartialKeyRouter::PartialKeyRouter(std::uint32_t key_field,
+                                   std::uint32_t fanout)
+    : key_field_(key_field), fanout_(fanout), sent_(fanout, 0) {
+  LAR_CHECK(fanout >= 1);
+}
+
+std::pair<InstanceIndex, InstanceIndex> PartialKeyRouter::candidates(
+    Key key) const noexcept {
+  // Two independent hash functions via distinct mixing constants.
+  const auto h1 = static_cast<InstanceIndex>(mix64(key) % fanout_);
+  const auto h2 = static_cast<InstanceIndex>(
+      mix64(key ^ 0x9e3779b97f4a7c15ULL) % fanout_);
+  return {h1, h2};
+}
+
+InstanceIndex PartialKeyRouter::route(const Tuple& tuple) {
+  LAR_CHECK(key_field_ < tuple.fields.size());
+  const auto [h1, h2] = candidates(tuple.fields[key_field_]);
+  const InstanceIndex pick = sent_[h1] <= sent_[h2] ? h1 : h2;
+  ++sent_[pick];
+  return pick;
+}
+
+TableFieldsRouter::TableFieldsRouter(std::uint32_t key_field,
+                                     std::uint32_t fanout,
+                                     std::shared_ptr<const RoutingTable> table)
+    : key_field_(key_field), fanout_(fanout), table_(std::move(table)) {
+  LAR_CHECK(fanout >= 1);
+  LAR_CHECK(table_ != nullptr);
+}
+
+InstanceIndex TableFieldsRouter::route(const Tuple& tuple) {
+  LAR_CHECK(key_field_ < tuple.fields.size());
+  return table_->route(tuple.fields[key_field_], fanout_);
+}
+
+void TableFieldsRouter::set_table(std::shared_ptr<const RoutingTable> table) {
+  LAR_CHECK(table != nullptr);
+  table_ = std::move(table);
+}
+
+std::unique_ptr<Router> make_router(const EdgeSpec& edge,
+                                    std::uint32_t edge_index,
+                                    const Topology& topology,
+                                    const Placement& placement,
+                                    ServerId src_server,
+                                    FieldsRouting fields_mode,
+                                    std::shared_ptr<const RoutingTable> table,
+                                    std::uint64_t seed) {
+  const std::uint32_t fanout = topology.op(edge.to).parallelism;
+  switch (edge.grouping) {
+    case GroupingType::kShuffle:
+      return std::make_unique<ShuffleRouter>(fanout, seed);
+    case GroupingType::kLocalOrShuffle:
+      return std::make_unique<LocalOrShuffleRouter>(
+          placement.local_instances(edge.to, src_server), fanout, seed);
+    case GroupingType::kFields:
+      switch (fields_mode) {
+        case FieldsRouting::kHash:
+          return std::make_unique<HashFieldsRouter>(edge.key_field, fanout);
+        case FieldsRouting::kPermutation:
+          // Seeded per edge (not per emitting instance): all emitters of one
+          // edge must agree on the key -> instance map or stateful routing
+          // breaks.
+          return std::make_unique<PermutationFieldsRouter>(
+              edge.key_field, fanout, /*seed=*/0x9d5f + edge_index * 7919);
+        case FieldsRouting::kTable:
+          if (table == nullptr) {
+            table = std::make_shared<const RoutingTable>();
+          }
+          return std::make_unique<TableFieldsRouter>(edge.key_field, fanout,
+                                                     std::move(table));
+        case FieldsRouting::kIdentity:
+          return std::make_unique<IdentityFieldsRouter>(edge.key_field, fanout,
+                                                        /*offset=*/0);
+        case FieldsRouting::kWorstCase:
+          // Rotation by edge_index + 1: every hop lands off-server for
+          // aligned keys, and consecutive hops disagree so correlated keys
+          // never end up co-located.
+          return std::make_unique<IdentityFieldsRouter>(
+              edge.key_field, fanout, /*offset=*/edge_index + 1);
+        case FieldsRouting::kPartialKey:
+          return std::make_unique<PartialKeyRouter>(edge.key_field, fanout);
+      }
+      break;
+  }
+  LAR_CHECK(false && "unreachable: unknown grouping");
+  return nullptr;
+}
+
+}  // namespace lar

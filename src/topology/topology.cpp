@@ -1,0 +1,156 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace lar {
+
+OperatorId Topology::add_operator(OperatorSpec spec) {
+  LAR_CHECK(spec.parallelism >= 1);
+  operators_.push_back(std::move(spec));
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  return static_cast<OperatorId>(operators_.size() - 1);
+}
+
+void Topology::connect(OperatorId from, OperatorId to, GroupingType grouping,
+                       std::uint32_t key_field) {
+  LAR_CHECK(from < operators_.size());
+  LAR_CHECK(to < operators_.size());
+  LAR_CHECK(from != to);
+  const auto edge_id = static_cast<std::uint32_t>(edges_.size());
+  edges_.push_back(EdgeSpec{from, to, grouping, key_field});
+  out_edges_[from].push_back(edge_id);
+  in_edges_[to].push_back(edge_id);
+}
+
+Status Topology::validate() const {
+  if (operators_.empty()) {
+    return {ErrorCode::kInvalidArgument, "topology has no operators"};
+  }
+  bool has_source = false;
+  for (OperatorId id = 0; id < operators_.size(); ++id) {
+    const OperatorSpec& op = operators_[id];
+    if (op.is_source) {
+      has_source = true;
+      if (!in_edges_[id].empty()) {
+        return {ErrorCode::kInvalidArgument,
+                "source operator '" + op.name + "' has inbound edges"};
+      }
+    } else if (in_edges_[id].empty()) {
+      return {ErrorCode::kInvalidArgument,
+              "operator '" + op.name + "' is unreachable (no inbound edges)"};
+    }
+    if (op.stateful) {
+      for (const auto e : in_edges_[id]) {
+        if (edges_[e].grouping != GroupingType::kFields) {
+          return {ErrorCode::kInvalidArgument,
+                  "stateful operator '" + op.name +
+                      "' has a non-fields-grouped inbound edge"};
+        }
+      }
+    }
+  }
+  if (!has_source) {
+    return {ErrorCode::kInvalidArgument, "topology has no source operator"};
+  }
+  // Cycle check via Kahn's algorithm.
+  if (topological_order().size() != operators_.size()) {
+    return {ErrorCode::kInvalidArgument, "topology contains a cycle"};
+  }
+  return Status::ok();
+}
+
+std::vector<OperatorId> Topology::topological_order() const {
+  std::vector<std::uint32_t> indegree(operators_.size(), 0);
+  for (const auto& e : edges_) ++indegree[e.to];
+  std::queue<OperatorId> ready;
+  for (OperatorId id = 0; id < operators_.size(); ++id) {
+    if (indegree[id] == 0) ready.push(id);
+  }
+  std::vector<OperatorId> order;
+  order.reserve(operators_.size());
+  while (!ready.empty()) {
+    const OperatorId id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    for (const auto e : out_edges_[id]) {
+      if (--indegree[edges_[e].to] == 0) ready.push(edges_[e].to);
+    }
+  }
+  return order;  // shorter than operators_.size() iff there is a cycle
+}
+
+std::vector<OperatorId> Topology::sources() const {
+  std::vector<OperatorId> out;
+  for (OperatorId id = 0; id < operators_.size(); ++id) {
+    if (operators_[id].is_source) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::optional<OperatorId>> compute_stats_anchors(
+    const Topology& topology) {
+  std::vector<std::optional<OperatorId>> anchor(topology.num_operators());
+  std::vector<bool> ambiguous(topology.num_operators(), false);
+  for (const OperatorId op : topology.topological_order()) {
+    for (const std::uint32_t eid : topology.in_edges(op)) {
+      const EdgeSpec& edge = topology.edges()[eid];
+      // A fields edge re-anchors at its destination; any other grouping
+      // passes the upstream anchor through unchanged.
+      std::optional<OperatorId> incoming;
+      bool incoming_ambiguous = false;
+      if (edge.grouping == GroupingType::kFields) {
+        incoming = op;
+      } else {
+        incoming = anchor[edge.from];
+        incoming_ambiguous = ambiguous[edge.from];
+      }
+      if (incoming_ambiguous ||
+          (anchor[op].has_value() && incoming.has_value() &&
+           anchor[op] != incoming)) {
+        ambiguous[op] = true;
+      } else if (incoming.has_value()) {
+        anchor[op] = incoming;
+      }
+    }
+    if (ambiguous[op]) anchor[op] = std::nullopt;
+  }
+  return anchor;
+}
+
+Topology make_two_stage_topology(std::uint32_t parallelism,
+                                 double cpu_cost_per_tuple,
+                                 std::uint32_t source_parallelism,
+                                 double source_cpu_cost) {
+  return make_chain_topology(2, parallelism, cpu_cost_per_tuple,
+                             source_parallelism, source_cpu_cost);
+}
+
+Topology make_chain_topology(std::uint32_t stages, std::uint32_t parallelism,
+                             double cpu_cost_per_tuple,
+                             std::uint32_t source_parallelism,
+                             double source_cpu_cost) {
+  LAR_CHECK(stages >= 1);
+  if (source_parallelism == 0) source_parallelism = parallelism;
+  Topology t;
+  OperatorId prev = t.add_operator({.name = "S",
+                                    .parallelism = source_parallelism,
+                                    .stateful = false,
+                                    .is_source = true,
+                                    .cpu_cost_per_tuple = source_cpu_cost});
+  for (std::uint32_t k = 0; k < stages; ++k) {
+    const OperatorId op =
+        t.add_operator({.name = std::string(1, static_cast<char>('A' + k)),
+                        .parallelism = parallelism,
+                        .stateful = true,
+                        .is_source = false,
+                        .cpu_cost_per_tuple = cpu_cost_per_tuple});
+    t.connect(prev, op, GroupingType::kFields, /*key_field=*/k);
+    prev = op;
+  }
+  LAR_CHECK(t.validate().is_ok());
+  return t;
+}
+
+}  // namespace lar

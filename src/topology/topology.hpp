@@ -1,0 +1,151 @@
+// Application model: a DAG of processing operators (POs) connected by
+// streams, each stream edge labeled with a routing policy (Section 2 of the
+// paper).
+//
+// The model is deliberately engine-agnostic: both the threaded runtime
+// (lar::runtime) and the performance simulator (lar::sim) deploy the same
+// Topology, and the locality optimizer (lar::core) rewrites its routing
+// tables without knowing which engine executes it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "topology/types.hpp"
+
+namespace lar {
+
+/// How an edge splits a stream between the instances of its recipient PO
+/// (Section 2.2).
+enum class GroupingType {
+  kShuffle,          ///< round robin; stateless recipients only
+  kLocalOrShuffle,   ///< prefer a co-located instance, else shuffle
+  kFields,           ///< key-based; required for stateful recipients
+};
+
+[[nodiscard]] constexpr const char* to_string(GroupingType g) noexcept {
+  switch (g) {
+    case GroupingType::kShuffle: return "shuffle";
+    case GroupingType::kLocalOrShuffle: return "local-or-shuffle";
+    case GroupingType::kFields: return "fields";
+  }
+  return "?";
+}
+
+/// A processing operator (PO).
+struct OperatorSpec {
+  std::string name;
+  std::uint32_t parallelism = 1;  ///< number of instances (POIs)
+  bool stateful = false;          ///< maintains per-key state
+  bool is_source = false;         ///< entry point of the DAG
+
+  /// CPU cost of processing one tuple, in abstract work units (the simulator
+  /// converts units to time; 1.0 ~ a trivial counter update).
+  double cpu_cost_per_tuple = 1.0;
+};
+
+/// A stream edge PO -> PO.
+struct EdgeSpec {
+  OperatorId from = 0;
+  OperatorId to = 0;
+  GroupingType grouping = GroupingType::kShuffle;
+
+  /// For kFields: index into Tuple::fields of the routing key.
+  std::uint32_t key_field = 0;
+};
+
+/// Immutable-after-build DAG description.
+class Topology {
+ public:
+  /// Adds a PO; returns its id.  Source POs must have is_source = true.
+  OperatorId add_operator(OperatorSpec spec);
+
+  /// Connects two POs.  Fails (LAR_CHECK) on invalid ids or self loops.
+  void connect(OperatorId from, OperatorId to, GroupingType grouping,
+               std::uint32_t key_field = 0);
+
+  /// Validates the DAG: at least one source, acyclic, every stateful PO's
+  /// inbound edges use fields grouping, every non-source PO is reachable.
+  [[nodiscard]] Status validate() const;
+
+  [[nodiscard]] std::size_t num_operators() const noexcept {
+    return operators_.size();
+  }
+  [[nodiscard]] const OperatorSpec& op(OperatorId id) const {
+    LAR_CHECK(id < operators_.size());
+    return operators_[id];
+  }
+  [[nodiscard]] const std::vector<EdgeSpec>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// Ids of edges leaving `id` / entering `id` (indices into edges()).
+  [[nodiscard]] const std::vector<std::uint32_t>& out_edges(OperatorId id) const {
+    LAR_CHECK(id < out_edges_.size());
+    return out_edges_[id];
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& in_edges(OperatorId id) const {
+    LAR_CHECK(id < in_edges_.size());
+    return in_edges_[id];
+  }
+
+  /// Operator ids in a topological order (sources first).
+  /// Precondition: validate().is_ok().
+  [[nodiscard]] std::vector<OperatorId> topological_order() const;
+
+  /// Ids of all source POs.
+  [[nodiscard]] std::vector<OperatorId> sources() const;
+
+ private:
+  std::vector<OperatorSpec> operators_;
+  std::vector<EdgeSpec> edges_;
+  std::vector<std::vector<std::uint32_t>> out_edges_;
+  std::vector<std::vector<std::uint32_t>> in_edges_;
+};
+
+/// Builds the paper's evaluation topology (Section 4.1): a source S feeding
+/// two consecutive stateful counting POs A and B, routed by fields grouping
+/// on tuple field 0 (S->A) and field 1 (A->B), each with `parallelism`
+/// instances.
+///
+/// The source is replicated like the paper's spout (one instance per server;
+/// `source_parallelism` = 0 means "same as parallelism") and emitting is
+/// cheap relative to processing (`source_cpu_cost`), which is what lets the
+/// paper's deployment scale linearly instead of bottlenecking on the spout.
+[[nodiscard]] Topology make_two_stage_topology(
+    std::uint32_t parallelism, double cpu_cost_per_tuple = 1.0,
+    std::uint32_t source_parallelism = 0, double source_cpu_cost = 0.05);
+
+/// For every operator, the "statistics anchor": the operator whose input
+/// key a tuple observed at this operator was most recently routed by
+/// (fields grouping).  A stateful operator is its own anchor (its input is
+/// fields-grouped); a stateless operator fed through shuffle /
+/// local-or-shuffle inherits its predecessor's anchor — which is how the
+/// correlation between two stateful POs separated by stateless ones is
+/// still observable (paper Section 3.1, Figure 3: B and D are the
+/// consecutive *stateful* POs even though C sits between them).
+///
+/// Returns one entry per operator: the anchor op id, or nullopt when the
+/// operator has no upstream fields hop (sources) or an ambiguous one
+/// (different inbound paths carrying keys of different operators; such
+/// operators conservatively record no statistics).
+/// Precondition: topology.validate().is_ok().
+[[nodiscard]] std::vector<std::optional<OperatorId>> compute_stats_anchors(
+    const Topology& topology);
+
+/// Generalization to `stages` consecutive stateful POs: S -> Op1 -> ... ->
+/// OpK, where the edge into Op_k routes on tuple field k-1.  The paper's
+/// evaluation topology is the stages == 2 case; longer chains exercise the
+/// multi-hop key graph (pairs from hop k share Op_k's keys with pairs from
+/// hop k+1, stitching one connected optimization problem — Section 6:
+/// "the same graph partitioning technique can be applied to more complex
+/// DAGs").
+[[nodiscard]] Topology make_chain_topology(
+    std::uint32_t stages, std::uint32_t parallelism,
+    double cpu_cost_per_tuple = 1.0, std::uint32_t source_parallelism = 0,
+    double source_cpu_cost = 0.05);
+
+}  // namespace lar

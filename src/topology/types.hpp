@@ -1,0 +1,70 @@
+// Fundamental identifier and data-tuple types of the stream model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lar {
+
+/// Interned key: stream keys (words, hashtags, countries, ...) are mapped to
+/// dense 64-bit ids by KeyDict.  Routing, statistics and state all operate on
+/// ids; only the application boundary deals in strings.
+using Key = std::uint64_t;
+
+/// Sentinel: "no key" — e.g. the routing-key context of a tuple that has not
+/// passed any fields-grouped hop yet.  Never produced by KeyDict.
+inline constexpr Key kNoKey = static_cast<Key>(-1);
+
+/// Index of a processing operator (PO) within a Topology.
+using OperatorId = std::uint32_t;
+
+/// Index of an operator instance (POI) within its PO, in [0, parallelism).
+using InstanceIndex = std::uint32_t;
+
+/// Physical server index, in [0, num_servers).
+using ServerId = std::uint32_t;
+
+/// A (PO, instance) pair globally identifying one POI.
+struct InstanceId {
+  OperatorId op = 0;
+  InstanceIndex index = 0;
+
+  friend bool operator==(const InstanceId&, const InstanceId&) = default;
+  friend auto operator<=>(const InstanceId&, const InstanceId&) = default;
+};
+
+/// How the emitting source instance is chosen for each injected tuple.
+enum class SourceMode {
+  /// instance = fields[0] % parallelism.  Models the paper's synthetic
+  /// benchmark where the spout on server i produces the tuples whose first
+  /// integer maps to i, so S->A can be fully local under locality-aware
+  /// routing and 100% locality means zero network traffic (Section 4.2).
+  kAlignedField0,
+
+  /// Round-robin.  Models replicated spouts reading shards of a dataset
+  /// (the Twitter/Flickr experiments): no routing policy can make S->A
+  /// systematically local.
+  kRoundRobin,
+};
+
+/// A data tuple flowing through the DAG.
+///
+/// `fields` holds the interned key fields (e.g. {location, hashtag}); which
+/// field routes a given hop is declared per-edge in the Topology.  `padding`
+/// models the payload bytes that real tuples carry besides their keys (the
+/// paper sweeps it from 0 to 20 kB); padding is never materialized, only
+/// accounted for in serialized_size().
+struct Tuple {
+  std::vector<Key> fields;
+  std::uint32_t padding = 0;
+
+  /// Bytes this tuple occupies on the wire when crossing servers:
+  /// a fixed header, 8 bytes per field, plus the payload.
+  [[nodiscard]] std::uint32_t serialized_size() const noexcept {
+    constexpr std::uint32_t kHeaderBytes = 16;
+    return kHeaderBytes +
+           static_cast<std::uint32_t>(fields.size()) * 8u + padding;
+  }
+};
+
+}  // namespace lar

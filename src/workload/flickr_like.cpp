@@ -1,0 +1,38 @@
+#include "workload/flickr_like.hpp"
+
+#include "common/status.hpp"
+
+namespace lar::workload {
+
+FlickrLikeGenerator::FlickrLikeGenerator(const FlickrLikeConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      tag_zipf_(config.num_tags, config.zipf_tags),
+      country_zipf_(config.num_countries, config.zipf_countries) {
+  LAR_CHECK(config.num_tags >= 1);
+  LAR_CHECK(config.num_countries >= 1);
+  LAR_CHECK(config.correlation >= 0.0 && config.correlation <= 1.0);
+  home_.resize(config.num_tags);
+  for (auto& h : home_) {
+    h = static_cast<std::uint32_t>(country_zipf_.sample(rng_));
+  }
+}
+
+Key FlickrLikeGenerator::home_country(std::uint32_t t) const {
+  LAR_CHECK(t < home_.size());
+  return kCountryKeyBase + home_[t];
+}
+
+Tuple FlickrLikeGenerator::next() {
+  const auto tag = static_cast<std::uint32_t>(tag_zipf_.sample(rng_));
+  std::uint32_t country;
+  if (rng_.chance(config_.correlation)) {
+    country = home_[tag];
+  } else {
+    country = static_cast<std::uint32_t>(country_zipf_.sample(rng_));
+  }
+  return Tuple{.fields = {tag, kCountryKeyBase + country},
+               .padding = config_.padding};
+}
+
+}  // namespace lar::workload

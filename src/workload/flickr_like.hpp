@@ -1,0 +1,59 @@
+// Flickr-like stable workload (Section 4.4, Figures 13-14).
+//
+// The paper replays the YFCC100M metadata dump — (user tag, country) pairs
+// with no temporal ordering, i.e. a *stable* correlated stream.  This
+// generator reproduces that: Zipfian tags, each with a fixed home country
+// drawn from a Zipfian country popularity, correlation that never drifts and
+// no fresh-key injection.  Tuples are (tag, country, padding), matching the
+// paper's application which routes first by tag, then by country.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sketch/zipf.hpp"
+#include "workload/workload.hpp"
+
+namespace lar::workload {
+
+struct FlickrLikeConfig {
+  std::uint32_t num_tags = 50'000;
+  std::uint32_t num_countries = 180;
+  double zipf_tags = 0.7;
+  double zipf_countries = 0.7;
+
+  /// P(country = home country of the tag): the strength of the real-life
+  /// correlation the paper found "sufficient to enhance performance".
+  double correlation = 0.65;
+
+  std::uint32_t padding = 4096;
+  std::uint64_t seed = 11;
+};
+
+/// Country keys are offset so they never collide with tag keys.
+inline constexpr Key kCountryKeyBase = 1u << 21;
+
+/// Generator of the stable photo-metadata stream.
+class FlickrLikeGenerator final : public TupleGenerator {
+ public:
+  explicit FlickrLikeGenerator(const FlickrLikeConfig& config);
+
+  [[nodiscard]] Tuple next() override;
+
+  [[nodiscard]] const FlickrLikeConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Ground truth for tests: home country key of tag rank `t`.
+  [[nodiscard]] Key home_country(std::uint32_t t) const;
+
+ private:
+  FlickrLikeConfig config_;
+  Rng rng_;
+  sketch::ZipfSampler tag_zipf_;
+  sketch::ZipfSampler country_zipf_;
+  std::vector<std::uint32_t> home_;  // tag rank -> country rank
+};
+
+}  // namespace lar::workload

@@ -1,0 +1,36 @@
+#include "workload/synthetic.hpp"
+
+#include "common/status.hpp"
+
+namespace lar::workload {
+
+SyntheticGenerator::SyntheticGenerator(const SyntheticConfig& config)
+    : config_(config), rng_(config.seed) {
+  LAR_CHECK(config.num_values >= 1);
+  LAR_CHECK(config.locality >= 0.0 && config.locality <= 1.0);
+  LAR_CHECK(config.num_fields >= 1);
+}
+
+Tuple SyntheticGenerator::next() {
+  Tuple t;
+  t.padding = config_.padding;
+  t.fields.reserve(config_.num_fields);
+  std::uint64_t index = rng_.below(config_.num_values);
+  for (std::uint32_t f = 0; f < config_.num_fields; ++f) {
+    if (f > 0 && config_.num_values > 1 && !rng_.chance(config_.locality)) {
+      // Uniform among the other n-1 indices so per-hop locality is exact.
+      std::uint64_t other = rng_.below(config_.num_values - 1);
+      if (other >= index) ++other;
+      index = other;
+    }
+    // Field f lives in a disjoint key space (offset f * num_values), like
+    // the paper's distinct tuple fields: consecutive hops must not hash
+    // identically or hash routing would trivially co-locate equal indices.
+    // Identity routing still lands instance `index` when num_values is a
+    // multiple of the parallelism, since (f*n + j) % par == j % par.
+    t.fields.push_back(static_cast<Key>(f) * config_.num_values + index);
+  }
+  return t;
+}
+
+}  // namespace lar::workload

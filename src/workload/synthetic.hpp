@@ -1,0 +1,45 @@
+// Synthetic workload of Section 4.2.
+//
+// Tuples are (integer, integer, padding) with both integers in [0, n).
+// The `locality` parameter is the exact fraction of tuples whose two integers
+// are equal; the rest draw the second integer uniformly among the other
+// values.  With the identity routing oracle, an equal pair stays on one
+// server and an unequal pair crosses the network.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace lar::workload {
+
+struct SyntheticConfig {
+  std::uint32_t num_values = 6;   ///< n: each field's index ranges over [0, n)
+  double locality = 0.6;          ///< fraction of hops with equal indices
+  std::uint32_t padding = 0;      ///< payload bytes per tuple
+  std::uint64_t seed = 1;
+
+  /// Number of key fields (= consecutive fields-grouped hops + 1 routing
+  /// key).  The paper's workload is 2; longer chains correlate each field's
+  /// index with its predecessor's independently with probability `locality`.
+  std::uint32_t num_fields = 2;
+};
+
+/// Generator for the synthetic correlated-pairs workload.
+class SyntheticGenerator final : public TupleGenerator {
+ public:
+  explicit SyntheticGenerator(const SyntheticConfig& config);
+
+  [[nodiscard]] Tuple next() override;
+
+  [[nodiscard]] const SyntheticConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  SyntheticConfig config_;
+  Rng rng_;
+};
+
+}  // namespace lar::workload

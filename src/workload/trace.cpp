@@ -1,0 +1,95 @@
+#include "workload/trace.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace lar::workload {
+
+namespace {
+constexpr char kMagic[4] = {'L', 'A', 'R', 'T'};
+constexpr std::uint32_t kVersion = 1;
+constexpr long kCountOffset = 8;  // magic + version
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status(ErrorCode::kInvalidArgument, "cannot open " + path);
+    return;
+  }
+  std::fwrite(kMagic, 1, 4, file_);
+  std::fwrite(&kVersion, sizeof kVersion, 1, file_);
+  const std::uint64_t placeholder = 0;
+  std::fwrite(&placeholder, sizeof placeholder, 1, file_);
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::write(const Tuple& tuple) {
+  if (file_ == nullptr) return;
+  const auto nfields = static_cast<std::uint16_t>(tuple.fields.size());
+  std::fwrite(&nfields, sizeof nfields, 1, file_);
+  std::fwrite(&tuple.padding, sizeof tuple.padding, 1, file_);
+  std::fwrite(tuple.fields.data(), sizeof(Key), tuple.fields.size(), file_);
+  ++count_;
+}
+
+void TraceWriter::close() {
+  if (file_ == nullptr) return;
+  std::fseek(file_, kCountOffset, SEEK_SET);
+  std::fwrite(&count_, sizeof count_, 1, file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+TraceReader::TraceReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    status_ = Status(ErrorCode::kNotFound, "cannot open " + path);
+    return;
+  }
+  char magic[4];
+  std::uint32_t version = 0;
+  if (std::fread(magic, 1, 4, file_) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0 ||
+      std::fread(&version, sizeof version, 1, file_) != 1 ||
+      version != kVersion ||
+      std::fread(&count_, sizeof count_, 1, file_) != 1) {
+    status_ = Status(ErrorCode::kInvalidArgument, path + " is not a trace");
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+TraceReader::~TraceReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Tuple TraceReader::next() {
+  LAR_CHECK(file_ != nullptr && count_ > 0);
+  if (read_ >= count_) {
+    std::fseek(file_, kCountOffset + static_cast<long>(sizeof count_),
+               SEEK_SET);
+    read_ = 0;
+  }
+  Tuple t;
+  std::uint16_t nfields = 0;
+  LAR_CHECK(std::fread(&nfields, sizeof nfields, 1, file_) == 1);
+  LAR_CHECK(std::fread(&t.padding, sizeof t.padding, 1, file_) == 1);
+  t.fields.resize(nfields);
+  LAR_CHECK(std::fread(t.fields.data(), sizeof(Key), nfields, file_) ==
+            nfields);
+  ++read_;
+  return t;
+}
+
+Status record_trace(TupleGenerator& gen, std::uint64_t n,
+                    const std::string& path) {
+  TraceWriter writer(path);
+  if (!writer.status().is_ok()) return writer.status();
+  for (std::uint64_t i = 0; i < n; ++i) writer.write(gen.next());
+  writer.close();
+  return Status::ok();
+}
+
+}  // namespace lar::workload

@@ -1,0 +1,76 @@
+// Tuple trace recording and replay.
+//
+// The paper's offline mode analyses "a large sample of the data" before the
+// application starts; a recorded trace is that sample.  Traces also make
+// experiments repeatable across engines (record once from a generator, replay
+// into both the runtime and the simulator).
+//
+// Format: a small binary header ("LART", version, tuple count) followed by
+// one record per tuple: u16 field count, u32 padding, then u64 fields.
+// Little-endian, as every platform we target is.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "topology/types.hpp"
+#include "workload/workload.hpp"
+
+namespace lar::workload {
+
+/// Writes tuples to a trace file.
+class TraceWriter {
+ public:
+  /// Opens (truncates) `path`.  Check `status()` before writing.
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  /// Appends one tuple.
+  void write(const Tuple& tuple);
+
+  /// Flushes and finalizes the header.  Called by the destructor if omitted.
+  void close();
+
+  [[nodiscard]] std::uint64_t tuples_written() const noexcept { return count_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t count_ = 0;
+  Status status_;
+};
+
+/// Reads tuples back from a trace file.
+class TraceReader final : public TupleGenerator {
+ public:
+  /// Opens `path` and validates the header.  Check `status()`.
+  explicit TraceReader(const std::string& path);
+  ~TraceReader() override;
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+  [[nodiscard]] std::uint64_t num_tuples() const noexcept { return count_; }
+  [[nodiscard]] bool exhausted() const noexcept { return read_ >= count_; }
+
+  /// Next tuple; wraps around to the beginning when exhausted (streams are
+  /// unbounded, traces are not).  Precondition: num_tuples() > 0.
+  [[nodiscard]] Tuple next() override;
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t count_ = 0;
+  std::uint64_t read_ = 0;
+  Status status_;
+};
+
+/// Records `n` tuples from `gen` into `path`.  Returns the writer status.
+[[nodiscard]] Status record_trace(TupleGenerator& gen, std::uint64_t n,
+                                  const std::string& path);
+
+}  // namespace lar::workload

@@ -1,0 +1,139 @@
+#include "workload/twitter_like.hpp"
+
+#include "common/status.hpp"
+
+namespace lar::workload {
+
+TwitterLikeGenerator::TwitterLikeGenerator(const TwitterLikeConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      location_zipf_(config.num_locations, config.zipf_locations),
+      hashtag_zipf_(config.num_hashtags, config.zipf_hashtags) {
+  LAR_CHECK(config.num_locations >= 1);
+  LAR_CHECK(config.num_hashtags >= 1);
+  LAR_CHECK(config.stable_correlation >= 0.0);
+  LAR_CHECK(config.transient_correlation >= 0.0);
+  LAR_CHECK(config.stable_correlation + config.transient_correlation <= 1.0);
+  LAR_CHECK(config.transient_churn >= 0.0 && config.transient_churn <= 1.0);
+  LAR_CHECK(config.new_key_fraction >= 0.0);
+  LAR_CHECK(config.recent_fraction >= 0.0);
+  LAR_CHECK(config.new_key_fraction + config.recent_fraction < 1.0);
+  LAR_CHECK(config.new_keys_per_epoch >= 1);
+  LAR_CHECK(config.fresh_correlation >= 0.0 && config.fresh_correlation <= 1.0);
+
+  stable_home_.resize(config.num_hashtags);
+  transient_home_.resize(config.num_hashtags);
+  // Homes are Zipf-drawn so popular hashtags cluster on popular locations,
+  // as in the real data.
+  for (auto& home : stable_home_) {
+    home = static_cast<std::uint32_t>(location_zipf_.sample(rng_));
+  }
+  for (auto& home : transient_home_) {
+    home = static_cast<std::uint32_t>(location_zipf_.sample(rng_));
+  }
+  tag_at_rank_.resize(config.num_hashtags);
+  for (std::uint32_t i = 0; i < config.num_hashtags; ++i) tag_at_rank_[i] = i;
+
+  // Fresh block of epoch 0.
+  block_homes_.emplace_back();
+  block_homes_.back().resize(config.new_keys_per_epoch);
+  for (auto& home : block_homes_.back()) {
+    home = static_cast<std::uint32_t>(location_zipf_.sample(rng_));
+  }
+}
+
+void TwitterLikeGenerator::advance_epoch() {
+  ++epoch_;
+  // Gradual drift: only a fraction of transient associations move per week.
+  for (auto& home : transient_home_) {
+    if (rng_.chance(config_.transient_churn)) {
+      home = static_cast<std::uint32_t>(location_zipf_.sample(rng_));
+    }
+  }
+  // Popularity drift: swap a fraction of rank positions so key frequencies
+  // move underneath any fixed routing table.
+  const auto swaps = static_cast<std::uint64_t>(
+      config_.popularity_churn * static_cast<double>(config_.num_hashtags));
+  for (std::uint64_t s = 0; s < swaps; ++s) {
+    const std::uint64_t a = rng_.below(config_.num_hashtags);
+    const std::uint64_t b = rng_.below(config_.num_hashtags);
+    std::swap(tag_at_rank_[a], tag_at_rank_[b]);
+  }
+  block_homes_.emplace_back();
+  block_homes_.back().resize(config_.new_keys_per_epoch);
+  for (auto& home : block_homes_.back()) {
+    home = static_cast<std::uint32_t>(location_zipf_.sample(rng_));
+  }
+}
+
+Key TwitterLikeGenerator::stable_home(std::uint32_t h) const {
+  LAR_CHECK(h < stable_home_.size());
+  return location_key(stable_home_[h]);
+}
+
+Key TwitterLikeGenerator::transient_home(std::uint32_t h) const {
+  LAR_CHECK(h < transient_home_.size());
+  return location_key(transient_home_[h]);
+}
+
+std::pair<Key, Key> TwitterLikeGenerator::block_key_range(
+    std::uint32_t epoch) const {
+  const std::uint64_t first =
+      config_.num_hashtags +
+      static_cast<std::uint64_t>(epoch) * config_.new_keys_per_epoch;
+  return {hashtag_key(first), hashtag_key(first + config_.new_keys_per_epoch)};
+}
+
+Tuple TwitterLikeGenerator::fresh_tuple(std::uint32_t block,
+                                        std::uint32_t idx) {
+  std::uint32_t loc_rank;
+  if (rng_.chance(config_.fresh_correlation)) {
+    loc_rank = block_homes_[block][idx];
+  } else {
+    loc_rank = static_cast<std::uint32_t>(location_zipf_.sample(rng_));
+  }
+  const std::uint64_t rank =
+      config_.num_hashtags +
+      static_cast<std::uint64_t>(block) * config_.new_keys_per_epoch + idx;
+  return Tuple{.fields = {location_key(loc_rank), hashtag_key(rank)},
+               .padding = config_.padding};
+}
+
+Tuple TwitterLikeGenerator::next() {
+  const double bucket = rng_.uniform();
+  if (bucket < config_.new_key_fraction) {
+    // This epoch's fresh block.
+    const auto idx =
+        static_cast<std::uint32_t>(rng_.below(config_.new_keys_per_epoch));
+    return fresh_tuple(epoch_, idx);
+  }
+  if (bucket < config_.new_key_fraction + config_.recent_fraction &&
+      epoch_ > 0) {
+    // A still-circulating block from the last `recent_window` epochs.
+    const std::uint32_t window =
+        std::min(epoch_, std::max(config_.recent_window, 1u));
+    const auto block =
+        static_cast<std::uint32_t>(epoch_ - 1 - rng_.below(window));
+    const auto idx =
+        static_cast<std::uint32_t>(rng_.below(config_.new_keys_per_epoch));
+    return fresh_tuple(block, idx);
+  }
+
+  // Base vocabulary: Zipf over popularity ranks, then the (drifting)
+  // rank -> hashtag mapping.
+  const auto tag_rank =
+      tag_at_rank_[static_cast<std::uint32_t>(hashtag_zipf_.sample(rng_))];
+  std::uint32_t loc_rank;
+  const double u = rng_.uniform();
+  if (u < config_.stable_correlation) {
+    loc_rank = stable_home_[tag_rank];
+  } else if (u < config_.stable_correlation + config_.transient_correlation) {
+    loc_rank = transient_home_[tag_rank];
+  } else {
+    loc_rank = static_cast<std::uint32_t>(location_zipf_.sample(rng_));
+  }
+  return Tuple{.fields = {location_key(loc_rank), hashtag_key(tag_rank)},
+               .padding = config_.padding};
+}
+
+}  // namespace lar::workload

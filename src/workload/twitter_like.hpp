@@ -1,0 +1,127 @@
+// Twitter-like fluctuating workload (Section 4.3, Figures 10-12).
+//
+// The paper's dataset is a 173M-pair crawl of geo-tagged tweets; we cannot
+// redistribute it, so this generator synthesizes a stream with the
+// statistical properties the evaluation actually exercises:
+//
+//  1. Zipfian marginals for both locations and hashtags (Section 3.2 argues
+//     real streams are Zipfian; this is what makes bounded top-k statistics
+//     sufficient).
+//  2. Location<->hashtag correlation that is part *stable* (a hashtag's home
+//     location never changes) and part *transient*.  Transient homes drift
+//     GRADUALLY: each epoch (== week) re-rolls only a fraction of them
+//     (`transient_churn`), mirroring Figure 10 where a hashtag's dominant
+//     state moves over days but associations persist for a while.  A single
+//     offline configuration therefore decays as cumulative churn grows,
+//     while weekly online reconfiguration keeps tracking — the exact gap
+//     Figure 11a measures.
+//  3. Vocabulary growth: each epoch introduces a block of brand-new hashtags
+//     ("data of the next week contains a significant proportion of new
+//     hashtags", Section 4.3).  New keys carry a significant share of
+//     traffic while fresh (`new_key_fraction`) and stay in circulation for
+//     `recent_window` further epochs (`recent_fraction`), like real trending
+//     tags.  A week-one offline table can never know them; online tables
+//     learn each block one week after it appears.
+//
+// Tuples are (location, hashtag, padding), routed first by location, then by
+// hashtag — the same application as the paper's.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sketch/zipf.hpp"
+#include "workload/workload.hpp"
+
+namespace lar::workload {
+
+struct TwitterLikeConfig {
+  std::uint32_t num_locations = 300;
+  std::uint32_t num_hashtags = 20'000;
+  double zipf_locations = 1.0;   ///< skew of location popularity
+  double zipf_hashtags = 0.9;    ///< skew of hashtag popularity
+
+  /// Fraction of hashtags whose popularity rank is re-shuffled per epoch.
+  /// Trending topics rise and fall: a routing table balanced for one week's
+  /// key frequencies slowly unbalances as the frequencies move underneath
+  /// it — the drift Figure 11b shows for the offline configuration.
+  double popularity_churn = 0.05;
+
+  /// P(location = stable home of the hashtag) for base-vocabulary tags.
+  double stable_correlation = 0.45;
+  /// P(location = current transient home of the hashtag).
+  double transient_correlation = 0.20;
+  /// Fraction of transient homes re-rolled at each epoch boundary.
+  double transient_churn = 0.30;
+
+  /// Fraction of tuples whose hashtag comes from THIS epoch's fresh block.
+  double new_key_fraction = 0.08;
+  /// Fraction of tuples whose hashtag comes from the previous
+  /// `recent_window` epochs' blocks (uniformly among them).
+  double recent_fraction = 0.12;
+  /// How many past epochs' fresh blocks stay in circulation.
+  std::uint32_t recent_window = 3;
+  /// Number of distinct fresh hashtags introduced per epoch.
+  std::uint32_t new_keys_per_epoch = 2'000;
+  /// P(location = birth home) for fresh/recent hashtags: trending tags are
+  /// strongly geo-correlated.
+  double fresh_correlation = 0.8;
+
+  std::uint32_t padding = 64;  ///< tweets are small
+  std::uint64_t seed = 7;
+};
+
+/// Hashtag keys are offset by this constant so they never collide with
+/// location keys (both PO stages share one key space in the optimizer).
+inline constexpr Key kHashtagKeyBase = 1u << 20;
+
+/// Generator of the drifting geo-tagged stream.
+class TwitterLikeGenerator final : public TupleGenerator {
+ public:
+  explicit TwitterLikeGenerator(const TwitterLikeConfig& config);
+
+  /// Next (location, hashtag) tuple of the current epoch.
+  [[nodiscard]] Tuple next() override;
+
+  /// Moves to the next week: churns transient homes and opens a fresh
+  /// hashtag block.
+  void advance_epoch() override;
+
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] const TwitterLikeConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Ground truth for tests: the stable / current transient home of base
+  /// hashtag rank `h` (as a location key).
+  [[nodiscard]] Key stable_home(std::uint32_t h) const;
+  [[nodiscard]] Key transient_home(std::uint32_t h) const;
+
+  /// Key range [first, last) of the fresh block opened at `epoch`.
+  [[nodiscard]] std::pair<Key, Key> block_key_range(std::uint32_t epoch) const;
+
+ private:
+  [[nodiscard]] Key location_key(std::uint32_t rank) const noexcept {
+    return rank;
+  }
+  [[nodiscard]] Key hashtag_key(std::uint64_t rank) const noexcept {
+    return kHashtagKeyBase + rank;
+  }
+
+  /// Draws one tuple whose hashtag is index `idx` of fresh block `block`.
+  [[nodiscard]] Tuple fresh_tuple(std::uint32_t block, std::uint32_t idx);
+
+  TwitterLikeConfig config_;
+  Rng rng_;
+  sketch::ZipfSampler location_zipf_;
+  sketch::ZipfSampler hashtag_zipf_;
+  std::vector<std::uint32_t> stable_home_;     // base hashtag -> location rank
+  std::vector<std::uint32_t> transient_home_;  // churned per epoch
+  std::vector<std::uint32_t> tag_at_rank_;     // popularity rank -> hashtag
+  // block_homes_[e][i] = birth home of fresh key i of epoch e.
+  std::vector<std::vector<std::uint32_t>> block_homes_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace lar::workload

@@ -1,0 +1,25 @@
+// Workload generator interface.
+//
+// All generators are deterministic under a fixed seed and produce tuples of
+// the two-key shape used throughout the paper's evaluation:
+// fields = {first routing key, second routing key}, plus payload padding.
+#pragma once
+
+#include "topology/types.hpp"
+
+namespace lar::workload {
+
+/// Produces an unbounded stream of tuples.
+class TupleGenerator {
+ public:
+  virtual ~TupleGenerator() = default;
+
+  /// Next tuple of the stream.
+  [[nodiscard]] virtual Tuple next() = 0;
+
+  /// Advances generator-internal time (e.g. one "week" for the Twitter-like
+  /// workload).  Default: no temporal structure.
+  virtual void advance_epoch() {}
+};
+
+}  // namespace lar::workload

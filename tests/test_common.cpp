@@ -1,0 +1,244 @@
+// Unit tests for lar::common — hashing, RNG, status, strings, stats.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "common/strings.hpp"
+
+namespace lar {
+namespace {
+
+// --- hashing ----------------------------------------------------------------
+
+TEST(Hash, Fnv1aMatchesReferenceVectors) {
+  // Reference values for 64-bit FNV-1a.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Hash, Fnv1aIsDeterministicAcrossCalls) {
+  EXPECT_EQ(fnv1a64("#java"), fnv1a64(std::string("#java")));
+}
+
+TEST(Hash, Fnv1aDistinguishesNearbyStrings) {
+  EXPECT_NE(fnv1a64("#java"), fnv1a64("#javb"));
+  EXPECT_NE(fnv1a64("ab"), fnv1a64("ba"));
+}
+
+TEST(Hash, Mix64IsInjectiveOnSample) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    EXPECT_TRUE(seen.insert(mix64(i)).second) << "collision at " << i;
+  }
+}
+
+TEST(Hash, Mix64SpreadsSequentialInputs) {
+  // Sequential keys must land on varied buckets — the property routing
+  // depends on.
+  std::array<int, 8> buckets{};
+  for (std::uint64_t i = 0; i < 8000; ++i) ++buckets[mix64(i) % 8];
+  for (const int b : buckets) {
+    EXPECT_GT(b, 800);
+    EXPECT_LT(b, 1200);
+  }
+}
+
+TEST(Hash, HashCombineIsOrderDependent) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Hash, HashPairDistinguishesSwappedKeys) {
+  EXPECT_NE(hash_pair(3, 7), hash_pair(7, 3));
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000003ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::array<int, 10> buckets{};
+  for (int i = 0; i < 100'000; ++i) ++buckets[rng.below(10)];
+  for (const int b : buckets) {
+    EXPECT_GT(b, 9'000);
+    EXPECT_LT(b, 11'000);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 100'000.0, 0.3, 0.01);
+}
+
+// --- status ------------------------------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s(ErrorCode::kNotFound, "key 42");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.message(), "key 42");
+  EXPECT_EQ(s.to_string(), "not_found: key 42");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(r.value_or(9), 7);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status(ErrorCode::kClosed, "gone"));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kClosed);
+  EXPECT_EQ(r.value_or(9), 9);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+// --- strings -----------------------------------------------------------------
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitSingleToken) {
+  const auto parts = split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Strings, SplitEmptyString) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  EXPECT_EQ(join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("solid"), "solid");
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+}
+
+TEST(Strings, FormatBytes) {
+  EXPECT_EQ(format_bytes(12), "12.0 B");
+  EXPECT_EQ(format_bytes(12'000), "12.0 kB");
+  EXPECT_EQ(format_bytes(3'400'000), "3.4 MB");
+}
+
+// --- stats -------------------------------------------------------------------
+
+TEST(RunningStat, BasicAggregates) {
+  RunningStat s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Imbalance, PerfectBalanceIsOne) {
+  const std::vector<std::uint64_t> loads{100, 100, 100, 100};
+  EXPECT_DOUBLE_EQ(imbalance(loads), 1.0);
+}
+
+TEST(Imbalance, SkewDetected) {
+  const std::vector<std::uint64_t> loads{300, 100, 100, 100};
+  EXPECT_DOUBLE_EQ(imbalance(loads), 300.0 / 150.0);
+}
+
+TEST(Imbalance, EmptyAndZeroAreVacuouslyBalanced) {
+  EXPECT_DOUBLE_EQ(imbalance({}), 1.0);
+  const std::vector<std::uint64_t> zeros{0, 0};
+  EXPECT_DOUBLE_EQ(imbalance(zeros), 1.0);
+}
+
+}  // namespace
+}  // namespace lar

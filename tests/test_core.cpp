@@ -1,0 +1,319 @@
+// Tests for the paper's core contribution: pair statistics, bipartite key
+// graph, Manager plans and migration diffs.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "core/bipartite.hpp"
+#include "core/locality.hpp"
+#include "core/manager.hpp"
+#include "core/pair_stats.hpp"
+#include "workload/synthetic.hpp"
+
+namespace lar::core {
+namespace {
+
+// --- PairStats ---------------------------------------------------------------
+
+TEST(PairStats, ExactModeCountsExactly) {
+  PairStats ps(0);  // capacity 0 = exact
+  EXPECT_TRUE(ps.is_exact());
+  ps.record(1, 10);
+  ps.record(1, 10);
+  ps.record(2, 20);
+  EXPECT_EQ(ps.total(), 3u);
+  EXPECT_EQ(ps.size(), 2u);
+  const auto snap = ps.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].in, 1u);
+  EXPECT_EQ(snap[0].out, 10u);
+  EXPECT_EQ(snap[0].count, 2u);
+}
+
+TEST(PairStats, SketchModeBoundsMemory) {
+  PairStats ps(16);
+  EXPECT_FALSE(ps.is_exact());
+  for (std::uint64_t i = 0; i < 10'000; ++i) ps.record(i % 100, i % 77);
+  EXPECT_LE(ps.size(), 16u);
+  EXPECT_EQ(ps.total(), 10'000u);
+}
+
+TEST(PairStats, SnapshotTopNTruncates) {
+  PairStats ps(0);
+  for (std::uint64_t i = 0; i < 10; ++i) ps.record(i, i);
+  EXPECT_EQ(ps.snapshot(3).size(), 3u);
+  EXPECT_EQ(ps.snapshot(0).size(), 10u);
+}
+
+TEST(PairStats, ResetClears) {
+  PairStats ps(8);
+  ps.record(1, 2);
+  ps.reset();
+  EXPECT_EQ(ps.total(), 0u);
+  EXPECT_EQ(ps.size(), 0u);
+}
+
+TEST(PairStats, OrderedPairsAreDistinct) {
+  PairStats ps(0);
+  ps.record(1, 2);
+  ps.record(2, 1);
+  EXPECT_EQ(ps.size(), 2u);
+}
+
+TEST(MergePairCounts, SumsAcrossSnapshots) {
+  std::vector<std::vector<PairCount>> snaps{
+      {{1, 2, 10}, {3, 4, 5}},
+      {{1, 2, 7}},
+  };
+  const auto merged = merge_pair_counts(snaps);
+  std::unordered_map<std::uint64_t, std::uint64_t> by_in;
+  for (const auto& pc : merged) by_in[pc.in] = pc.count;
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_EQ(by_in[1], 17u);
+  EXPECT_EQ(by_in[3], 5u);
+}
+
+// --- BipartiteGraphBuilder -----------------------------------------------------
+
+TEST(Bipartite, BuildsFigure5StyleGraph) {
+  // The paper's Figure 4/5 example: two locations, three hashtags.
+  BipartiteGraphBuilder b;
+  b.add_pairs(1, 2,
+              {{0, 100, 3463},   // (Asia, #java)
+               {0, 101, 3011},   // (Asia, #ruby)
+               {0, 102, 969},    // (Asia, #python)
+               {1, 100, 1201},   // (Oceania, #java)
+               {1, 101, 881},    // (Oceania, #ruby)
+               {1, 102, 3108}}); // (Oceania, #python)
+  const KeyGraph kg = b.build();
+  EXPECT_EQ(kg.graph.num_vertices(), 5u);
+  EXPECT_EQ(kg.graph.num_edges(), 6u);
+  // Vertex weights are the key frequencies (Figure 5).
+  std::unordered_map<Key, std::uint64_t> weight_by_key;
+  for (std::size_t v = 0; v < kg.vertices.size(); ++v) {
+    weight_by_key[kg.vertices[v].key] = kg.graph.vertex_weight(
+        static_cast<partition::VertexId>(v));
+  }
+  EXPECT_EQ(weight_by_key[0], 3463u + 3011u + 969u);   // Asia
+  EXPECT_EQ(weight_by_key[1], 1201u + 881u + 3108u);   // Oceania
+  EXPECT_EQ(weight_by_key[100], 3463u + 1201u);        // #java
+}
+
+TEST(Bipartite, SameKeyDifferentOpsAreDistinctVertices) {
+  BipartiteGraphBuilder b;
+  b.add_pairs(1, 2, {{7, 7, 10}});
+  const KeyGraph kg = b.build();
+  EXPECT_EQ(kg.graph.num_vertices(), 2u);
+  EXPECT_EQ(kg.graph.num_edges(), 1u);
+}
+
+TEST(Bipartite, SharedKeysStitchChainedHops) {
+  // A->B pairs and B->C pairs sharing B-keys give one connected graph.
+  BipartiteGraphBuilder b;
+  b.add_pairs(1, 2, {{1, 10, 5}});
+  b.add_pairs(2, 3, {{10, 20, 6}});
+  const KeyGraph kg = b.build();
+  EXPECT_EQ(kg.graph.num_vertices(), 3u);  // (1,1), (2,10), (3,20)
+  EXPECT_EQ(kg.graph.num_edges(), 2u);
+  // The shared vertex (2,10) accumulates weight from both hops.
+  for (std::size_t v = 0; v < kg.vertices.size(); ++v) {
+    if (kg.vertices[v].op == 2) {
+      EXPECT_EQ(kg.graph.vertex_weight(static_cast<partition::VertexId>(v)),
+                11u);
+    }
+  }
+}
+
+TEST(Bipartite, TopEdgesBudgetKeepsHeaviest) {
+  BipartiteGraphBuilder b;
+  b.set_top_edges(2);
+  b.add_pairs(1, 2, {{1, 10, 100}, {2, 11, 50}, {3, 12, 1}, {4, 13, 2}});
+  const KeyGraph kg = b.build();
+  EXPECT_EQ(kg.graph.num_edges(), 2u);
+  EXPECT_EQ(kg.graph.total_edge_weight(), 150u);
+}
+
+TEST(Bipartite, ZeroCountPairsIgnored) {
+  BipartiteGraphBuilder b;
+  b.add_pairs(1, 2, {{1, 10, 0}});
+  const KeyGraph kg = b.build();
+  EXPECT_EQ(kg.graph.num_vertices(), 0u);
+}
+
+TEST(Bipartite, DuplicatePairObservationsMerge) {
+  BipartiteGraphBuilder b;
+  b.add_pairs(1, 2, {{1, 10, 5}, {1, 10, 7}});
+  const KeyGraph kg = b.build();
+  EXPECT_EQ(kg.graph.num_edges(), 1u);
+  EXPECT_EQ(kg.graph.total_edge_weight(), 12u);
+}
+
+// --- Manager ----------------------------------------------------------------------
+
+/// Stats describing a perfectly block-correlated workload: key i of op A
+/// co-occurs only with key base+i of op B.
+std::vector<HopStats> diagonal_stats(std::uint32_t n, std::uint64_t weight,
+                                     Key b_base) {
+  std::vector<PairCount> pairs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    pairs.push_back(PairCount{i, b_base + i, weight});
+  }
+  return {HopStats{1, 2, pairs}};
+}
+
+TEST(Manager, FindsOptimizableHops) {
+  const Topology topo = make_two_stage_topology(4);
+  const Placement place = Placement::round_robin(topo, 4);
+  Manager mgr(topo, place, {});
+  // Only A->B qualifies: S is stateless so S->A pairs are unobservable.
+  ASSERT_EQ(mgr.optimizable_hops().size(), 1u);
+  EXPECT_EQ(mgr.optimizable_hops()[0].from, 1u);
+  EXPECT_EQ(mgr.optimizable_hops()[0].to, 2u);
+}
+
+TEST(Manager, DiagonalWorkloadGetsPerfectPlan) {
+  const std::uint32_t n = 4;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  Manager mgr(topo, place, {});
+  const auto plan = mgr.compute_plan(diagonal_stats(12, 100, 1000));
+  EXPECT_EQ(plan.version, 1u);
+  EXPECT_DOUBLE_EQ(plan.expected_locality, 1.0);  // nothing must be cut
+  EXPECT_EQ(plan.edge_cut, 0u);
+  EXPECT_LE(plan.imbalance, 1.04);
+  ASSERT_TRUE(plan.tables.contains(1));
+  ASSERT_TRUE(plan.tables.contains(2));
+  // Correlated keys land on the same instance index (parallelism == servers).
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    const auto a = plan.tables.at(1)->lookup(i);
+    const auto b = plan.tables.at(2)->lookup(1000 + i);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(place.server_of(1, *a), place.server_of(2, *b));
+  }
+  EXPECT_EQ(plan.keys_assigned, 24u);
+}
+
+TEST(Manager, EmptyStatsYieldEmptyPlan) {
+  const Topology topo = make_two_stage_topology(2);
+  const Placement place = Placement::round_robin(topo, 2);
+  Manager mgr(topo, place, {});
+  const auto plan = mgr.compute_plan({});
+  EXPECT_TRUE(plan.tables.empty());
+  EXPECT_EQ(plan.keys_assigned, 0u);
+  EXPECT_EQ(plan.total_moves(), 0u);
+}
+
+TEST(Manager, MovesDiffAgainstHashBeforeFirstDeployment) {
+  const std::uint32_t n = 3;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  Manager mgr(topo, place, {});
+  const auto plan = mgr.compute_plan(diagonal_stats(9, 50, 500));
+  ASSERT_TRUE(plan.moves.contains(1));
+  for (const auto& [op, moves] : plan.moves) {
+    const auto& table = plan.tables.at(op);
+    for (const KeyMove& mv : moves) {
+      EXPECT_EQ(mv.from, hash_instance(mv.key, n));          // old = hash
+      EXPECT_EQ(mv.to, table->route(mv.key, n));             // new = table
+      EXPECT_NE(mv.from, mv.to);
+    }
+  }
+}
+
+TEST(Manager, MovesDiffAgainstDeployedTables) {
+  const std::uint32_t n = 2;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  Manager mgr(topo, place, {});
+  const auto plan1 = mgr.compute_plan(diagonal_stats(6, 50, 100));
+  mgr.mark_deployed(plan1);
+  EXPECT_EQ(mgr.current_table(1), plan1.tables.at(1));
+  // Identical statistics: the second plan maps keys identically, so no key
+  // may move (determinism of the partitioner matters here).
+  const auto plan2 = mgr.compute_plan(diagonal_stats(6, 50, 100));
+  EXPECT_EQ(plan2.version, 2u);
+  EXPECT_EQ(plan2.total_moves(), 0u);
+}
+
+TEST(Manager, RespectsTopEdgesBudget) {
+  const std::uint32_t n = 2;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  ManagerOptions opts;
+  opts.top_edges = 3;
+  Manager mgr(topo, place, opts);
+  const auto plan = mgr.compute_plan(diagonal_stats(10, 50, 100));
+  EXPECT_EQ(plan.graph_edges, 3u);
+  mgr.set_top_edges(0);
+  const auto plan2 = mgr.compute_plan(diagonal_stats(10, 50, 100));
+  EXPECT_EQ(plan2.graph_edges, 10u);
+}
+
+TEST(Manager, BalanceConstraintLimitsGreed) {
+  // All B-keys correlate with ONE A-key: locality would want everything on
+  // one server, alpha forbids it.
+  const std::uint32_t n = 4;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  Manager mgr(topo, place, {});
+  std::vector<PairCount> pairs;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    pairs.push_back(PairCount{0, 1000 + i, 10});
+  }
+  const auto plan = mgr.compute_plan({HopStats{1, 2, pairs}});
+  // A star graph cannot be partitioned without cutting: expected locality
+  // must honestly reflect that.
+  EXPECT_LT(plan.expected_locality, 0.5);
+  // The hub key is indivisible, so combined imbalance stays high — but the
+  // per-operator balance repair must spread B's keys over (almost) all
+  // servers instead of piling them next to the hub.
+  std::set<InstanceIndex> b_servers;
+  for (const auto& [key, inst] : plan.tables.at(2)->entries()) {
+    b_servers.insert(inst);
+  }
+  EXPECT_GE(b_servers.size(), 3u);
+}
+
+TEST(Manager, KeysOnServerWithoutInstanceFallBack) {
+  // Operator B has instances only on servers 0 and 1, but 3 servers exist:
+  // keys assigned to server 2 must stay hash-routed, not crash.
+  Topology topo;
+  const auto s = topo.add_operator(
+      {.name = "s", .parallelism = 1, .is_source = true, .cpu_cost_per_tuple = 0.05});
+  const auto a = topo.add_operator({.name = "a", .parallelism = 3, .stateful = true});
+  const auto b = topo.add_operator({.name = "b", .parallelism = 2, .stateful = true});
+  topo.connect(s, a, GroupingType::kFields, 0);
+  topo.connect(a, b, GroupingType::kFields, 1);
+  ASSERT_TRUE(topo.validate().is_ok());
+  const Placement place = Placement::round_robin(topo, 3);  // b on servers 0,1
+  Manager mgr(topo, place, {});
+  std::vector<PairCount> pairs;
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    pairs.push_back(PairCount{i, 1000 + i, 10});
+  }
+  const auto plan = mgr.compute_plan({HopStats{a, b, pairs}});
+  ASSERT_TRUE(plan.tables.contains(b));
+  // Every explicit entry of b's table points at a real instance.
+  for (const auto& [key, inst] : plan.tables.at(b)->entries()) {
+    EXPECT_LT(inst, 2u);
+  }
+}
+
+// --- EdgeTraffic ------------------------------------------------------------------
+
+TEST(EdgeTraffic, LocalityMath) {
+  EdgeTraffic t;
+  EXPECT_EQ(t.locality(), 0.0);
+  t.local = 30;
+  t.remote = 70;
+  EXPECT_DOUBLE_EQ(t.locality(), 0.3);
+  EdgeTraffic u{10, 0};
+  u += t;
+  EXPECT_EQ(u.local, 40u);
+  EXPECT_EQ(u.remote, 70u);
+}
+
+}  // namespace
+}  // namespace lar::core

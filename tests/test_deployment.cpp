@@ -1,0 +1,172 @@
+// Deployment-shape tests: more instances than servers, explicit placements,
+// single-server degenerate deployments, and the logging facility.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "core/manager.hpp"
+#include "runtime/engine.hpp"
+#include "sim/simulator.hpp"
+#include "sketch/exact_counter.hpp"
+#include "workload/synthetic.hpp"
+
+namespace lar {
+namespace {
+
+runtime::OperatorFactory chain_factory() {
+  return [](OperatorId op, InstanceIndex) -> std::unique_ptr<runtime::Operator> {
+    if (op == 0) return std::make_unique<runtime::PassThroughOperator>();
+    return std::make_unique<runtime::CountingOperator>(op - 1);
+  };
+}
+
+// --- parallelism > servers -----------------------------------------------------
+
+TEST(Deployment, MoreInstancesThanServersStillOptimizes) {
+  // 6 instances per PO on 3 servers: two local instances per op per server;
+  // the manager spreads a server's keys among its local instances by hash.
+  const std::uint32_t parallelism = 6;
+  const std::uint32_t servers = 3;
+  const Topology topo = make_two_stage_topology(parallelism);
+  const Placement place = Placement::round_robin(topo, servers);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kRoundRobin;
+  sim::Simulator simulator(topo, place, cfg, FieldsRouting::kTable);
+  core::Manager manager(topo, place, {});
+  workload::SyntheticGenerator gen(
+      {.num_values = 300, .locality = 0.9, .padding = 0, .seed = 41});
+  const auto before = simulator.run_window(gen, 40'000);
+  const auto plan = simulator.reconfigure(manager);
+  EXPECT_GT(plan.keys_assigned, 0u);
+  // Every table target is a valid instance index.
+  for (const auto& [op, table] : plan.tables) {
+    for (const auto& [key, inst] : table->entries()) {
+      EXPECT_LT(inst, parallelism);
+    }
+  }
+  const auto after = simulator.run_window(gen, 40'000);
+  EXPECT_GT(after.edge_locality[1], before.edge_locality[1] + 0.3);
+}
+
+TEST(Deployment, RuntimeExactnessWithWrappedPlacement) {
+  const std::uint32_t parallelism = 4;
+  const std::uint32_t servers = 2;
+  const Topology topo = make_two_stage_topology(parallelism);
+  const Placement place = Placement::round_robin(topo, servers);
+  runtime::Engine engine(topo, place, chain_factory(),
+                         {.fields_mode = FieldsRouting::kTable});
+  engine.start();
+  core::Manager manager(topo, place, {});
+  workload::SyntheticGenerator gen(
+      {.num_values = 80, .locality = 0.7, .padding = 0, .seed = 42});
+  sketch::ExactCounter<Key> truth;
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 8000; ++i) {
+      Tuple t = gen.next();
+      truth.add(t.fields[1]);
+      engine.inject(std::move(t));
+    }
+    engine.flush();
+    engine.reconfigure(manager);
+  }
+  for (const auto& e : truth.entries()) {
+    std::uint64_t sum = 0;
+    for (InstanceIndex i = 0; i < parallelism; ++i) {
+      sum += static_cast<runtime::CountingOperator&>(engine.operator_at(2, i))
+                 .count(e.key);
+    }
+    ASSERT_EQ(sum, e.count);
+  }
+  engine.shutdown();
+}
+
+TEST(Deployment, SingleServerIsDegenerateButCorrect) {
+  // Everything co-located: locality is trivially 1 and reconfiguration must
+  // produce no migrations that break anything.
+  const Topology topo = make_two_stage_topology(3);
+  const Placement place = Placement::round_robin(topo, 1);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kRoundRobin;
+  sim::Simulator simulator(topo, place, cfg, FieldsRouting::kHash);
+  core::Manager manager(topo, place, {});
+  workload::SyntheticGenerator gen(
+      {.num_values = 50, .locality = 0.5, .padding = 0, .seed = 43});
+  const auto report = simulator.run_window(gen, 10'000);
+  EXPECT_DOUBLE_EQ(report.edge_locality[1], 1.0);
+  const auto plan = simulator.reconfigure(manager);
+  // One server: every key maps to some instance there; no cross-server cut.
+  EXPECT_DOUBLE_EQ(plan.expected_locality, 1.0);
+}
+
+TEST(Deployment, ExplicitPlacementDrivesLocality) {
+  // Put B's instances on the OPPOSITE servers of A's: the identity oracle
+  // that is perfect under aligned placement becomes maximally remote.
+  const std::uint32_t n = 2;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement aligned = Placement::round_robin(topo, n);
+  const Placement crossed = Placement::explicit_placement(
+      {{0, 1}, {0, 1}, {1, 0}}, n);  // B's instances swapped
+  workload::SyntheticGenerator gen1(
+      {.num_values = n, .locality = 1.0, .padding = 0, .seed = 44});
+  workload::SyntheticGenerator gen2 = gen1;
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kAlignedField0;
+  sim::Simulator sa(topo, aligned, cfg, FieldsRouting::kIdentity);
+  sim::Simulator sc(topo, crossed, cfg, FieldsRouting::kIdentity);
+  EXPECT_DOUBLE_EQ(sa.run_window(gen1, 5'000).edge_locality[1], 1.0);
+  EXPECT_DOUBLE_EQ(sc.run_window(gen2, 5'000).edge_locality[1], 0.0);
+}
+
+TEST(Deployment, ManagerAdaptsToExplicitPlacement) {
+  // With B's instances swapped across servers, the manager's tables must
+  // compensate: correlated keys still end up co-located.
+  const std::uint32_t n = 2;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement crossed = Placement::explicit_placement(
+      {{0, 1}, {0, 1}, {1, 0}}, n);
+  core::Manager manager(topo, crossed, {});
+  std::vector<core::PairCount> pairs;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    pairs.push_back(core::PairCount{i, 100 + i, 10});
+  }
+  const auto plan = manager.compute_plan({core::HopStats{1, 2, pairs}});
+  EXPECT_DOUBLE_EQ(plan.expected_locality, 1.0);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    const auto a = plan.tables.at(1)->lookup(i);
+    const auto b = plan.tables.at(2)->lookup(100 + i);
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    EXPECT_EQ(crossed.server_of(1, *a), crossed.server_of(2, *b));
+  }
+}
+
+// --- logging ----------------------------------------------------------------------
+
+TEST(Logging, LevelsFilter) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_FALSE(detail::log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(detail::log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(detail::log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kDebug);
+  EXPECT_TRUE(detail::log_enabled(LogLevel::kDebug));
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(detail::log_enabled(LogLevel::kError));
+  set_log_level(before);
+}
+
+TEST(Logging, MacroShortCircuitsWhenDisabled) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "payload";
+  };
+  LAR_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 0);  // stream expression never evaluated
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace lar

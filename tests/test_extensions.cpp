@@ -1,0 +1,475 @@
+// Tests for features beyond the minimal paper pipeline: routing snapshots
+// (fault tolerance), chains longer than two stages, and the multi-field
+// synthetic workload that drives them.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/manager.hpp"
+#include "core/advisor.hpp"
+#include "core/snapshot.hpp"
+#include "runtime/engine.hpp"
+#include "sim/simulator.hpp"
+#include "sketch/exact_counter.hpp"
+#include "workload/synthetic.hpp"
+
+namespace lar {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// --- snapshot persistence -----------------------------------------------------
+
+core::ReconfigurationPlan sample_plan(std::uint32_t n) {
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  core::Manager mgr(topo, place, {});
+  std::vector<core::PairCount> pairs;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    pairs.push_back(core::PairCount{i, 1000 + i, 10 + i});
+  }
+  return mgr.compute_plan({core::HopStats{1, 2, pairs}});
+}
+
+TEST(Snapshot, RoundTripPreservesTables) {
+  const std::string path = temp_path("lar_snapshot_roundtrip.larp");
+  const auto plan = sample_plan(4);
+  ASSERT_TRUE(core::save_plan(plan, path).is_ok());
+
+  auto restored = core::load_plan(path);
+  ASSERT_TRUE(restored.is_ok());
+  const auto& r = restored.value();
+  EXPECT_EQ(r.version, plan.version);
+  EXPECT_EQ(r.keys_assigned, plan.keys_assigned);
+  EXPECT_DOUBLE_EQ(r.expected_locality, plan.expected_locality);
+  ASSERT_EQ(r.tables.size(), plan.tables.size());
+  for (const auto& [op, table] : plan.tables) {
+    ASSERT_TRUE(r.tables.contains(op));
+    const auto& rt = r.tables.at(op);
+    EXPECT_EQ(rt->version(), table->version());
+    EXPECT_EQ(rt->size(), table->size());
+    for (const auto& [key, inst] : table->entries()) {
+      EXPECT_EQ(rt->lookup(key).value(), inst);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, MissingFileIsNotFound) {
+  const auto r = core::load_plan("/nonexistent/dir/x.larp");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(Snapshot, GarbageFileRejected) {
+  const std::string path = temp_path("lar_snapshot_garbage.larp");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fwrite("garbage bytes here", 1, 18, f);
+    std::fclose(f);
+  }
+  const auto r = core::load_plan(path);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, ManagerSavesBeforeDeployAndRestores) {
+  const std::string path = temp_path("lar_snapshot_manager.larp");
+  std::filesystem::remove(path);
+  const std::uint32_t n = 3;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  core::ManagerOptions opts;
+  opts.snapshot_path = path;
+
+  std::vector<core::PairCount> pairs;
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    pairs.push_back(core::PairCount{i, 500 + i, 20});
+  }
+  std::uint64_t first_version = 0;
+  {
+    core::Manager mgr(topo, place, opts);
+    const auto plan = mgr.compute_plan({core::HopStats{1, 2, pairs}});
+    first_version = plan.version;
+    // Snapshot written during compute_plan — BEFORE mark_deployed.
+    EXPECT_TRUE(std::filesystem::exists(path));
+  }
+  // "Restart" the manager; it must recover the deployed configuration and
+  // derive the next plan's migrations against it (=> no moves for identical
+  // statistics).
+  core::Manager restarted(topo, place, opts);
+  const auto restored = restarted.restore_from_snapshot();
+  ASSERT_TRUE(restored.is_ok());
+  EXPECT_EQ(restored.value().version, first_version);
+  const auto next = restarted.compute_plan({core::HopStats{1, 2, pairs}});
+  EXPECT_GT(next.version, first_version);
+  EXPECT_EQ(next.total_moves(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, RestoreWithoutPathFails) {
+  const Topology topo = make_two_stage_topology(2);
+  const Placement place = Placement::round_robin(topo, 2);
+  core::Manager mgr(topo, place, {});
+  const auto r = mgr.restore_from_snapshot();
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+// --- chain topologies -----------------------------------------------------------
+
+TEST(Chain, FactoryBuildsValidChains) {
+  for (const std::uint32_t stages : {1u, 2u, 3u, 5u}) {
+    const Topology t = make_chain_topology(stages, 4);
+    EXPECT_TRUE(t.validate().is_ok());
+    EXPECT_EQ(t.num_operators(), stages + 1);
+    EXPECT_EQ(t.edges().size(), stages);
+    for (std::uint32_t k = 0; k < stages; ++k) {
+      EXPECT_EQ(t.edges()[k].key_field, k);
+      EXPECT_EQ(t.edges()[k].grouping, GroupingType::kFields);
+    }
+  }
+}
+
+TEST(Chain, TwoStageFactoryIsTheTwoStageChain) {
+  const Topology a = make_two_stage_topology(3);
+  const Topology b = make_chain_topology(2, 3);
+  EXPECT_EQ(a.num_operators(), b.num_operators());
+  EXPECT_EQ(a.edges().size(), b.edges().size());
+}
+
+TEST(Chain, MultiFieldSyntheticCorrelatesPerHop) {
+  workload::SyntheticGenerator gen({.num_values = 10, .locality = 0.7,
+                                    .padding = 0, .seed = 3,
+                                    .num_fields = 4});
+  int hop_equal[3] = {0, 0, 0};
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const Tuple t = gen.next();
+    ASSERT_EQ(t.fields.size(), 4u);
+    for (int f = 0; f < 4; ++f) {
+      ASSERT_GE(t.fields[f], static_cast<Key>(f) * 10);
+      ASSERT_LT(t.fields[f], static_cast<Key>(f + 1) * 10);
+    }
+    for (int h = 0; h < 3; ++h) {
+      hop_equal[h] += (t.fields[h + 1] - 10 == t.fields[h]);
+    }
+  }
+  for (int h = 0; h < 3; ++h) {
+    EXPECT_NEAR(hop_equal[h] / static_cast<double>(n), 0.7, 0.02) << h;
+  }
+}
+
+TEST(Chain, ManagerStitchesMultiHopGraphAndOptimizesBothHops) {
+  // Three stateful stages: the optimizer sees hops A->B and B->C, sharing
+  // B's keys; with identity-correlated data, both hops become local.
+  const std::uint32_t n = 4;
+  const Topology topo = make_chain_topology(3, n);
+  const Placement place = Placement::round_robin(topo, n);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kAlignedField0;
+  sim::Simulator simulator(topo, place, cfg, FieldsRouting::kTable);
+  core::Manager manager(topo, place, {});
+  workload::SyntheticGenerator gen({.num_values = n * 40, .locality = 0.9,
+                                    .padding = 0, .seed = 5,
+                                    .num_fields = 3});
+  const auto before = simulator.run_window(gen, 60'000);
+  EXPECT_LT(before.edge_locality[1], 0.4);
+  EXPECT_LT(before.edge_locality[2], 0.4);
+  const auto plan = simulator.reconfigure(manager);
+  EXPECT_GT(plan.expected_locality, 0.75);
+  const auto after = simulator.run_window(gen, 60'000);
+  EXPECT_GT(after.edge_locality[1], 0.8);  // A->B
+  EXPECT_GT(after.edge_locality[2], 0.8);  // B->C
+}
+
+TEST(Chain, RuntimeReconfigurationPreservesStateAcrossThreeStages) {
+  const std::uint32_t n = 3;
+  const Topology topo = make_chain_topology(3, n);
+  const Placement place = Placement::round_robin(topo, n);
+  runtime::Engine engine(
+      topo, place,
+      [](OperatorId op, InstanceIndex) -> std::unique_ptr<runtime::Operator> {
+        if (op == 0) return std::make_unique<runtime::PassThroughOperator>();
+        return std::make_unique<runtime::CountingOperator>(op - 1);
+      },
+      {.fields_mode = FieldsRouting::kTable});
+  engine.start();
+  core::Manager manager(topo, place, {});
+  workload::SyntheticGenerator gen({.num_values = 60, .locality = 0.8,
+                                    .padding = 0, .seed = 7,
+                                    .num_fields = 3});
+  sketch::ExactCounter<Key> truth[3];
+  auto pump = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      Tuple t = gen.next();
+      for (int f = 0; f < 3; ++f) truth[f].add(t.fields[f]);
+      engine.inject(std::move(t));
+    }
+  };
+  pump(15'000);
+  engine.flush();
+  const auto plan = engine.reconfigure(manager);
+  EXPECT_GT(plan.total_moves(), 0u);
+  pump(15'000);
+  engine.flush();
+  // Every stage's per-key counts are exact and keys live on one instance.
+  for (OperatorId op = 1; op <= 3; ++op) {
+    for (const auto& entry : truth[op - 1].entries()) {
+      std::uint64_t sum = 0;
+      int holders = 0;
+      for (InstanceIndex i = 0; i < n; ++i) {
+        const auto c = static_cast<runtime::CountingOperator&>(
+                           engine.operator_at(op, i))
+                           .count(entry.key);
+        sum += c;
+        holders += (c > 0);
+      }
+      ASSERT_EQ(sum, entry.count) << "op " << op << " key " << entry.key;
+      ASSERT_EQ(holders, 1) << "op " << op << " key " << entry.key;
+    }
+  }
+  engine.shutdown();
+}
+
+TEST(Chain, LongChainWaveTerminates) {
+  // Five stateful stages: the PROPAGATE wave must traverse the whole chain
+  // and complete even with several thousand key moves.
+  const std::uint32_t n = 2;
+  const Topology topo = make_chain_topology(5, n);
+  const Placement place = Placement::round_robin(topo, n);
+  runtime::Engine engine(
+      topo, place,
+      [](OperatorId op, InstanceIndex) -> std::unique_ptr<runtime::Operator> {
+        if (op == 0) return std::make_unique<runtime::PassThroughOperator>();
+        return std::make_unique<runtime::CountingOperator>(op - 1);
+      },
+      {.fields_mode = FieldsRouting::kTable});
+  engine.start();
+  core::Manager manager(topo, place, {});
+  workload::SyntheticGenerator gen({.num_values = 40, .locality = 0.9,
+                                    .padding = 0, .seed = 9,
+                                    .num_fields = 5});
+  for (int i = 0; i < 10'000; ++i) engine.inject(gen.next());
+  engine.flush();
+  const auto plan = engine.reconfigure(manager);
+  EXPECT_FALSE(plan.tables.empty());
+  for (int i = 0; i < 5'000; ++i) engine.inject(gen.next());
+  engine.flush();
+  engine.shutdown();
+}
+
+// --- statistics anchors (Figure 3 topologies) -----------------------------------
+
+Topology figure3_topology(std::uint32_t n) {
+  Topology t;
+  const auto s = t.add_operator({.name = "S", .parallelism = n,
+                                 .is_source = true,
+                                 .cpu_cost_per_tuple = 0.05});
+  const auto b = t.add_operator({.name = "B", .parallelism = n, .stateful = true});
+  const auto c = t.add_operator({.name = "C", .parallelism = n});
+  const auto d = t.add_operator({.name = "D", .parallelism = n, .stateful = true});
+  t.connect(s, b, GroupingType::kFields, 0);
+  t.connect(b, c, GroupingType::kLocalOrShuffle);
+  t.connect(c, d, GroupingType::kFields, 1);
+  LAR_CHECK(t.validate().is_ok());
+  return t;
+}
+
+TEST(Anchors, StatelessRelaysInheritTheUpstreamAnchor) {
+  const Topology t = figure3_topology(2);
+  const auto anchors = compute_stats_anchors(t);
+  EXPECT_FALSE(anchors[0].has_value());  // source: nothing upstream
+  EXPECT_EQ(anchors[1].value(), 1u);     // B: fields input, its own anchor
+  EXPECT_EQ(anchors[2].value(), 1u);     // C: inherits B through l-o-s
+  EXPECT_EQ(anchors[3].value(), 3u);     // D: fields input re-anchors
+}
+
+TEST(Anchors, AmbiguousFanInHasNoAnchor) {
+  // Two different stateful operators feed one stateless join via shuffle:
+  // its tuples carry keys of different operators, so it must not record.
+  Topology t;
+  const auto s = t.add_operator({.name = "s", .parallelism = 1, .is_source = true});
+  const auto a = t.add_operator({.name = "a", .parallelism = 2, .stateful = true});
+  const auto b = t.add_operator({.name = "b", .parallelism = 2, .stateful = true});
+  const auto j = t.add_operator({.name = "j", .parallelism = 2});
+  t.connect(s, a, GroupingType::kFields, 0);
+  t.connect(s, b, GroupingType::kFields, 1);
+  t.connect(a, j, GroupingType::kShuffle);
+  t.connect(b, j, GroupingType::kShuffle);
+  ASSERT_TRUE(t.validate().is_ok());
+  const auto anchors = compute_stats_anchors(t);
+  EXPECT_FALSE(anchors[j].has_value());
+  EXPECT_EQ(anchors[a].value(), a);
+  EXPECT_EQ(anchors[b].value(), b);
+}
+
+TEST(Anchors, Figure3HopIsOptimizableAcrossTheStatelessRelay) {
+  // The key property: correlations between B's and D's keys survive the
+  // stateless local-or-shuffle hop, and reconfiguration improves C->D.
+  const std::uint32_t n = 3;
+  const Topology topo = figure3_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  core::Manager manager(topo, place, {});
+  ASSERT_EQ(manager.optimizable_hops().size(), 1u);
+  EXPECT_EQ(manager.optimizable_hops()[0].to, 3u);  // the C->D edge
+
+  runtime::Engine engine(
+      topo, place,
+      [](OperatorId op, InstanceIndex) -> std::unique_ptr<runtime::Operator> {
+        if (op == 1) return std::make_unique<runtime::CountingOperator>(0);
+        if (op == 3) return std::make_unique<runtime::CountingOperator>(1);
+        return std::make_unique<runtime::PassThroughOperator>();
+      },
+      {.fields_mode = FieldsRouting::kTable});
+  engine.start();
+  workload::SyntheticGenerator gen({.num_values = 60, .locality = 0.9,
+                                    .padding = 0, .seed = 13});
+  sketch::ExactCounter<Key> truth_d;
+  auto pump = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      Tuple t = gen.next();
+      truth_d.add(t.fields[1]);
+      engine.inject(std::move(t));
+    }
+  };
+  pump(20'000);
+  engine.flush();
+  const auto before = engine.metrics();
+  const auto plan = engine.reconfigure(manager);
+  ASSERT_TRUE(plan.tables.contains(3));  // D got a routing table
+  ASSERT_TRUE(plan.tables.contains(1));  // ...and so did B (its keys pair)
+  pump(20'000);
+  engine.flush();
+  const auto after = engine.metrics();
+  const double cd_locality =
+      static_cast<double>(after.edges[2].local - before.edges[2].local) /
+      20'000.0;
+  EXPECT_GT(cd_locality, 0.6);
+  // Counts at D stay exact through the migration.
+  for (const auto& e : truth_d.entries()) {
+    std::uint64_t sum = 0;
+    for (InstanceIndex i = 0; i < n; ++i) {
+      sum += static_cast<runtime::CountingOperator&>(engine.operator_at(3, i))
+                 .count(e.key);
+    }
+    ASSERT_EQ(sum, e.count) << "key " << e.key;
+  }
+  engine.shutdown();
+}
+
+}  // namespace
+}  // namespace lar
+
+// --- reconfiguration advisor (future work: impact estimation) -------------------
+
+namespace lar {
+namespace {
+
+core::ReconfigurationPlan plan_with(std::size_t moves, double expected_locality,
+                                    double imbalance) {
+  core::ReconfigurationPlan plan;
+  plan.tables.emplace(1, std::make_shared<RoutingTable>());
+  plan.expected_locality = expected_locality;
+  plan.imbalance = imbalance;
+  std::vector<core::KeyMove> mv(moves);
+  for (std::size_t i = 0; i < moves; ++i) {
+    mv[i] = core::KeyMove{i, 0, 1};
+  }
+  plan.moves.emplace(1, std::move(mv));
+  return plan;
+}
+
+TEST(Advisor, EmptyPlanNeverDeploys) {
+  const core::ReconfigurationPlan plan;
+  const auto v = core::evaluate_plan(plan, 0.2, 1.5);
+  EXPECT_FALSE(v.deploy);
+}
+
+TEST(Advisor, LargeLocalityGainOutweighsMigration) {
+  const auto plan = plan_with(1000, 0.6, 1.03);
+  const auto v = core::evaluate_plan(plan, 0.17, 1.03);
+  EXPECT_TRUE(v.deploy);
+  EXPECT_GT(v.predicted_benefit, v.migration_cost);
+}
+
+TEST(Advisor, EphemeralGainDoesNotJustifyMassMigration) {
+  // Tiny locality gain, huge migration: skip — the Section 6 scenario.
+  const auto plan = plan_with(100'000, 0.20, 1.03);
+  core::AdvisorOptions opts;
+  opts.tuples_per_period = 1e5;  // short period: little amortization
+  const auto v = core::evaluate_plan(plan, 0.19, 1.03, opts);
+  EXPECT_FALSE(v.deploy);
+}
+
+TEST(Advisor, BalanceRepairAloneCanJustifyDeployment) {
+  const auto plan = plan_with(200, 0.17, 1.05);
+  const auto v = core::evaluate_plan(plan, 0.17, 1.8);  // badly imbalanced now
+  EXPECT_TRUE(v.deploy);
+}
+
+TEST(Advisor, HysteresisSuppressesMarginalWins) {
+  const auto plan = plan_with(10, 0.21, 1.03);
+  core::AdvisorOptions opts;
+  opts.tuples_per_period = 1e4;
+  opts.min_net_benefit = 1e5;
+  const auto v = core::evaluate_plan(plan, 0.20, 1.03, opts);
+  EXPECT_FALSE(v.deploy);
+}
+
+TEST(Advisor, LongerPeriodsAmortizeMoreMigration) {
+  const auto plan = plan_with(5'000, 0.5, 1.03);
+  core::AdvisorOptions short_period;
+  short_period.tuples_per_period = 1e4;
+  core::AdvisorOptions long_period;
+  long_period.tuples_per_period = 1e7;
+  EXPECT_FALSE(core::evaluate_plan(plan, 0.2, 1.03, short_period).deploy);
+  EXPECT_TRUE(core::evaluate_plan(plan, 0.2, 1.03, long_period).deploy);
+}
+
+}  // namespace
+}  // namespace lar
+
+// --- advisor-in-the-loop (simulator integration) --------------------------------
+
+namespace lar {
+namespace {
+
+TEST(Advisor, SimulatorDeploysFirstPlanThenSkipsStableWeeks) {
+  const std::uint32_t n = 4;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kRoundRobin;
+  sim::Simulator simulator(topo, place, cfg, FieldsRouting::kTable);
+  core::Manager manager(topo, place, {});
+  // Stable workload, fixed seed: after the first deployment nothing changes,
+  // so later candidates move almost nothing and gain almost nothing.
+  workload::SyntheticGenerator gen({.num_values = 200, .locality = 0.9,
+                                    .padding = 0, .seed = 55});
+  core::AdvisorOptions opts;
+  opts.tuples_per_period = 50'000;
+  opts.cost_per_move = 20.0;
+
+  auto report = simulator.run_window(gen, 50'000);
+  const auto first = simulator.reconfigure_if_beneficial(
+      manager, report.edge_locality[1], report.op_load_balance[2], opts);
+  EXPECT_TRUE(first.verdict.deploy);  // 1/n -> ~0.9 locality: obvious win
+
+  int later_deploys = 0;
+  for (int week = 0; week < 3; ++week) {
+    report = simulator.run_window(gen, 50'000);
+    const auto again = simulator.reconfigure_if_beneficial(
+        manager, report.edge_locality[1], report.op_load_balance[2], opts);
+    later_deploys += again.verdict.deploy;
+  }
+  EXPECT_EQ(later_deploys, 0);  // stable stream: no reconfiguration churn
+  // Routing tables stayed deployed: locality remains high.
+  EXPECT_GT(report.edge_locality[1], 0.85);
+}
+
+}  // namespace
+}  // namespace lar

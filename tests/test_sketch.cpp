@@ -1,0 +1,223 @@
+// Unit and property tests for lar::sketch — SpaceSaving, ExactCounter, Zipf.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/rng.hpp"
+#include "sketch/exact_counter.hpp"
+#include "sketch/space_saving.hpp"
+#include "sketch/zipf.hpp"
+
+namespace lar::sketch {
+namespace {
+
+using IntSketch = SpaceSaving<std::uint64_t>;
+
+// --- SpaceSaving: exact regime ----------------------------------------------
+
+TEST(SpaceSaving, ExactWhileUnderCapacity) {
+  IntSketch s(10);
+  for (int i = 0; i < 5; ++i) {
+    for (int rep = 0; rep <= i; ++rep) s.add(static_cast<std::uint64_t>(i));
+  }
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto e = s.estimate(i);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->count, i + 1);
+    EXPECT_EQ(e->error, 0u);
+  }
+  EXPECT_EQ(s.total(), 1u + 2 + 3 + 4 + 5);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(SpaceSaving, TopOrderIsDescending) {
+  IntSketch s(10);
+  s.add(1, 5);
+  s.add(2, 9);
+  s.add(3, 1);
+  const auto top = s.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 2u);
+  EXPECT_EQ(top[1].key, 1u);
+}
+
+TEST(SpaceSaving, WeightedAdd) {
+  IntSketch s(4);
+  s.add(7, 1000);
+  EXPECT_EQ(s.estimate(7)->count, 1000u);
+  EXPECT_EQ(s.total(), 1000u);
+}
+
+TEST(SpaceSaving, ClearResetsEverything) {
+  IntSketch s(4);
+  s.add(1);
+  s.add(2);
+  s.clear();
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.total(), 0u);
+  EXPECT_FALSE(s.estimate(1).has_value());
+  s.add(3);  // usable after clear
+  EXPECT_EQ(s.estimate(3)->count, 1u);
+}
+
+// --- SpaceSaving: eviction regime --------------------------------------------
+
+TEST(SpaceSaving, EvictionInheritsMinCount) {
+  IntSketch s(2);
+  s.add(1, 10);
+  s.add(2, 3);
+  s.add(99);  // evicts key 2 (count 3); new count = 3 + 1, error = 3
+  const auto e = s.estimate(99);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->count, 4u);
+  EXPECT_EQ(e->error, 3u);
+  EXPECT_FALSE(s.estimate(2).has_value());
+  EXPECT_TRUE(s.estimate(1).has_value());
+}
+
+TEST(SpaceSaving, SizeNeverExceedsCapacity) {
+  IntSketch s(16);
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) s.add(rng.below(1000));
+  EXPECT_LE(s.size(), 16u);
+  EXPECT_EQ(s.total(), 10'000u);
+}
+
+TEST(SpaceSaving, MinCountZeroUntilFull) {
+  IntSketch s(3);
+  s.add(1, 5);
+  EXPECT_EQ(s.min_count(), 0u);
+  s.add(2, 2);
+  s.add(3, 9);
+  EXPECT_EQ(s.min_count(), 2u);
+}
+
+// Property: the count overestimates truth by at most the entry's error, and
+// the error is bounded by total/capacity (classic SpaceSaving guarantee).
+class SpaceSavingProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpaceSavingProperty, OverestimationBoundedOnZipfStream) {
+  const std::size_t capacity = GetParam();
+  IntSketch sketch(capacity);
+  ExactCounter<std::uint64_t> truth;
+  ZipfSampler zipf(5000, 1.1);
+  Rng rng(41);
+  const std::uint64_t n = 200'000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t key = zipf.sample(rng);
+    sketch.add(key);
+    truth.add(key);
+  }
+  for (const auto& entry : sketch.entries()) {
+    const std::uint64_t exact = truth.count(entry.key);
+    EXPECT_GE(entry.count, exact);                  // never underestimates
+    EXPECT_LE(entry.count - exact, entry.error);    // error bound is honest
+    EXPECT_LE(entry.error, n / capacity);           // ICDT'05 Theorem
+  }
+}
+
+TEST_P(SpaceSavingProperty, HeavyHittersGuaranteedPresent) {
+  const std::size_t capacity = GetParam();
+  IntSketch sketch(capacity);
+  ExactCounter<std::uint64_t> truth;
+  ZipfSampler zipf(5000, 1.1);
+  Rng rng(43);
+  const std::uint64_t n = 200'000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t key = zipf.sample(rng);
+    sketch.add(key);
+    truth.add(key);
+  }
+  // Any key with true frequency > N/m must be monitored.
+  for (const auto& entry : truth.entries()) {
+    if (entry.count > n / capacity) {
+      EXPECT_TRUE(sketch.estimate(entry.key).has_value())
+          << "heavy key " << entry.key << " (count " << entry.count
+          << ") missing at capacity " << capacity;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SpaceSavingProperty,
+                         ::testing::Values(8, 64, 256, 1024, 4096));
+
+TEST(SpaceSaving, WorksWithStringKeys) {
+  SpaceSaving<std::string> s(4);
+  s.add("asia");
+  s.add("asia");
+  s.add("europe");
+  EXPECT_EQ(s.estimate("asia")->count, 2u);
+  EXPECT_EQ(s.estimate("europe")->count, 1u);
+}
+
+// --- ExactCounter ------------------------------------------------------------
+
+TEST(ExactCounter, CountsExactly) {
+  ExactCounter<int> c;
+  c.add(1, 3);
+  c.add(2);
+  c.add(1);
+  EXPECT_EQ(c.count(1), 4u);
+  EXPECT_EQ(c.count(2), 1u);
+  EXPECT_EQ(c.count(99), 0u);
+  EXPECT_EQ(c.total(), 5u);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(ExactCounter, EntriesSortedAndErrorFree) {
+  ExactCounter<int> c;
+  c.add(1, 5);
+  c.add(2, 10);
+  const auto entries = c.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].key, 2);
+  EXPECT_EQ(entries[0].error, 0u);
+  EXPECT_EQ(c.top(1).size(), 1u);
+}
+
+// --- Zipf ---------------------------------------------------------------------
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfSampler z(100, 1.0);
+  double sum = 0;
+  for (std::size_t i = 0; i < z.size(); ++i) sum += z.pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, PmfIsMonotoneDecreasing) {
+  ZipfSampler z(50, 1.2);
+  for (std::size_t i = 1; i < z.size(); ++i) {
+    EXPECT_GE(z.pmf(i - 1), z.pmf(i));
+  }
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  ZipfSampler z(10, 0.0);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(z.pmf(i), 0.1, 1e-9);
+}
+
+TEST(Zipf, SampleMatchesPmf) {
+  ZipfSampler z(20, 1.0);
+  Rng rng(5);
+  std::map<std::size_t, int> counts;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), z.pmf(i), 0.01);
+  }
+}
+
+TEST(Zipf, SingleItemAlwaysRankZero) {
+  ZipfSampler z(1, 1.0);
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(Zipf, PmfOutOfRangeIsZero) {
+  ZipfSampler z(5, 1.0);
+  EXPECT_EQ(z.pmf(5), 0.0);
+}
+
+}  // namespace
+}  // namespace lar::sketch

@@ -1,0 +1,359 @@
+// Unit tests for the application model: topology, placement, routing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "topology/key_dict.hpp"
+#include "topology/placement.hpp"
+#include "topology/routing.hpp"
+#include "topology/topology.hpp"
+
+namespace lar {
+namespace {
+
+Topology chain3(std::uint32_t parallelism) {
+  return make_two_stage_topology(parallelism);
+}
+
+// --- Tuple ---------------------------------------------------------------------
+
+TEST(Tuple, SerializedSizeFormula) {
+  Tuple t{.fields = {1, 2}, .padding = 100};
+  EXPECT_EQ(t.serialized_size(), 16u + 16u + 100u);
+  Tuple empty;
+  EXPECT_EQ(empty.serialized_size(), 16u);
+}
+
+// --- KeyDict --------------------------------------------------------------------
+
+TEST(KeyDict, InternIsIdempotent) {
+  KeyDict d;
+  const Key a = d.intern("#java");
+  const Key b = d.intern("#java");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(KeyDict, DistinctStringsDistinctKeys) {
+  KeyDict d;
+  EXPECT_NE(d.intern("asia"), d.intern("europe"));
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(KeyDict, RoundTrip) {
+  KeyDict d;
+  const Key k = d.intern("oceania");
+  EXPECT_EQ(d.name(k), "oceania");
+}
+
+TEST(KeyDict, FindWithoutInterning) {
+  KeyDict d;
+  d.intern("x");
+  EXPECT_TRUE(d.find("x").has_value());
+  EXPECT_FALSE(d.find("y").has_value());
+}
+
+// --- Topology --------------------------------------------------------------------
+
+TEST(Topology, TwoStageFactoryIsValid) {
+  const Topology t = chain3(4);
+  EXPECT_TRUE(t.validate().is_ok());
+  EXPECT_EQ(t.num_operators(), 3u);
+  EXPECT_EQ(t.edges().size(), 2u);
+  EXPECT_EQ(t.op(0).parallelism, 4u);  // replicated source
+  EXPECT_TRUE(t.op(0).is_source);
+  EXPECT_TRUE(t.op(1).stateful);
+  EXPECT_EQ(t.edges()[0].key_field, 0u);
+  EXPECT_EQ(t.edges()[1].key_field, 1u);
+}
+
+TEST(Topology, ValidateRejectsNoSource) {
+  Topology t;
+  const auto a = t.add_operator({.name = "a", .parallelism = 1});
+  const auto b = t.add_operator({.name = "b", .parallelism = 1});
+  t.connect(a, b, GroupingType::kShuffle);
+  const Status s = t.validate();
+  EXPECT_FALSE(s.is_ok());
+}
+
+TEST(Topology, ValidateRejectsUnreachableOperator) {
+  Topology t;
+  t.add_operator({.name = "s", .parallelism = 1, .is_source = true});
+  t.add_operator({.name = "orphan", .parallelism = 1});
+  EXPECT_FALSE(t.validate().is_ok());
+}
+
+TEST(Topology, ValidateRejectsStatefulWithShuffleInput) {
+  Topology t;
+  const auto s = t.add_operator({.name = "s", .parallelism = 1, .is_source = true});
+  const auto a =
+      t.add_operator({.name = "a", .parallelism = 2, .stateful = true});
+  t.connect(s, a, GroupingType::kShuffle);
+  EXPECT_FALSE(t.validate().is_ok());
+}
+
+TEST(Topology, ValidateRejectsSourceWithInput) {
+  Topology t;
+  const auto s1 = t.add_operator({.name = "s1", .parallelism = 1, .is_source = true});
+  const auto s2 = t.add_operator({.name = "s2", .parallelism = 1, .is_source = true});
+  t.connect(s1, s2, GroupingType::kShuffle);
+  EXPECT_FALSE(t.validate().is_ok());
+}
+
+TEST(Topology, TopologicalOrderRespectsEdges) {
+  Topology t;
+  const auto s = t.add_operator({.name = "s", .parallelism = 1, .is_source = true});
+  const auto a = t.add_operator({.name = "a", .parallelism = 1});
+  const auto b = t.add_operator({.name = "b", .parallelism = 1});
+  const auto c = t.add_operator({.name = "c", .parallelism = 1});
+  t.connect(s, a, GroupingType::kShuffle);
+  t.connect(s, b, GroupingType::kShuffle);
+  t.connect(a, c, GroupingType::kShuffle);
+  t.connect(b, c, GroupingType::kShuffle);
+  const auto order = t.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](OperatorId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(s), pos(a));
+  EXPECT_LT(pos(a), pos(c));
+  EXPECT_LT(pos(b), pos(c));
+}
+
+TEST(Topology, DagFanOutValidates) {
+  // A diamond: source -> {a, b} -> join; the model is not chain-limited.
+  Topology t;
+  const auto s = t.add_operator({.name = "s", .parallelism = 1, .is_source = true});
+  const auto a = t.add_operator({.name = "a", .parallelism = 2});
+  const auto b = t.add_operator({.name = "b", .parallelism = 2});
+  const auto j =
+      t.add_operator({.name = "join", .parallelism = 2, .stateful = true});
+  t.connect(s, a, GroupingType::kShuffle);
+  t.connect(s, b, GroupingType::kShuffle);
+  t.connect(a, j, GroupingType::kFields, 0);
+  t.connect(b, j, GroupingType::kFields, 0);
+  EXPECT_TRUE(t.validate().is_ok());
+  EXPECT_EQ(t.in_edges(j).size(), 2u);
+}
+
+// --- Placement -------------------------------------------------------------------
+
+TEST(Placement, RoundRobinMatchesPaperLayout) {
+  const Topology t = chain3(4);
+  const Placement p = Placement::round_robin(t, 4);
+  for (OperatorId op = 0; op < 3; ++op) {
+    for (InstanceIndex i = 0; i < 4; ++i) {
+      EXPECT_EQ(p.server_of(op, i), i);
+    }
+  }
+  EXPECT_EQ(p.num_servers(), 4u);
+  EXPECT_EQ(p.parallelism_of(1), 4u);
+}
+
+TEST(Placement, RoundRobinWrapsWhenMoreInstancesThanServers) {
+  const Topology t = chain3(6);
+  const Placement p = Placement::round_robin(t, 3);
+  EXPECT_EQ(p.server_of(1, 0), 0u);
+  EXPECT_EQ(p.server_of(1, 3), 0u);
+  EXPECT_EQ(p.server_of(1, 5), 2u);
+  const auto& locals = p.local_instances(1, 0);
+  EXPECT_EQ(locals, (std::vector<InstanceIndex>{0, 3}));
+}
+
+TEST(Placement, ExplicitPlacement) {
+  const Topology t = chain3(2);
+  Placement p = Placement::explicit_placement(
+      {{1, 1}, {0, 1}, {1, 0}}, /*num_servers=*/2);
+  EXPECT_EQ(p.server_of(0, 0), 1u);
+  EXPECT_EQ(p.server_of(2, 1), 0u);
+  EXPECT_TRUE(p.local_instances(1, 0) == std::vector<InstanceIndex>{0});
+  EXPECT_TRUE(p.local_instances(2, 1) == std::vector<InstanceIndex>{0});
+}
+
+TEST(Placement, InstanceIdOverload) {
+  const Topology t = chain3(3);
+  const Placement p = Placement::round_robin(t, 3);
+  EXPECT_EQ(p.server_of(InstanceId{1, 2}), 2u);
+}
+
+// --- Routers ----------------------------------------------------------------------
+
+TEST(Routing, HashInstanceIsDeterministicAndInRange) {
+  for (Key k = 0; k < 1000; ++k) {
+    const InstanceIndex i = hash_instance(k, 7);
+    EXPECT_LT(i, 7u);
+    EXPECT_EQ(i, hash_instance(k, 7));
+  }
+}
+
+TEST(Routing, ShuffleCoversAllInstancesEvenly) {
+  ShuffleRouter r(4, /*seed=*/9);
+  std::array<int, 4> hits{};
+  Tuple t{.fields = {0}, .padding = 0};
+  for (int i = 0; i < 400; ++i) ++hits[r.route(t)];
+  for (const int h : hits) EXPECT_EQ(h, 100);
+}
+
+TEST(Routing, LocalOrShufflePrefersLocals) {
+  LocalOrShuffleRouter r({1, 3}, 4, /*seed=*/5);
+  Tuple t{.fields = {0}, .padding = 0};
+  for (int i = 0; i < 100; ++i) {
+    const InstanceIndex d = r.route(t);
+    EXPECT_TRUE(d == 1 || d == 3);
+  }
+}
+
+TEST(Routing, LocalOrShuffleFallsBackWithoutLocals) {
+  LocalOrShuffleRouter r({}, 3, /*seed=*/5);
+  Tuple t{.fields = {0}, .padding = 0};
+  std::set<InstanceIndex> seen;
+  for (int i = 0; i < 30; ++i) seen.insert(r.route(t));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Routing, FieldsRoutersUseDeclaredField) {
+  HashFieldsRouter h(1, 5);
+  Tuple t{.fields = {42, 77}, .padding = 0};
+  EXPECT_EQ(h.route(t), hash_instance(77, 5));
+  IdentityFieldsRouter id(1, 5, 0);
+  EXPECT_EQ(id.route(t), 77u % 5u);
+  IdentityFieldsRouter off(1, 5, 2);
+  EXPECT_EQ(off.route(t), (77u + 2u) % 5u);
+}
+
+TEST(Routing, PermutationIsBijectiveAndStable) {
+  PermutationFieldsRouter r(0, 6, /*seed=*/3);
+  std::set<InstanceIndex> image;
+  for (Key k = 0; k < 6; ++k) {
+    Tuple t{.fields = {k}, .padding = 0};
+    const InstanceIndex d = r.route(t);
+    EXPECT_LT(d, 6u);
+    image.insert(d);
+    EXPECT_EQ(d, r.route(t));
+  }
+  EXPECT_EQ(image.size(), 6u);
+}
+
+TEST(Routing, TableRoutesExplicitKeysAndFallsBackToHash) {
+  auto table = std::make_shared<RoutingTable>();
+  table->assign(10, 3);
+  TableFieldsRouter r(0, 5, table);
+  Tuple hit{.fields = {10}, .padding = 0};
+  EXPECT_EQ(r.route(hit), 3u);
+  Tuple miss{.fields = {11}, .padding = 0};
+  EXPECT_EQ(r.route(miss), hash_instance(11, 5));
+}
+
+TEST(Routing, TableHotSwap) {
+  auto t1 = std::make_shared<RoutingTable>();
+  t1->assign(1, 0);
+  TableFieldsRouter r(0, 4, t1);
+  Tuple t{.fields = {1}, .padding = 0};
+  EXPECT_EQ(r.route(t), 0u);
+  auto t2 = std::make_shared<RoutingTable>();
+  t2->assign(1, 2);
+  r.set_table(t2);
+  EXPECT_EQ(r.route(t), 2u);
+}
+
+TEST(RoutingTable, VersionAndLookup) {
+  RoutingTable t;
+  EXPECT_EQ(t.version(), 0u);
+  t.set_version(7);
+  EXPECT_EQ(t.version(), 7u);
+  EXPECT_FALSE(t.lookup(5).has_value());
+  t.assign(5, 2);
+  EXPECT_EQ(t.lookup(5).value(), 2u);
+  t.assign(5, 3);  // overwrite
+  EXPECT_EQ(t.lookup(5).value(), 3u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Routing, MakeRouterSelectsImplementations) {
+  const Topology topo = chain3(4);
+  const Placement place = Placement::round_robin(topo, 4);
+  const EdgeSpec& fields_edge = topo.edges()[1];
+  Tuple t{.fields = {2, 4 + 3}, .padding = 0};  // field1 key space offset 4
+
+  auto id = make_router(fields_edge, 1, topo, place, 0,
+                        FieldsRouting::kIdentity, nullptr, 1);
+  EXPECT_EQ(id->route(t), 3u);
+
+  auto worst = make_router(fields_edge, 1, topo, place, 0,
+                           FieldsRouting::kWorstCase, nullptr, 1);
+  EXPECT_EQ(worst->route(t), (3u + 2u) % 4u);  // offset = edge_index + 1
+
+  auto hash = make_router(fields_edge, 1, topo, place, 0, FieldsRouting::kHash,
+                          nullptr, 1);
+  EXPECT_EQ(hash->route(t), hash_instance(7, 4));
+
+  auto table = make_router(fields_edge, 1, topo, place, 0,
+                           FieldsRouting::kTable, nullptr, 1);
+  EXPECT_EQ(table->route(t), hash_instance(7, 4));  // empty table == hash
+}
+
+TEST(Routing, WorstCaseDisagreesAcrossConsecutiveEdges) {
+  // The defining property: a key pair aligned under identity routing is
+  // never co-located under worst-case routing.
+  const Topology topo = chain3(4);
+  const Placement place = Placement::round_robin(topo, 4);
+  auto w0 = make_router(topo.edges()[0], 0, topo, place, 0,
+                        FieldsRouting::kWorstCase, nullptr, 1);
+  auto w1 = make_router(topo.edges()[1], 1, topo, place, 0,
+                        FieldsRouting::kWorstCase, nullptr, 1);
+  for (Key k = 0; k < 16; ++k) {
+    Tuple t{.fields = {k, 4 + k}, .padding = 0};  // correlated pair
+    EXPECT_NE(w0->route(t), w1->route(t));
+  }
+}
+
+}  // namespace
+}  // namespace lar
+
+namespace lar {
+namespace {
+
+TEST(Routing, PartialKeyUsesOnlyTheTwoCandidates) {
+  PartialKeyRouter r(0, 6);
+  for (Key k = 0; k < 50; ++k) {
+    const auto [h1, h2] = r.candidates(k);
+    for (int i = 0; i < 20; ++i) {
+      Tuple t{.fields = {k}, .padding = 0};
+      const InstanceIndex d = r.route(t);
+      EXPECT_TRUE(d == h1 || d == h2) << "key " << k;
+    }
+  }
+}
+
+TEST(Routing, PartialKeyBalancesSkewBetterThanHash) {
+  // One key carries 60% of the traffic: hash piles it onto one instance;
+  // PKG splits it across its two candidates.
+  constexpr std::uint32_t kFanout = 4;
+  PartialKeyRouter pkg(0, kFanout);
+  HashFieldsRouter hash(0, kFanout);
+  std::vector<std::uint64_t> pkg_load(kFanout, 0);
+  std::vector<std::uint64_t> hash_load(kFanout, 0);
+  Rng rng(71);
+  for (int i = 0; i < 40'000; ++i) {
+    const Key key = rng.chance(0.6) ? 7 : 100 + rng.below(1000);
+    Tuple t{.fields = {key}, .padding = 0};
+    ++pkg_load[pkg.route(t)];
+    ++hash_load[hash.route(t)];
+  }
+  EXPECT_LT(imbalance(pkg_load), imbalance(hash_load));
+  EXPECT_LT(imbalance(pkg_load), 1.5);
+}
+
+TEST(Routing, MakeRouterBuildsPartialKey) {
+  const Topology topo = make_two_stage_topology(4);
+  const Placement place = Placement::round_robin(topo, 4);
+  auto r = make_router(topo.edges()[1], 1, topo, place, 0,
+                       FieldsRouting::kPartialKey, nullptr, 1);
+  Tuple t{.fields = {1, 9}, .padding = 0};
+  EXPECT_LT(r->route(t), 4u);
+}
+
+}  // namespace
+}  // namespace lar

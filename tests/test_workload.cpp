@@ -1,0 +1,295 @@
+// Unit and statistical tests for the workload generators and trace I/O.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <unordered_map>
+
+#include "workload/flickr_like.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/trace.hpp"
+#include "workload/twitter_like.hpp"
+
+namespace lar::workload {
+namespace {
+
+// --- synthetic --------------------------------------------------------------
+
+TEST(Synthetic, FieldsStayInTheirKeySpaces) {
+  SyntheticGenerator gen({.num_values = 8, .locality = 0.5, .padding = 3,
+                          .seed = 1});
+  for (int i = 0; i < 1000; ++i) {
+    const Tuple t = gen.next();
+    ASSERT_EQ(t.fields.size(), 2u);
+    EXPECT_LT(t.fields[0], 8u);
+    EXPECT_GE(t.fields[1], 8u);
+    EXPECT_LT(t.fields[1], 16u);
+    EXPECT_EQ(t.padding, 3u);
+  }
+}
+
+class SyntheticLocality : public ::testing::TestWithParam<double> {};
+
+TEST_P(SyntheticLocality, EmpiricalLocalityMatchesParameter) {
+  const double locality = GetParam();
+  SyntheticGenerator gen(
+      {.num_values = 12, .locality = locality, .padding = 0, .seed = 9});
+  int equal = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const Tuple t = gen.next();
+    equal += (t.fields[1] - 12 == t.fields[0]);
+  }
+  EXPECT_NEAR(equal / static_cast<double>(n), locality, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SyntheticLocality,
+                         ::testing::Values(0.0, 0.3, 0.6, 0.8, 0.95, 1.0));
+
+TEST(Synthetic, DeterministicUnderSeed) {
+  SyntheticGenerator a({.num_values = 4, .locality = 0.5, .padding = 0, .seed = 7});
+  SyntheticGenerator b({.num_values = 4, .locality = 0.5, .padding = 0, .seed = 7});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next().fields, b.next().fields);
+  }
+}
+
+TEST(Synthetic, SingleValueAlwaysCorrelated) {
+  SyntheticGenerator gen({.num_values = 1, .locality = 0.0, .padding = 0, .seed = 2});
+  for (int i = 0; i < 50; ++i) {
+    const Tuple t = gen.next();
+    EXPECT_EQ(t.fields[0], 0u);
+    EXPECT_EQ(t.fields[1], 1u);  // 1 * num_values + 0
+  }
+}
+
+TEST(Synthetic, FirstFieldUniform) {
+  SyntheticGenerator gen({.num_values = 5, .locality = 0.7, .padding = 0, .seed = 3});
+  std::array<int, 5> hits{};
+  for (int i = 0; i < 50'000; ++i) ++hits[gen.next().fields[0]];
+  for (const int h : hits) EXPECT_NEAR(h, 10'000, 600);
+}
+
+// --- twitter-like -----------------------------------------------------------
+
+TwitterLikeConfig small_twitter() {
+  TwitterLikeConfig cfg;
+  cfg.num_locations = 50;
+  cfg.num_hashtags = 500;
+  cfg.new_keys_per_epoch = 100;
+  cfg.seed = 4;
+  return cfg;
+}
+
+TEST(TwitterLike, TupleShapeAndKeySpaces) {
+  TwitterLikeGenerator gen(small_twitter());
+  for (int i = 0; i < 1000; ++i) {
+    const Tuple t = gen.next();
+    ASSERT_EQ(t.fields.size(), 2u);
+    EXPECT_LT(t.fields[0], 50u);               // location
+    EXPECT_GE(t.fields[1], kHashtagKeyBase);   // hashtag
+  }
+}
+
+TEST(TwitterLike, StableHomesSurviveEpochs) {
+  TwitterLikeGenerator gen(small_twitter());
+  std::vector<Key> before;
+  for (std::uint32_t h = 0; h < 20; ++h) before.push_back(gen.stable_home(h));
+  gen.advance_epoch();
+  gen.advance_epoch();
+  for (std::uint32_t h = 0; h < 20; ++h) {
+    EXPECT_EQ(gen.stable_home(h), before[h]);
+  }
+}
+
+TEST(TwitterLike, TransientHomesChurnGradually) {
+  TwitterLikeConfig cfg = small_twitter();
+  cfg.transient_churn = 0.4;
+  TwitterLikeGenerator gen(cfg);
+  std::vector<Key> before;
+  for (std::uint32_t h = 0; h < 500; ++h) before.push_back(gen.transient_home(h));
+  gen.advance_epoch();
+  int changed = 0;
+  for (std::uint32_t h = 0; h < 500; ++h) {
+    changed += (gen.transient_home(h) != before[h]);
+  }
+  // ~40% re-rolled (minus Zipf re-draw collisions), the rest persists —
+  // gradual drift is what makes online reconfiguration worthwhile.
+  EXPECT_GT(changed, 100);
+  EXPECT_LT(changed, 300);
+}
+
+TEST(TwitterLike, CorrelationIsMeasurable) {
+  TwitterLikeConfig cfg = small_twitter();
+  cfg.new_key_fraction = 0.0;
+  TwitterLikeGenerator gen(cfg);
+  int at_home = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const Tuple t = gen.next();
+    const auto tag = static_cast<std::uint32_t>(t.fields[1] - kHashtagKeyBase);
+    at_home += (t.fields[0] == gen.stable_home(tag) ||
+                t.fields[0] == gen.transient_home(tag));
+  }
+  // At least the explicitly correlated fraction, plus Zipf coincidences.
+  const double expected =
+      cfg.stable_correlation + cfg.transient_correlation;
+  EXPECT_GT(at_home / static_cast<double>(n), expected);
+}
+
+TEST(TwitterLike, FreshBlocksAreDisjointAcrossEpochs) {
+  TwitterLikeGenerator gen(small_twitter());
+  const auto [b0_first, b0_last] = gen.block_key_range(0);
+  const auto [b1_first, b1_last] = gen.block_key_range(1);
+  EXPECT_EQ(b0_last, b1_first);
+  EXPECT_LT(b0_first, b0_last);
+}
+
+TEST(TwitterLike, FreshKeysPersistIntoRecentPool) {
+  // A hashtag born in week 0 must still circulate in week 1 — that is what
+  // lets online reconfiguration (but never a week-0 offline table) route it.
+  TwitterLikeConfig cfg = small_twitter();
+  cfg.new_key_fraction = 0.3;
+  cfg.recent_fraction = 0.3;
+  TwitterLikeGenerator gen(cfg);
+  const auto [b0_first, b0_last] = gen.block_key_range(0);
+  gen.advance_epoch();
+  int block0_draws = 0;
+  int block1_draws = 0;
+  const auto [b1_first, b1_last] = gen.block_key_range(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const Key tag = gen.next().fields[1];
+    block0_draws += (tag >= b0_first && tag < b0_last);
+    block1_draws += (tag >= b1_first && tag < b1_last);
+  }
+  EXPECT_NEAR(block0_draws / 10'000.0, 0.3, 0.03);  // recent pool
+  EXPECT_NEAR(block1_draws / 10'000.0, 0.3, 0.03);  // current fresh block
+}
+
+TEST(TwitterLike, DeterministicUnderSeed) {
+  TwitterLikeGenerator a(small_twitter());
+  TwitterLikeGenerator b(small_twitter());
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(a.next().fields, b.next().fields);
+}
+
+// --- flickr-like ------------------------------------------------------------
+
+FlickrLikeConfig small_flickr() {
+  FlickrLikeConfig cfg;
+  cfg.num_tags = 1000;
+  cfg.num_countries = 40;
+  cfg.seed = 8;
+  return cfg;
+}
+
+TEST(FlickrLike, TupleShape) {
+  FlickrLikeGenerator gen(small_flickr());
+  for (int i = 0; i < 500; ++i) {
+    const Tuple t = gen.next();
+    ASSERT_EQ(t.fields.size(), 2u);
+    EXPECT_LT(t.fields[0], 1000u);
+    EXPECT_GE(t.fields[1], kCountryKeyBase);
+  }
+}
+
+TEST(FlickrLike, CorrelationMatchesConfig) {
+  FlickrLikeConfig cfg = small_flickr();
+  cfg.correlation = 0.7;
+  FlickrLikeGenerator gen(cfg);
+  int at_home = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const Tuple t = gen.next();
+    at_home +=
+        (t.fields[1] == gen.home_country(static_cast<std::uint32_t>(t.fields[0])));
+  }
+  // correlation + Zipf coincidence of the uncorrelated remainder.
+  EXPECT_GT(at_home / static_cast<double>(n), 0.69);
+  EXPECT_LT(at_home / static_cast<double>(n), 0.82);
+}
+
+TEST(FlickrLike, StableOverTime) {
+  FlickrLikeGenerator gen(small_flickr());
+  const Key before = gen.home_country(3);
+  gen.advance_epoch();  // must be a no-op
+  EXPECT_EQ(gen.home_country(3), before);
+}
+
+// --- trace ------------------------------------------------------------------
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Trace, RoundTrip) {
+  const std::string path = temp_path("lar_trace_roundtrip.bin");
+  SyntheticGenerator gen({.num_values = 6, .locality = 0.5, .padding = 17, .seed = 1});
+  std::vector<Tuple> originals;
+  {
+    TraceWriter writer(path);
+    ASSERT_TRUE(writer.status().is_ok());
+    for (int i = 0; i < 100; ++i) {
+      originals.push_back(gen.next());
+      writer.write(originals.back());
+    }
+    writer.close();
+    EXPECT_EQ(writer.tuples_written(), 100u);
+  }
+  TraceReader reader(path);
+  ASSERT_TRUE(reader.status().is_ok());
+  EXPECT_EQ(reader.num_tuples(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    const Tuple t = reader.next();
+    EXPECT_EQ(t.fields, originals[i].fields);
+    EXPECT_EQ(t.padding, originals[i].padding);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, WrapsAroundWhenExhausted) {
+  const std::string path = temp_path("lar_trace_wrap.bin");
+  {
+    TraceWriter writer(path);
+    writer.write(Tuple{.fields = {1, 2}, .padding = 0});
+    writer.write(Tuple{.fields = {3, 4}, .padding = 0});
+  }
+  TraceReader reader(path);
+  ASSERT_TRUE(reader.status().is_ok());
+  EXPECT_EQ(reader.next().fields[0], 1u);
+  EXPECT_EQ(reader.next().fields[0], 3u);
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_EQ(reader.next().fields[0], 1u);  // wrapped
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, RecordTraceHelper) {
+  const std::string path = temp_path("lar_trace_helper.bin");
+  SyntheticGenerator gen({.num_values = 3, .locality = 1.0, .padding = 0, .seed = 5});
+  ASSERT_TRUE(record_trace(gen, 50, path).is_ok());
+  TraceReader reader(path);
+  EXPECT_EQ(reader.num_tuples(), 50u);
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, MissingFileReportsNotFound) {
+  TraceReader reader("/nonexistent/path/trace.bin");
+  EXPECT_FALSE(reader.status().is_ok());
+  EXPECT_EQ(reader.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(Trace, GarbageFileRejected) {
+  const std::string path = temp_path("lar_trace_garbage.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fwrite("not a trace at all", 1, 18, f);
+    std::fclose(f);
+  }
+  TraceReader reader(path);
+  EXPECT_FALSE(reader.status().is_ok());
+  EXPECT_EQ(reader.status().code(), ErrorCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace lar::workload
