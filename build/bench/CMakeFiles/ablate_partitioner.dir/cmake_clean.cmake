@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_partitioner.dir/ablate_partitioner.cpp.o"
+  "CMakeFiles/ablate_partitioner.dir/ablate_partitioner.cpp.o.d"
+  "ablate_partitioner"
+  "ablate_partitioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_partitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_rack_aware.dir/ablate_rack_aware.cpp.o"
+  "CMakeFiles/ablate_rack_aware.dir/ablate_rack_aware.cpp.o.d"
+  "ablate_rack_aware"
+  "ablate_rack_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_rack_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_sketch.dir/ablate_sketch.cpp.o"
+  "CMakeFiles/ablate_sketch.dir/ablate_sketch.cpp.o.d"
+  "ablate_sketch"
+  "ablate_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_pkg.dir/baseline_pkg.cpp.o"
+  "CMakeFiles/baseline_pkg.dir/baseline_pkg.cpp.o.d"
+  "baseline_pkg"
+  "baseline_pkg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_pkg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_parallelism.dir/fig07_parallelism.cpp.o"
+  "CMakeFiles/fig07_parallelism.dir/fig07_parallelism.cpp.o.d"
+  "fig07_parallelism"
+  "fig07_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_locality.dir/fig08_locality.cpp.o"
+  "CMakeFiles/fig08_locality.dir/fig08_locality.cpp.o.d"
+  "fig08_locality"
+  "fig08_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_padding.dir/fig09_padding.cpp.o"
+  "CMakeFiles/fig09_padding.dir/fig09_padding.cpp.o.d"
+  "fig09_padding"
+  "fig09_padding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

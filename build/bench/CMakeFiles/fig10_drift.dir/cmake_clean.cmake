@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_drift.dir/fig10_drift.cpp.o"
+  "CMakeFiles/fig10_drift.dir/fig10_drift.cpp.o.d"
+  "fig10_drift"
+  "fig10_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_online_offline.dir/fig11_online_offline.cpp.o"
+  "CMakeFiles/fig11_online_offline.dir/fig11_online_offline.cpp.o.d"
+  "fig11_online_offline"
+  "fig11_online_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_online_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

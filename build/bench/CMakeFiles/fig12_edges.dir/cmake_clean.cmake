@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_edges.dir/fig12_edges.cpp.o"
+  "CMakeFiles/fig12_edges.dir/fig12_edges.cpp.o.d"
+  "fig12_edges"
+  "fig12_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

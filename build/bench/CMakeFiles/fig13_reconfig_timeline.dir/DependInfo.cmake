@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_reconfig_timeline.cpp" "bench/CMakeFiles/fig13_reconfig_timeline.dir/fig13_reconfig_timeline.cpp.o" "gcc" "bench/CMakeFiles/fig13_reconfig_timeline.dir/fig13_reconfig_timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/lar_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/lar_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/lar_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/lar_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

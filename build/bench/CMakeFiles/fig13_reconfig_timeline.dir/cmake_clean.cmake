@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_reconfig_timeline.dir/fig13_reconfig_timeline.cpp.o"
+  "CMakeFiles/fig13_reconfig_timeline.dir/fig13_reconfig_timeline.cpp.o.d"
+  "fig13_reconfig_timeline"
+  "fig13_reconfig_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_reconfig_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_reconfig_parallelism.dir/fig14_reconfig_parallelism.cpp.o"
+  "CMakeFiles/fig14_reconfig_parallelism.dir/fig14_reconfig_parallelism.cpp.o.d"
+  "fig14_reconfig_parallelism"
+  "fig14_reconfig_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_reconfig_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

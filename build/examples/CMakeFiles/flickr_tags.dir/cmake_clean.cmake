@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flickr_tags.dir/flickr_tags.cpp.o"
+  "CMakeFiles/flickr_tags.dir/flickr_tags.cpp.o.d"
+  "flickr_tags"
+  "flickr_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flickr_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_trending.dir/geo_trending.cpp.o"
+  "CMakeFiles/geo_trending.dir/geo_trending.cpp.o.d"
+  "geo_trending"
+  "geo_trending.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_trending.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

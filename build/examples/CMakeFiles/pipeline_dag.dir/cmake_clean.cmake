@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_dag.dir/pipeline_dag.cpp.o"
+  "CMakeFiles/pipeline_dag.dir/pipeline_dag.cpp.o.d"
+  "pipeline_dag"
+  "pipeline_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

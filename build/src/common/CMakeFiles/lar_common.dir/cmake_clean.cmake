@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_common.dir/hash.cpp.o"
+  "CMakeFiles/lar_common.dir/hash.cpp.o.d"
+  "CMakeFiles/lar_common.dir/logging.cpp.o"
+  "CMakeFiles/lar_common.dir/logging.cpp.o.d"
+  "CMakeFiles/lar_common.dir/strings.cpp.o"
+  "CMakeFiles/lar_common.dir/strings.cpp.o.d"
+  "liblar_common.a"
+  "liblar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bipartite.cpp" "src/core/CMakeFiles/lar_core.dir/bipartite.cpp.o" "gcc" "src/core/CMakeFiles/lar_core.dir/bipartite.cpp.o.d"
+  "/root/repo/src/core/manager.cpp" "src/core/CMakeFiles/lar_core.dir/manager.cpp.o" "gcc" "src/core/CMakeFiles/lar_core.dir/manager.cpp.o.d"
+  "/root/repo/src/core/pair_stats.cpp" "src/core/CMakeFiles/lar_core.dir/pair_stats.cpp.o" "gcc" "src/core/CMakeFiles/lar_core.dir/pair_stats.cpp.o.d"
+  "/root/repo/src/core/snapshot.cpp" "src/core/CMakeFiles/lar_core.dir/snapshot.cpp.o" "gcc" "src/core/CMakeFiles/lar_core.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/lar_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/lar_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/lar_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_core.dir/bipartite.cpp.o"
+  "CMakeFiles/lar_core.dir/bipartite.cpp.o.d"
+  "CMakeFiles/lar_core.dir/manager.cpp.o"
+  "CMakeFiles/lar_core.dir/manager.cpp.o.d"
+  "CMakeFiles/lar_core.dir/pair_stats.cpp.o"
+  "CMakeFiles/lar_core.dir/pair_stats.cpp.o.d"
+  "CMakeFiles/lar_core.dir/snapshot.cpp.o"
+  "CMakeFiles/lar_core.dir/snapshot.cpp.o.d"
+  "liblar_core.a"
+  "liblar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

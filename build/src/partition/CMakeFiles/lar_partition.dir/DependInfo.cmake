@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/coarsen.cpp" "src/partition/CMakeFiles/lar_partition.dir/coarsen.cpp.o" "gcc" "src/partition/CMakeFiles/lar_partition.dir/coarsen.cpp.o.d"
+  "/root/repo/src/partition/graph.cpp" "src/partition/CMakeFiles/lar_partition.dir/graph.cpp.o" "gcc" "src/partition/CMakeFiles/lar_partition.dir/graph.cpp.o.d"
+  "/root/repo/src/partition/initial.cpp" "src/partition/CMakeFiles/lar_partition.dir/initial.cpp.o" "gcc" "src/partition/CMakeFiles/lar_partition.dir/initial.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/partition/CMakeFiles/lar_partition.dir/partitioner.cpp.o" "gcc" "src/partition/CMakeFiles/lar_partition.dir/partitioner.cpp.o.d"
+  "/root/repo/src/partition/quality.cpp" "src/partition/CMakeFiles/lar_partition.dir/quality.cpp.o" "gcc" "src/partition/CMakeFiles/lar_partition.dir/quality.cpp.o.d"
+  "/root/repo/src/partition/refine.cpp" "src/partition/CMakeFiles/lar_partition.dir/refine.cpp.o" "gcc" "src/partition/CMakeFiles/lar_partition.dir/refine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_partition.dir/coarsen.cpp.o"
+  "CMakeFiles/lar_partition.dir/coarsen.cpp.o.d"
+  "CMakeFiles/lar_partition.dir/graph.cpp.o"
+  "CMakeFiles/lar_partition.dir/graph.cpp.o.d"
+  "CMakeFiles/lar_partition.dir/initial.cpp.o"
+  "CMakeFiles/lar_partition.dir/initial.cpp.o.d"
+  "CMakeFiles/lar_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/lar_partition.dir/partitioner.cpp.o.d"
+  "CMakeFiles/lar_partition.dir/quality.cpp.o"
+  "CMakeFiles/lar_partition.dir/quality.cpp.o.d"
+  "CMakeFiles/lar_partition.dir/refine.cpp.o"
+  "CMakeFiles/lar_partition.dir/refine.cpp.o.d"
+  "liblar_partition.a"
+  "liblar_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_runtime.dir/codec.cpp.o"
+  "CMakeFiles/lar_runtime.dir/codec.cpp.o.d"
+  "CMakeFiles/lar_runtime.dir/engine.cpp.o"
+  "CMakeFiles/lar_runtime.dir/engine.cpp.o.d"
+  "CMakeFiles/lar_runtime.dir/operator.cpp.o"
+  "CMakeFiles/lar_runtime.dir/operator.cpp.o.d"
+  "liblar_runtime.a"
+  "liblar_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

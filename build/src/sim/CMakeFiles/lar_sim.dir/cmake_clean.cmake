@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_sim.dir/pipeline.cpp.o"
+  "CMakeFiles/lar_sim.dir/pipeline.cpp.o.d"
+  "CMakeFiles/lar_sim.dir/simulator.cpp.o"
+  "CMakeFiles/lar_sim.dir/simulator.cpp.o.d"
+  "liblar_sim.a"
+  "liblar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

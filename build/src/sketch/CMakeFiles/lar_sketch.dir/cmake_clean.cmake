@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_sketch.dir/zipf.cpp.o"
+  "CMakeFiles/lar_sketch.dir/zipf.cpp.o.d"
+  "liblar_sketch.a"
+  "liblar_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_topology.dir/key_dict.cpp.o"
+  "CMakeFiles/lar_topology.dir/key_dict.cpp.o.d"
+  "CMakeFiles/lar_topology.dir/placement.cpp.o"
+  "CMakeFiles/lar_topology.dir/placement.cpp.o.d"
+  "CMakeFiles/lar_topology.dir/routing.cpp.o"
+  "CMakeFiles/lar_topology.dir/routing.cpp.o.d"
+  "CMakeFiles/lar_topology.dir/topology.cpp.o"
+  "CMakeFiles/lar_topology.dir/topology.cpp.o.d"
+  "liblar_topology.a"
+  "liblar_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

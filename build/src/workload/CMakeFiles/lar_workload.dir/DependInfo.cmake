@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/flickr_like.cpp" "src/workload/CMakeFiles/lar_workload.dir/flickr_like.cpp.o" "gcc" "src/workload/CMakeFiles/lar_workload.dir/flickr_like.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/lar_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/lar_workload.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/lar_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/lar_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/twitter_like.cpp" "src/workload/CMakeFiles/lar_workload.dir/twitter_like.cpp.o" "gcc" "src/workload/CMakeFiles/lar_workload.dir/twitter_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/lar_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/lar_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

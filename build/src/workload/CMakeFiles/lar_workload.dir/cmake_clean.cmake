@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_workload.dir/flickr_like.cpp.o"
+  "CMakeFiles/lar_workload.dir/flickr_like.cpp.o.d"
+  "CMakeFiles/lar_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/lar_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/lar_workload.dir/trace.cpp.o"
+  "CMakeFiles/lar_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/lar_workload.dir/twitter_like.cpp.o"
+  "CMakeFiles/lar_workload.dir/twitter_like.cpp.o.d"
+  "liblar_workload.a"
+  "liblar_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

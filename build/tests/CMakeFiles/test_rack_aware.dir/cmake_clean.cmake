@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rack_aware.dir/test_rack_aware.cpp.o"
+  "CMakeFiles/test_rack_aware.dir/test_rack_aware.cpp.o.d"
+  "test_rack_aware"
+  "test_rack_aware.pdb"
+  "test_rack_aware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rack_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
