@@ -3,12 +3,21 @@
 // Every benchmark prints a self-describing header (what the paper's figure
 // shows, what shape to expect) followed by whitespace-separated data columns
 // that regenerate the figure's series.
+// Benchmarks additionally write a machine-readable BENCH_<name>.json via
+// JsonBenchReport below; the schema is stable and, under fixed seeds,
+// byte-identical across runs (it embeds obs::report_json output, which is
+// canonical by construction).
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/manager.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "topology/placement.hpp"
 #include "topology/topology.hpp"
@@ -56,5 +65,51 @@ inline void print_header(const char* figure, const char* description,
 
 /// Formats tuples/s as the paper's Ktuples/s axis.
 inline double ktps(double tuples_per_sec) { return tuples_per_sec / 1000.0; }
+
+/// Accumulates per-panel observability reports and writes them as
+/// BENCH_<name>.json:
+///
+///   {"bench":"<name>","panels":[
+///     {"panel":"<label>","report":{"metrics":[...],"trace":[...]}}, ...]}
+///
+/// Panel labels and the embedded reports are emitted in insertion order, so
+/// the file is byte-stable whenever the benchmark itself is deterministic.
+class JsonBenchReport {
+ public:
+  explicit JsonBenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Captures `registry` (and optionally `trace`) as one panel.
+  void add_panel(std::string label, const obs::Registry& registry,
+                 const obs::TraceRecorder* trace = nullptr,
+                 const obs::MetricFilter& keep = nullptr) {
+    panels_.emplace_back(std::move(label),
+                         obs::report_json(registry, trace, keep));
+  }
+
+  /// Writes BENCH_<bench>.json into the working directory and announces it
+  /// as a comment line.  Returns the path.
+  std::string write() const {
+    const std::string path = "BENCH_" + bench_ + ".json";
+    std::string out = "{\"bench\":\"" + bench_ + "\",\"panels\":[";
+    for (std::size_t i = 0; i < panels_.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"panel\":\"" + panels_[i].first +
+             "\",\"report\":" + panels_[i].second + '}';
+    }
+    out += "]}\n";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fputs(out.c_str(), f);
+      std::fclose(f);
+      std::printf("# wrote %s\n", path.c_str());
+    } else {
+      std::printf("# failed to write %s\n", path.c_str());
+    }
+    return path;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> panels_;  // label, report
+};
 
 }  // namespace lar::bench

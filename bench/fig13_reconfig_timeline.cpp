@@ -6,7 +6,9 @@
 // observes the step at t = 10 min and flat behaviour after); the later ones
 // at t = 20 min are near no-ops and must not hurt.
 #include <cstdio>
+#include <string>
 
+#include "bench_util.hpp"
 #include "core/manager.hpp"
 #include "sim/simulator.hpp"
 #include "workload/flickr_like.hpp"
@@ -19,9 +21,14 @@ constexpr int kMinutes = 30;
 constexpr int kReconfigPeriod = 10;
 constexpr std::uint64_t kTuplesPerMinute = 100'000;
 
-/// Per-minute sustainable throughput for one configuration.
+/// Per-minute sustainable throughput for one configuration.  When `report`
+/// is given, the simulator's registry and full reconfiguration trace
+/// (gather -> compute -> stage -> propagate -> migrate -> drain, with
+/// per-phase tuple/byte counts) are captured as panel `panel_label`.
 std::vector<double> run(std::uint32_t padding, double bandwidth,
-                        bool with_reconfig) {
+                        bool with_reconfig,
+                        bench::JsonBenchReport* report = nullptr,
+                        const std::string& panel_label = {}) {
   const std::uint32_t n = 6;
   const Topology topo = make_two_stage_topology(n);
   const Placement place = Placement::round_robin(topo, n);
@@ -30,6 +37,7 @@ std::vector<double> run(std::uint32_t padding, double bandwidth,
   cfg.nic_bandwidth = bandwidth;
   sim::Simulator simulator(topo, place, cfg, FieldsRouting::kTable);
   core::Manager manager(topo, place, {});
+  manager.set_metrics_registry(&simulator.registry());
   workload::FlickrLikeConfig wcfg;
   wcfg.padding = padding;
   wcfg.seed = 13;
@@ -43,6 +51,9 @@ std::vector<double> run(std::uint32_t padding, double bandwidth,
         minute < kMinutes) {
       simulator.reconfigure(manager);
     }
+  }
+  if (report != nullptr) {
+    report->add_panel(panel_label, simulator.registry(), &simulator.trace());
   }
   return series;
 }
@@ -59,13 +70,18 @@ int main() {
       "the rest of the run; the gain grows with padding and is larger on the "
       "1 Gb/s network; reconfiguration itself causes no dip\n");
 
+  bench::JsonBenchReport report("fig13_reconfig_timeline");
   char panel = 'a';
   for (const double bandwidth : {sim::kTenGbps, sim::kOneGbps}) {
     for (const std::uint32_t padding : {4'000u, 8'000u, 12'000u}) {
+      const std::string label =
+          std::string(1, panel) + ":" +
+          (bandwidth == sim::kTenGbps ? "10Gbps" : "1Gbps") + ",padding=" +
+          std::to_string(padding / 1000) + "kB";
       std::printf("\n# (%c) network=%s, padding=%ukB\n", panel++,
                   bandwidth == sim::kTenGbps ? "10Gb/s" : "1Gb/s",
                   padding / 1000);
-      const auto with = run(padding, bandwidth, true);
+      const auto with = run(padding, bandwidth, true, &report, label);
       const auto without = run(padding, bandwidth, false);
       std::printf("%-8s %-12s %-12s\n", "minute", "w/reconf", "w/o-reconf");
       for (int m = 0; m < kMinutes; ++m) {
@@ -79,5 +95,6 @@ int main() {
                   avg_after / without[0]);
     }
   }
+  report.write();
   return 0;
 }

@@ -1,11 +1,17 @@
 #include "common/logging.hpp"
 
-#include <chrono>
+#include <cstdint>
 #include <cstdio>
 
 namespace lar {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Per-process line number instead of a wall-clock timestamp: log output
+// stays deterministic for single-threaded runs (and the sequence orders
+// lines causally either way), in line with the repository-wide "no
+// wall-clock" rule.
+std::atomic<std::uint64_t> g_log_seq{0};
 
 const char* level_tag(LogLevel level) noexcept {
   switch (level) {
@@ -32,15 +38,12 @@ bool log_enabled(LogLevel level) noexcept {
 }
 
 void log_line(LogLevel level, const std::string& msg) {
-  using namespace std::chrono;
-  const auto now = duration_cast<milliseconds>(
-                       steady_clock::now().time_since_epoch())
-                       .count();
+  const std::uint64_t seq =
+      g_log_seq.fetch_add(1, std::memory_order_relaxed);
   char prefix[64];
-  const int n = std::snprintf(prefix, sizeof prefix, "[%s %10lld.%03lld] ",
+  const int n = std::snprintf(prefix, sizeof prefix, "[%s #%06llu] ",
                               level_tag(level),
-                              static_cast<long long>(now / 1000),
-                              static_cast<long long>(now % 1000));
+                              static_cast<unsigned long long>(seq));
   std::string line;
   line.reserve(static_cast<std::size_t>(n) + msg.size() + 1);
   line.append(prefix, static_cast<std::size_t>(n));

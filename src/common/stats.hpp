@@ -38,6 +38,26 @@ class RunningStat {
   }
   [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
 
+  /// Folds another aggregate into this one (parallel Welford / Chan et al.),
+  /// as if every sample of `other` had been add()ed here.  Lets per-shard
+  /// stats collected independently be combined into one aggregate.
+  void merge(const RunningStat& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double n = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    mean_ += delta * nb / n;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;

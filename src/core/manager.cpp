@@ -97,12 +97,15 @@ void repair_per_op_balance(const KeyGraph& key_graph,
 /// servers.  Cut pairs preferentially land inside racks.
 std::vector<std::uint32_t> hierarchical_partition(
     const partition::Graph& g, const Placement& placement,
-    partition::PartitionOptions options) {
+    partition::PartitionOptions options, std::uint64_t* fm_passes,
+    std::uint64_t* bisections) {
   const std::uint32_t racks = placement.num_racks();
   partition::PartitionOptions rack_options = options;
   rack_options.num_parts = racks;
   const partition::PartitionResult rack_part =
       partition::partition_graph(g, rack_options);
+  *fm_passes += rack_part.fm_passes;
+  *bisections += rack_part.bisections;
 
   std::vector<std::uint32_t> assignment(g.num_vertices(), 0);
   for (std::uint32_t r = 0; r < racks; ++r) {
@@ -119,6 +122,8 @@ std::vector<std::uint32_t> hierarchical_partition(
     server_options.seed = options.seed + r + 1;
     const partition::PartitionResult server_part =
         partition::partition_graph(sub.graph, server_options);
+    *fm_passes += server_part.fm_passes;
+    *bisections += server_part.bisections;
     for (std::size_t i = 0; i < members.size(); ++i) {
       assignment[sub.to_parent[i]] = servers[server_part.assignment[i]];
     }
@@ -161,6 +166,7 @@ ReconfigurationPlan Manager::compute_plan(const std::vector<HopStats>& stats) {
   plan.graph_edges = key_graph.graph.num_edges();
   if (key_graph.graph.num_vertices() == 0) {
     plan.expected_locality = 0.0;
+    publish_plan_metrics(plan);
     return plan;  // nothing observed yet: stay on hash routing
   }
 
@@ -173,8 +179,9 @@ ReconfigurationPlan Manager::compute_plan(const std::vector<HopStats>& stats) {
       options_.rack_aware && placement_.num_racks() > 1;
   partition::PartitionResult part;
   if (hierarchical) {
-    part.assignment = hierarchical_partition(key_graph.graph, placement_,
-                                             options_.partition);
+    part.assignment = hierarchical_partition(
+        key_graph.graph, placement_, options_.partition,
+        &part.fm_passes, &part.bisections);
     for (std::uint32_t r = 0; r < placement_.num_racks(); ++r) {
       repair_per_op_balance(key_graph, part.assignment,
                             placement_.servers_in_rack(r),
@@ -190,6 +197,29 @@ ReconfigurationPlan Manager::compute_plan(const std::vector<HopStats>& stats) {
   plan.edge_cut = partition::edge_cut(key_graph.graph, part.assignment);
   plan.imbalance = partition::partition_imbalance(
       key_graph.graph, part.assignment, options_.partition.num_parts);
+  plan.partitioner_fm_passes = part.fm_passes;
+  plan.partitioner_bisections = part.bisections;
+
+  // "Before" cut: the same key graph scored under the currently deployed
+  // routing (last tables, hash for unknown keys) — what every plan is
+  // improving on.
+  {
+    std::vector<std::uint32_t> deployed_assignment(key_graph.vertices.size());
+    std::unordered_map<OperatorId, std::shared_ptr<const RoutingTable>>
+        old_tables;
+    for (std::size_t v = 0; v < key_graph.vertices.size(); ++v) {
+      const KeyVertex& kv = key_graph.vertices[v];
+      auto [it, inserted] = old_tables.try_emplace(kv.op);
+      if (inserted) it->second = current_table(kv.op);
+      const std::uint32_t parallelism = topology_.op(kv.op).parallelism;
+      const InstanceIndex inst =
+          it->second != nullptr ? it->second->route(kv.key, parallelism)
+                                : hash_instance(kv.key, parallelism);
+      deployed_assignment[v] = placement_.server_of(kv.op, inst);
+    }
+    plan.edge_cut_before =
+        partition::edge_cut(key_graph.graph, deployed_assignment);
+  }
   const std::uint64_t total_pair_weight = key_graph.graph.total_edge_weight();
   plan.expected_locality =
       total_pair_weight == 0
@@ -248,15 +278,78 @@ ReconfigurationPlan Manager::compute_plan(const std::vector<HopStats>& stats) {
     const Status saved = save_plan(plan, options_.snapshot_path);
     if (!saved.is_ok()) {
       LAR_ERROR << "manager: snapshot failed: " << saved.to_string();
+      if (registry_ != nullptr) {
+        registry_
+            ->counter("lar_snapshot_write_failures_total", {},
+                      "Failed routing-configuration snapshot writes")
+            .inc();
+      }
+    } else if (registry_ != nullptr) {
+      registry_
+          ->counter("lar_snapshot_writes_total", {},
+                    "Routing-configuration snapshots persisted before deploy")
+          .inc();
     }
   }
 
+  publish_plan_metrics(plan);
   LAR_INFO << "manager: plan v" << plan.version << " keys="
            << plan.keys_assigned << " cut=" << plan.edge_cut
            << " expected_locality=" << plan.expected_locality
            << " imbalance=" << plan.imbalance
            << " moves=" << plan.total_moves();
   return plan;
+}
+
+void Manager::publish_plan_metrics(const ReconfigurationPlan& plan) {
+  if (registry_ == nullptr) return;
+  obs::Registry& reg = *registry_;
+  reg.counter("lar_plans_computed_total", {},
+              "Reconfiguration plans computed by the manager")
+      .inc();
+  reg.gauge("lar_plan_graph_vertices", {},
+            "Key-graph vertices of the last computed plan")
+      .set(static_cast<double>(plan.graph_vertices));
+  reg.gauge("lar_plan_graph_edges", {},
+            "Key-graph edges of the last computed plan")
+      .set(static_cast<double>(plan.graph_edges));
+  reg.gauge("lar_plan_edge_cut", {{"when", "before"}},
+            "Key-graph cut weight under the deployed (before) vs planned "
+            "(after) server assignment")
+      .set(static_cast<double>(plan.edge_cut_before));
+  reg.gauge("lar_plan_edge_cut", {{"when", "after"}},
+            "Key-graph cut weight under the deployed (before) vs planned "
+            "(after) server assignment")
+      .set(static_cast<double>(plan.edge_cut));
+  reg.gauge("lar_plan_expected_locality_ratio", {},
+            "Locality the partitioner predicts on the training pairs "
+            "(paper Fig 8's 'expected locality')")
+      .set(plan.expected_locality);
+  reg.gauge("lar_plan_imbalance_ratio", {},
+            "Partition imbalance (max/avg part weight) of the last plan")
+      .set(plan.imbalance);
+  reg.gauge("lar_plan_keys_assigned", {},
+            "Explicit routing-table entries in the last plan")
+      .set(static_cast<double>(plan.keys_assigned));
+  reg.gauge("lar_plan_key_moves", {},
+            "Key states the last plan migrates between sibling instances")
+      .set(static_cast<double>(plan.total_moves()));
+  reg.counter("lar_key_moves_total", {},
+              "Key-state moves across all computed plans")
+      .inc(plan.total_moves());
+  reg.gauge("lar_plan_partitioner_fm_passes", {},
+            "Plan-compute work in FM refinement passes (deterministic "
+            "duration; no wall-clock)")
+      .set(static_cast<double>(plan.partitioner_fm_passes));
+  reg.gauge("lar_plan_partitioner_bisections", {},
+            "Plan-compute work in multilevel bisections")
+      .set(static_cast<double>(plan.partitioner_bisections));
+  reg.counter("lar_partitioner_fm_passes_total", {},
+              "FM refinement passes across all computed plans")
+      .inc(plan.partitioner_fm_passes);
+  reg.counter("lar_partitioner_bisections_total", {},
+              "Multilevel bisections across all computed plans")
+      .inc(plan.partitioner_bisections);
 }
 
 void Manager::mark_deployed(const ReconfigurationPlan& plan) {

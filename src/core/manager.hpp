@@ -15,6 +15,7 @@
 #include "core/bipartite.hpp"
 #include "core/pair_stats.hpp"
 #include "core/plan.hpp"
+#include "obs/metrics.hpp"
 #include "partition/partitioner.hpp"
 #include "topology/placement.hpp"
 #include "topology/routing.hpp"
@@ -98,7 +99,16 @@ class Manager {
     options_.top_edges = top_edges;
   }
 
+  /// Attaches a metrics registry; every compute_plan() publishes its
+  /// diagnostics there (`lar_plan_*`, `lar_partitioner_*`,
+  /// `lar_snapshot_*` — see DESIGN.md "Observability").  Null detaches
+  /// (the no-op mode).  The registry must outlive the manager.
+  void set_metrics_registry(obs::Registry* registry) noexcept {
+    registry_ = registry;
+  }
+
  private:
+  void publish_plan_metrics(const ReconfigurationPlan& plan);
   const Topology& topology_;
   const Placement& placement_;
   ManagerOptions options_;
@@ -106,6 +116,7 @@ class Manager {
   std::uint64_t next_version_ = 1;
   std::unordered_map<OperatorId, std::shared_ptr<const RoutingTable>>
       deployed_;
+  obs::Registry* registry_ = nullptr;
 };
 
 }  // namespace lar::core

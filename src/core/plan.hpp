@@ -38,10 +38,20 @@ struct ReconfigurationPlan {
   /// locality of 75%" number of Section 4.3).
   double expected_locality = 0.0;
   std::uint64_t edge_cut = 0;        ///< cut weight of the key graph
+  /// Cut weight of the same key graph under the *previously deployed*
+  /// routing (hash or the last tables) — the "before" to edge_cut's
+  /// "after", so every plan quantifies the locality it buys.
+  std::uint64_t edge_cut_before = 0;
   double imbalance = 1.0;            ///< partition imbalance (max/avg)
   std::size_t keys_assigned = 0;     ///< explicit routing table entries
   std::size_t graph_vertices = 0;
   std::size_t graph_edges = 0;
+
+  /// Plan-compute "duration" in deterministic algorithmic iterations (FM
+  /// refinement passes / multilevel bisections summed over all partitioner
+  /// invocations) — never wall-clock, per the determinism invariant.
+  std::uint64_t partitioner_fm_passes = 0;
+  std::uint64_t partitioner_bisections = 0;
 
   /// Total number of key moves across all operators.
   [[nodiscard]] std::size_t total_moves() const noexcept {

@@ -1,0 +1,288 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lar::obs {
+
+namespace {
+
+/// Fixed-precision, locale-independent double formatting.  Integral values
+/// print without a fractional part ("42", not "42.000000") so counters and
+/// integer-valued gauges read naturally in both formats.
+std::string fmt_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+  }
+  return buf;
+}
+
+/// JSON has no Inf/NaN literals; those degrade to null.
+std::string fmt_json_number(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  return fmt_double(v);
+}
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// `{k="v",k2="v2"}` — empty string for no labels.
+std::string prom_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].key;
+    out += "=\"";
+    out += labels[i].value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Same but with one extra label appended (histogram `le`).
+std::string prom_labels_with(const Labels& labels, std::string_view key,
+                             std::string_view value) {
+  std::string out = "{";
+  for (const Label& l : labels) {
+    out += l.key;
+    out += "=\"";
+    out += l.value;
+    out += "\",";
+  }
+  out += key;
+  out += "=\"";
+  out += value;
+  out += "\"}";
+  return out;
+}
+
+std::string json_labels(const Labels& labels) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    append_json_escaped(out, labels[i].key);
+    out += "\":\"";
+    append_json_escaped(out, labels[i].value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const Registry& registry, const MetricFilter& keep) {
+  std::string out;
+  for (const Registry::FamilyView& fam : registry.families()) {
+    if (keep && !keep(fam.name)) continue;
+    if (!fam.help.empty()) {
+      out += "# HELP ";
+      out += fam.name;
+      out += ' ';
+      out += fam.help;
+      out += '\n';
+    }
+    out += "# TYPE ";
+    out += fam.name;
+    out += ' ';
+    out += to_string(fam.kind);
+    out += '\n';
+    for (const Registry::Sample& s : fam.samples) {
+      switch (fam.kind) {
+        case MetricKind::kCounter:
+          out += fam.name;
+          out += prom_labels(*s.labels);
+          out += ' ';
+          out += fmt_u64(s.counter->value());
+          out += '\n';
+          break;
+        case MetricKind::kGauge:
+          out += fam.name;
+          out += prom_labels(*s.labels);
+          out += ' ';
+          out += fmt_double(s.gauge->value());
+          out += '\n';
+          break;
+        case MetricKind::kHistogram: {
+          const auto counts = s.histogram->bucket_counts();
+          const auto& bounds = s.histogram->upper_bounds();
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < counts.size(); ++i) {
+            cumulative += counts[i];
+            out += fam.name;
+            out += "_bucket";
+            out += prom_labels_with(
+                *s.labels, "le",
+                i < bounds.size() ? fmt_double(bounds[i]) : "+Inf");
+            out += ' ';
+            out += fmt_u64(cumulative);
+            out += '\n';
+          }
+          out += fam.name;
+          out += "_sum";
+          out += prom_labels(*s.labels);
+          out += ' ';
+          out += fmt_double(s.histogram->sum());
+          out += '\n';
+          out += fam.name;
+          out += "_count";
+          out += prom_labels(*s.labels);
+          out += ' ';
+          out += fmt_u64(s.histogram->count());
+          out += '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_metrics_json(std::string& out, const Registry& registry,
+                         const MetricFilter& keep) {
+  out += "[";
+  bool first_family = true;
+  for (const Registry::FamilyView& fam : registry.families()) {
+    if (keep && !keep(fam.name)) continue;
+    if (!first_family) out += ',';
+    first_family = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, fam.name);
+    out += "\",\"kind\":\"";
+    out += to_string(fam.kind);
+    out += "\",\"help\":\"";
+    append_json_escaped(out, fam.help);
+    out += "\",\"samples\":[";
+    for (std::size_t i = 0; i < fam.samples.size(); ++i) {
+      const Registry::Sample& s = fam.samples[i];
+      if (i > 0) out += ',';
+      out += "{\"labels\":";
+      out += json_labels(*s.labels);
+      switch (fam.kind) {
+        case MetricKind::kCounter:
+          out += ",\"value\":";
+          out += fmt_u64(s.counter->value());
+          break;
+        case MetricKind::kGauge:
+          out += ",\"value\":";
+          out += fmt_json_number(s.gauge->value());
+          break;
+        case MetricKind::kHistogram: {
+          const auto counts = s.histogram->bucket_counts();
+          const auto& bounds = s.histogram->upper_bounds();
+          out += ",\"buckets\":[";
+          std::uint64_t cumulative = 0;
+          for (std::size_t b = 0; b < counts.size(); ++b) {
+            cumulative += counts[b];
+            if (b > 0) out += ',';
+            out += "{\"le\":";
+            out += b < bounds.size() ? fmt_json_number(bounds[b]) : "null";
+            out += ",\"count\":";
+            out += fmt_u64(cumulative);
+            out += '}';
+          }
+          out += "],\"sum\":";
+          out += fmt_json_number(s.histogram->sum());
+          out += ",\"count\":";
+          out += fmt_u64(s.histogram->count());
+          break;
+        }
+      }
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]";
+}
+
+void append_trace_json(std::string& out, const TraceRecorder& trace,
+                       bool include_seq) {
+  out += "[";
+  const std::vector<TraceEvent> events = trace.canonical_events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out += ',';
+    out += "{\"version\":";
+    out += fmt_u64(e.version);
+    out += ",\"phase\":\"";
+    out += to_string(e.phase);
+    out += "\",\"entity\":\"";
+    append_json_escaped(out, e.entity);
+    out += "\",\"count\":";
+    out += fmt_u64(e.count);
+    out += ",\"bytes\":";
+    out += fmt_u64(e.bytes);
+    out += ",\"vtime\":";
+    out += fmt_json_number(e.vtime);
+    if (include_seq) {
+      out += ",\"seq\":";
+      out += fmt_u64(e.seq);
+    }
+    out += '}';
+  }
+  out += "]";
+}
+
+}  // namespace
+
+std::string to_json(const Registry& registry, const MetricFilter& keep) {
+  std::string out = "{\"metrics\":";
+  append_metrics_json(out, registry, keep);
+  out += "}";
+  return out;
+}
+
+std::string trace_to_json(const TraceRecorder& trace, bool include_seq) {
+  std::string out;
+  append_trace_json(out, trace, include_seq);
+  return out;
+}
+
+std::string report_json(const Registry& registry, const TraceRecorder* trace,
+                        const MetricFilter& keep, bool include_seq) {
+  std::string out = "{\"metrics\":";
+  append_metrics_json(out, registry, keep);
+  out += ",\"trace\":";
+  if (trace != nullptr) {
+    append_trace_json(out, *trace, include_seq);
+  } else {
+    out += "[]";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace lar::obs

@@ -1,0 +1,49 @@
+// lar::obs — deterministic exporters: Prometheus text format and JSON.
+//
+// Output is byte-stable for a fixed registry/trace content: families,
+// instruments and trace events are emitted in canonical order (the registry
+// and recorder already intern canonically), doubles are formatted with a
+// fixed locale-independent "%.10g", and nothing wall-clock-derived is ever
+// emitted.  Two runs with the same seed therefore produce identical bytes —
+// the property the golden tests in tests/test_obs.cpp enforce.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lar::obs {
+
+/// Optional metric filter: return true to keep the family.  Used e.g. to
+/// drop scheduling-dependent gauges (queue high-water marks) from exports
+/// that must be byte-identical across runs of the threaded runtime.
+using MetricFilter = std::function<bool(std::string_view name)>;
+
+/// Prometheus text exposition format (HELP/TYPE headers, histogram
+/// `_bucket`/`_sum`/`_count` expansion, `le` labels with `+Inf`).
+[[nodiscard]] std::string to_prometheus(const Registry& registry,
+                                        const MetricFilter& keep = nullptr);
+
+/// JSON: {"metrics":[{"name","kind","help","samples":[{"labels","value"}]}]}.
+/// Histogram samples carry "buckets" (cumulative), "sum" and "count".
+[[nodiscard]] std::string to_json(const Registry& registry,
+                                  const MetricFilter& keep = nullptr);
+
+/// JSON array of trace events in canonical (version, phase, entity) order.
+/// `include_seq` additionally emits each event's logical sequence number;
+/// leave it off for byte-stable output when events were recorded from
+/// concurrently racing threads (see trace.hpp).
+[[nodiscard]] std::string trace_to_json(const TraceRecorder& trace,
+                                        bool include_seq = false);
+
+/// Combined report: {"metrics":[...],"trace":[...]} — the stable schema the
+/// benches write as BENCH_<name>.json.
+[[nodiscard]] std::string report_json(const Registry& registry,
+                                      const TraceRecorder* trace = nullptr,
+                                      const MetricFilter& keep = nullptr,
+                                      bool include_seq = false);
+
+}  // namespace lar::obs

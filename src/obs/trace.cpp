@@ -1,0 +1,58 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+namespace lar::obs {
+
+std::string poi_entity(std::uint32_t op, std::uint32_t instance) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "op%u/i%03u", op, instance);
+  return buf;
+}
+
+std::string key_entity(std::uint64_t key) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "key%08llu",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+std::uint64_t TraceRecorder::record(std::uint64_t version, Phase phase,
+                                    std::string entity, std::uint64_t count,
+                                    std::uint64_t bytes, double vtime) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t seq = next_seq_++;
+  events_.push_back(
+      TraceEvent{seq, version, phase, std::move(entity), count, bytes, vtime});
+  return seq;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::vector<TraceEvent> TraceRecorder::canonical_events() const {
+  std::vector<TraceEvent> out = events();
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return std::tie(a.version, a.phase, a.entity, a.seq) <
+                     std::tie(b.version, b.phase, b.entity, b.seq);
+            });
+  return out;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+  next_seq_ = 0;
+}
+
+}  // namespace lar::obs

@@ -1,0 +1,99 @@
+// lar::obs — structured trace recorder for the reconfiguration protocol.
+//
+// One event per protocol step (Figure 6 / Algorithm 1): statistics gather,
+// plan compute, table stage, per-POI ack, PROPAGATE wave hop, per-key state
+// migration, tuple buffering and buffered-tuple drain.  Events carry a
+// logical sequence number (recorder-assignment order) and a virtual-time
+// stamp (simulated time where the caller models one; 0 in the threaded
+// runtime, which has no virtual clock) — never wall-clock time, per the
+// determinism invariant in CLAUDE.md.
+//
+// Sequence numbers order events *as recorded*: within one thread they are
+// monotone, across racing POI threads their interleaving is
+// scheduling-dependent.  The deterministic JSON exporter therefore sorts
+// events canonically by (version, phase, entity) and omits the raw sequence
+// number unless asked for it; post-hoc debugging reads events() in seq
+// order instead.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lar::obs {
+
+/// Protocol steps, in wave order.  kGather..kDrain is also the canonical
+/// phase sort order used by the exporter.
+enum class Phase : std::uint8_t {
+  kGather = 0,    ///< GET_METRICS / SEND_METRICS round (pair statistics)
+  kCompute = 1,   ///< Manager plan computation (graph build + partition)
+  kStage = 2,     ///< SEND_RECONF: new tables staged on every POI
+  kAck = 3,       ///< per-POI ACK_RECONF
+  kPropagate = 4, ///< one PROPAGATE wave hop handled by a POI
+  kMigrate = 5,   ///< one key's state shipped between sibling instances
+  kBuffer = 6,    ///< a tuple parked waiting for its key's state
+  kDrain = 7,     ///< buffered tuples released after state arrival
+};
+
+[[nodiscard]] constexpr const char* to_string(Phase p) noexcept {
+  switch (p) {
+    case Phase::kGather: return "gather";
+    case Phase::kCompute: return "compute";
+    case Phase::kStage: return "stage";
+    case Phase::kAck: return "ack";
+    case Phase::kPropagate: return "propagate";
+    case Phase::kMigrate: return "migrate";
+    case Phase::kBuffer: return "buffer";
+    case Phase::kDrain: return "drain";
+  }
+  return "?";
+}
+
+/// One protocol step.  `entity` identifies the actor or object in canonical
+/// text form ("op1/i0" for a POI, "key42" for a key, "plan" for
+/// manager-side steps); `count` and `bytes` are the step's tuple/key count
+/// and payload size where meaningful.
+struct TraceEvent {
+  std::uint64_t seq = 0;      ///< logical sequence number (recording order)
+  std::uint64_t version = 0;  ///< reconfiguration plan version
+  Phase phase = Phase::kGather;
+  std::string entity;
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+  double vtime = 0.0;  ///< virtual/simulated time; 0 when not modeled
+};
+
+/// Formats a POI identity as a canonical entity string ("op1/i03").
+/// Zero-padded instance so lexicographic entity order == numeric order for
+/// parallelism up to 1000.
+[[nodiscard]] std::string poi_entity(std::uint32_t op, std::uint32_t instance);
+
+/// Formats a key identity as a canonical entity string ("key00000042").
+[[nodiscard]] std::string key_entity(std::uint64_t key);
+
+/// Thread-safe append-only event log.
+class TraceRecorder {
+ public:
+  /// Records one event and returns its sequence number.
+  std::uint64_t record(std::uint64_t version, Phase phase, std::string entity,
+                       std::uint64_t count = 0, std::uint64_t bytes = 0,
+                       double vtime = 0.0);
+
+  /// Events in recording (seq) order.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Events in canonical (version, phase, entity, seq) order — the order
+  /// the deterministic exporter emits.
+  [[nodiscard]] std::vector<TraceEvent> canonical_events() const;
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace lar::obs

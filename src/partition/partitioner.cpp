@@ -14,11 +14,19 @@ namespace lar::partition {
 
 namespace {
 
+/// Algorithmic-iteration counters accumulated across the recursion (the
+/// deterministic stand-in for plan-compute duration; see PartitionResult).
+struct WorkCounters {
+  std::uint64_t fm_passes = 0;
+  std::uint64_t bisections = 0;
+};
+
 /// Bisects `g` with multilevel coarsening; side-0 target weight `target0`.
 std::vector<std::uint8_t> multilevel_bisect(
     const Graph& g, std::uint64_t target0,
     const std::array<std::uint64_t, 2>& max_side,
-    const PartitionOptions& options, Rng& rng) {
+    const PartitionOptions& options, Rng& rng, WorkCounters& work) {
+  ++work.bisections;
   // Coarsening: stop when small enough or matching stops making progress.
   std::vector<CoarseLevel> levels;
   const Graph* cur = &g;
@@ -35,7 +43,8 @@ std::vector<std::uint8_t> multilevel_bisect(
   std::vector<std::uint8_t> side =
       grow_bisection(*cur, target0, max_side, rng, options.initial_trials);
   if (options.enable_refinement) {
-    fm_refine(*cur, side, max_side, options.refinement_passes);
+    fm_refine(*cur, side, max_side, options.refinement_passes,
+              &work.fm_passes);
   }
 
   // Uncoarsen: project through each level and refine on the finer graph.
@@ -48,7 +57,8 @@ std::vector<std::uint8_t> multilevel_bisect(
     }
     side = std::move(fine_side);
     if (options.enable_refinement) {
-      fm_refine(finer, side, max_side, options.refinement_passes);
+      fm_refine(finer, side, max_side, options.refinement_passes,
+                &work.fm_passes);
     }
   }
   return side;
@@ -59,7 +69,7 @@ std::vector<std::uint8_t> multilevel_bisect(
 void recurse(const Graph& g, const std::vector<VertexId>& to_global,
              std::uint32_t part_begin, std::uint32_t part_count,
              std::uint64_t max_per_part, const PartitionOptions& options,
-             Rng& rng, std::vector<std::uint32_t>& out) {
+             Rng& rng, std::vector<std::uint32_t>& out, WorkCounters& work) {
   if (part_count == 1) {
     for (const VertexId v : to_global) out[v] = part_begin;
     return;
@@ -75,7 +85,7 @@ void recurse(const Graph& g, const std::vector<VertexId>& to_global,
   const std::array<std::uint64_t, 2> max_side{max_per_part * k0,
                                               max_per_part * k1};
   const std::vector<std::uint8_t> side =
-      multilevel_bisect(g, target0, max_side, options, rng);
+      multilevel_bisect(g, target0, max_side, options, rng, work);
 
   std::vector<VertexId> left;
   std::vector<VertexId> right;
@@ -98,7 +108,7 @@ void recurse(const Graph& g, const std::vector<VertexId>& to_global,
     // Map subgraph-local ids to true global ids before recursing.
     for (auto& v : sub.to_parent) v = to_global[v];
     recurse(sub.graph, sub.to_parent, begin, count, max_per_part, options, rng,
-            out);
+            out, work);
   };
   descend(left, part_begin, k0);
   descend(right, part_begin + k0, k1);
@@ -129,8 +139,11 @@ PartitionResult partition_graph(const Graph& g,
 
   std::vector<VertexId> all(g.num_vertices());
   for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+  WorkCounters work;
   recurse(g, all, 0, options.num_parts, max_per_part, options, rng,
-          result.assignment);
+          result.assignment, work);
+  result.fm_passes = work.fm_passes;
+  result.bisections = work.bisections;
 
   result.edge_cut = edge_cut(g, result.assignment);
   result.achieved_imbalance =

@@ -47,6 +47,13 @@ struct PartitionResult {
   std::vector<std::uint32_t> assignment;  ///< vertex -> part in [0, num_parts)
   std::uint64_t edge_cut = 0;             ///< total weight of cut edges
   double achieved_imbalance = 1.0;        ///< max part weight / average
+
+  /// Work actually performed, in algorithmic iterations — the deterministic
+  /// "duration" the observability layer reports instead of wall-clock time:
+  /// FM refinement passes across all levels and bisections, and the number
+  /// of multilevel bisections of the recursion tree.
+  std::uint64_t fm_passes = 0;
+  std::uint64_t bisections = 0;
 };
 
 /// Partitions `g` into `options.num_parts` parts minimizing edge cut under

@@ -10,7 +10,7 @@ namespace lar::partition {
 
 std::uint64_t fm_refine(const Graph& g, std::vector<std::uint8_t>& side,
                         const std::array<std::uint64_t, 2>& max_side,
-                        int max_passes) {
+                        int max_passes, std::uint64_t* passes_executed) {
   LAR_CHECK(side.size() == g.num_vertices());
   const std::size_t n = g.num_vertices();
   if (n == 0) return 0;
@@ -23,6 +23,7 @@ std::uint64_t fm_refine(const Graph& g, std::vector<std::uint8_t>& side,
   std::vector<std::uint8_t> locked(n);
 
   for (int pass = 0; pass < max_passes; ++pass) {
+    if (passes_executed != nullptr) ++*passes_executed;
     // gain[v] = cut reduction if v switches sides.
     for (VertexId v = 0; v < n; ++v) {
       std::int64_t ext = 0;

@@ -19,11 +19,14 @@ namespace lar::partition {
 ///
 /// `max_side` — per-side weight caps enforced for every applied move (a move
 ///              that would overflow the destination side is skipped);
-/// `max_passes` — upper bound on FM passes (each pass is O(E log V)).
+/// `max_passes` — upper bound on FM passes (each pass is O(E log V));
+/// `passes_executed` — if non-null, incremented by the number of passes
+///                     actually run (the partitioner's work metric).
 ///
 /// Returns the edge cut of the final assignment.
 std::uint64_t fm_refine(const Graph& g, std::vector<std::uint8_t>& side,
                         const std::array<std::uint64_t, 2>& max_side,
-                        int max_passes);
+                        int max_passes,
+                        std::uint64_t* passes_executed = nullptr);
 
 }  // namespace lar::partition

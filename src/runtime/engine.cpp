@@ -197,6 +197,10 @@ void Engine::handle_data(Poi& poi, DataMsg msg) {
       if (poi.awaiting.contains(in_key)) {
         poi.pending[in_key].push_back(std::move(msg));
         tuples_buffered_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.trace != nullptr) {
+          options_.trace->record(poi.staged->version, obs::Phase::kBuffer,
+                                 obs::key_entity(in_key), /*count=*/1);
+        }
         return;  // stays in flight until drained by handle_migrate()
       }
     }
@@ -285,6 +289,11 @@ void Engine::handle_reconf(Poi& poi, ReconfMsg msg) {
   // Buffering must start now: upstream POIs may switch to the new tables
   // (and route keys here) before this POI's own propagate arrives.
   for (const Key key : poi.staged->receive) poi.awaiting.insert(key);
+  if (options_.trace != nullptr) {
+    options_.trace->record(version, obs::Phase::kAck,
+                           obs::poi_entity(poi.op, poi.index),
+                           /*count=*/poi.staged->receive.size());
+  }
   manager_inbox_.push(
       ManagerReply{AckReconfReply{InstanceId{poi.op, poi.index}, version}});
 }
@@ -329,12 +338,32 @@ void Engine::run_reconfig_actions(Poi& poi) {
 
 void Engine::handle_migrate(Poi& poi, MigrateMsg msg) {
   states_migrated_.fetch_add(1, std::memory_order_relaxed);
+  states_migrated_bytes_.fetch_add(msg.state.size(),
+                                   std::memory_order_relaxed);
+  if (options_.registry != nullptr) {
+    // Rare path (reconfiguration only), so the by-name lookup is fine.
+    options_.registry
+        ->histogram("lar_state_migration_size_bytes",
+                    {0, 16, 64, 256, 1024, 4096, 16384}, {},
+                    "Serialized size of one migrated key state.")
+        .observe(static_cast<double>(msg.state.size()));
+  }
+  if (options_.trace != nullptr) {
+    options_.trace->record(msg.version, obs::Phase::kMigrate,
+                           obs::key_entity(msg.key), /*count=*/1,
+                           /*bytes=*/msg.state.size());
+  }
   poi.logic->import_key_state(msg.key, msg.state);
   if (poi.awaiting.erase(msg.key) == 0) return;
   // Drain tuples that were buffered waiting for this key's state.
   if (auto it = poi.pending.find(msg.key); it != poi.pending.end()) {
     std::vector<DataMsg> buffered = std::move(it->second);
     poi.pending.erase(it);
+    if (options_.trace != nullptr) {
+      options_.trace->record(msg.version, obs::Phase::kDrain,
+                             obs::key_entity(msg.key),
+                             /*count=*/buffered.size());
+    }
     for (DataMsg& dm : buffered) {
       process_tuple(poi, dm.tuple, msg.key);
       if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -351,13 +380,20 @@ void Engine::maybe_finish_reconfig(Poi& poi) {
   }
   const std::uint64_t version = poi.staged->version;
   // Forward the wave: one PROPAGATE per successor POI per edge.
+  std::uint64_t hops = 0;
   for (const std::uint32_t eid : topology_.out_edges(poi.op)) {
     const EdgeSpec& edge = topology_.edges()[eid];
     const std::uint32_t parallelism = topology_.op(edge.to).parallelism;
     for (InstanceIndex i = 0; i < parallelism; ++i) {
       poi_at(edge.to, i).inbox.push_unbounded(
           Message{PropagateMsg{version}});
+      ++hops;
     }
+  }
+  if (options_.trace != nullptr) {
+    options_.trace->record(version, obs::Phase::kPropagate,
+                           obs::poi_entity(poi.op, poi.index),
+                           /*count=*/hops);
   }
   poi.staged.reset();
   manager_inbox_.push(
@@ -387,14 +423,24 @@ core::ReconfigurationPlan Engine::reconfigure(core::Manager& manager) {
     }
   }
   std::vector<core::HopStats> hop_stats;
+  std::uint64_t gathered_pairs = 0;
   for (auto& [eid, snapshots] : per_edge) {
     const EdgeSpec& edge = topology_.edges()[eid];
     hop_stats.push_back(core::HopStats{anchors_[edge.from].value(), edge.to,
                                        core::merge_pair_counts(snapshots)});
+    gathered_pairs += hop_stats.back().pairs.size();
   }
 
   // compute_reconfiguration.
   core::ReconfigurationPlan plan = manager.compute_plan(hop_stats);
+  if (options_.trace != nullptr) {
+    options_.trace->record(plan.version, obs::Phase::kGather, "manager",
+                           /*count=*/pois_.size(),
+                           /*bytes=*/gathered_pairs * sizeof(core::PairCount));
+    options_.trace->record(plan.version, obs::Phase::kCompute, "plan",
+                           /*count=*/plan.graph_vertices,
+                           /*bytes=*/plan.graph_edges);
+  }
   if (plan.tables.empty()) {
     manager.mark_deployed(plan);
     return plan;  // nothing observed yet; stay on current routing
@@ -424,6 +470,14 @@ core::ReconfigurationPlan Engine::reconfigure(core::Manager& manager) {
     LAR_CHECK(reply.has_value());
     auto* ack = std::get_if<AckReconfReply>(&*reply);
     LAR_CHECK(ack != nullptr && ack->version == plan.version);
+  }
+  if (options_.trace != nullptr) {
+    std::uint64_t table_entries = 0;
+    for (const auto& [op, table] : plan.tables) table_entries += table->size();
+    options_.trace->record(
+        plan.version, obs::Phase::kStage, "manager",
+        /*count=*/pois_.size(),
+        /*bytes=*/table_entries * (sizeof(Key) + sizeof(InstanceIndex)));
   }
 
   // 5) PROPAGATE into the sources; the wave does the rest.
@@ -456,6 +510,8 @@ EngineMetrics Engine::metrics() const {
   out.tuples_injected = tuples_injected_.load(std::memory_order_relaxed);
   out.tuples_buffered = tuples_buffered_.load(std::memory_order_relaxed);
   out.states_migrated = states_migrated_.load(std::memory_order_relaxed);
+  out.states_migrated_bytes =
+      states_migrated_bytes_.load(std::memory_order_relaxed);
   out.edges.reserve(edge_counters_.size());
   for (const auto& c : edge_counters_) {
     out.edges.push_back(EdgeMetricsSnapshot{
@@ -470,6 +526,63 @@ EngineMetrics Engine::metrics() const {
     per_op[poi->index] = poi->processed.load(std::memory_order_relaxed);
   }
   return out;
+}
+
+void Engine::publish_metrics() {
+  obs::Registry* reg = options_.registry;
+  if (reg == nullptr) return;
+
+  // Process-wide counters ratchet forward from the engine's own atomics;
+  // advance_to keeps repeated publishes monotonic.
+  reg->counter("lar_tuples_injected_total", {},
+               "Tuples fed to source POIs via inject().")
+      .advance_to(tuples_injected_.load(std::memory_order_relaxed));
+  reg->counter("lar_tuples_buffered_total", {},
+               "Tuples parked behind an in-flight key-state migration.")
+      .advance_to(tuples_buffered_.load(std::memory_order_relaxed));
+  reg->counter("lar_states_migrated_total", {},
+               "Key states shipped between sibling instances.")
+      .advance_to(states_migrated_.load(std::memory_order_relaxed));
+  reg->counter("lar_state_migrated_bytes_total", {},
+               "Serialized size of all migrated key states.")
+      .advance_to(states_migrated_bytes_.load(std::memory_order_relaxed));
+
+  for (std::size_t eid = 0; eid < edge_counters_.size(); ++eid) {
+    const EdgeSpec& edge = topology_.edges()[eid];
+    const std::string name =
+        topology_.op(edge.from).name + "->" + topology_.op(edge.to).name;
+    const EdgeCounters& c = edge_counters_[eid];
+    const std::uint64_t local = c.local.load(std::memory_order_relaxed);
+    const std::uint64_t remote = c.remote.load(std::memory_order_relaxed);
+    reg->counter("lar_edge_tuples_total", {{"edge", name}, {"path", "local"}},
+                 "Tuples moved over an edge, split by local/remote hop.")
+        .advance_to(local);
+    reg->counter("lar_edge_tuples_total", {{"edge", name}, {"path", "remote"}},
+                 "Tuples moved over an edge, split by local/remote hop.")
+        .advance_to(remote);
+    reg->counter("lar_edge_remote_bytes_total", {{"edge", name}},
+                 "Serialized bytes for cross-server hops of an edge.")
+        .advance_to(c.remote_bytes.load(std::memory_order_relaxed));
+    if (local + remote > 0) {
+      reg->gauge("lar_edge_locality_ratio", {{"edge", name}},
+                 "Fraction of an edge's tuples delivered server-locally "
+                 "(paper Figure 8).")
+          .set(static_cast<double>(local) /
+                static_cast<double>(local + remote));
+    }
+  }
+
+  for (const auto& poi : pois_) {
+    const obs::Labels labels = {{"op", topology_.op(poi->op).name},
+                                {"inst", std::to_string(poi->index)}};
+    reg->counter("lar_tuples_processed_total", labels,
+                 "Tuples processed per operator instance.")
+        .advance_to(poi->processed.load(std::memory_order_relaxed));
+    // Scheduling-dependent: byte-stable exports filter `lar_queue_` out.
+    reg->gauge("lar_queue_depth_hwm", labels,
+               "Deepest a POI inbox has ever been (items).")
+        .max_of(static_cast<double>(poi->inbox.high_water_mark()));
+  }
 }
 
 }  // namespace lar::runtime

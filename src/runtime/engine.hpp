@@ -30,6 +30,8 @@
 
 #include "core/manager.hpp"
 #include "core/plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/message.hpp"
 #include "runtime/operator.hpp"
 #include "runtime/queue.hpp"
@@ -55,6 +57,14 @@ struct EngineOptions {
   SourceMode source_mode = SourceMode::kRoundRobin;
 
   std::uint64_t seed = 1;
+
+  /// Observability sinks (may be null = the no-op disabled mode; both must
+  /// outlive the engine).  The per-tuple data path stays registry-free
+  /// either way: counters are engine-owned atomics that publish_metrics()
+  /// copies into `registry`, and `trace` only sees reconfiguration-protocol
+  /// steps (ack, propagate hop, migration, buffer/drain — see obs/trace.hpp).
+  obs::Registry* registry = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Copyable snapshot of one edge's traffic counters.
@@ -84,6 +94,9 @@ struct EngineMetrics {
   /// Key states shipped between sibling instances across all
   /// reconfigurations.
   std::uint64_t states_migrated = 0;
+
+  /// Serialized size of all migrated key states, in bytes.
+  std::uint64_t states_migrated_bytes = 0;
 };
 
 /// Deploys and runs a Topology.  Lifecycle: construct -> start() ->
@@ -119,6 +132,12 @@ class Engine {
 
   /// Counter snapshot (consistent only when quiescent, e.g. after flush()).
   [[nodiscard]] EngineMetrics metrics() const;
+
+  /// Publishes all engine counters into options().registry (`lar_*`
+  /// families; see DESIGN.md "Observability").  No-op without a registry.
+  /// Call when quiescent (after flush()) for a consistent snapshot; safe to
+  /// call repeatedly — counters ratchet monotonically.
+  void publish_metrics();
 
   /// Direct access to an operator instance for state inspection in tests
   /// and examples.  Only meaningful while quiescent.
@@ -167,6 +186,7 @@ class Engine {
   std::atomic<std::uint64_t> tuples_injected_{0};
   std::atomic<std::uint64_t> tuples_buffered_{0};
   std::atomic<std::uint64_t> states_migrated_{0};
+  std::atomic<std::uint64_t> states_migrated_bytes_{0};
   std::atomic<std::uint64_t> inject_seq_{0};
 
   struct EdgeCounters {

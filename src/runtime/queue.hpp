@@ -34,6 +34,7 @@ class Channel {
     not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    note_depth();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -49,6 +50,7 @@ class Channel {
       std::lock_guard lock(mutex_);
       if (closed_) return false;
       items_.push_back(std::move(item));
+      note_depth();
     }
     not_empty_.notify_one();
     return true;
@@ -60,6 +62,7 @@ class Channel {
       std::lock_guard lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      note_depth();
     }
     not_empty_.notify_one();
     return true;
@@ -92,12 +95,25 @@ class Channel {
     return items_.size();
   }
 
+  /// Deepest the queue has ever been (items, including unbounded control
+  /// messages).  A back-pressure indicator for the observability layer;
+  /// scheduling-dependent, so exports that must be byte-stable filter it.
+  [[nodiscard]] std::size_t high_water_mark() const {
+    std::lock_guard lock(mutex_);
+    return high_water_;
+  }
+
  private:
+  void note_depth() {  // caller holds mutex_
+    if (items_.size() > high_water_) high_water_ = items_.size();
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
   std::size_t capacity_;
+  std::size_t high_water_ = 0;
   bool closed_ = false;
 };
 

@@ -16,10 +16,11 @@ WindowReport Simulator::run_window(workload::TupleGenerator& gen,
   LAR_CHECK(n > 0);
   model_.reset_stats();
   for (std::uint64_t i = 0; i < n; ++i) model_.process(gen.next());
+  ++windows_run_;
   return report_from_stats();
 }
 
-WindowReport Simulator::report_from_stats() const {
+WindowReport Simulator::report_from_stats() {
   const TrafficStats& s = model_.stats();
   const SimConfig& cfg = model_.config();
   LAR_CHECK(s.tuples > 0);
@@ -77,33 +78,113 @@ WindowReport Simulator::report_from_stats() const {
     }
   }
 
-  report.edge_locality.reserve(s.edge_traffic.size());
-  for (const auto& et : s.edge_traffic) {
-    report.edge_locality.push_back(et.locality());
+  // Publish the window into the registry, then read the per-edge and
+  // per-operator figures back out of it: WindowReport is a *view* over
+  // registry values, so the exporters and the report can never disagree.
+  const Topology& topo = model_.topology();
+  registry_.counter("lar_windows_total", {}, "Simulation windows completed.")
+      .inc();
+  registry_
+      .gauge("lar_window_tuples", {}, "Sample tuples fed to the last window.")
+      .set(tuples);
+  registry_
+      .gauge("lar_window_throughput_tps", {},
+             "Sustainable source rate solved for the last window "
+             "(paper Figures 7/11/13).")
+      .set(report.throughput);
+  registry_
+      .gauge("lar_window_bottleneck_server", {},
+             "Server (or rack, for uplink resources) that saturates first.")
+      .set(static_cast<double>(report.bottleneck_server));
+  for (const Resource r : {Resource::kCpu, Resource::kNicOut, Resource::kNicIn,
+                           Resource::kUplinkOut, Resource::kUplinkIn}) {
+    registry_
+        .gauge("lar_window_bottleneck", {{"resource", to_string(r)}},
+               "1 on the resource that limits throughput, 0 elsewhere.")
+        .set(r == report.bottleneck ? 1.0 : 0.0);
   }
-  report.edge_rack_locality.reserve(s.edge_traffic.size());
   for (std::size_t e = 0; e < s.edge_traffic.size(); ++e) {
+    const EdgeSpec& edge = topo.edges()[e];
+    const std::string name = topo.op(edge.from).name + "->" + topo.op(edge.to).name;
     const std::uint64_t total =
         s.edge_traffic[e].local + s.edge_traffic[e].remote;
+    registry_
+        .gauge("lar_edge_locality_ratio", {{"edge", name}},
+               "Fraction of an edge's tuples delivered server-locally "
+               "(paper Figure 8).")
+        .set(s.edge_traffic[e].locality());
+    registry_
+        .gauge("lar_edge_rack_locality_ratio", {{"edge", name}},
+               "Fraction of an edge's tuples that stayed within one rack.")
+        .set(total == 0 ? 0.0
+                        : 1.0 - static_cast<double>(s.edge_rack_remote[e]) /
+                                    static_cast<double>(total));
+  }
+  for (std::size_t op = 0; op < s.instance_load.size(); ++op) {
+    registry_
+        .gauge("lar_op_load_balance_ratio",
+               {{"op", topo.op(static_cast<OperatorId>(op)).name}},
+               "Max/avg instance load of an operator (1 = perfectly even).")
+        .set(imbalance(s.instance_load[op]));
+  }
+
+  report.edge_locality.reserve(s.edge_traffic.size());
+  report.edge_rack_locality.reserve(s.edge_traffic.size());
+  for (std::size_t e = 0; e < s.edge_traffic.size(); ++e) {
+    const EdgeSpec& edge = topo.edges()[e];
+    const std::string name = topo.op(edge.from).name + "->" + topo.op(edge.to).name;
+    report.edge_locality.push_back(
+        registry_.gauge("lar_edge_locality_ratio", {{"edge", name}}).value());
     report.edge_rack_locality.push_back(
-        total == 0 ? 0.0
-                   : 1.0 - static_cast<double>(s.edge_rack_remote[e]) /
-                               static_cast<double>(total));
+        registry_.gauge("lar_edge_rack_locality_ratio", {{"edge", name}})
+            .value());
   }
   report.op_load_balance.reserve(s.instance_load.size());
-  for (const auto& loads : s.instance_load) {
-    report.op_load_balance.push_back(imbalance(loads));
+  for (std::size_t op = 0; op < s.instance_load.size(); ++op) {
+    report.op_load_balance.push_back(
+        registry_
+            .gauge("lar_op_load_balance_ratio",
+                   {{"op", topo.op(static_cast<OperatorId>(op)).name}})
+            .value());
   }
   return report;
 }
 
 core::ReconfigurationPlan Simulator::reconfigure(core::Manager& manager) {
-  core::ReconfigurationPlan plan =
-      manager.compute_plan(model_.collect_hop_stats());
+  const std::vector<core::HopStats> stats = model_.collect_hop_stats();
+  std::uint64_t pairs = 0;
+  for (const auto& h : stats) pairs += h.pairs.size();
+  core::ReconfigurationPlan plan = manager.compute_plan(stats);
+  record_reconfig_trace(plan, stats.size(), pairs);
   apply_plan(plan);
   manager.mark_deployed(plan);
   model_.reset_pair_stats();
   return plan;
+}
+
+void Simulator::record_reconfig_trace(const core::ReconfigurationPlan& plan,
+                                      std::uint64_t gathered_hops,
+                                      std::uint64_t gathered_pairs) {
+  // The simulator deploys atomically, so the six protocol phases collapse
+  // into one logical instant; the trace still records each of them (with the
+  // same virtual time = windows run) so fig13's timeline covers the full
+  // gather -> compute -> stage -> propagate -> migrate -> drain sequence.
+  const std::uint64_t vt = windows_run_;
+  trace_.record(plan.version, obs::Phase::kGather, "manager", gathered_hops,
+                gathered_pairs * sizeof(core::PairCount), vt);
+  trace_.record(plan.version, obs::Phase::kCompute, "plan",
+                plan.graph_vertices, plan.graph_edges, vt);
+  std::uint64_t table_entries = 0;
+  for (const auto& [op, table] : plan.tables) table_entries += table->size();
+  trace_.record(plan.version, obs::Phase::kStage, "manager",
+                plan.tables.size(),
+                table_entries * (sizeof(Key) + sizeof(InstanceIndex)), vt);
+  trace_.record(plan.version, obs::Phase::kPropagate, "wave",
+                plan.tables.size(), 0, vt);
+  // Sim does not model per-key state bytes; the engine's trace carries them.
+  trace_.record(plan.version, obs::Phase::kMigrate, "keys", plan.total_moves(),
+                0, vt);
+  trace_.record(plan.version, obs::Phase::kDrain, "keys", 0, 0, vt);
 }
 
 void Simulator::apply_plan(const core::ReconfigurationPlan& plan) {
@@ -116,10 +197,14 @@ Simulator::AdvisedReconfig Simulator::reconfigure_if_beneficial(
     core::Manager& manager, double current_locality, double current_balance,
     const core::AdvisorOptions& advisor_options) {
   AdvisedReconfig out;
-  out.plan = manager.compute_plan(model_.collect_hop_stats());
+  const std::vector<core::HopStats> stats = model_.collect_hop_stats();
+  std::uint64_t pairs = 0;
+  for (const auto& h : stats) pairs += h.pairs.size();
+  out.plan = manager.compute_plan(stats);
   out.verdict = core::evaluate_plan(out.plan, current_locality,
                                     current_balance, advisor_options);
   if (out.verdict.deploy) {
+    record_reconfig_trace(out.plan, stats.size(), pairs);
     apply_plan(out.plan);
     manager.mark_deployed(out.plan);
     model_.reset_pair_stats();

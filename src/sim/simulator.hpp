@@ -19,6 +19,8 @@
 
 #include "core/advisor.hpp"
 #include "core/manager.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/pipeline.hpp"
 #include "workload/workload.hpp"
 
@@ -91,10 +93,27 @@ class Simulator {
     return model_.config();
   }
 
+  /// Built-in observability sinks.  Every run_window() publishes the window
+  /// gauges (`lar_window_*`, `lar_edge_*`, `lar_op_*`) and every
+  /// reconfigure() records the full gather -> compute -> stage -> propagate
+  /// -> migrate -> drain trace; WindowReport is a view over these registry
+  /// values.  Hand registry() to Manager::set_metrics_registry() to get the
+  /// plan diagnostics in the same place (fig13 does this).
+  [[nodiscard]] obs::Registry& registry() noexcept { return registry_; }
+  [[nodiscard]] obs::TraceRecorder& trace() noexcept { return trace_; }
+
  private:
-  [[nodiscard]] WindowReport report_from_stats() const;
+  [[nodiscard]] WindowReport report_from_stats();
+
+  /// Records one six-phase reconfiguration trace; vtime = windows run so far.
+  void record_reconfig_trace(const core::ReconfigurationPlan& plan,
+                             std::uint64_t gathered_hops,
+                             std::uint64_t gathered_pairs);
 
   PipelineModel model_;
+  obs::Registry registry_;
+  obs::TraceRecorder trace_;
+  std::uint64_t windows_run_ = 0;  ///< virtual time for trace events
 };
 
 }  // namespace lar::sim

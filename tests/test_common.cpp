@@ -224,6 +224,46 @@ TEST(RunningStat, EmptyIsZero) {
   EXPECT_EQ(s.variance(), 0.0);
 }
 
+TEST(RunningStat, MergeMatchesSinglePass) {
+  // Parallel Welford combine: shard-wise aggregates merged together must
+  // agree with one aggregate over the concatenated samples.
+  Rng rng(99);
+  std::vector<double> samples(1000);
+  for (auto& x : samples) x = rng.uniform() * 100.0 - 50.0;
+
+  RunningStat single;
+  for (const double x : samples) single.add(x);
+
+  RunningStat merged;
+  // Uneven shard sizes, including a singleton and an empty shard.
+  const std::size_t cuts[] = {0, 1, 400, 400, 1000};
+  for (std::size_t c = 0; c + 1 < std::size(cuts); ++c) {
+    RunningStat shard;
+    for (std::size_t i = cuts[c]; i < cuts[c + 1]; ++i) shard.add(samples[i]);
+    merged.merge(shard);
+  }
+
+  EXPECT_EQ(merged.count(), single.count());
+  EXPECT_DOUBLE_EQ(merged.mean(), single.mean());
+  EXPECT_DOUBLE_EQ(merged.min(), single.min());
+  EXPECT_DOUBLE_EQ(merged.max(), single.max());
+  EXPECT_NEAR(merged.variance(), single.variance(), 1e-9);
+}
+
+TEST(RunningStat, MergeIntoEmptyAndWithEmpty) {
+  RunningStat a;
+  a.add(2.0);
+  a.add(4.0);
+  RunningStat empty;
+  RunningStat b;
+  b.merge(a);  // into empty: copies
+  b.merge(empty);  // with empty: no-op
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(b.min(), 2.0);
+  EXPECT_DOUBLE_EQ(b.max(), 4.0);
+}
+
 TEST(Imbalance, PerfectBalanceIsOne) {
   const std::vector<std::uint64_t> loads{100, 100, 100, 100};
   EXPECT_DOUBLE_EQ(imbalance(loads), 1.0);

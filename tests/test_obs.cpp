@@ -1,0 +1,415 @@
+// Unit tests for lar::obs — registry semantics, exporter golden output,
+// trace canonicalization, thread-safety, and end-to-end byte-stability of
+// the exports for a fixed-seed engine run.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/manager.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/engine.hpp"
+#include "sim/simulator.hpp"
+#include "workload/synthetic.hpp"
+
+namespace lar {
+namespace {
+
+using obs::Phase;
+using obs::Registry;
+using obs::TraceRecorder;
+
+// --- registry ----------------------------------------------------------------
+
+TEST(Registry, CounterFindsSameInstrument) {
+  Registry reg;
+  obs::Counter& a = reg.counter("lar_x_total", {{"op", "count"}});
+  a.inc(3);
+  obs::Counter& b = reg.counter("lar_x_total", {{"op", "count"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Registry, LabelOrderIsCanonicalized) {
+  Registry reg;
+  obs::Counter& a = reg.counter("lar_x_total", {{"b", "2"}, {"a", "1"}});
+  obs::Counter& b = reg.counter("lar_x_total", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Registry, CounterAdvanceToIsMonotonic) {
+  Registry reg;
+  obs::Counter& c = reg.counter("lar_x_total");
+  c.advance_to(10);
+  c.advance_to(7);  // never lowers
+  EXPECT_EQ(c.value(), 10u);
+  c.advance_to(12);
+  EXPECT_EQ(c.value(), 12u);
+}
+
+TEST(Registry, GaugeCombinators) {
+  Registry reg;
+  obs::Gauge& g = reg.gauge("lar_x_ratio");
+  g.set(0.5);
+  g.add(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 0.75);
+  g.max_of(0.5);  // lower: ignored
+  EXPECT_DOUBLE_EQ(g.value(), 0.75);
+  g.max_of(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(Registry, HistogramBucketsAndAggregates) {
+  Registry reg;
+  obs::Histogram& h = reg.histogram("lar_x_bytes", {10.0, 100.0});
+  h.observe(5);    // <= 10
+  h.observe(10);   // <= 10 (upper bounds are inclusive)
+  h.observe(50);   // <= 100
+  h.observe(500);  // +Inf
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 565.0);
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+}
+
+// --- exporters (embedded golden) --------------------------------------------
+
+/// A registry with one instrument of each kind, fixed values.
+void fill_golden(Registry& reg) {
+  reg.counter("lar_tuples_total", {{"op", "count"}, {"inst", "0"}},
+              "Tuples processed.")
+      .inc(42);
+  reg.counter("lar_tuples_total", {{"op", "count"}, {"inst", "1"}},
+              "Tuples processed.")
+      .inc(7);
+  reg.gauge("lar_locality_ratio", {}, "Locality.").set(0.75);
+  obs::Histogram& h =
+      reg.histogram("lar_size_bytes", {10.0, 100.0}, {}, "Sizes.");
+  h.observe(5);
+  h.observe(50);
+  h.observe(500);
+}
+
+TEST(Exporters, PrometheusGolden) {
+  Registry reg;
+  fill_golden(reg);
+  const std::string expected =
+      "# HELP lar_locality_ratio Locality.\n"
+      "# TYPE lar_locality_ratio gauge\n"
+      "lar_locality_ratio 0.75\n"
+      "# HELP lar_size_bytes Sizes.\n"
+      "# TYPE lar_size_bytes histogram\n"
+      "lar_size_bytes_bucket{le=\"10\"} 1\n"
+      "lar_size_bytes_bucket{le=\"100\"} 2\n"
+      "lar_size_bytes_bucket{le=\"+Inf\"} 3\n"
+      "lar_size_bytes_sum 555\n"
+      "lar_size_bytes_count 3\n"
+      "# HELP lar_tuples_total Tuples processed.\n"
+      "# TYPE lar_tuples_total counter\n"
+      "lar_tuples_total{inst=\"0\",op=\"count\"} 42\n"
+      "lar_tuples_total{inst=\"1\",op=\"count\"} 7\n";
+  EXPECT_EQ(obs::to_prometheus(reg), expected);
+}
+
+TEST(Exporters, JsonGolden) {
+  Registry reg;
+  fill_golden(reg);
+  const std::string expected =
+      "{\"metrics\":["
+      "{\"name\":\"lar_locality_ratio\",\"kind\":\"gauge\",\"help\":"
+      "\"Locality.\",\"samples\":[{\"labels\":{},\"value\":0.75}]},"
+      "{\"name\":\"lar_size_bytes\",\"kind\":\"histogram\",\"help\":"
+      "\"Sizes.\",\"samples\":[{\"labels\":{},\"buckets\":[{\"le\":10,"
+      "\"count\":1},{\"le\":100,\"count\":2},{\"le\":null,\"count\":3}],"
+      "\"sum\":555,\"count\":3}]},"
+      "{\"name\":\"lar_tuples_total\",\"kind\":\"counter\",\"help\":"
+      "\"Tuples processed.\",\"samples\":["
+      "{\"labels\":{\"inst\":\"0\",\"op\":\"count\"},\"value\":42},"
+      "{\"labels\":{\"inst\":\"1\",\"op\":\"count\"},\"value\":7}]}"
+      "]}";
+  EXPECT_EQ(obs::to_json(reg), expected);
+}
+
+TEST(Exporters, FilterDropsFamilies) {
+  Registry reg;
+  fill_golden(reg);
+  const std::string out = obs::to_prometheus(reg, [](std::string_view name) {
+    return name != "lar_tuples_total";
+  });
+  EXPECT_EQ(out.find("lar_tuples_total"), std::string::npos);
+  EXPECT_NE(out.find("lar_locality_ratio"), std::string::npos);
+}
+
+// --- trace -------------------------------------------------------------------
+
+TEST(Trace, CanonicalOrderIsVersionPhaseEntity) {
+  TraceRecorder trace;
+  trace.record(2, Phase::kGather, "manager");
+  trace.record(1, Phase::kMigrate, obs::key_entity(7), 1, 64);
+  trace.record(1, Phase::kAck, obs::poi_entity(1, 2));
+  trace.record(1, Phase::kAck, obs::poi_entity(1, 0));
+  const auto events = trace.canonical_events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].phase, Phase::kAck);
+  EXPECT_EQ(events[0].entity, obs::poi_entity(1, 0));
+  EXPECT_EQ(events[1].entity, obs::poi_entity(1, 2));
+  EXPECT_EQ(events[2].phase, Phase::kMigrate);
+  EXPECT_EQ(events[3].version, 2u);
+}
+
+TEST(Trace, JsonOmitsSeqByDefault) {
+  TraceRecorder trace;
+  trace.record(1, Phase::kCompute, "plan", 10, 20, 3);
+  const std::string json = obs::trace_to_json(trace);
+  EXPECT_EQ(json,
+            "[{\"version\":1,\"phase\":\"compute\",\"entity\":\"plan\","
+            "\"count\":10,\"bytes\":20,\"vtime\":3}]");
+  const std::string with_seq = obs::trace_to_json(trace, /*include_seq=*/true);
+  EXPECT_NE(with_seq.find("\"seq\":0"), std::string::npos);
+}
+
+// --- concurrency (ctest label: obs) -----------------------------------------
+
+TEST(Concurrency, NoLostIncrementsAcrossEightThreads) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      // Every thread interns the shared instruments itself, so creation
+      // races are exercised too; one label set per pair of threads.
+      obs::Counter& c = reg.counter("lar_conc_total");
+      obs::Counter& labeled =
+          reg.counter("lar_conc_by_half_total",
+                      {{"half", t % 2 == 0 ? "even" : "odd"}});
+      obs::Gauge& hwm = reg.gauge("lar_conc_hwm");
+      obs::Histogram& h = reg.histogram("lar_conc_bytes", {100.0, 1000.0});
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        labeled.inc(2);
+        hwm.max_of(static_cast<double>(i));
+        h.observe(static_cast<double>(i % 2000));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(reg.counter("lar_conc_total").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.counter("lar_conc_by_half_total", {{"half", "even"}}).value(),
+            static_cast<std::uint64_t>(kThreads / 2) * kIters * 2);
+  EXPECT_EQ(reg.counter("lar_conc_by_half_total", {{"half", "odd"}}).value(),
+            static_cast<std::uint64_t>(kThreads / 2) * kIters * 2);
+  EXPECT_DOUBLE_EQ(reg.gauge("lar_conc_hwm").value(), kIters - 1);
+  obs::Histogram& h = reg.histogram("lar_conc_bytes", {100.0, 1000.0});
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  std::uint64_t bucket_sum = 0;
+  for (const std::uint64_t b : h.bucket_counts()) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, h.count());
+}
+
+TEST(Concurrency, TraceRecorderConcurrentRecords) {
+  TraceRecorder trace;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace, t] {
+      for (int i = 0; i < kIters; ++i) {
+        trace.record(1, Phase::kMigrate, obs::key_entity(t), 1, 8);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(trace.size(), static_cast<std::size_t>(kThreads) * kIters);
+  // Sequence numbers must be unique and dense.
+  std::vector<bool> seen(trace.size(), false);
+  for (const auto& e : trace.events()) {
+    ASSERT_LT(e.seq, seen.size());
+    EXPECT_FALSE(seen[e.seq]);
+    seen[e.seq] = true;
+  }
+}
+
+// --- end-to-end byte stability ----------------------------------------------
+
+runtime::OperatorFactory counting_factory() {
+  return [](OperatorId op,
+            InstanceIndex) -> std::unique_ptr<runtime::Operator> {
+    if (op == 0) return std::make_unique<runtime::PassThroughOperator>();
+    return std::make_unique<runtime::CountingOperator>(op == 1 ? 0u : 1u);
+  };
+}
+
+/// One fixed-seed engine run with a reconfiguration in the middle; returns
+/// the Prometheus text and combined JSON report.  Queue high-water marks are
+/// the one scheduling-dependent family, so the byte-stable export drops
+/// them.
+std::pair<std::string, std::string> instrumented_engine_run() {
+  const std::uint32_t n = 3;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  Registry reg;
+  TraceRecorder trace;
+  runtime::EngineOptions opts;
+  opts.fields_mode = FieldsRouting::kHash;
+  opts.pair_stats_capacity = 0;  // exact statistics -> deterministic plans
+  opts.registry = &reg;
+  opts.trace = &trace;
+  runtime::Engine engine(topo, place, counting_factory(), opts);
+  engine.start();
+  core::Manager manager(topo, place, {});
+  manager.set_metrics_registry(&reg);
+  workload::SyntheticGenerator gen(
+      {.num_values = 120, .locality = 0.8, .padding = 8, .seed = 31});
+  for (int i = 0; i < 6000; ++i) engine.inject(gen.next());
+  engine.flush();  // quiescent reconfiguration: no racy buffer/drain events
+  (void)engine.reconfigure(manager);
+  for (int i = 0; i < 6000; ++i) engine.inject(gen.next());
+  engine.flush();
+  engine.publish_metrics();
+  const auto keep = [](std::string_view name) {
+    return name.substr(0, 10) != "lar_queue_";
+  };
+  auto out = std::make_pair(obs::to_prometheus(reg, keep),
+                            obs::report_json(reg, &trace, keep));
+  engine.shutdown();
+  return out;
+}
+
+TEST(ByteStability, SameSeedEngineRunsExportIdenticalBytes) {
+  const auto [prom1, json1] = instrumented_engine_run();
+  const auto [prom2, json2] = instrumented_engine_run();
+  EXPECT_EQ(prom1, prom2);
+  EXPECT_EQ(json1, json2);
+  // Sanity: the export actually carries the instrumented families.
+  for (const char* family :
+       {"lar_tuples_injected_total", "lar_tuples_processed_total",
+        "lar_edge_tuples_total", "lar_edge_locality_ratio",
+        "lar_states_migrated_total", "lar_state_migration_size_bytes",
+        "lar_plan_edge_cut", "lar_partitioner_fm_passes_total"}) {
+    EXPECT_NE(prom1.find(family), std::string::npos) << family;
+  }
+  for (const char* phase :
+       {"\"gather\"", "\"compute\"", "\"stage\"", "\"ack\"", "\"propagate\"",
+        "\"migrate\""}) {
+    EXPECT_NE(json1.find(phase), std::string::npos) << phase;
+  }
+}
+
+TEST(ByteStability, EnginePublishMatchesMetricsSnapshot) {
+  const std::uint32_t n = 2;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  Registry reg;
+  runtime::EngineOptions opts;
+  opts.fields_mode = FieldsRouting::kHash;
+  opts.registry = &reg;
+  runtime::Engine engine(topo, place, counting_factory(), opts);
+  engine.start();
+  workload::SyntheticGenerator gen(
+      {.num_values = 40, .locality = 0.6, .padding = 4, .seed = 32});
+  for (int i = 0; i < 2000; ++i) engine.inject(gen.next());
+  engine.flush();
+  engine.publish_metrics();
+  const runtime::EngineMetrics m = engine.metrics();
+  EXPECT_EQ(reg.counter("lar_tuples_injected_total").value(),
+            m.tuples_injected);
+  std::uint64_t local = 0;
+  std::uint64_t remote = 0;
+  for (const auto& e : m.edges) {
+    local += e.local;
+    remote += e.remote;
+  }
+  std::uint64_t reg_local = 0;
+  std::uint64_t reg_remote = 0;
+  for (const auto& family : reg.families()) {
+    if (family.name != "lar_edge_tuples_total") continue;
+    for (const auto& s : family.samples) {
+      for (const auto& label : *s.labels) {
+        if (label.key != "path") continue;
+        (label.value == "local" ? reg_local : reg_remote) +=
+            s.counter->value();
+      }
+    }
+  }
+  EXPECT_EQ(reg_local, local);
+  EXPECT_EQ(reg_remote, remote);
+  engine.shutdown();
+}
+
+TEST(ByteStability, SimulatorWindowReportIsViewOverRegistry) {
+  const std::uint32_t n = 4;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kAlignedField0;
+  cfg.seed = 17;
+  sim::Simulator simulator(topo, place, cfg, FieldsRouting::kHash);
+  workload::SyntheticGenerator gen(
+      {.num_values = 4000, .locality = 0.6, .padding = 0, .seed = 17});
+  const sim::WindowReport report = simulator.run_window(gen, 50'000);
+
+  Registry& reg = simulator.registry();
+  EXPECT_DOUBLE_EQ(reg.gauge("lar_window_throughput_tps").value(),
+                   report.throughput);
+  EXPECT_EQ(reg.counter("lar_windows_total").value(), 1u);
+  EXPECT_DOUBLE_EQ(
+      reg.gauge("lar_window_bottleneck",
+                {{"resource", sim::to_string(report.bottleneck)}})
+          .value(),
+      1.0);
+  const std::string edge0 =
+      topo.op(topo.edges()[0].from).name + "->" + topo.op(topo.edges()[0].to).name;
+  EXPECT_DOUBLE_EQ(reg.gauge("lar_edge_locality_ratio", {{"edge", edge0}}).value(),
+                   report.edge_locality[0]);
+
+  // Two same-seed simulators export identical bytes (no filter needed: the
+  // simulator is single-threaded).
+  sim::Simulator simulator2(topo, place, cfg, FieldsRouting::kHash);
+  workload::SyntheticGenerator gen2(
+      {.num_values = 4000, .locality = 0.6, .padding = 0, .seed = 17});
+  (void)simulator2.run_window(gen2, 50'000);
+  EXPECT_EQ(obs::to_prometheus(simulator.registry()),
+            obs::to_prometheus(simulator2.registry()));
+}
+
+TEST(ByteStability, SimulatorReconfigureTraceCoversAllSixPhases) {
+  const std::uint32_t n = 3;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kRoundRobin;
+  cfg.seed = 5;
+  sim::Simulator simulator(topo, place, cfg, FieldsRouting::kTable);
+  core::Manager manager(topo, place, {});
+  manager.set_metrics_registry(&simulator.registry());
+  workload::SyntheticGenerator gen(
+      {.num_values = 300, .locality = 0.7, .padding = 0, .seed = 5});
+  (void)simulator.run_window(gen, 20'000);
+  (void)simulator.reconfigure(manager);
+  const auto events = simulator.trace().canonical_events();
+  ASSERT_EQ(events.size(), 6u);
+  for (const Phase phase :
+       {Phase::kGather, Phase::kCompute, Phase::kStage, Phase::kPropagate,
+        Phase::kMigrate, Phase::kDrain}) {
+    bool found = false;
+    for (const auto& e : events) found |= e.phase == phase;
+    EXPECT_TRUE(found) << to_string(phase);
+  }
+  // The plan diagnostics landed in the shared registry via the manager.
+  EXPECT_EQ(simulator.registry().counter("lar_plans_computed_total").value(),
+            1u);
+}
+
+}  // namespace
+}  // namespace lar
