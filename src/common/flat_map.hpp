@@ -1,0 +1,260 @@
+// lar::FlatMap — deterministic open-addressing hash map for the data plane.
+//
+// The per-tuple path (RoutingTable::route, SpaceSaving::add, ExactCounter,
+// pair-count merging, KeyDict interning) used to probe node-based
+// std::unordered_map buckets: one cache miss to find the bucket, another to
+// chase the node pointer, plus an implementation-defined std::hash.  FlatMap
+// stores key/value slots contiguously and probes linearly, so a lookup is one
+// mix64-style hash, one indexed load and (almost always) zero pointer chases.
+//
+// Determinism contract — the properties the routing invariants rely on:
+//   * hashing goes through an explicit deterministic functor (DetHash by
+//     default: mix64 for integers, FNV-1a for strings); std::hash is never
+//     consulted, so the slot layout is identical across standard libraries;
+//   * the layout is a pure function of the (hash functor, insert/erase
+//     sequence): capacities are powers of two grown at a fixed load factor,
+//     and erase uses backward-shift deletion (no tombstones), so no hidden
+//     state survives an erase;
+//   * iteration (begin/end, for_each) walks slots in index order, which is
+//     deterministic but *arbitrary* — callers that feed ordered consumers use
+//     sorted_items(), the canonical key-ordered accessor.
+//
+// Not thread-safe; single-writer like every other data-plane structure here.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/status.hpp"
+
+namespace lar {
+
+template <typename K, typename V, typename Hash = DetHash<K>,
+          typename Eq = std::equal_to<>>
+class FlatMap {
+ public:
+  struct Item {
+    K key;
+    V value;
+  };
+
+  FlatMap() = default;
+
+  /// Pre-sizes the table for `n` items without rehashing on the way there.
+  void reserve(std::size_t n) {
+    std::size_t want = kMinCapacity;
+    // Grow until n fits under the load-factor ceiling (5/8 of capacity).
+    while (want / 8 * 5 < n) want *= 2;
+    if (want > slots_.size()) rehash(want);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Pointer to the value for `key`, or nullptr.  Accepts any type the hash
+  /// functor and equality are transparent over (e.g. string_view lookups in a
+  /// FlatMap keyed by std::string).
+  template <typename Q>
+  [[nodiscard]] const V* find(const Q& key) const noexcept {
+    if (size_ == 0) return nullptr;
+    std::size_t i = Hash{}(key)&mask_;
+    while (used_[i]) {
+      if (Eq{}(slots_[i].key, key)) return &slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+  template <typename Q>
+  [[nodiscard]] V* find(const Q& key) noexcept {
+    return const_cast<V*>(std::as_const(*this).find(key));
+  }
+
+  [[nodiscard]] bool contains(const K& key) const noexcept {
+    return find(key) != nullptr;
+  }
+
+  /// Inserts `key` default-constructed if absent; returns the value slot.
+  V& operator[](const K& key) { return *emplace_slot(key); }
+
+  /// Inserts or overwrites; returns true when the key was newly inserted.
+  bool insert_or_assign(const K& key, V value) {
+    const std::size_t before = size_;
+    V* slot = emplace_slot(key);
+    *slot = std::move(value);
+    return size_ != before;
+  }
+
+  /// Removes `key` with backward-shift deletion (no tombstones), so probe
+  /// chains stay dense and the layout remains a pure function of the
+  /// operation sequence.  Returns true when the key was present.
+  template <typename Q>
+  bool erase(const Q& key) {
+    if (size_ == 0) return false;
+    std::size_t i = Hash{}(key)&mask_;
+    while (used_[i]) {
+      if (Eq{}(slots_[i].key, key)) {
+        shift_out(i);
+        --size_;
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  void clear() noexcept {
+    if (size_ != 0) {
+      if constexpr (std::is_trivially_destructible_v<Item>) {
+        std::fill(used_.begin(), used_.end(), std::uint8_t{0});
+      } else {
+        // Release slot payloads (strings, vectors) instead of keeping them
+        // alive invisibly inside "empty" slots.
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+          if (used_[i]) {
+            slots_[i] = Item{};
+            used_[i] = 0;
+          }
+        }
+      }
+    }
+    size_ = 0;
+  }
+
+  /// Applies `fn(key, value)` to every item in slot order (deterministic,
+  /// arbitrary).  Use sorted_items() when the consumer needs canonical order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i]) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+
+  /// All items sorted by key — the canonical accessor for any caller whose
+  /// output ordering matters (serialization, exporters, table diffs).
+  [[nodiscard]] std::vector<Item> sorted_items() const
+    requires std::totally_ordered<K>
+  {
+    std::vector<Item> out;
+    out.reserve(size_);
+    for_each([&out](const K& k, const V& v) { out.push_back(Item{k, v}); });
+    std::sort(out.begin(), out.end(),
+              [](const Item& a, const Item& b) { return a.key < b.key; });
+    return out;
+  }
+
+  // Minimal forward iteration over occupied slots (slot order).
+  class const_iterator {
+   public:
+    const_iterator(const FlatMap* m, std::size_t i) noexcept : map_(m), i_(i) {
+      skip();
+    }
+    const Item& operator*() const noexcept { return map_->slots_[i_]; }
+    const Item* operator->() const noexcept { return &map_->slots_[i_]; }
+    const_iterator& operator++() noexcept {
+      ++i_;
+      skip();
+      return *this;
+    }
+    friend bool operator==(const const_iterator& a,
+                           const const_iterator& b) noexcept {
+      return a.i_ == b.i_;
+    }
+
+   private:
+    void skip() noexcept {
+      while (i_ < map_->slots_.size() && !map_->used_[i_]) ++i_;
+    }
+    const FlatMap* map_;
+    std::size_t i_;
+  };
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return const_iterator(this, 0);
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return const_iterator(this, slots_.size());
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  /// Finds `key`'s value slot, inserting a default-constructed value (and
+  /// growing at the 5/8 load ceiling) when absent.  Plain (non-SIMD) linear
+  /// probing degrades sharply past ~3/4 load — unsuccessful probes average
+  /// O(1/(1-a)^2) slots — and the data plane's table lookups miss often
+  /// (un-planned keys fall back to hashing), so the ceiling trades a little
+  /// memory for short chains on both hit and miss paths.
+  V* emplace_slot(const K& key) {
+    if (!slots_.empty()) {
+      std::size_t i = Hash{}(key)&mask_;
+      while (used_[i]) {
+        if (Eq{}(slots_[i].key, key)) return &slots_[i].value;
+        i = (i + 1) & mask_;
+      }
+    }
+    // Not present: grow first if the insert would cross the load ceiling,
+    // then probe again (the rehash moved everything).
+    if (slots_.empty()) {
+      rehash(kMinCapacity);
+    } else if (size_ + 1 > slots_.size() / 8 * 5) {
+      rehash(slots_.size() * 2);
+    }
+    std::size_t i = Hash{}(key)&mask_;
+    while (used_[i]) i = (i + 1) & mask_;
+    used_[i] = 1;
+    slots_[i].key = key;
+    slots_[i].value = V{};
+    ++size_;
+    return &slots_[i].value;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    LAR_CHECK((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<Item> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    slots_.assign(new_capacity, Item{});
+    used_.assign(new_capacity, 0);
+    mask_ = new_capacity - 1;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_used[i]) continue;
+      std::size_t j = Hash{}(old_slots[i].key) & mask_;
+      while (used_[j]) j = (j + 1) & mask_;
+      used_[j] = 1;
+      slots_[j] = std::move(old_slots[i]);
+    }
+  }
+
+  /// Backward-shift deletion starting at occupied slot `pos`.
+  void shift_out(std::size_t pos) {
+    std::size_t hole = pos;
+    std::size_t i = (pos + 1) & mask_;
+    while (used_[i]) {
+      const std::size_t home = Hash{}(slots_[i].key) & mask_;
+      // Move slots_[i] into the hole unless it already sits in its probe
+      // window [home, i]: the wrap-aware test "hole is outside (home..i]".
+      const bool movable = ((i - home) & mask_) >= ((i - hole) & mask_);
+      if (movable) {
+        slots_[hole] = std::move(slots_[i]);
+        hole = i;
+      }
+      i = (i + 1) & mask_;
+    }
+    used_[hole] = 0;
+    slots_[hole] = Item{};
+  }
+
+  std::vector<Item> slots_;
+  std::vector<std::uint8_t> used_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+
+  friend class const_iterator;
+};
+
+}  // namespace lar

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <string>
 #include <string_view>
+#include <type_traits>
 
 namespace lar {
 
@@ -45,5 +46,32 @@ namespace lar {
                                                 std::uint64_t b) noexcept {
   return hash_combine(mix64(a), mix64(b));
 }
+
+/// Deterministic hash functor: the drop-in replacement for std::hash wherever
+/// a container's memory layout (and therefore iteration order) must be
+/// identical across standard libraries, processes and runs.  Integers go
+/// through mix64, strings through FNV-1a; other key types provide their own
+/// functor (e.g. core::KeyPairHash).
+template <typename T>
+struct DetHash;
+
+template <typename T>
+  requires std::is_integral_v<T> || std::is_enum_v<T>
+struct DetHash<T> {
+  [[nodiscard]] constexpr std::uint64_t operator()(T v) const noexcept {
+    return mix64(static_cast<std::uint64_t>(v));
+  }
+};
+
+template <>
+struct DetHash<std::string> {
+  using is_transparent = void;  ///< enables string_view lookups without copies
+  [[nodiscard]] std::uint64_t operator()(std::string_view s) const noexcept {
+    return fnv1a64(s);
+  }
+};
+
+template <>
+struct DetHash<std::string_view> : DetHash<std::string> {};
 
 }  // namespace lar

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/flat_map.hpp"
+
 namespace lar::core {
 
 void BipartiteGraphBuilder::add_pairs(OperatorId in_op, OperatorId out_op,
@@ -12,26 +14,29 @@ void BipartiteGraphBuilder::add_pairs(OperatorId in_op, OperatorId out_op,
 KeyGraph BipartiteGraphBuilder::build() const {
   KeyGraph out;
   partition::GraphBuilder builder;
-  std::unordered_map<KeyVertex, partition::VertexId, KeyVertexHash> ids;
+  FlatMap<KeyVertex, partition::VertexId, KeyVertexHash> ids;
 
   auto vertex_of = [&](OperatorId op, Key key) {
     const KeyVertex kv{op, key};
-    auto it = ids.find(kv);
-    if (it != ids.end()) return it->second;
+    if (const partition::VertexId* found = ids.find(kv)) return *found;
     const partition::VertexId id = builder.add_vertex(0);
-    ids.emplace(kv, id);
+    ids[kv] = id;
     out.vertices.push_back(kv);
     return id;
   };
 
   for (const auto& hop : hops_) {
     // Respect the statistics budget: keep the heaviest pairs of this hop.
+    // Ties at the cut-off break on (in, out) so the kept subset is a pure
+    // function of the pair *set* — comparing on count alone would let the
+    // caller's list order decide which equal-weight pairs survive.
     std::vector<PairCount> pairs = hop.pairs;
     if (top_edges_ != 0 && pairs.size() > top_edges_) {
       std::partial_sort(pairs.begin(),
                         pairs.begin() + static_cast<std::ptrdiff_t>(top_edges_),
                         pairs.end(), [](const PairCount& a, const PairCount& b) {
-                          return a.count > b.count;
+                          if (a.count != b.count) return a.count > b.count;
+                          return a.in != b.in ? a.in < b.in : a.out < b.out;
                         });
       pairs.resize(top_edges_);
     }

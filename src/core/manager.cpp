@@ -1,7 +1,6 @@
 #include "core/manager.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "common/logging.hpp"
 #include "common/status.hpp"
@@ -246,17 +245,21 @@ ReconfigurationPlan Manager::compute_plan(const std::vector<HopStats>& stats) {
 
   // 4. Migration lists: diff the new tables against the deployed ones over
   //    the union of their explicit keys (anything else stays hash-routed on
-  //    the same instance either way).
+  //    the same instance either way).  sorted_entries() keeps the union — and
+  //    therefore the move list — in ascending key order by construction.
   for (auto& [op, table] : tables) {
     table->set_version(plan.version);
     const std::uint32_t parallelism = topology_.op(op).parallelism;
     const std::shared_ptr<const RoutingTable> old = current_table(op);
 
-    std::unordered_set<Key> keys;
-    for (const auto& [key, inst] : table->entries()) keys.insert(key);
+    std::vector<Key> keys;
+    keys.reserve(table->size() + (old != nullptr ? old->size() : 0));
+    for (const auto& [key, inst] : table->sorted_entries()) keys.push_back(key);
     if (old != nullptr) {
-      for (const auto& [key, inst] : old->entries()) keys.insert(key);
+      for (const auto& [key, inst] : old->sorted_entries()) keys.push_back(key);
     }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
     std::vector<KeyMove> moves;
     for (const Key key : keys) {
       const InstanceIndex before =
@@ -266,8 +269,6 @@ ReconfigurationPlan Manager::compute_plan(const std::vector<HopStats>& stats) {
       if (before != after) moves.push_back(KeyMove{key, before, after});
     }
     if (topology_.op(op).stateful && !moves.empty()) {
-      std::sort(moves.begin(), moves.end(),
-                [](const KeyMove& a, const KeyMove& b) { return a.key < b.key; });
       plan.moves.emplace(op, std::move(moves));
     }
     plan.tables.emplace(op, std::move(table));

@@ -1,6 +1,8 @@
 #include "core/pair_stats.hpp"
 
-#include <unordered_map>
+#include <algorithm>
+
+#include "common/flat_map.hpp"
 
 namespace lar::core {
 
@@ -49,7 +51,10 @@ void PairStats::reset() {
 
 std::vector<PairCount> merge_pair_counts(
     const std::vector<std::vector<PairCount>>& snapshots) {
-  std::unordered_map<KeyPair, std::uint64_t, KeyPairHash> merged;
+  FlatMap<KeyPair, std::uint64_t, KeyPairHash> merged;
+  std::size_t upper = 0;
+  for (const auto& snapshot : snapshots) upper += snapshot.size();
+  merged.reserve(upper);
   for (const auto& snapshot : snapshots) {
     for (const auto& pc : snapshot) {
       merged[KeyPair{pc.in, pc.out}] += pc.count;
@@ -57,9 +62,17 @@ std::vector<PairCount> merge_pair_counts(
   }
   std::vector<PairCount> out;
   out.reserve(merged.size());
-  for (const auto& [pair, count] : merged) {
+  merged.for_each([&out](const KeyPair& pair, std::uint64_t count) {
     out.push_back(PairCount{pair.in, pair.out, count});
-  }
+  });
+  // Canonical (in, out) order: the merged list must be a pure function of the
+  // pair *set*, not of any hash map's iteration order — downstream consumers
+  // truncate to the top-N heaviest pairs (ManagerOptions::top_edges), and a
+  // tie at that boundary would otherwise resolve differently run to run.
+  std::sort(out.begin(), out.end(),
+            [](const PairCount& a, const PairCount& b) {
+              return a.in != b.in ? a.in < b.in : a.out < b.out;
+            });
   return out;
 }
 

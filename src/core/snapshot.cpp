@@ -53,7 +53,9 @@ Status save_plan(const ReconfigurationPlan& plan, const std::string& path) {
       ok = ok && write_pod(f, table_version);
       const auto entries = static_cast<std::uint64_t>(table->size());
       ok = ok && write_pod(f, entries);
-      for (const auto& [key, instance] : table->entries()) {
+      // Canonical key order: two snapshots of the same configuration are
+      // byte-identical regardless of how the tables were populated.
+      for (const auto& [key, instance] : table->sorted_entries()) {
         ok = ok && write_pod(f, key) && write_pod(f, instance);
       }
     }

@@ -15,17 +15,19 @@ PipelineModel::PipelineModel(const Topology& topology,
   anchors_ = compute_stats_anchors(topology);
 
   const auto& edges = topology.edges();
-  routers_.resize(edges.size());
+  route_base_.resize(edges.size());
+  edge_tables_.resize(edges.size());
   pair_stats_.resize(edges.size());
+  work_.reserve(topology.num_operators());
   for (std::size_t e = 0; e < edges.size(); ++e) {
     const EdgeSpec& edge = edges[e];
     const std::uint32_t src_par = topology.op(edge.from).parallelism;
-    routers_[e].reserve(src_par);
+    route_base_[e] = static_cast<std::uint32_t>(bank_.size());
     for (InstanceIndex i = 0; i < src_par; ++i) {
-      routers_[e].push_back(make_router(
-          edge, static_cast<std::uint32_t>(e), topology, placement,
-          placement.server_of(edge.from, i), fields_mode, nullptr,
-          /*seed=*/config.seed * 1000003 + e * 131 + i));
+      bank_.add(edge, static_cast<std::uint32_t>(e), topology, placement,
+                placement.server_of(edge.from, i), fields_mode,
+                /*table=*/nullptr,
+                /*seed=*/config.seed * 1000003 + e * 131 + i);
     }
     // Instrument the emitting POIs of optimizable hops: fields edges whose
     // emitter carries an upstream fields-routed key (its "anchor"); for a
@@ -73,26 +75,51 @@ void PipelineModel::process(const Tuple& tuple) {
   ++source_seq_;
 }
 
+void PipelineModel::process_batch(const Tuple* tuples, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) process(tuples[i]);
+}
+
 void PipelineModel::deliver(OperatorId op, InstanceIndex instance,
                             Key routed_in_key, const Tuple& tuple) {
-  const ServerId server = placement_.server_of(op, instance);
-  stats_.cpu_units[server] += topology_.op(op).cpu_cost_per_tuple;
-  ++stats_.instance_load[op][instance];
+  // Entry accounting for the root node; children are accounted when pushed.
+  {
+    const ServerId server = placement_.server_of(op, instance);
+    stats_.cpu_units[server] += topology_.op(op).cpu_cost_per_tuple;
+    ++stats_.instance_load[op][instance];
+    work_.clear();
+    work_.push_back(Frame{op, instance, routed_in_key, server, 0});
+  }
 
-  for (const std::uint32_t e : topology_.out_edges(op)) {
-    const EdgeSpec& edge = topology_.edges()[e];
-    const InstanceIndex dst = routers_[e][instance]->route(tuple);
-    const ServerId dst_server = placement_.server_of(edge.to, dst);
-
-    if (!pair_stats_[e].empty() && routed_in_key != kNoKey) {
-      LAR_CHECK(edge.key_field < tuple.fields.size());
-      pair_stats_[e][instance].record(routed_in_key,
-                                      tuple.fields[edge.key_field]);
+  // Depth-first, LIFO: pushing a child and looping processes the child's
+  // out-edges before the parent's next edge — byte-for-byte the order the
+  // recursive implementation produced (round-robin and partial-key routers
+  // mutate state per decision, so the order is observable).
+  while (!work_.empty()) {
+    Frame& top = work_.back();
+    const auto& out_edges = topology_.out_edges(top.op);
+    if (top.cursor == out_edges.size()) {
+      work_.pop_back();
+      continue;
     }
+    const std::uint32_t e = out_edges[top.cursor++];
+    const InstanceIndex src_instance = top.instance;
+    const Key in_key = top.in_key;
+    const ServerId server = top.server;  // copied: push_back invalidates top
 
-    Key next_in_key = routed_in_key;
+    const EdgeSpec& edge = topology_.edges()[e];
     if (edge.grouping == GroupingType::kFields) {
       LAR_CHECK(edge.key_field < tuple.fields.size());
+    }
+    const InstanceIndex dst = bank_.route(route_base_[e] + src_instance, tuple);
+    const ServerId dst_server = placement_.server_of(edge.to, dst);
+
+    if (!pair_stats_[e].empty() && in_key != kNoKey) {
+      pair_stats_[e][src_instance].record(in_key,
+                                          tuple.fields[edge.key_field]);
+    }
+
+    Key next_in_key = in_key;
+    if (edge.grouping == GroupingType::kFields) {
       next_in_key = tuple.fields[edge.key_field];
     }
 
@@ -116,7 +143,10 @@ void PipelineModel::deliver(OperatorId op, InstanceIndex instance,
       stats_.cpu_units[server] += ser_cpu;
       stats_.cpu_units[dst_server] += ser_cpu;
     }
-    deliver(edge.to, dst, next_in_key, tuple);
+
+    stats_.cpu_units[dst_server] += topology_.op(edge.to).cpu_cost_per_tuple;
+    ++stats_.instance_load[edge.to][dst];
+    work_.push_back(Frame{edge.to, dst, next_in_key, dst_server, 0});
   }
 }
 
@@ -126,13 +156,10 @@ void PipelineModel::set_table(OperatorId op,
   const auto& edges = topology_.edges();
   for (const std::uint32_t e : topology_.in_edges(op)) {
     if (edges[e].grouping != GroupingType::kFields) continue;
-    const EdgeSpec& edge = edges[e];
-    const std::uint32_t fanout = topology_.op(edge.to).parallelism;
-    for (InstanceIndex i = 0; i < routers_[e].size(); ++i) {
-      // Replace whatever router was there with a table router; cheaper than
-      // probing for an existing TableFieldsRouter and semantically equal.
-      routers_[e][i] = std::make_unique<TableFieldsRouter>(
-          edge.key_field, fanout, table);
+    const std::uint32_t src_par = topology_.op(edges[e].from).parallelism;
+    edge_tables_[e] = table;  // keep-alive for the raw pointers below
+    for (InstanceIndex i = 0; i < src_par; ++i) {
+      bank_.set_table(route_base_[e] + i, edge_tables_[e].get());
     }
   }
 }

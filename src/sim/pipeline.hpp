@@ -1,13 +1,21 @@
-// Flow-level pipeline model: runs tuples through the *real* routing code
-// paths (the same Router objects the threaded runtime uses) and accounts CPU,
-// NIC bytes, per-edge locality, per-instance load and pair statistics.
+// Flow-level pipeline model: runs tuples through the same routing *decisions*
+// the threaded runtime makes and accounts CPU, NIC bytes, per-edge locality,
+// per-instance load and pair statistics.
 //
 // The model is exact with respect to routing decisions — routing tables
 // produced by the Manager are installed verbatim — and statistical with
 // respect to time: feeding N sample tuples yields per-tuple resource demands
 // from which the throughput solver derives the sustainable rate.
+//
+// Hot path: the runtime routes through virtual Router objects (one thread per
+// POI, correctness substrate); the simulator is the performance substrate and
+// instead resolves every (edge, emitting instance) router into a RouteDesc at
+// construction, routing via RouterBank's switch.  Delivery walks the DAG with
+// an explicit worklist rather than recursion, so chain depth is bounded by
+// one reserved vector, not the C++ stack.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -16,6 +24,7 @@
 #include "core/manager.hpp"
 #include "core/pair_stats.hpp"
 #include "sim/config.hpp"
+#include "sim/route_desc.hpp"
 #include "topology/placement.hpp"
 #include "topology/routing.hpp"
 #include "topology/topology.hpp"
@@ -54,6 +63,10 @@ class PipelineModel {
   /// per-POI pair statistics.
   void process(const Tuple& tuple);
 
+  /// Feeds `count` tuples in order — equivalent to calling process() on each,
+  /// but lets the window driver amortize the call overhead per batch.
+  void process_batch(const Tuple* tuples, std::size_t count);
+
   /// Installs `table` on every inbound fields-grouped edge of `op`
   /// (replacing hash or a previous table).  Takes effect immediately.
   void set_table(OperatorId op, std::shared_ptr<const RoutingTable> table);
@@ -74,14 +87,29 @@ class PipelineModel {
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
 
  private:
+  /// One node of the delivery walk; `cursor` resumes iteration over the
+  /// node's out-edges so the explicit stack reproduces the recursive DFS
+  /// order exactly (router state makes that order observable).
+  struct Frame {
+    OperatorId op;
+    InstanceIndex instance;
+    Key in_key;
+    ServerId server;
+    std::uint32_t cursor;
+  };
+
   void deliver(OperatorId op, InstanceIndex instance, Key routed_in_key,
                const Tuple& tuple);
 
   const Topology& topology_;
   const Placement& placement_;
   SimConfig config_;
-  // routers_[edge_id][src_instance]
-  std::vector<std::vector<std::unique_ptr<Router>>> routers_;
+  RouterBank bank_;
+  // Descriptor slot of (edge e, src instance i) is route_base_[e] + i.
+  std::vector<std::uint32_t> route_base_;
+  // Keep installed tables alive; bank descriptors hold raw pointers.
+  std::vector<std::shared_ptr<const RoutingTable>> edge_tables_;
+  std::vector<Frame> work_;
   // pair_stats_[edge_id][src_instance]: stats recorded by the emitting POI
   // for optimizable hops (empty vector for other edges).
   std::vector<std::vector<core::PairStats>> pair_stats_;

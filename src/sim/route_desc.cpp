@@ -1,0 +1,79 @@
+#include "sim/route_desc.hpp"
+
+#include <utility>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace lar::sim {
+
+std::uint32_t RouterBank::add(const EdgeSpec& edge, std::uint32_t edge_index,
+                              const Topology& topology,
+                              const Placement& placement, ServerId src_server,
+                              FieldsRouting fields_mode,
+                              const RoutingTable* table, std::uint64_t seed) {
+  const std::uint32_t fanout = topology.op(edge.to).parallelism;
+  LAR_CHECK(fanout >= 1);
+  RouteDesc d;
+  d.key_field = edge.key_field;
+  d.fanout = fanout;
+  switch (edge.grouping) {
+    case GroupingType::kShuffle:
+      d.kind = RouteDesc::Kind::kShuffle;
+      d.next = static_cast<std::uint32_t>(mix64(seed) % fanout);
+      break;
+    case GroupingType::kLocalOrShuffle: {
+      d.kind = RouteDesc::Kind::kLocalOrShuffle;
+      d.next = static_cast<std::uint32_t>(mix64(seed) % fanout);
+      const std::vector<InstanceIndex> locals =
+          placement.local_instances(edge.to, src_server);
+      d.aux_begin = static_cast<std::uint32_t>(aux_.size());
+      d.aux_len = static_cast<std::uint32_t>(locals.size());
+      aux_.insert(aux_.end(), locals.begin(), locals.end());
+      break;
+    }
+    case GroupingType::kFields:
+      switch (fields_mode) {
+        case FieldsRouting::kHash:
+          d.kind = RouteDesc::Kind::kHashFields;
+          break;
+        case FieldsRouting::kPermutation: {
+          d.kind = RouteDesc::Kind::kPermutation;
+          d.aux_begin = static_cast<std::uint32_t>(aux_.size());
+          d.aux_len = fanout;
+          aux_.resize(aux_.size() + fanout);
+          InstanceIndex* perm = aux_.data() + d.aux_begin;
+          for (std::uint32_t i = 0; i < fanout; ++i) perm[i] = i;
+          // Same per-edge seed and Fisher-Yates as PermutationFieldsRouter:
+          // every emitter of one edge must agree on the key -> instance map.
+          Rng rng(0x9d5f + edge_index * 7919);
+          for (std::uint32_t i = fanout; i > 1; --i) {
+            std::swap(perm[i - 1], perm[rng.below(i)]);
+          }
+          break;
+        }
+        case FieldsRouting::kTable:
+          d.kind = RouteDesc::Kind::kTable;
+          d.table = table;  // null = hash fallback, like an empty table
+          break;
+        case FieldsRouting::kIdentity:
+          d.kind = RouteDesc::Kind::kIdentity;
+          d.offset = 0;
+          break;
+        case FieldsRouting::kWorstCase:
+          d.kind = RouteDesc::Kind::kIdentity;
+          d.offset = edge_index + 1;
+          break;
+        case FieldsRouting::kPartialKey:
+          d.kind = RouteDesc::Kind::kPartialKey;
+          d.sent_begin = static_cast<std::uint32_t>(sent_.size());
+          sent_.resize(sent_.size() + fanout, 0);
+          break;
+      }
+      break;
+  }
+  descs_.push_back(d);
+  return static_cast<std::uint32_t>(descs_.size() - 1);
+}
+
+}  // namespace lar::sim

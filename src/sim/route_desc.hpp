@@ -1,0 +1,134 @@
+// Devirtualized per-tuple routing for the simulator.
+//
+// The threaded runtime keeps the virtual lar::Router hierarchy (it is the
+// correctness substrate and each POI thread owns its routers), but the
+// simulator delivers every tuple of every figure sweep through the same
+// decision, and an indirect call per edge per tuple is the single largest
+// avoidable cost on that path.  RouterBank resolves each (edge, emitting
+// instance) router once, at pipeline construction, into a POD RouteDesc —
+// a tagged union over the six routing disciplines — and routes with a switch:
+// no vtable load, no indirect branch, descriptors packed contiguously.
+//
+// RouterBank::add mirrors make_router argument-for-argument and seed-for-seed
+// so that bank routing is bit-equivalent to the Router objects; the
+// differential test in tests/test_sim.cpp holds the two implementations
+// together.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "topology/placement.hpp"
+#include "topology/routing.hpp"
+#include "topology/topology.hpp"
+#include "topology/types.hpp"
+
+namespace lar::sim {
+
+/// One resolved routing decision: the devirtualized counterpart of a
+/// lar::Router subclass.  Mutable fields (`next`, partial-key counters in the
+/// bank's pool) carry the same state the virtual routers carry.
+struct RouteDesc {
+  enum class Kind : std::uint8_t {
+    kShuffle,         ///< ShuffleRouter
+    kLocalOrShuffle,  ///< LocalOrShuffleRouter
+    kHashFields,      ///< HashFieldsRouter
+    kPermutation,     ///< PermutationFieldsRouter
+    kTable,           ///< TableFieldsRouter (null table = hash fallback)
+    kIdentity,        ///< IdentityFieldsRouter (offset 0 or worst-case)
+    kPartialKey,      ///< PartialKeyRouter
+  };
+
+  Kind kind = Kind::kHashFields;
+  std::uint32_t key_field = 0;
+  std::uint32_t fanout = 1;
+  std::uint32_t offset = 0;      ///< kIdentity rotation
+  std::uint32_t next = 0;        ///< kShuffle / kLocalOrShuffle cursor
+  std::uint32_t aux_begin = 0;   ///< locals / permutation range in aux pool
+  std::uint32_t aux_len = 0;
+  std::uint32_t sent_begin = 0;  ///< kPartialKey per-instance counters
+  const RoutingTable* table = nullptr;  ///< kTable; not owned
+};
+
+/// Owns the descriptors and the variable-length side state (local-instance
+/// lists, permutations, partial-key load counters) for one PipelineModel.
+class RouterBank {
+ public:
+  /// Resolves the router for `edge` as emitted by an instance on
+  /// `src_server` and appends it; returns its slot id.  Takes the same
+  /// arguments as make_router and must stay behaviourally identical to it.
+  /// `table` may be null for FieldsRouting::kTable (hash fallback until a
+  /// table is installed).
+  std::uint32_t add(const EdgeSpec& edge, std::uint32_t edge_index,
+                    const Topology& topology, const Placement& placement,
+                    ServerId src_server, FieldsRouting fields_mode,
+                    const RoutingTable* table, std::uint64_t seed);
+
+  /// Destination instance for `tuple` through descriptor `slot`.
+  /// Precondition for fields kinds: key_field < tuple.fields.size()
+  /// (checked per-edge by the caller before routing).
+  [[nodiscard]] InstanceIndex route(std::uint32_t slot,
+                                    const Tuple& tuple) noexcept {
+    RouteDesc& d = descs_[slot];
+    switch (d.kind) {
+      case RouteDesc::Kind::kShuffle: {
+        const InstanceIndex out = d.next;
+        d.next = (d.next + 1) % d.fanout;
+        return out;
+      }
+      case RouteDesc::Kind::kLocalOrShuffle: {
+        if (d.aux_len != 0) {
+          const InstanceIndex out = aux_[d.aux_begin + d.next % d.aux_len];
+          d.next = (d.next + 1) % d.fanout;
+          return out;
+        }
+        const InstanceIndex out = d.next;
+        d.next = (d.next + 1) % d.fanout;
+        return out;
+      }
+      case RouteDesc::Kind::kHashFields:
+        return hash_instance(tuple.fields[d.key_field], d.fanout);
+      case RouteDesc::Kind::kPermutation:
+        return aux_[d.aux_begin + tuple.fields[d.key_field] % d.fanout];
+      case RouteDesc::Kind::kTable: {
+        const Key key = tuple.fields[d.key_field];
+        return d.table != nullptr ? d.table->route(key, d.fanout)
+                                  : hash_instance(key, d.fanout);
+      }
+      case RouteDesc::Kind::kIdentity:
+        return static_cast<InstanceIndex>(
+            (tuple.fields[d.key_field] + d.offset) % d.fanout);
+      case RouteDesc::Kind::kPartialKey: {
+        const Key key = tuple.fields[d.key_field];
+        const auto h1 = static_cast<InstanceIndex>(mix64(key) % d.fanout);
+        const auto h2 = static_cast<InstanceIndex>(
+            mix64(key ^ 0x9e3779b97f4a7c15ULL) % d.fanout);
+        std::uint64_t* sent = sent_.data() + d.sent_begin;
+        const InstanceIndex pick = sent[h1] <= sent[h2] ? h1 : h2;
+        ++sent[pick];
+        return pick;
+      }
+    }
+    return 0;  // unreachable
+  }
+
+  /// Swaps descriptor `slot` to table routing through `table` (not owned) —
+  /// the devirtualized TableFieldsRouter::set_table / router replacement.
+  void set_table(std::uint32_t slot, const RoutingTable* table) noexcept {
+    descs_[slot].kind = RouteDesc::Kind::kTable;
+    descs_[slot].table = table;
+  }
+
+  [[nodiscard]] const RouteDesc& desc(std::uint32_t slot) const noexcept {
+    return descs_[slot];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return descs_.size(); }
+
+ private:
+  std::vector<RouteDesc> descs_;
+  std::vector<InstanceIndex> aux_;   ///< locals + permutations, by range
+  std::vector<std::uint64_t> sent_;  ///< partial-key load estimates, by range
+};
+
+}  // namespace lar::sim

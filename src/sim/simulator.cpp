@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/stats.hpp"
@@ -9,13 +10,27 @@ namespace lar::sim {
 
 Simulator::Simulator(const Topology& topology, const Placement& placement,
                      const SimConfig& config, FieldsRouting fields_mode)
-    : model_(topology, placement, config, fields_mode) {}
+    : model_(topology, placement, config, fields_mode) {
+  edge_labels_.reserve(topology.edges().size());
+  for (const EdgeSpec& edge : topology.edges()) {
+    edge_labels_.push_back(topology.op(edge.from).name + "->" +
+                           topology.op(edge.to).name);
+  }
+}
 
 WindowReport Simulator::run_window(workload::TupleGenerator& gen,
                                    std::uint64_t n) {
   LAR_CHECK(n > 0);
   model_.reset_stats();
-  for (std::uint64_t i = 0; i < n; ++i) model_.process(gen.next());
+  constexpr std::uint64_t kBatch = 256;
+  batch_.resize(std::min(n, kBatch));
+  std::uint64_t fed = 0;
+  while (fed < n) {
+    const std::uint64_t m = std::min<std::uint64_t>(kBatch, n - fed);
+    for (std::uint64_t i = 0; i < m; ++i) batch_[i] = gen.next();
+    model_.process_batch(batch_.data(), m);
+    fed += m;
+  }
   ++windows_run_;
   return report_from_stats();
 }
@@ -104,8 +119,7 @@ WindowReport Simulator::report_from_stats() {
         .set(r == report.bottleneck ? 1.0 : 0.0);
   }
   for (std::size_t e = 0; e < s.edge_traffic.size(); ++e) {
-    const EdgeSpec& edge = topo.edges()[e];
-    const std::string name = topo.op(edge.from).name + "->" + topo.op(edge.to).name;
+    const std::string& name = edge_labels_[e];
     const std::uint64_t total =
         s.edge_traffic[e].local + s.edge_traffic[e].remote;
     registry_
@@ -131,8 +145,7 @@ WindowReport Simulator::report_from_stats() {
   report.edge_locality.reserve(s.edge_traffic.size());
   report.edge_rack_locality.reserve(s.edge_traffic.size());
   for (std::size_t e = 0; e < s.edge_traffic.size(); ++e) {
-    const EdgeSpec& edge = topo.edges()[e];
-    const std::string name = topo.op(edge.from).name + "->" + topo.op(edge.to).name;
+    const std::string& name = edge_labels_[e];
     report.edge_locality.push_back(
         registry_.gauge("lar_edge_locality_ratio", {{"edge", name}}).value());
     report.edge_rack_locality.push_back(

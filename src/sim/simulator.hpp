@@ -114,6 +114,11 @@ class Simulator {
   obs::Registry registry_;
   obs::TraceRecorder trace_;
   std::uint64_t windows_run_ = 0;  ///< virtual time for trace events
+  /// "A->B" metric labels per topology edge, built once at construction —
+  /// the per-window report publishes per-edge gauges and rebuilding the
+  /// strings every window showed up in the fig13 profile.
+  std::vector<std::string> edge_labels_;
+  std::vector<Tuple> batch_;  ///< reusable window batch buffer
 };
 
 }  // namespace lar::sim

@@ -7,13 +7,19 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
+
+#include "common/flat_map.hpp"
+#include "common/hash.hpp"
 
 namespace lar::sketch {
 
 /// Unbounded exact counter.  Not thread-safe.
-template <typename Key, typename Hash = std::hash<Key>>
+///
+/// Hash defaults to lar::DetHash (mix64 / FNV-1a), so the counter's memory
+/// layout — and therefore the tie order of equal-count entries() — is
+/// identical across standard libraries.
+template <typename Key, typename Hash = DetHash<Key>>
 class ExactCounter {
  public:
   struct Entry {
@@ -29,18 +35,22 @@ class ExactCounter {
 
   /// Exact count of `key` (0 if never seen).
   [[nodiscard]] std::uint64_t count(const Key& key) const {
-    auto it = counts_.find(key);
-    return it == counts_.end() ? 0 : it->second;
+    const std::uint64_t* c = counts_.find(key);
+    return c == nullptr ? 0 : *c;
   }
 
-  /// All entries, sorted by decreasing count.
+  /// All entries, sorted by decreasing count.  Ties keep the FlatMap's slot
+  /// order, which is deterministic for a given insertion sequence.
   [[nodiscard]] std::vector<Entry> entries() const {
     std::vector<Entry> out;
     out.reserve(counts_.size());
-    for (const auto& [k, c] : counts_) out.push_back(Entry{k, c, 0});
-    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
-      return a.count > b.count;
+    counts_.for_each([&out](const Key& k, std::uint64_t c) {
+      out.push_back(Entry{k, c, 0});
     });
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.count > b.count;
+                     });
     return out;
   }
 
@@ -60,7 +70,7 @@ class ExactCounter {
   }
 
  private:
-  std::unordered_map<Key, std::uint64_t, Hash> counts_;
+  FlatMap<Key, std::uint64_t, Hash> counts_;
   std::uint64_t total_ = 0;
 };
 

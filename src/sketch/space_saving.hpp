@@ -21,16 +21,21 @@
 #include <algorithm>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
+#include "common/hash.hpp"
 #include "common/status.hpp"
 
 namespace lar::sketch {
 
 /// Bounded-memory top-k counter.  Key must be hashable (via Hash) and
 /// equality-comparable.  Not thread-safe; each operator instance owns one.
-template <typename Key, typename Hash = std::hash<Key>>
+///
+/// Hash defaults to lar::DetHash, never std::hash: the key->slot index is a
+/// FlatMap whose layout (and probe cost) is then identical across standard
+/// libraries — determinism by construction rather than by downstream sorting.
+template <typename Key, typename Hash = DetHash<Key>>
 class SpaceSaving {
  public:
   /// One monitored item.  `count` overestimates the true frequency by at
@@ -47,15 +52,17 @@ class SpaceSaving {
     entries_.reserve(capacity);
     heap_.reserve(capacity);
     pos_.reserve(capacity);
-    index_.reserve(capacity * 2);
+    // index_ grows lazily: materializing capacity-sized flat storage up front
+    // would cost megabytes per POI at paper budgets (the key universe is
+    // usually far smaller than the capacity), and growth is amortized O(1).
   }
 
   /// Adds `weight` occurrences of `key`.
   void add(const Key& key, std::uint64_t weight = 1) {
     total_ += weight;
-    if (auto it = index_.find(key); it != index_.end()) {
-      entries_[it->second].count += weight;
-      sift_down(pos_[it->second]);
+    if (const std::size_t* slot = index_.find(key)) {
+      entries_[*slot].count += weight;
+      sift_down(pos_[*slot]);
       return;
     }
     if (entries_.size() < capacity_) {
@@ -63,7 +70,7 @@ class SpaceSaving {
       entries_.push_back(Entry{key, weight, 0});
       heap_.push_back(slot);
       pos_.push_back(slot);
-      index_.emplace(key, slot);
+      index_[key] = slot;
       sift_up(heap_.size() - 1);
       return;
     }
@@ -74,16 +81,16 @@ class SpaceSaving {
     e.error = e.count;
     e.count += weight;
     e.key = key;
-    index_.emplace(key, slot);
+    index_[key] = slot;
     sift_down(0);
   }
 
   /// Estimated count of `key`, or nullopt if the key is not monitored.
   /// The true count is in [count - error, count].
   [[nodiscard]] std::optional<Entry> estimate(const Key& key) const {
-    auto it = index_.find(key);
-    if (it == index_.end()) return std::nullopt;
-    return entries_[it->second];
+    const std::size_t* slot = index_.find(key);
+    if (slot == nullptr) return std::nullopt;
+    return entries_[*slot];
   }
 
   /// All monitored entries, sorted by decreasing count.
@@ -165,7 +172,7 @@ class SpaceSaving {
   std::vector<Entry> entries_;
   std::vector<std::size_t> heap_;
   std::vector<std::size_t> pos_;
-  std::unordered_map<Key, std::size_t, Hash> index_;
+  FlatMap<Key, std::size_t, Hash> index_;
   std::uint64_t total_ = 0;
 };
 

@@ -5,19 +5,17 @@
 namespace lar {
 
 Key KeyDict::intern(std::string_view name) {
-  if (auto it = ids_.find(std::string(name)); it != ids_.end()) {
-    return it->second;
-  }
+  if (const Key* found = ids_.find(name)) return *found;
   const Key id = names_.size();
   names_.emplace_back(name);
-  ids_.emplace(names_.back(), id);
+  ids_[names_.back()] = id;
   return id;
 }
 
 std::optional<Key> KeyDict::find(std::string_view name) const {
-  auto it = ids_.find(std::string(name));
-  if (it == ids_.end()) return std::nullopt;
-  return it->second;
+  const Key* found = ids_.find(name);
+  if (found == nullptr) return std::nullopt;
+  return *found;
 }
 
 const std::string& KeyDict::name(Key key) const {

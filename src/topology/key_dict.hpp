@@ -9,9 +9,9 @@
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "topology/types.hpp"
 
 namespace lar {
@@ -33,7 +33,9 @@ class KeyDict {
   [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
 
  private:
-  std::unordered_map<std::string, Key> ids_;
+  // DetHash<std::string> is transparent, so lookups probe directly with the
+  // caller's string_view — no temporary std::string per intern()/find().
+  FlatMap<std::string, Key> ids_;
   std::vector<std::string> names_;
 };
 

@@ -41,7 +41,7 @@ TEST(Deployment, MoreInstancesThanServersStillOptimizes) {
   EXPECT_GT(plan.keys_assigned, 0u);
   // Every table target is a valid instance index.
   for (const auto& [op, table] : plan.tables) {
-    for (const auto& [key, inst] : table->entries()) {
+    for (const auto& [key, inst] : table->sorted_entries()) {
       EXPECT_LT(inst, parallelism);
     }
   }

@@ -50,11 +50,57 @@ TEST(Snapshot, RoundTripPreservesTables) {
     const auto& rt = r.tables.at(op);
     EXPECT_EQ(rt->version(), table->version());
     EXPECT_EQ(rt->size(), table->size());
-    for (const auto& [key, inst] : table->entries()) {
+    for (const auto& [key, inst] : table->sorted_entries()) {
       EXPECT_EQ(rt->lookup(key).value(), inst);
     }
   }
   std::filesystem::remove(path);
+}
+
+// Serialized plans are canonical: two tables with the same (key -> instance)
+// content must produce byte-identical snapshot files no matter in which order
+// they were populated (sorted_entries() is the only table iteration).
+TEST(Snapshot, SerializationIsOrderStable) {
+  auto read_all = [](const std::string& p) {
+    std::string bytes;
+    std::FILE* f = std::fopen(p.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+    std::fclose(f);
+    return bytes;
+  };
+
+  auto forward = std::make_shared<RoutingTable>();
+  auto scrambled = std::make_shared<RoutingTable>();
+  forward->set_version(3);
+  scrambled->set_version(3);
+  for (Key k = 0; k < 200; ++k) {
+    forward->assign(k * 7, static_cast<InstanceIndex>(k % 5));
+  }
+  // Same content, reversed insertion order plus overwrite churn.
+  for (Key k = 200; k-- > 0;) {
+    scrambled->assign(k * 7, static_cast<InstanceIndex>((k + 1) % 5));
+  }
+  for (Key k = 0; k < 200; ++k) {
+    scrambled->assign(k * 7, static_cast<InstanceIndex>(k % 5));
+  }
+
+  core::ReconfigurationPlan a;
+  a.version = 3;
+  a.tables.emplace(1, forward);
+  core::ReconfigurationPlan b;
+  b.version = 3;
+  b.tables.emplace(1, scrambled);
+
+  const std::string pa = temp_path("lar_snapshot_order_a.larp");
+  const std::string pb = temp_path("lar_snapshot_order_b.larp");
+  ASSERT_TRUE(core::save_plan(a, pa).is_ok());
+  ASSERT_TRUE(core::save_plan(b, pb).is_ok());
+  EXPECT_EQ(read_all(pa), read_all(pb));
+  std::filesystem::remove(pa);
+  std::filesystem::remove(pb);
 }
 
 TEST(Snapshot, MissingFileIsNotFound) {

@@ -1,0 +1,211 @@
+// lar::FlatMap: differential fuzz against std::unordered_map, canonical
+// iteration, backward-shift deletion, and heterogeneous string lookup.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_map.hpp"
+#include "common/rng.hpp"
+
+namespace lar {
+namespace {
+
+TEST(FlatMap, BasicInsertLookupOverwrite) {
+  FlatMap<std::uint64_t, int> m;
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(7), nullptr);
+
+  m[7] = 1;
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 1);
+  EXPECT_EQ(m.size(), 1u);
+
+  m[7] = 2;  // overwrite, no growth
+  EXPECT_EQ(*m.find(7), 2);
+  EXPECT_EQ(m.size(), 1u);
+
+  EXPECT_TRUE(m.insert_or_assign(8, 3));   // new key
+  EXPECT_FALSE(m.insert_or_assign(8, 4));  // existing key
+  EXPECT_EQ(*m.find(8), 4);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatMap, EraseMissingAndPresent) {
+  FlatMap<std::uint64_t, int> m;
+  EXPECT_FALSE(m.erase(1));
+  m[1] = 10;
+  m[2] = 20;
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_EQ(m.find(1), nullptr);
+  ASSERT_NE(m.find(2), nullptr);
+  EXPECT_EQ(*m.find(2), 20);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+// The map must survive long adversarial probe chains: many keys hashing into
+// the same neighbourhood, interleaved with erases (the backward-shift path).
+TEST(FlatMap, BackwardShiftKeepsCollidingChainsReachable) {
+  // DetHash is a bijection on uint64, so force collisions structurally: a
+  // tiny map (capacity 16) makes every key collide with ~1/16 probability,
+  // and we never let it grow past 64 slots.
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(99);
+  for (int round = 0; round < 2000; ++round) {
+    const std::uint64_t key = rng.below(48);  // dense universe -> collisions
+    if (rng.below(3) == 0) {
+      EXPECT_EQ(m.erase(key), ref.erase(key) > 0) << "round " << round;
+    } else {
+      m[key] = round;
+      ref[key] = static_cast<std::uint64_t>(round);
+    }
+    ASSERT_EQ(m.size(), ref.size()) << "round " << round;
+  }
+  for (const auto& [k, v] : ref) {
+    const std::uint64_t* got = m.find(k);
+    ASSERT_NE(got, nullptr) << "lost key " << k;
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(FlatMap, DifferentialFuzzAgainstUnorderedMap) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(12345);
+  for (int round = 0; round < 20000; ++round) {
+    const std::uint64_t key = rng.below(4096);
+    switch (rng.below(4)) {
+      case 0:  // insert / overwrite via operator[]
+        m[key] = round;
+        ref[key] = static_cast<std::uint64_t>(round);
+        break;
+      case 1: {  // insert_or_assign, check the inserted flag
+        const bool inserted = m.insert_or_assign(key, round);
+        EXPECT_EQ(inserted, ref.find(key) == ref.end());
+        ref[key] = static_cast<std::uint64_t>(round);
+        break;
+      }
+      case 2:  // erase
+        EXPECT_EQ(m.erase(key), ref.erase(key) > 0);
+        break;
+      case 3: {  // lookup
+        const std::uint64_t* got = m.find(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(got != nullptr, it != ref.end()) << "round " << round;
+        if (got != nullptr) {
+          EXPECT_EQ(*got, it->second);
+        }
+        EXPECT_EQ(m.contains(key), got != nullptr);
+        break;
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size()) << "round " << round;
+  }
+  // Full-content comparison both ways.
+  std::size_t visited = 0;
+  m.for_each([&](std::uint64_t k, std::uint64_t v) {
+    ++visited;
+    const auto it = ref.find(k);
+    ASSERT_NE(it, ref.end()) << "phantom key " << k;
+    EXPECT_EQ(v, it->second);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+// sorted_items() must depend only on the key *set*, never on history.
+TEST(FlatMap, SortedItemsCanonicalAcrossInsertionOrders) {
+  std::vector<std::uint64_t> keys;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) keys.push_back(rng.next());
+
+  FlatMap<std::uint64_t, std::uint64_t> forward;
+  for (const std::uint64_t k : keys) forward[k] = k * 2;
+
+  FlatMap<std::uint64_t, std::uint64_t> backward;
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it) (backward)[*it] = *it * 2;
+
+  // A third map that churns: insert everything twice with erases in between.
+  FlatMap<std::uint64_t, std::uint64_t> churned;
+  for (const std::uint64_t k : keys) churned[k] = 0;
+  for (std::size_t i = 0; i < keys.size(); i += 2) churned.erase(keys[i]);
+  for (const std::uint64_t k : keys) churned[k] = k * 2;
+
+  const auto a = forward.sorted_items();
+  const auto b = backward.sorted_items();
+  const auto c = churned.sorted_items();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), c.size());
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end(), [](const auto& x, const auto& y) {
+    return x.key < y.key;
+  }));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].value, b[i].value);
+    EXPECT_EQ(a[i].key, c[i].key);
+    EXPECT_EQ(a[i].value, c[i].value);
+  }
+}
+
+TEST(FlatMap, ClearEmptiesAndAllowsReuse) {
+  FlatMap<std::uint64_t, int> m;
+  for (std::uint64_t k = 0; k < 100; ++k) m[k] = 1;
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(5), nullptr);
+  m[5] = 42;
+  EXPECT_EQ(*m.find(5), 42);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, ReserveAvoidsInvalidatingGrowthMidLoop) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  m.reserve(1000);
+  const std::uint64_t* first = nullptr;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    m[k] = k;
+    if (k == 0) first = m.find(0);
+  }
+  // No rehash happened during the loop: the first slot pointer still holds.
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(*first, 0u);
+  EXPECT_EQ(m.size(), 1000u);
+}
+
+TEST(FlatMap, StringKeysWithHeterogeneousLookup) {
+  FlatMap<std::string, int> m;
+  m["tokyo"] = 1;
+  m["osaka"] = 2;
+  // Lookup by string_view must not allocate a temporary std::string.
+  const std::string_view sv = "tokyo";
+  ASSERT_NE(m.find(sv), nullptr);
+  EXPECT_EQ(*m.find(sv), 1);
+  EXPECT_NE(m.find(std::string_view{"osaka"}), nullptr);
+  EXPECT_EQ(m.find(std::string_view{"kyoto"}), nullptr);
+
+  const auto items = m.sorted_items();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].key, "osaka");
+  EXPECT_EQ(items[1].key, "tokyo");
+}
+
+TEST(FlatMap, IteratorVisitsEveryEntryOnce) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  for (std::uint64_t k = 10; k < 30; ++k) m[k] = k + 1;
+  std::vector<std::uint64_t> seen;
+  for (const auto& item : m) {
+    EXPECT_EQ(item.value, item.key + 1);
+    seen.push_back(item.key);
+  }
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 20u);
+  for (std::uint64_t k = 10; k < 30; ++k) EXPECT_EQ(seen[k - 10], k);
+}
+
+}  // namespace
+}  // namespace lar

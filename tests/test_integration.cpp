@@ -291,7 +291,7 @@ TEST(Integration, SimAndRuntimeProduceIdenticalPlansFromTheSameStream) {
     ASSERT_TRUE(rt_plan.tables.contains(op));
     const auto& other = rt_plan.tables.at(op);
     ASSERT_EQ(table->size(), other->size());
-    for (const auto& [key, inst] : table->entries()) {
+    for (const auto& [key, inst] : table->sorted_entries()) {
       EXPECT_EQ(other->lookup(key).value(), inst) << "key " << key;
     }
   }

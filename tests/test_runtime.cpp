@@ -350,7 +350,7 @@ TEST(Engine, MigratedStateLandsOnTableTarget) {
   engine.flush();
   // After migration, each table-assigned key's state lives exactly on its
   // assigned instance.
-  for (const auto& [key, inst] : plan.tables.at(1)->entries()) {
+  for (const auto& [key, inst] : plan.tables.at(1)->sorted_entries()) {
     for (InstanceIndex i = 0; i < n; ++i) {
       const std::uint64_t c = counter_at(engine, 1, i).count(key);
       if (i == inst) {

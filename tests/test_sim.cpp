@@ -281,5 +281,166 @@ TEST(Simulator, ApplyPlanInstallsTables) {
   EXPECT_EQ(sim.model().stats().edge_traffic[1].remote, 0u);
 }
 
+// --- devirtualized routing ---------------------------------------------------
+
+// RouterBank must be decision-for-decision identical to the virtual Router
+// objects the runtime uses, for every grouping, every fields mode, every
+// emitting instance, including the stateful ones (round-robin cursors and
+// partial-key load counters advance per call).
+TEST(RouterBank, MatchesVirtualRoutersAcrossAllModes) {
+  Topology topo;
+  const OperatorId s = topo.add_operator(
+      {.name = "S", .parallelism = 3, .is_source = true});
+  const OperatorId a = topo.add_operator({.name = "A", .parallelism = 5});
+  const OperatorId b = topo.add_operator({.name = "B", .parallelism = 4});
+  const OperatorId c = topo.add_operator({.name = "C", .parallelism = 7});
+  topo.connect(s, a, GroupingType::kFields, /*key_field=*/0);
+  topo.connect(a, b, GroupingType::kShuffle);
+  topo.connect(b, c, GroupingType::kLocalOrShuffle);
+  const Placement place = Placement::round_robin(topo, 3);
+
+  const auto table = std::make_shared<RoutingTable>();
+  for (Key k = 0; k < 40; k += 2) table->assign(k, static_cast<InstanceIndex>(k % 5));
+
+  for (const FieldsRouting mode :
+       {FieldsRouting::kHash, FieldsRouting::kPermutation, FieldsRouting::kTable,
+        FieldsRouting::kIdentity, FieldsRouting::kWorstCase,
+        FieldsRouting::kPartialKey}) {
+    RouterBank bank;
+    std::vector<std::unique_ptr<Router>> routers;
+    std::vector<std::uint32_t> slots;
+    const auto& edges = topo.edges();
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      const std::uint32_t src_par = topo.op(edges[e].from).parallelism;
+      for (InstanceIndex i = 0; i < src_par; ++i) {
+        const ServerId srv = place.server_of(edges[e].from, i);
+        const std::uint64_t seed = 77 * 1000003 + e * 131 + i;
+        routers.push_back(make_router(edges[e], static_cast<std::uint32_t>(e),
+                                      topo, place, srv, mode, table, seed));
+        slots.push_back(bank.add(edges[e], static_cast<std::uint32_t>(e), topo,
+                                 place, srv, mode, table.get(), seed));
+      }
+    }
+    Rng rng(31337);
+    for (int round = 0; round < 4000; ++round) {
+      const Tuple tuple{.fields = {rng.below(64), rng.below(64)}};
+      for (std::size_t r = 0; r < routers.size(); ++r) {
+        ASSERT_EQ(bank.route(slots[r], tuple), routers[r]->route(tuple))
+            << "mode " << static_cast<int>(mode) << " router " << r
+            << " round " << round;
+      }
+    }
+  }
+}
+
+// A bank descriptor created without a table (hash fallback) must behave like
+// make_router's empty-table TableFieldsRouter, and installing a table
+// mid-stream must switch both identically.
+TEST(RouterBank, NullTableFallsBackToHashAndSetTableSwitches) {
+  const Topology topo = make_two_stage_topology(4);
+  const Placement place = Placement::round_robin(topo, 4);
+  const EdgeSpec& edge = topo.edges()[1];  // A -> B, fields
+  RouterBank bank;
+  const std::uint32_t slot =
+      bank.add(edge, 1, topo, place, place.server_of(edge.from, 0),
+               FieldsRouting::kTable, /*table=*/nullptr, /*seed=*/5);
+  auto router = make_router(edge, 1, topo, place, place.server_of(edge.from, 0),
+                            FieldsRouting::kTable, nullptr, /*seed=*/5);
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const Tuple t{.fields = {rng.next(), rng.next()}};
+    ASSERT_EQ(bank.route(slot, t), router->route(t));
+  }
+  auto table = std::make_shared<RoutingTable>();
+  for (Key k = 0; k < 32; ++k) table->assign(k, static_cast<InstanceIndex>((k + 1) % 4));
+  bank.set_table(slot, table.get());
+  router->set_table(table);
+  for (int i = 0; i < 500; ++i) {
+    const Tuple t{.fields = {rng.below(64), rng.below(64)}};
+    ASSERT_EQ(bank.route(slot, t), router->route(t));
+  }
+}
+
+// run_window feeds tuples through process_batch; the reports (and the raw
+// traffic counters) must be bit-identical to an unbatched twin model fed one
+// tuple at a time from an identically seeded generator.
+TEST(Simulator, BatchedWindowBitIdenticalToSingleTupleFeed) {
+  const Topology topo = make_two_stage_topology(5);
+  const Placement place = Placement::round_robin(topo, 5);
+  SimConfig cfg = synthetic_config();
+  cfg.source_mode = SourceMode::kRoundRobin;
+
+  // Batched path: the Simulator's run_window.
+  Simulator sim(topo, place, cfg, FieldsRouting::kHash);
+  workload::SyntheticGenerator gen_batched(
+      {.num_values = 500, .locality = 0.6, .padding = 8, .seed = 77});
+  const auto report = sim.run_window(gen_batched, 10'001);  // not a multiple
+                                                            // of the batch
+
+  // Unbatched twin: same construction, same generator seed, process() loop.
+  PipelineModel twin(topo, place, cfg, FieldsRouting::kHash);
+  workload::SyntheticGenerator gen_single(
+      {.num_values = 500, .locality = 0.6, .padding = 8, .seed = 77});
+  for (int i = 0; i < 10'001; ++i) twin.process(gen_single.next());
+
+  const TrafficStats& sa = sim.model().stats();
+  const TrafficStats& sb = twin.stats();
+  ASSERT_EQ(sa.tuples, sb.tuples);
+  for (std::size_t e = 0; e < sa.edge_traffic.size(); ++e) {
+    EXPECT_EQ(sa.edge_traffic[e].local, sb.edge_traffic[e].local) << e;
+    EXPECT_EQ(sa.edge_traffic[e].remote, sb.edge_traffic[e].remote) << e;
+    EXPECT_EQ(sa.edge_remote_bytes[e], sb.edge_remote_bytes[e]) << e;
+  }
+  for (std::size_t srv = 0; srv < sa.cpu_units.size(); ++srv) {
+    EXPECT_EQ(sa.cpu_units[srv], sb.cpu_units[srv]) << srv;  // bit-identical
+    EXPECT_EQ(sa.nic_out[srv], sb.nic_out[srv]) << srv;
+    EXPECT_EQ(sa.nic_in[srv], sb.nic_in[srv]) << srv;
+  }
+  ASSERT_EQ(sa.instance_load.size(), sb.instance_load.size());
+  for (std::size_t op = 0; op < sa.instance_load.size(); ++op) {
+    EXPECT_EQ(sa.instance_load[op], sb.instance_load[op]) << op;
+  }
+  // Pair statistics feed reconfiguration: they must match too.
+  const auto ha = sim.model().collect_hop_stats();
+  const auto hb = twin.collect_hop_stats();
+  ASSERT_EQ(ha.size(), hb.size());
+  for (std::size_t h = 0; h < ha.size(); ++h) {
+    ASSERT_EQ(ha[h].pairs.size(), hb[h].pairs.size()) << h;
+    for (std::size_t p = 0; p < ha[h].pairs.size(); ++p) {
+      EXPECT_EQ(ha[h].pairs[p].in, hb[h].pairs[p].in);
+      EXPECT_EQ(ha[h].pairs[p].out, hb[h].pairs[p].out);
+      EXPECT_EQ(ha[h].pairs[p].count, hb[h].pairs[p].count);
+    }
+  }
+  EXPECT_EQ(report.window_tuples, sb.tuples);
+}
+
+// Deep stateless chains must not exhaust the C++ stack: the worklist deliver
+// walks a 200-operator chain comfortably (the recursive version consumed a
+// stack frame per hop).
+TEST(Pipeline, DeepChainDeliversWithoutRecursion) {
+  Topology topo;
+  OperatorId prev = topo.add_operator(
+      {.name = "src", .parallelism = 1, .is_source = true});
+  constexpr int kDepth = 200;
+  for (int d = 0; d < kDepth; ++d) {
+    const OperatorId next =
+        topo.add_operator({.name = "op" + std::to_string(d), .parallelism = 2});
+    topo.connect(prev, next, GroupingType::kFields, /*key_field=*/0);
+    prev = next;
+  }
+  const Placement place = Placement::round_robin(topo, 2);
+  SimConfig cfg;
+  cfg.source_mode = SourceMode::kRoundRobin;
+  PipelineModel model(topo, place, cfg, FieldsRouting::kHash);
+  FixedGenerator gen(Tuple{.fields = {9}, .padding = 0});
+  for (int i = 0; i < 10; ++i) model.process(gen.next());
+  const TrafficStats& s = model.stats();
+  // Every hop saw every tuple exactly once.
+  for (std::size_t e = 0; e < s.edge_traffic.size(); ++e) {
+    EXPECT_EQ(s.edge_traffic[e].local + s.edge_traffic[e].remote, 10u) << e;
+  }
+}
+
 }  // namespace
 }  // namespace lar::sim

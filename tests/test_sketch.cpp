@@ -219,5 +219,77 @@ TEST(Zipf, PmfOutOfRangeIsZero) {
   EXPECT_EQ(z.pmf(5), 0.0);
 }
 
+// --- SpaceSaving: property tests against an exact reference ------------------
+
+// Observable heap invariant: min_count() must be the true minimum over all
+// monitored counts once the sketch is full (a broken sift would evict the
+// wrong slot and this catches it after arbitrary interleavings).
+TEST(SpaceSaving, MinCountIsTrueMinimumUnderChurn) {
+  constexpr std::size_t kCapacity = 64;
+  IntSketch s(kCapacity);
+  ZipfSampler zipf(1000, 1.1);
+  Rng rng(21);
+  for (int i = 0; i < 20000; ++i) {
+    s.add(zipf.sample(rng), 1 + rng.below(3));
+    if (s.size() < kCapacity) continue;
+    if (i % 97 != 0) continue;  // checking is O(capacity); sample it
+    std::uint64_t true_min = ~0ULL;
+    for (const auto& e : s.entries()) true_min = std::min(true_min, e.count);
+    ASSERT_EQ(s.min_count(), true_min) << "after " << i + 1 << " adds";
+  }
+}
+
+// ICDT'05 guarantees, checked differentially against exact counts:
+//   (1) count is an overestimate:  true <= count
+//   (2) the error bound is honest: count - error <= true
+//   (3) error never exceeds the smallest monitored count
+//   (4) any key with true frequency > N/m is monitored
+TEST(SpaceSaving, EvictionErrorBoundsHoldOnZipfStream) {
+  constexpr std::size_t kCapacity = 50;
+  IntSketch s(kCapacity);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  ZipfSampler zipf(5000, 1.2);
+  Rng rng(42);
+  std::uint64_t total = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t key = zipf.sample(rng);
+    const std::uint64_t w = 1 + rng.below(4);
+    s.add(key, w);
+    truth[key] += w;
+    total += w;
+  }
+  ASSERT_EQ(s.total(), total);
+  ASSERT_EQ(s.size(), kCapacity);
+
+  const std::uint64_t min_count = s.min_count();
+  for (const auto& e : s.entries()) {
+    const auto it = truth.find(e.key);
+    ASSERT_NE(it, truth.end());
+    EXPECT_GE(e.count, it->second) << "key " << e.key;               // (1)
+    EXPECT_LE(e.count - e.error, it->second) << "key " << e.key;     // (2)
+    EXPECT_LE(e.error, min_count) << "key " << e.key;                // (3)
+  }
+  for (const auto& [key, count] : truth) {                           // (4)
+    if (count > total / kCapacity) {
+      EXPECT_TRUE(s.estimate(key).has_value())
+          << "heavy hitter " << key << " (count " << count << ") evicted";
+    }
+  }
+}
+
+// The estimate() path and the entries() path must agree for every key.
+TEST(SpaceSaving, EstimateMatchesEntries) {
+  IntSketch s(32);
+  ZipfSampler zipf(300, 1.0);
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) s.add(zipf.sample(rng));
+  for (const auto& e : s.entries()) {
+    const auto got = s.estimate(e.key);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->count, e.count);
+    EXPECT_EQ(got->error, e.error);
+  }
+}
+
 }  // namespace
 }  // namespace lar::sketch
