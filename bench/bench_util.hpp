@@ -86,6 +86,13 @@ class JsonBenchReport {
                          obs::report_json(registry, trace, keep));
   }
 
+  /// Captures an already-serialized obs report as one panel — for benches
+  /// that byte-compare the report (determinism self-checks) and then want
+  /// to embed exactly the bytes they verified.
+  void add_panel_report(std::string label, std::string report) {
+    panels_.emplace_back(std::move(label), std::move(report));
+  }
+
   /// Writes BENCH_<bench>.json into the working directory and announces it
   /// as a comment line.  Returns the path.
   std::string write() const {

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# One-command verification gate (referenced from CLAUDE.md):
+#
+#   scripts/check.sh            # configure + build (zero warnings), full
+#                               # ctest, TSan obs+chaos, perf smoke
+#
+# Exits nonzero on the first failure.  Build trees: build/ (release-ish,
+# whatever CMakeLists defaults to) and build-tsan/ (-DLAR_SANITIZE=thread).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+log() { printf '\n== %s ==\n' "$*"; }
+
+log "configure + build (zero warnings expected)"
+cmake -B build -G Ninja >/dev/null
+build_log=$(cmake --build build 2>&1) || { printf '%s\n' "$build_log"; exit 1; }
+if printf '%s\n' "$build_log" | grep -E 'warning|Warning' >&2; then
+  echo "FAIL: build produced warnings" >&2
+  exit 1
+fi
+
+log "full test suite"
+ctest --test-dir build -j "$(nproc)" --output-on-failure
+
+log "ThreadSanitizer: obs + chaos (registry, wave and injector races)"
+cmake -B build-tsan -G Ninja -DLAR_SANITIZE=thread >/dev/null
+cmake --build build-tsan >/dev/null
+ctest --test-dir build-tsan -L 'obs|chaos' --output-on-failure
+
+log "perf smoke (devirtualized-routing differential checks)"
+./build/bench/micro_hotpath --ops 20000 >/dev/null
+
+echo
+echo "OK: build clean, all tests green, TSan clean, perf smoke passed"

@@ -1,0 +1,137 @@
+// lar::chaos — deterministic fault plans for the reconfiguration protocol.
+//
+// A FaultPlan is pure data: per injection site, a fault rate and a
+// site-specific magnitude, plus per-site salts expanded from one seed via
+// lar::Rng.  Whether a given event suffers a fault is a *pure function* of
+// (plan, site, entity, event sequence number) — no wall clock, no global
+// RNG state — so a fixed seed reproduces the exact same fault schedule no
+// matter how threads interleave, as long as each (site, entity) observes a
+// deterministic event sequence.  That is what makes chaos runs replayable:
+// the simulator (single-threaded) is byte-stable, and the threaded runtime
+// gets identical fault *decisions* at every point whose per-entity event
+// order is deterministic (e.g. the manager's gather, which sees one report
+// per POI per epoch).
+//
+// The plan only schedules faults the protocol can survive by design:
+//   * data-plane faults preserve per-producer FIFO order by construction
+//     (a delay holds a link's whole suffix back, never reorders within it),
+//   * control messages are never dropped (the wave invariant in CLAUDE.md
+//     depends on their delivery), only delayed or duplicated,
+// so every injected fault has a defined recovery, exercised in test_chaos.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace lar::chaos {
+
+/// Named injection points.  Each value is both a schedule dimension of the
+/// FaultPlan and the label the injector uses for counters / trace events.
+enum class FaultSite : std::uint8_t {
+  kChannelDelay = 0,   ///< hold a link's data suffix back (FIFO-preserving)
+  kChannelDuplicate,   ///< deliver one data tuple twice on a link
+  kWorkerStall,        ///< POI yields the CPU before handling a message
+  kStatsLoss,          ///< a SEND_METRICS report never reaches the manager
+  kStatsDelay,         ///< a report arrives one gather epoch late (stale)
+  kMigrateDelay,       ///< a MIGRATE payload is redelivered after a backoff
+  kMigrateDuplicate,   ///< a MIGRATE payload is delivered twice
+};
+
+inline constexpr std::size_t kNumFaultSites = 7;
+
+[[nodiscard]] constexpr const char* to_string(FaultSite s) noexcept {
+  switch (s) {
+    case FaultSite::kChannelDelay: return "channel_delay";
+    case FaultSite::kChannelDuplicate: return "channel_duplicate";
+    case FaultSite::kWorkerStall: return "worker_stall";
+    case FaultSite::kStatsLoss: return "stats_loss";
+    case FaultSite::kStatsDelay: return "stats_delay";
+    case FaultSite::kMigrateDelay: return "migrate_delay";
+    case FaultSite::kMigrateDuplicate: return "migrate_duplicate";
+  }
+  return "?";
+}
+
+/// One site's schedule: how often it fires and how hard.
+struct FaultSpec {
+  /// Probability that one event at the site suffers the fault, in [0, 1].
+  double rate = 0.0;
+
+  /// Site-specific severity: scheduler yields for kWorkerStall, maximum
+  /// redeliveries for kMigrateDelay; ignored by the other sites (their
+  /// delay is one logical unit — a queue drain or a gather epoch).
+  std::uint32_t magnitude = 1;
+};
+
+/// Seeded, immutable-after-construction fault schedule.  Cheap to copy.
+class FaultPlan {
+ public:
+  /// An all-zero-rate plan: never fires (the healthy schedule).
+  FaultPlan() : FaultPlan(0) {}
+
+  /// Expands `seed` into independent per-site salts via lar::Rng; all rates
+  /// start at zero — call set() to arm sites.
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {
+    Rng rng(seed);
+    for (auto& salt : salts_) salt = rng.next();
+  }
+
+  /// Arms every site with the same rate (magnitudes keep their defaults).
+  static FaultPlan uniform(std::uint64_t seed, double rate) {
+    FaultPlan plan(seed);
+    for (std::size_t s = 0; s < kNumFaultSites; ++s) {
+      plan.specs_[s].rate = rate;
+    }
+    return plan;
+  }
+
+  void set(FaultSite site, FaultSpec spec) {
+    specs_[static_cast<std::size_t>(site)] = spec;
+  }
+
+  [[nodiscard]] const FaultSpec& spec(FaultSite site) const noexcept {
+    return specs_[static_cast<std::size_t>(site)];
+  }
+
+  [[nodiscard]] std::uint32_t magnitude(FaultSite site) const noexcept {
+    return spec(site).magnitude;
+  }
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// True iff any site has a nonzero rate.
+  [[nodiscard]] bool armed() const noexcept {
+    for (const FaultSpec& s : specs_) {
+      if (s.rate > 0.0) return true;
+    }
+    return false;
+  }
+
+  /// Pure deterministic decision: does event number `seq` of `entity` at
+  /// `site` suffer the fault?  Entities are caller-defined stable ids (a
+  /// link, a POI, a key); seq is the per-(site, entity) event counter the
+  /// Injector maintains.
+  [[nodiscard]] bool should_inject(FaultSite site, std::uint64_t entity,
+                                   std::uint64_t seq) const noexcept {
+    const auto s = static_cast<std::size_t>(site);
+    const double rate = specs_[s].rate;
+    if (rate <= 0.0) return false;
+    if (rate >= 1.0) return true;
+    // mix64 of the salted (entity, seq) pair gives an i.i.d.-quality uniform
+    // 64-bit draw; compare against the rate scaled to 2^64.
+    const std::uint64_t draw =
+        mix64(salts_[s] ^ mix64(entity * 0x9e3779b97f4a7c15ULL + seq));
+    const auto threshold = static_cast<std::uint64_t>(
+        rate * 18446744073709551616.0 /* 2^64 */);
+    return draw < threshold;
+  }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::array<std::uint64_t, kNumFaultSites> salts_{};
+  std::array<FaultSpec, kNumFaultSites> specs_{};
+};
+
+}  // namespace lar::chaos

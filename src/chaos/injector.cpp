@@ -1,0 +1,67 @@
+#include "chaos/injector.hpp"
+
+namespace lar::chaos {
+
+namespace {
+
+/// Canonical trace entity for a fault decision: "<site>/<entity id>".
+std::string fault_entity(FaultSite site, std::uint64_t entity) {
+  return std::string(to_string(site)) + "/" + std::to_string(entity);
+}
+
+}  // namespace
+
+Injector::Injector(FaultPlan plan, obs::Registry* registry,
+                   obs::TraceRecorder* trace)
+    : plan_(plan), registry_(registry), trace_(trace) {}
+
+bool Injector::fire(FaultSite site, std::uint64_t entity,
+                    std::uint64_t version, double vtime) {
+  const auto s = static_cast<std::size_t>(site);
+  std::uint64_t seq = 0;
+  bool hit = false;
+  {
+    std::lock_guard lock(mutex_);
+    seq = seq_[s][entity]++;
+    hit = plan_.should_inject(site, entity, seq);
+    if (hit) ++fired_[s];
+  }
+  if (!hit) return false;
+  // Fired faults are rare (rate-bounded), so by-name registry lookup and the
+  // entity-string allocation stay off the common decision path.
+  if (registry_ != nullptr) {
+    registry_
+        ->counter("lar_chaos_faults_total", {{"site", to_string(site)}},
+                  "Faults injected by the active FaultPlan, per site.")
+        .inc();
+  }
+  if (trace_ != nullptr) {
+    trace_->record(version, obs::Phase::kFault, fault_entity(site, entity),
+                   /*count=*/1, /*bytes=*/0, vtime);
+  }
+  return true;
+}
+
+void Injector::recovery(std::string_view action, std::string entity,
+                        std::uint64_t count, std::uint64_t bytes,
+                        std::uint64_t version, double vtime) {
+  if (registry_ != nullptr) {
+    registry_
+        ->counter("lar_chaos_recovery_total",
+                  {{"action", std::string(action)}},
+                  "Recovery actions that absorbed injected faults.")
+        .inc(count);
+  }
+  if (trace_ != nullptr) {
+    trace_->record(version, obs::Phase::kRecover,
+                   std::string(action) + "/" + std::move(entity), count, bytes,
+                   vtime);
+  }
+}
+
+std::uint64_t Injector::fired(FaultSite site) const {
+  std::lock_guard lock(mutex_);
+  return fired_[static_cast<std::size_t>(site)];
+}
+
+}  // namespace lar::chaos

@@ -1,0 +1,77 @@
+// lar::chaos — the runtime face of a FaultPlan.
+//
+// An Injector owns the per-(site, entity) event counters that turn the
+// plan's pure decision function into a live fault stream, and reports every
+// decision and recovery to lar::obs: `lar_chaos_*` counter families and
+// Phase::kFault / Phase::kRecover trace events.  It is thread-safe (POI
+// threads fire concurrently) and is only ever consulted behind a null-check
+// — a component without an injector pays one predictable branch, exactly
+// the structural no-op pattern obs::Registry uses, so the disabled mode
+// costs nothing on the hot path.
+//
+// Determinism: fire() advances one counter per (site, entity) and feeds it
+// to FaultPlan::should_inject, so the decision stream per entity depends
+// only on how many events that entity has seen — not on thread
+// interleaving across entities.  Single-threaded callers (the simulator,
+// the manager's gather loop) therefore get byte-stable fault schedules.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "chaos/fault_plan.hpp"
+#include "common/flat_map.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lar::chaos {
+
+/// Thread-safe fault-decision engine bound to one FaultPlan.
+class Injector {
+ public:
+  /// `registry` and `trace` may be null (no-op observability); when given
+  /// they must outlive the injector.
+  explicit Injector(FaultPlan plan, obs::Registry* registry = nullptr,
+                    obs::TraceRecorder* trace = nullptr);
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Advances `entity`'s event counter at `site` and returns the plan's
+  /// decision for that event.  On a fired fault, bumps
+  /// `lar_chaos_faults_total{site}` and records a kFault trace event whose
+  /// entity is "<site>/<entity>"; `version` is the reconfiguration version
+  /// (or gather epoch) the fault belongs to, `vtime` the caller's virtual
+  /// time (0 in the threaded runtime).
+  bool fire(FaultSite site, std::uint64_t entity, std::uint64_t version = 0,
+            double vtime = 0.0);
+
+  /// Records one recovery action (dedup drop, migration redelivery, partial
+  /// gather, stale merge, buffer spill): bumps
+  /// `lar_chaos_recovery_total{action}` and records a kRecover trace event.
+  void recovery(std::string_view action, std::string entity,
+                std::uint64_t count = 1, std::uint64_t bytes = 0,
+                std::uint64_t version = 0, double vtime = 0.0);
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  [[nodiscard]] std::uint32_t magnitude(FaultSite site) const noexcept {
+    return plan_.magnitude(site);
+  }
+
+  /// Total faults fired at `site` so far.
+  [[nodiscard]] std::uint64_t fired(FaultSite site) const;
+
+ private:
+  const FaultPlan plan_;
+  obs::Registry* registry_;
+  obs::TraceRecorder* trace_;
+
+  mutable std::mutex mutex_;
+  /// Per-site: entity -> events seen (the seq fed to should_inject).
+  std::array<FlatMap<std::uint64_t, std::uint64_t>, kNumFaultSites> seq_;
+  std::array<std::uint64_t, kNumFaultSites> fired_{};
+};
+
+}  // namespace lar::chaos

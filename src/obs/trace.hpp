@@ -24,7 +24,8 @@
 namespace lar::obs {
 
 /// Protocol steps, in wave order.  kGather..kDrain is also the canonical
-/// phase sort order used by the exporter.
+/// phase sort order used by the exporter; the chaos phases sort after the
+/// protocol proper (they annotate it, they are not part of the wave).
 enum class Phase : std::uint8_t {
   kGather = 0,    ///< GET_METRICS / SEND_METRICS round (pair statistics)
   kCompute = 1,   ///< Manager plan computation (graph build + partition)
@@ -34,6 +35,8 @@ enum class Phase : std::uint8_t {
   kMigrate = 5,   ///< one key's state shipped between sibling instances
   kBuffer = 6,    ///< a tuple parked waiting for its key's state
   kDrain = 7,     ///< buffered tuples released after state arrival
+  kFault = 8,     ///< lar::chaos injected a fault at this point
+  kRecover = 9,   ///< a recovery action absorbed an injected fault
 };
 
 [[nodiscard]] constexpr const char* to_string(Phase p) noexcept {
@@ -46,6 +49,8 @@ enum class Phase : std::uint8_t {
     case Phase::kMigrate: return "migrate";
     case Phase::kBuffer: return "buffer";
     case Phase::kDrain: return "drain";
+    case Phase::kFault: return "fault";
+    case Phase::kRecover: return "recover";
   }
   return "?";
 }

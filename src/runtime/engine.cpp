@@ -4,10 +4,28 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/flat_map.hpp"
 #include "common/logging.hpp"
 #include "runtime/codec.hpp"
 
 namespace lar::runtime {
+
+namespace {
+
+/// Stable chaos entity for a producer->consumer channel link (flat POI
+/// indices), shared by the sender's duplicate decision and the receiver's
+/// delay decision.
+[[nodiscard]] std::uint64_t link_entity(std::uint32_t from,
+                                        std::size_t to) noexcept {
+  return (static_cast<std::uint64_t>(from) << 32) |
+         static_cast<std::uint64_t>(to);
+}
+
+[[nodiscard]] std::string link_entity_str(std::uint32_t from, std::size_t to) {
+  return std::to_string(from) + "->" + std::to_string(to);
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Poi: one deployed operator instance.
@@ -21,6 +39,7 @@ struct Engine::Poi {
   const OperatorId op;
   const InstanceIndex index;
   const ServerId server;
+  std::size_t flat = 0;  ///< index into Engine::pois_ (chaos entity id)
 
   std::unique_ptr<Operator> logic;
   Channel<Message> inbox;
@@ -39,6 +58,18 @@ struct Engine::Poi {
   bool actions_done = true;  ///< propagate wave handled (tables installed)
   std::unordered_set<Key> awaiting;                      ///< state not here yet
   std::unordered_map<Key, std::vector<DataMsg>> pending;  ///< buffered tuples
+
+  // --- chaos state ---------------------------------------------------------
+  // out_seq is written by this POI's thread when sending; the rest only by
+  // this POI's thread when receiving.  All empty/idle without an injector.
+  FlatMap<std::uint64_t, std::uint64_t> out_seq;  ///< target flat -> last seq
+  FlatMap<std::uint64_t, std::uint64_t> last_seq; ///< producer flat -> seen
+  std::unordered_map<std::uint32_t, std::vector<DataMsg>>
+      delayed;  ///< producer flat -> held link suffix (FIFO within the link)
+
+  std::size_t pending_count = 0;  ///< in-memory buffered tuples (cap basis)
+  std::unordered_map<Key, std::vector<std::vector<std::byte>>>
+      spilled;  ///< serialized overflow tuples, drained after `pending`
 };
 
 // ---------------------------------------------------------------------------
@@ -56,6 +87,11 @@ Engine::Engine(const Topology& topology, const Placement& placement,
   LAR_CHECK(topology.validate().is_ok());
   LAR_CHECK(factory_ != nullptr);
 
+  // Manager replies are control-plane: they must never take a bounded push
+  // (a POI thread blocking on the manager's inbox while the manager waits
+  // for that very reply would deadlock the protocol).
+  manager_inbox_.set_push_validator([](const ManagerReply&) { return false; });
+
   anchors_ = compute_stats_anchors(topology);
   poi_index_.resize(topology.num_operators());
   for (OperatorId op = 0; op < topology.num_operators(); ++op) {
@@ -66,6 +102,11 @@ Engine::Engine(const Topology& topology, const Placement& placement,
       pois_.push_back(std::make_unique<Poi>(op, i, placement.server_of(op, i),
                                             options_.queue_capacity));
       Poi& poi = *pois_.back();
+      poi.flat = poi_index_[op][i];
+      // Only the data plane may use the bounded (back-pressuring) pushes;
+      // every control message takes push_unbounded (CLAUDE.md invariant).
+      poi.inbox.set_push_validator(
+          [](const Message& m) { return std::holds_alternative<DataMsg>(m); });
       poi.logic = factory_(op, i);
       LAR_CHECK(poi.logic != nullptr);
 
@@ -163,20 +204,39 @@ void Engine::flush() {
 }
 
 void Engine::poi_loop(Poi& poi) {
+  chaos::Injector* const inj = options_.injector;
   while (auto msg = poi.inbox.pop()) {
     if (std::holds_alternative<ShutdownMsg>(*msg)) return;
+    if (inj != nullptr &&
+        inj->fire(chaos::FaultSite::kWorkerStall, poi.flat)) {
+      // A stall window: the POI yields the CPU `magnitude` times before
+      // touching the message; purely a scheduling perturbation.
+      const std::uint32_t yields =
+          inj->magnitude(chaos::FaultSite::kWorkerStall);
+      for (std::uint32_t i = 0; i < yields; ++i) std::this_thread::yield();
+    }
     std::visit(
         [&](auto&& m) {
           using T = std::decay_t<decltype(m)>;
+          // Any control message force-flushes every delay stash first: the
+          // wave relies on a predecessor's pre-switch data being processed
+          // before its PROPAGATE, and injected delays must not outlive that
+          // ordering.
           if constexpr (std::is_same_v<T, DataMsg>) {
             handle_data(poi, std::move(m));
+          } else if constexpr (std::is_same_v<T, FlushDelayedMsg>) {
+            flush_delayed(poi, m.link);
           } else if constexpr (std::is_same_v<T, GetMetricsMsg>) {
+            flush_all_delayed(poi);
             send_metrics(poi);
           } else if constexpr (std::is_same_v<T, ReconfMsg>) {
+            flush_all_delayed(poi);
             handle_reconf(poi, std::move(m));
           } else if constexpr (std::is_same_v<T, PropagateMsg>) {
+            flush_all_delayed(poi);
             handle_propagate(poi, m);
           } else if constexpr (std::is_same_v<T, MigrateMsg>) {
+            flush_all_delayed(poi);
             handle_migrate(poi, std::move(m));
           }
         },
@@ -185,6 +245,41 @@ void Engine::poi_loop(Poi& poi) {
 }
 
 void Engine::handle_data(Poi& poi, DataMsg msg) {
+  chaos::Injector* const inj = options_.injector;
+  if (inj != nullptr && msg.from != DataMsg::kNoFrom) {
+    const std::uint32_t from = msg.from;
+    // Dedup before anything else: an injected duplicate is dropped even if
+    // its link is currently held in the delay stash.
+    std::uint64_t& seen = poi.last_seq[from];
+    if (msg.seq <= seen) {
+      data_dups_dropped_.fetch_add(1, std::memory_order_relaxed);
+      inj->recovery("channel_dedup", link_entity_str(from, poi.flat));
+      if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        in_flight_.notify_all();
+      }
+      return;
+    }
+    seen = msg.seq;
+    // A held link stashes its *whole suffix* — per-producer FIFO is
+    // preserved by construction, the delay never reorders within a link.
+    if (auto it = poi.delayed.find(from); it != poi.delayed.end()) {
+      it->second.push_back(std::move(msg));
+      return;
+    }
+    if (inj->fire(chaos::FaultSite::kChannelDelay,
+                  link_entity(from, poi.flat))) {
+      poi.delayed[from].push_back(std::move(msg));
+      // The sentinel flushes the stash once the inbox contents present now
+      // have drained: one logical queue-drain of delay, deadlock-free
+      // because the push ignores the capacity bound.
+      poi.inbox.push_unbounded(Message{FlushDelayedMsg{from}});
+      return;
+    }
+  }
+  deliver_data(poi, std::move(msg));
+}
+
+void Engine::deliver_data(Poi& poi, DataMsg msg) {
   Key in_key = msg.anchor;
   if (msg.edge != DataMsg::kInjected) {
     const EdgeSpec& edge = topology_.edges()[msg.edge];
@@ -195,12 +290,14 @@ void Engine::handle_data(Poi& poi, DataMsg msg) {
       // "tuples are buffered and are only processed once the state of their
       // key is received").
       if (poi.awaiting.contains(in_key)) {
-        poi.pending[in_key].push_back(std::move(msg));
-        tuples_buffered_.fetch_add(1, std::memory_order_relaxed);
-        if (options_.trace != nullptr) {
-          options_.trace->record(poi.staged->version, obs::Phase::kBuffer,
-                                 obs::key_entity(in_key), /*count=*/1);
-        }
+        // Buffering implies a live reconfiguration: `awaiting` is populated
+        // by handle_reconf and fully drained before `staged` resets, so a
+        // parked tuple always has an incoming MIGRATE to wake it.  Keys not
+        // in `awaiting` — including keys the routing table has never seen,
+        // which fall back to hash routing — are processed immediately; they
+        // can never be parked forever.
+        LAR_CHECK(poi.staged.has_value());
+        buffer_tuple(poi, in_key, std::move(msg));
         return;  // stays in flight until drained by handle_migrate()
       }
     }
@@ -209,6 +306,48 @@ void Engine::handle_data(Poi& poi, DataMsg msg) {
   if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     in_flight_.notify_all();
   }
+}
+
+void Engine::buffer_tuple(Poi& poi, Key in_key, DataMsg msg) {
+  tuples_buffered_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.trace != nullptr) {
+    options_.trace->record(poi.staged->version, obs::Phase::kBuffer,
+                           obs::key_entity(in_key), /*count=*/1);
+  }
+  const std::size_t cap = options_.buffered_tuples_cap;
+  // Spill once the in-memory cap is hit.  Stickiness: after a key's first
+  // spill, all its later tuples spill too, so the drain order (in-memory
+  // batch first, then the spill store) preserves per-key FIFO.
+  if (cap != 0 && (poi.pending_count >= cap || poi.spilled.contains(in_key))) {
+    std::vector<std::byte> wire = encode_tuple(msg.tuple);
+    tuples_spilled_.fetch_add(1, std::memory_order_relaxed);
+    tuples_spilled_bytes_.fetch_add(wire.size(), std::memory_order_relaxed);
+    if (options_.injector != nullptr) {
+      options_.injector->recovery("buffer_spill", obs::key_entity(in_key),
+                                  /*count=*/1, /*bytes=*/wire.size(),
+                                  poi.staged->version);
+    }
+    poi.spilled[in_key].push_back(std::move(wire));
+    return;
+  }
+  poi.pending[in_key].push_back(std::move(msg));
+  ++poi.pending_count;
+}
+
+void Engine::flush_delayed(Poi& poi, std::uint32_t link) {
+  auto it = poi.delayed.find(link);
+  if (it == poi.delayed.end()) return;  // already force-flushed by control
+  std::vector<DataMsg> held = std::move(it->second);
+  poi.delayed.erase(it);
+  if (options_.injector != nullptr) {
+    options_.injector->recovery("delay_flush", link_entity_str(link, poi.flat),
+                                held.size());
+  }
+  for (DataMsg& dm : held) deliver_data(poi, std::move(dm));
+}
+
+void Engine::flush_all_delayed(Poi& poi) {
+  while (!poi.delayed.empty()) flush_delayed(poi, poi.delayed.begin()->first);
 }
 
 void Engine::process_tuple(Poi& poi, const Tuple& tuple, Key in_key) {
@@ -254,15 +393,28 @@ void Engine::send_data(Poi& poi, std::uint32_t out_pos, const Tuple& tuple,
                          : in_key;
 
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  DataMsg out{tuple, eid, anchor};
   if (target.server == poi.server) {
     counters.local.fetch_add(1, std::memory_order_relaxed);
-    target.inbox.push(Message{DataMsg{tuple, eid, anchor}});
   } else {
     counters.remote.fetch_add(1, std::memory_order_relaxed);
     const std::vector<std::byte> wire = encode_tuple(tuple);
     counters.remote_bytes.fetch_add(wire.size(), std::memory_order_relaxed);
-    target.inbox.push(Message{DataMsg{decode_tuple(wire), eid, anchor}});
+    out.tuple = decode_tuple(wire);
   }
+  if (chaos::Injector* const inj = options_.injector; inj != nullptr) {
+    // Stamp the link sequence so the receiver can drop duplicates; out_seq
+    // is only ever touched by this POI's own thread.
+    out.from = static_cast<std::uint32_t>(poi.flat);
+    out.seq = ++poi.out_seq[target.flat];
+    if (inj->fire(chaos::FaultSite::kChannelDuplicate,
+                  link_entity(out.from, target.flat))) {
+      // Same seq on both copies: whichever arrives second is deduped.
+      in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      target.inbox.push(Message{DataMsg{out}});
+    }
+  }
+  target.inbox.push(Message{std::move(out)});
 }
 
 // ---------------------------------------------------------------------------
@@ -277,7 +429,7 @@ void Engine::send_metrics(Poi& poi) {
     if (!poi.pair_stats[k].has_value()) continue;
     reply.stats.emplace_back(out[k], poi.pair_stats[k]->snapshot());
   }
-  manager_inbox_.push(ManagerReply{std::move(reply)});
+  manager_inbox_.push_unbounded(ManagerReply{std::move(reply)});
 }
 
 void Engine::handle_reconf(Poi& poi, ReconfMsg msg) {
@@ -294,7 +446,7 @@ void Engine::handle_reconf(Poi& poi, ReconfMsg msg) {
                            obs::poi_entity(poi.op, poi.index),
                            /*count=*/poi.staged->receive.size());
   }
-  manager_inbox_.push(
+  manager_inbox_.push_unbounded(
       ManagerReply{AckReconfReply{InstanceId{poi.op, poi.index}, version}});
 }
 
@@ -328,7 +480,15 @@ void Engine::run_reconfig_actions(Poi& poi) {
   for (const auto& [key, dest] : staged.send) {
     std::vector<std::byte> state = poi.logic->export_key_state(key);
     poi.logic->drop_key_state(key);
-    poi_at(poi.op, dest).inbox.push_unbounded(
+    Poi& target = poi_at(poi.op, dest);
+    if (chaos::Injector* const inj = options_.injector;
+        inj != nullptr && inj->fire(chaos::FaultSite::kMigrateDuplicate, key,
+                                    staged.version)) {
+      // The receiver's awaiting-set check absorbs the second copy.
+      target.inbox.push_unbounded(
+          Message{MigrateMsg{staged.version, key, state}});
+    }
+    target.inbox.push_unbounded(
         Message{MigrateMsg{staged.version, key, std::move(state)}});
   }
 
@@ -337,6 +497,37 @@ void Engine::run_reconfig_actions(Poi& poi) {
 }
 
 void Engine::handle_migrate(Poi& poi, MigrateMsg msg) {
+  chaos::Injector* const inj = options_.injector;
+  // Delayed payload: re-queue behind the inbox's current contents — a
+  // bounded logical backoff (at most `magnitude` redeliveries, each one
+  // queue-drain long), with the tuples for the key buffering meanwhile.
+  if (inj != nullptr &&
+      msg.redeliveries < inj->magnitude(chaos::FaultSite::kMigrateDelay) &&
+      inj->fire(chaos::FaultSite::kMigrateDelay, msg.key, msg.version)) {
+    ++msg.redeliveries;
+    migrate_redeliveries_.fetch_add(1, std::memory_order_relaxed);
+    inj->recovery("migrate_redelivery", obs::key_entity(msg.key),
+                  /*count=*/1, /*bytes=*/msg.state.size(), msg.version);
+    poi.inbox.push_unbounded(Message{std::move(msg)});
+    return;
+  }
+  // Idempotence: apply a key's state at most once per reconfiguration.  A
+  // legit first delivery always finds `staged` at the payload's version with
+  // the key in `awaiting` (states ship only after every ack, and the wave
+  // can't finish here until awaiting drains).  Anything else is a duplicate
+  // or a stale straggler from a finished round — e.g. a redelivered v1 copy
+  // popping after v2 re-stages the same key — and importing it would
+  // double-apply or resurrect old state, so drop *before* touching the
+  // operator.
+  if (!poi.staged.has_value() || poi.staged->version != msg.version ||
+      !poi.awaiting.contains(msg.key)) {
+    migrates_deduped_.fetch_add(1, std::memory_order_relaxed);
+    if (inj != nullptr) {
+      inj->recovery("migrate_dedup", obs::key_entity(msg.key),
+                    /*count=*/1, /*bytes=*/msg.state.size(), msg.version);
+    }
+    return;
+  }
   states_migrated_.fetch_add(1, std::memory_order_relaxed);
   states_migrated_bytes_.fetch_add(msg.state.size(),
                                    std::memory_order_relaxed);
@@ -354,18 +545,39 @@ void Engine::handle_migrate(Poi& poi, MigrateMsg msg) {
                            /*bytes=*/msg.state.size());
   }
   poi.logic->import_key_state(msg.key, msg.state);
-  if (poi.awaiting.erase(msg.key) == 0) return;
-  // Drain tuples that were buffered waiting for this key's state.
+  poi.awaiting.erase(msg.key);
+  // Drain tuples that were buffered waiting for this key's state: the
+  // in-memory batch first, then (in arrival order after it, by spill
+  // stickiness) the serialized spill store.
+  std::vector<DataMsg> buffered;
   if (auto it = poi.pending.find(msg.key); it != poi.pending.end()) {
-    std::vector<DataMsg> buffered = std::move(it->second);
+    buffered = std::move(it->second);
     poi.pending.erase(it);
+    poi.pending_count -= buffered.size();
+  }
+  std::vector<std::vector<std::byte>> spilled;
+  if (auto it = poi.spilled.find(msg.key); it != poi.spilled.end()) {
+    spilled = std::move(it->second);
+    poi.spilled.erase(it);
+  }
+  if (!buffered.empty() || !spilled.empty()) {
     if (options_.trace != nullptr) {
+      std::uint64_t spilled_bytes = 0;
+      for (const auto& wire : spilled) spilled_bytes += wire.size();
       options_.trace->record(msg.version, obs::Phase::kDrain,
                              obs::key_entity(msg.key),
-                             /*count=*/buffered.size());
+                             /*count=*/buffered.size() + spilled.size(),
+                             /*bytes=*/spilled_bytes);
     }
     for (DataMsg& dm : buffered) {
       process_tuple(poi, dm.tuple, msg.key);
+      if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        in_flight_.notify_all();
+      }
+    }
+    for (const std::vector<std::byte>& wire : spilled) {
+      const Tuple tuple = decode_tuple(wire);
+      process_tuple(poi, tuple, msg.key);
       if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         in_flight_.notify_all();
       }
@@ -396,7 +608,7 @@ void Engine::maybe_finish_reconfig(Poi& poi) {
                            /*count=*/hops);
   }
   poi.staged.reset();
-  manager_inbox_.push(
+  manager_inbox_.push_unbounded(
       ManagerReply{ReconfDoneReply{InstanceId{poi.op, poi.index}, version}});
 }
 
@@ -413,14 +625,71 @@ core::ReconfigurationPlan Engine::reconfigure(core::Manager& manager) {
   }
   std::unordered_map<std::uint32_t, std::vector<std::vector<core::PairCount>>>
       per_edge;
+  chaos::Injector* const inj = options_.injector;
+  ++gather_epoch_;
+  // Reports the previous epoch's gather deadline missed arrive now, one
+  // epoch stale; merging them is safe because merge_pair_counts is
+  // order-independent over the snapshot *set*.
+  const std::uint64_t stale_merged = delayed_stats_.size();
+  if (stale_merged > 0) {
+    stats_reports_stale_.fetch_add(stale_merged, std::memory_order_relaxed);
+    if (inj != nullptr) {
+      inj->recovery("stale_merge", "manager", stale_merged, /*bytes=*/0,
+                    gather_epoch_);
+    }
+    for (auto& [eid, counts] : delayed_stats_) {
+      per_edge[eid].push_back(std::move(counts));
+    }
+    delayed_stats_.clear();
+  }
+  std::uint64_t lost_reports = 0;
   for (std::size_t i = 0; i < pois_.size(); ++i) {
     auto reply = manager_inbox_.pop();
     LAR_CHECK(reply.has_value());
     auto* metrics = std::get_if<MetricsReply>(&*reply);
     LAR_CHECK(metrics != nullptr);
+    if (inj != nullptr) {
+      // The manager's gather "timeout" is logical: every envelope is still
+      // popped (liveness needs no wall-clock timer), but a faulted report
+      // either never makes it into this epoch's statistics (loss: the plan
+      // is computed from what arrived in time) or is stashed for the next
+      // epoch (delay: merged stale).  Decisions are keyed by the sender's
+      // flat index and advance once per epoch, so they are reproducible
+      // regardless of reply arrival order.
+      const std::size_t sender =
+          poi_index_[metrics->from.op][metrics->from.index];
+      if (inj->fire(chaos::FaultSite::kStatsLoss, sender, gather_epoch_)) {
+        ++lost_reports;
+        stats_reports_lost_.fetch_add(1, std::memory_order_relaxed);
+        inj->recovery("partial_gather",
+                      obs::poi_entity(metrics->from.op, metrics->from.index),
+                      /*count=*/1, /*bytes=*/0, gather_epoch_);
+        continue;
+      }
+      if (inj->fire(chaos::FaultSite::kStatsDelay, sender, gather_epoch_)) {
+        for (auto& [eid, counts] : metrics->stats) {
+          delayed_stats_.emplace_back(eid, std::move(counts));
+        }
+        inj->recovery("stats_deferred",
+                      obs::poi_entity(metrics->from.op, metrics->from.index),
+                      /*count=*/1, /*bytes=*/0, gather_epoch_);
+        continue;
+      }
+    }
     for (auto& [eid, counts] : metrics->stats) {
       per_edge[eid].push_back(std::move(counts));
     }
+  }
+  if (inj != nullptr && options_.registry != nullptr) {
+    // Staleness of the statistics the plan is about to be computed from.
+    options_.registry
+        ->gauge("lar_chaos_gather_lost_reports", {},
+                "SEND_METRICS reports lost in the latest gather epoch.")
+        .set(static_cast<double>(lost_reports));
+    options_.registry
+        ->gauge("lar_chaos_gather_stale_reports", {},
+                "Late reports merged one epoch stale in the latest gather.")
+        .set(static_cast<double>(stale_merged));
   }
   std::vector<core::HopStats> hop_stats;
   std::uint64_t gathered_pairs = 0;
@@ -512,6 +781,16 @@ EngineMetrics Engine::metrics() const {
   out.states_migrated = states_migrated_.load(std::memory_order_relaxed);
   out.states_migrated_bytes =
       states_migrated_bytes_.load(std::memory_order_relaxed);
+  out.tuples_spilled = tuples_spilled_.load(std::memory_order_relaxed);
+  out.tuples_spilled_bytes =
+      tuples_spilled_bytes_.load(std::memory_order_relaxed);
+  out.data_dups_dropped = data_dups_dropped_.load(std::memory_order_relaxed);
+  out.migrates_deduped = migrates_deduped_.load(std::memory_order_relaxed);
+  out.migrate_redeliveries =
+      migrate_redeliveries_.load(std::memory_order_relaxed);
+  out.stats_reports_lost = stats_reports_lost_.load(std::memory_order_relaxed);
+  out.stats_reports_stale =
+      stats_reports_stale_.load(std::memory_order_relaxed);
   out.edges.reserve(edge_counters_.size());
   for (const auto& c : edge_counters_) {
     out.edges.push_back(EdgeMetricsSnapshot{
@@ -546,6 +825,32 @@ void Engine::publish_metrics() {
   reg->counter("lar_state_migrated_bytes_total", {},
                "Serialized size of all migrated key states.")
       .advance_to(states_migrated_bytes_.load(std::memory_order_relaxed));
+
+  // Chaos / recovery families only exist when the feature is configured, so
+  // a chaos-free engine's export stays byte-identical to the pre-chaos one.
+  if (options_.injector != nullptr || options_.buffered_tuples_cap != 0) {
+    reg->counter("lar_tuples_spilled_total", {},
+                 "Buffered tuples serialized past the in-memory cap.")
+        .advance_to(tuples_spilled_.load(std::memory_order_relaxed));
+    reg->counter("lar_tuples_spilled_bytes_total", {},
+                 "Serialized size of all spilled buffered tuples.")
+        .advance_to(tuples_spilled_bytes_.load(std::memory_order_relaxed));
+    reg->counter("lar_data_duplicates_dropped_total", {},
+                 "Chaos-duplicated data tuples dropped by link dedup.")
+        .advance_to(data_dups_dropped_.load(std::memory_order_relaxed));
+    reg->counter("lar_migrates_deduped_total", {},
+                 "Duplicate MIGRATE payloads dropped before import.")
+        .advance_to(migrates_deduped_.load(std::memory_order_relaxed));
+    reg->counter("lar_migrate_redeliveries_total", {},
+                 "MIGRATE payloads re-queued by an injected delay.")
+        .advance_to(migrate_redeliveries_.load(std::memory_order_relaxed));
+    reg->counter("lar_stats_reports_lost_total", {},
+                 "SEND_METRICS reports lost before plan computation.")
+        .advance_to(stats_reports_lost_.load(std::memory_order_relaxed));
+    reg->counter("lar_stats_reports_stale_total", {},
+                 "SEND_METRICS reports merged one gather epoch late.")
+        .advance_to(stats_reports_stale_.load(std::memory_order_relaxed));
+  }
 
   for (std::size_t eid = 0; eid < edge_counters_.size(); ++eid) {
     const EdgeSpec& edge = topology_.edges()[eid];

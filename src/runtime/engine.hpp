@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "chaos/injector.hpp"
 #include "core/manager.hpp"
 #include "core/plan.hpp"
 #include "obs/metrics.hpp"
@@ -65,6 +66,20 @@ struct EngineOptions {
   /// steps (ack, propagate hop, migration, buffer/drain — see obs/trace.hpp).
   obs::Registry* registry = nullptr;
   obs::TraceRecorder* trace = nullptr;
+
+  /// Fault injector (null = chaos disabled; must outlive the engine).  The
+  /// disabled mode is a structural no-op: every chaos hook sits behind one
+  /// `injector == nullptr` branch, the same pattern as `registry`, so the
+  /// data hot path is untouched when no faults are configured.
+  chaos::Injector* injector = nullptr;
+
+  /// Hard cap on *in-memory* tuples buffered per POI behind in-flight state
+  /// migrations (Section 3.4 buffering).  0 = unlimited (the default,
+  /// byte-identical to the pre-chaos engine).  Overflow tuples are not
+  /// dropped: they spill, serialized, into a per-key store and drain after
+  /// the in-memory ones — serialization is the spill cost, exactly-once is
+  /// preserved.
+  std::size_t buffered_tuples_cap = 0;
 };
 
 /// Copyable snapshot of one edge's traffic counters.
@@ -97,6 +112,28 @@ struct EngineMetrics {
 
   /// Serialized size of all migrated key states, in bytes.
   std::uint64_t states_migrated_bytes = 0;
+
+  // --- chaos / recovery accounting (all zero without an injector or a
+  // buffered_tuples_cap) ----------------------------------------------------
+
+  /// Buffered tuples that overflowed the in-memory cap and were serialized
+  /// into the per-key spill store (later drained; never dropped).
+  std::uint64_t tuples_spilled = 0;
+  std::uint64_t tuples_spilled_bytes = 0;
+
+  /// Chaos-duplicated data tuples the receiver's link dedup dropped.
+  std::uint64_t data_dups_dropped = 0;
+
+  /// Duplicate MIGRATE payloads dropped before import (idempotence).
+  std::uint64_t migrates_deduped = 0;
+
+  /// MIGRATE payloads re-queued behind the receiver's inbox by kMigrateDelay.
+  std::uint64_t migrate_redeliveries = 0;
+
+  /// SEND_METRICS reports lost (plan computed from partial statistics) or
+  /// delayed into the next gather epoch (merged stale).
+  std::uint64_t stats_reports_lost = 0;
+  std::uint64_t stats_reports_stale = 0;
 };
 
 /// Deploys and runs a Topology.  Lifecycle: construct -> start() ->
@@ -153,6 +190,10 @@ class Engine {
 
   void poi_loop(Poi& poi);
   void handle_data(Poi& poi, DataMsg msg);
+  void deliver_data(Poi& poi, DataMsg msg);
+  void buffer_tuple(Poi& poi, Key in_key, DataMsg msg);
+  void flush_delayed(Poi& poi, std::uint32_t link);
+  void flush_all_delayed(Poi& poi);
   void process_tuple(Poi& poi, const Tuple& tuple, Key in_key);
   void handle_reconf(Poi& poi, ReconfMsg msg);
   void handle_propagate(Poi& poi, const PropagateMsg& msg);
@@ -188,6 +229,21 @@ class Engine {
   std::atomic<std::uint64_t> states_migrated_{0};
   std::atomic<std::uint64_t> states_migrated_bytes_{0};
   std::atomic<std::uint64_t> inject_seq_{0};
+
+  // Chaos / recovery counters (stay zero in the disabled mode).
+  std::atomic<std::uint64_t> tuples_spilled_{0};
+  std::atomic<std::uint64_t> tuples_spilled_bytes_{0};
+  std::atomic<std::uint64_t> data_dups_dropped_{0};
+  std::atomic<std::uint64_t> migrates_deduped_{0};
+  std::atomic<std::uint64_t> migrate_redeliveries_{0};
+  std::atomic<std::uint64_t> stats_reports_lost_{0};
+  std::atomic<std::uint64_t> stats_reports_stale_{0};
+
+  // Gather-epoch state, touched only by the reconfigure() caller thread:
+  // reports kStatsDelay held back, merged (stale) into the next epoch.
+  std::uint64_t gather_epoch_ = 0;
+  std::vector<std::pair<std::uint32_t, std::vector<core::PairCount>>>
+      delayed_stats_;
 
   struct EdgeCounters {
     std::atomic<std::uint64_t> local{0};

@@ -24,6 +24,7 @@ namespace lar::runtime {
 /// edge == kInjected marks tuples pushed by the source injector.
 struct DataMsg {
   static constexpr std::uint32_t kInjected = static_cast<std::uint32_t>(-1);
+  static constexpr std::uint32_t kNoFrom = static_cast<std::uint32_t>(-1);
   Tuple tuple;
   std::uint32_t edge = kInjected;
 
@@ -33,6 +34,13 @@ struct DataMsg {
   /// hop.  This is what lets a stateless relay record (stateful-input,
   /// stateful-output) key pairs for hops like Figure 3's B -> C -> D.
   Key anchor = kNoKey;
+
+  /// Chaos bookkeeping, stamped only when a fault injector is configured:
+  /// the sending POI's flat index and a per-(sender, receiver) link sequence
+  /// number starting at 1.  The receiver drops seq <= last-seen as a
+  /// duplicate; kNoFrom / 0 marks an unstamped (chaos-free) message.
+  std::uint32_t from = kNoFrom;
+  std::uint64_t seq = 0;
 };
 
 /// Manager -> POI: send me your pair statistics.
@@ -66,13 +74,25 @@ struct MigrateMsg {
   std::uint64_t version = 0;
   Key key = 0;
   std::vector<std::byte> state;
+
+  /// How many times a chaos-delayed copy of this payload has been re-queued
+  /// behind the receiver's inbox; bounded by the kMigrateDelay magnitude.
+  std::uint32_t redeliveries = 0;
+};
+
+/// POI -> itself: flush the delay stash of producer link `link` (flat POI
+/// index).  Pushed unbounded when a chaos delay opens the stash, so the held
+/// suffix drains after exactly the inbox contents present at open time —
+/// one logical queue-drain of delay, deadlock-free.
+struct FlushDelayedMsg {
+  std::uint32_t link = 0;
 };
 
 /// Engine -> POI: drain and exit.
 struct ShutdownMsg {};
 
 using Message = std::variant<DataMsg, GetMetricsMsg, ReconfMsg, PropagateMsg,
-                             MigrateMsg, ShutdownMsg>;
+                             MigrateMsg, FlushDelayedMsg, ShutdownMsg>;
 
 // --- replies to the manager ------------------------------------------------
 

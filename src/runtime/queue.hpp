@@ -24,12 +24,24 @@ namespace lar::runtime {
 template <typename T>
 class Channel {
  public:
+  /// Guard evaluated on every *bounded* push (push / try_push).  Control
+  /// messages must travel via push_unbounded — a bounded control push can
+  /// deadlock the reconfiguration wave against data back pressure (see
+  /// CLAUDE.md) — so the engine installs validators that reject them; a
+  /// rejected push is a bug and aborts via LAR_CHECK.  A plain function
+  /// pointer keeps the disabled cost at one predictable branch.
+  using PushValidator = bool (*)(const T&);
+
   explicit Channel(std::size_t capacity) : capacity_(capacity) {
     LAR_CHECK(capacity >= 1);
   }
 
+  /// Installs `v` (nullptr = no checking).  Call before producers start.
+  void set_push_validator(PushValidator v) { validator_ = v; }
+
   /// Blocking push; returns false iff the channel is closed.
   bool push(T item) {
+    LAR_CHECK(validator_ == nullptr || validator_(item));
     std::unique_lock lock(mutex_);
     not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
@@ -58,6 +70,7 @@ class Channel {
 
   /// Non-blocking push; returns false if full or closed.
   bool try_push(T item) {
+    LAR_CHECK(validator_ == nullptr || validator_(item));
     {
       std::lock_guard lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
@@ -108,6 +121,7 @@ class Channel {
     if (items_.size() > high_water_) high_water_ = items_.size();
   }
 
+  PushValidator validator_ = nullptr;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;

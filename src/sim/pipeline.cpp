@@ -180,6 +180,36 @@ std::vector<core::HopStats> PipelineModel::collect_hop_stats() const {
   return out;
 }
 
+std::vector<PipelineModel::PairStatsReport>
+PipelineModel::snapshot_pair_stats() const {
+  std::vector<PairStatsReport> out;
+  for (std::size_t e = 0; e < pair_stats_.size(); ++e) {
+    for (std::size_t i = 0; i < pair_stats_[e].size(); ++i) {
+      out.push_back(PairStatsReport{static_cast<std::uint32_t>(e),
+                                    static_cast<InstanceIndex>(i),
+                                    pair_stats_[e][i].snapshot()});
+    }
+  }
+  return out;
+}
+
+std::vector<core::HopStats> PipelineModel::merge_reports(
+    const std::vector<PairStatsReport>& reports) const {
+  const auto& edges = topology_.edges();
+  std::vector<std::vector<std::vector<core::PairCount>>> per_edge(
+      edges.size());
+  for (const PairStatsReport& r : reports) {
+    per_edge[r.edge].push_back(r.counts);
+  }
+  std::vector<core::HopStats> out;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (per_edge[e].empty()) continue;
+    out.push_back(core::HopStats{anchors_[edges[e].from].value(), edges[e].to,
+                                 core::merge_pair_counts(per_edge[e])});
+  }
+  return out;
+}
+
 void PipelineModel::reset_pair_stats() {
   for (auto& per_edge : pair_stats_) {
     for (auto& ps : per_edge) ps.reset();

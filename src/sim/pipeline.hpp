@@ -74,6 +74,25 @@ class PipelineModel {
   /// Merged pair statistics per optimizable hop, ready for the Manager.
   [[nodiscard]] std::vector<core::HopStats> collect_hop_stats() const;
 
+  /// One emitting POI's pair-statistics report for one optimizable hop —
+  /// the sim analogue of the runtime's SEND_METRICS reply.  Chaos fault
+  /// plans drop or delay whole reports, so the unit must match.
+  struct PairStatsReport {
+    std::uint32_t edge = 0;
+    InstanceIndex instance = 0;
+    std::vector<core::PairCount> counts;
+  };
+
+  /// All reports, in canonical (edge, instance) order.
+  [[nodiscard]] std::vector<PairStatsReport> snapshot_pair_stats() const;
+
+  /// Merges a (possibly partial or stale) report set into Manager-ready
+  /// HopStats.  Grouping is by edge in edge-id order and merge_pair_counts
+  /// is order-independent, so any survivor subset yields a deterministic
+  /// result; merging every report reproduces collect_hop_stats() exactly.
+  [[nodiscard]] std::vector<core::HopStats> merge_reports(
+      const std::vector<PairStatsReport>& reports) const;
+
   /// Clears pair statistics (the paper resets them after reconfiguration).
   void reset_pair_stats();
 

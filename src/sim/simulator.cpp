@@ -163,12 +163,99 @@ WindowReport Simulator::report_from_stats() {
   return report;
 }
 
+void Simulator::set_fault_plan(const chaos::FaultPlan& plan) {
+  injector_.emplace(plan, &registry_, &trace_);
+}
+
+std::vector<core::HopStats> Simulator::gather_hop_stats() {
+  if (!injector_) return model_.collect_hop_stats();
+  ++gather_epoch_;
+  const auto vt = static_cast<double>(windows_run_);
+  std::vector<PipelineModel::PairStatsReport> kept;
+  // Stragglers the previous epoch's gather deadline missed merge now, one
+  // epoch stale — their counts predate the last statistics reset, which is
+  // exactly the staleness the recovery path must tolerate.
+  const std::uint64_t stale = delayed_reports_.size();
+  if (stale > 0) {
+    kept = std::move(delayed_reports_);
+    delayed_reports_.clear();
+    injector_->recovery("stale_merge", "manager", stale, /*bytes=*/0,
+                        gather_epoch_, vt);
+  }
+  std::uint64_t lost = 0;
+  for (auto& report : model_.snapshot_pair_stats()) {
+    // One decision per report per epoch, keyed by the reporting
+    // (edge, instance): reproducible no matter when reconfigure() is
+    // called relative to windows.
+    const std::uint64_t entity =
+        (static_cast<std::uint64_t>(report.edge) << 32) | report.instance;
+    if (injector_->fire(chaos::FaultSite::kStatsLoss, entity, gather_epoch_,
+                        vt)) {
+      ++lost;
+      injector_->recovery("partial_gather",
+                          std::to_string(report.edge) + "/" +
+                              std::to_string(report.instance),
+                          /*count=*/1, /*bytes=*/0, gather_epoch_, vt);
+      continue;
+    }
+    if (injector_->fire(chaos::FaultSite::kStatsDelay, entity, gather_epoch_,
+                        vt)) {
+      injector_->recovery("stats_deferred",
+                          std::to_string(report.edge) + "/" +
+                              std::to_string(report.instance),
+                          /*count=*/1, /*bytes=*/0, gather_epoch_, vt);
+      delayed_reports_.push_back(std::move(report));
+      continue;
+    }
+    kept.push_back(std::move(report));
+  }
+  registry_
+      .gauge("lar_chaos_gather_lost_reports", {},
+             "Pair-statistics reports lost in the latest gather epoch.")
+      .set(static_cast<double>(lost));
+  registry_
+      .gauge("lar_chaos_gather_stale_reports", {},
+             "Late reports merged one epoch stale in the latest gather.")
+      .set(static_cast<double>(stale));
+  return model_.merge_reports(kept);
+}
+
+void Simulator::inject_migration_faults(const core::ReconfigurationPlan& plan) {
+  if (!injector_) return;
+  const auto vt = static_cast<double>(windows_run_);
+  const std::uint32_t budget =
+      injector_->magnitude(chaos::FaultSite::kMigrateDelay);
+  for (const auto& [op, moves] : plan.moves) {
+    for (const core::KeyMove& mv : moves) {
+      // The sim deploys atomically, so a delayed payload cannot reorder
+      // anything — it surfaces as bounded redelivery accounting, the same
+      // recovery the threaded runtime performs for real.
+      std::uint32_t redeliveries = 0;
+      while (redeliveries < budget &&
+             injector_->fire(chaos::FaultSite::kMigrateDelay, mv.key,
+                             plan.version, vt)) {
+        ++redeliveries;
+      }
+      if (redeliveries > 0) {
+        injector_->recovery("migrate_redelivery", obs::key_entity(mv.key),
+                            redeliveries, /*bytes=*/0, plan.version, vt);
+      }
+      if (injector_->fire(chaos::FaultSite::kMigrateDuplicate, mv.key,
+                          plan.version, vt)) {
+        injector_->recovery("migrate_dedup", obs::key_entity(mv.key),
+                            /*count=*/1, /*bytes=*/0, plan.version, vt);
+      }
+    }
+  }
+}
+
 core::ReconfigurationPlan Simulator::reconfigure(core::Manager& manager) {
-  const std::vector<core::HopStats> stats = model_.collect_hop_stats();
+  const std::vector<core::HopStats> stats = gather_hop_stats();
   std::uint64_t pairs = 0;
   for (const auto& h : stats) pairs += h.pairs.size();
   core::ReconfigurationPlan plan = manager.compute_plan(stats);
   record_reconfig_trace(plan, stats.size(), pairs);
+  inject_migration_faults(plan);
   apply_plan(plan);
   manager.mark_deployed(plan);
   model_.reset_pair_stats();

@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "chaos/injector.hpp"
 #include "core/advisor.hpp"
 #include "core/manager.hpp"
 #include "obs/metrics.hpp"
@@ -88,6 +90,22 @@ class Simulator {
       core::Manager& manager, double current_locality, double current_balance,
       const core::AdvisorOptions& advisor_options = {});
 
+  /// Arms deterministic fault injection for the protocol steps the sim
+  /// models: pair-statistics reports can be lost (the plan is computed from
+  /// the partial set) or delayed one gather epoch (merged stale), and key
+  /// migrations can be delayed or duplicated (absorbed by redelivery /
+  /// dedup accounting — the sim deploys atomically, so these surface as
+  /// recovery events and counters, not routing changes).  The fault
+  /// schedule is a pure function of the plan's seed and the gather epoch:
+  /// same seed, same faults, byte-stable exports.  The data-plane window
+  /// loop takes no hooks at all — with no plan armed the sim is
+  /// byte-identical to the chaos-free build.
+  void set_fault_plan(const chaos::FaultPlan& plan);
+
+  [[nodiscard]] chaos::Injector* injector() noexcept {
+    return injector_ ? &*injector_ : nullptr;
+  }
+
   [[nodiscard]] PipelineModel& model() noexcept { return model_; }
   [[nodiscard]] const SimConfig& config() const noexcept {
     return model_.config();
@@ -105,6 +123,15 @@ class Simulator {
  private:
   [[nodiscard]] WindowReport report_from_stats();
 
+  /// Gather step under chaos: snapshots per-POI reports, applies loss /
+  /// delay decisions, merges survivors plus the previous epoch's stale
+  /// stragglers.  Falls back to collect_hop_stats() without an injector.
+  [[nodiscard]] std::vector<core::HopStats> gather_hop_stats();
+
+  /// Migration-path faults for one deployed plan (delay -> redelivery
+  /// accounting, duplicate -> dedup accounting).
+  void inject_migration_faults(const core::ReconfigurationPlan& plan);
+
   /// Records one six-phase reconfiguration trace; vtime = windows run so far.
   void record_reconfig_trace(const core::ReconfigurationPlan& plan,
                              std::uint64_t gathered_hops,
@@ -114,6 +141,11 @@ class Simulator {
   obs::Registry registry_;
   obs::TraceRecorder trace_;
   std::uint64_t windows_run_ = 0;  ///< virtual time for trace events
+
+  std::optional<chaos::Injector> injector_;  ///< armed by set_fault_plan()
+  std::uint64_t gather_epoch_ = 0;
+  /// Reports kStatsDelay held back, merged (stale) into the next epoch.
+  std::vector<PipelineModel::PairStatsReport> delayed_reports_;
   /// "A->B" metric labels per topology edge, built once at construction —
   /// the per-window report publishes per-edge gauges and rebuilding the
   /// strings every window showed up in the fig13 profile.
