@@ -2,7 +2,8 @@
 # One-command verification gate (referenced from CLAUDE.md):
 #
 #   scripts/check.sh            # configure + build (zero warnings), full
-#                               # ctest, TSan obs+chaos, perf smoke
+#                               # ctest, TSan obs+chaos+elastic, perf smoke,
+#                               # elasticity ablation self-checks
 #
 # Exits nonzero on the first failure.  Build trees: build/ (release-ish,
 # whatever CMakeLists defaults to) and build-tsan/ (-DLAR_SANITIZE=thread).
@@ -22,13 +23,18 @@ fi
 log "full test suite"
 ctest --test-dir build -j "$(nproc)" --output-on-failure
 
-log "ThreadSanitizer: obs + chaos (registry, wave and injector races)"
+log "ThreadSanitizer: obs + chaos + elastic (registry, wave, injector, scale races)"
 cmake -B build-tsan -G Ninja -DLAR_SANITIZE=thread >/dev/null
 cmake --build build-tsan >/dev/null
-ctest --test-dir build-tsan -L 'obs|chaos' --output-on-failure
+ctest --test-dir build-tsan -L 'obs|chaos|elastic' --output-on-failure
 
 log "perf smoke (devirtualized-routing differential checks)"
 ./build/bench/micro_hotpath --ops 20000 >/dev/null
 
+log "elasticity ablation (self-checking: byte-identity, conservation, locality)"
+elastic_dir=$(mktemp -d)
+(cd "$elastic_dir" && "$OLDPWD"/build/bench/ablate_elastic >/dev/null)
+rm -rf "$elastic_dir"
+
 echo
-echo "OK: build clean, all tests green, TSan clean, perf smoke passed"
+echo "OK: build clean, all tests green, TSan clean, perf + elastic smoke passed"

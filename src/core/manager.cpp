@@ -148,11 +148,37 @@ Manager::Manager(const Topology& topology, const Placement& placement,
       hops_.push_back(edge);
     }
   }
+  // Fields-routed destination operators (sorted, unique): the ops whose
+  // hash-fallback domain an elastic plan must pin to the new epoch, whether
+  // or not the hop is optimizable.
+  for (const auto& edge : topology.edges()) {
+    if (edge.grouping == GroupingType::kFields) {
+      fields_dest_ops_.push_back(edge.to);
+    }
+  }
+  std::sort(fields_dest_ops_.begin(), fields_dest_ops_.end());
+  fields_dest_ops_.erase(
+      std::unique(fields_dest_ops_.begin(), fields_dest_ops_.end()),
+      fields_dest_ops_.end());
 }
 
 ReconfigurationPlan Manager::compute_plan(const std::vector<HopStats>& stats) {
+  return compute_impl(stats, placement_.num_servers(), /*elastic=*/false);
+}
+
+ReconfigurationPlan Manager::plan_for(const std::vector<HopStats>& stats,
+                                      std::uint32_t active_servers) {
+  LAR_CHECK(active_servers >= 1 &&
+            active_servers <= placement_.num_servers());
+  return compute_impl(stats, active_servers, /*elastic=*/true);
+}
+
+ReconfigurationPlan Manager::compute_impl(const std::vector<HopStats>& stats,
+                                          std::uint32_t active_servers,
+                                          bool elastic) {
   ReconfigurationPlan plan;
   plan.version = next_version_++;
+  plan.active_servers = elastic ? active_servers : 0;
 
   // 1. Key graph from the merged statistics.
   BipartiteGraphBuilder builder;
@@ -163,68 +189,80 @@ ReconfigurationPlan Manager::compute_plan(const std::vector<HopStats>& stats) {
   const KeyGraph key_graph = builder.build();
   plan.graph_vertices = key_graph.graph.num_vertices();
   plan.graph_edges = key_graph.graph.num_edges();
-  if (key_graph.graph.num_vertices() == 0) {
+  if (key_graph.graph.num_vertices() == 0 && !elastic) {
     plan.expected_locality = 0.0;
     publish_plan_metrics(plan);
     return plan;  // nothing observed yet: stay on hash routing
   }
 
-  // 2. Partition keys across servers under the balance constraint, then
-  //    repair per-operator balance (the α bound of Section 3.1 is per PO).
-  //    With a multi-rack placement and rack_aware set, partition
-  //    hierarchically (racks, then servers per rack) and keep the repair
-  //    moves rack-internal so they never reintroduce uplink traffic.
-  const bool hierarchical =
-      options_.rack_aware && placement_.num_racks() > 1;
-  partition::PartitionResult part;
-  if (hierarchical) {
-    part.assignment = hierarchical_partition(
-        key_graph.graph, placement_, options_.partition,
-        &part.fm_passes, &part.bisections);
-    for (std::uint32_t r = 0; r < placement_.num_racks(); ++r) {
-      repair_per_op_balance(key_graph, part.assignment,
-                            placement_.servers_in_rack(r),
-                            options_.partition.alpha);
-    }
-  } else {
-    part = partition::partition_graph(key_graph.graph, options_.partition);
-    std::vector<std::uint32_t> all_servers(options_.partition.num_parts);
-    for (std::uint32_t s = 0; s < all_servers.size(); ++s) all_servers[s] = s;
-    repair_per_op_balance(key_graph, part.assignment, all_servers,
-                          options_.partition.alpha);
-  }
-  plan.edge_cut = partition::edge_cut(key_graph.graph, part.assignment);
-  plan.imbalance = partition::partition_imbalance(
-      key_graph.graph, part.assignment, options_.partition.num_parts);
-  plan.partitioner_fm_passes = part.fm_passes;
-  plan.partitioner_bisections = part.bisections;
+  // Keys are partitioned over the active server prefix [0, active_servers).
+  // In the fixed-fleet path this equals options_.partition.num_parts, so the
+  // legacy output is bit-for-bit unchanged.
+  partition::PartitionOptions popt = options_.partition;
+  popt.num_parts = active_servers;
 
-  // "Before" cut: the same key graph scored under the currently deployed
-  // routing (last tables, hash for unknown keys) — what every plan is
-  // improving on.
-  {
-    std::vector<std::uint32_t> deployed_assignment(key_graph.vertices.size());
-    std::unordered_map<OperatorId, std::shared_ptr<const RoutingTable>>
-        old_tables;
-    for (std::size_t v = 0; v < key_graph.vertices.size(); ++v) {
-      const KeyVertex& kv = key_graph.vertices[v];
-      auto [it, inserted] = old_tables.try_emplace(kv.op);
-      if (inserted) it->second = current_table(kv.op);
-      const std::uint32_t parallelism = topology_.op(kv.op).parallelism;
-      const InstanceIndex inst =
-          it->second != nullptr ? it->second->route(kv.key, parallelism)
-                                : hash_instance(kv.key, parallelism);
-      deployed_assignment[v] = placement_.server_of(kv.op, inst);
+  partition::PartitionResult part;
+  if (key_graph.graph.num_vertices() > 0) {
+    // 2. Partition keys across servers under the balance constraint, then
+    //    repair per-operator balance (the α bound of Section 3.1 is per PO).
+    //    With a multi-rack placement and rack_aware set, partition
+    //    hierarchically (racks, then servers per rack) and keep the repair
+    //    moves rack-internal so they never reintroduce uplink traffic.
+    //    Hierarchical placement presumes the full fleet: with a shrunken
+    //    active prefix the rack structure no longer matches, so elastic
+    //    plans at reduced n use the flat partitioner.
+    const bool hierarchical =
+        options_.rack_aware && placement_.num_racks() > 1 &&
+        active_servers == placement_.num_servers();
+    if (hierarchical) {
+      part.assignment = hierarchical_partition(
+          key_graph.graph, placement_, popt,
+          &part.fm_passes, &part.bisections);
+      for (std::uint32_t r = 0; r < placement_.num_racks(); ++r) {
+        repair_per_op_balance(key_graph, part.assignment,
+                              placement_.servers_in_rack(r),
+                              popt.alpha);
+      }
+    } else {
+      part = partition::partition_graph(key_graph.graph, popt);
+      std::vector<std::uint32_t> all_servers(popt.num_parts);
+      for (std::uint32_t s = 0; s < all_servers.size(); ++s) all_servers[s] = s;
+      repair_per_op_balance(key_graph, part.assignment, all_servers,
+                            popt.alpha);
     }
-    plan.edge_cut_before =
-        partition::edge_cut(key_graph.graph, deployed_assignment);
+    plan.edge_cut = partition::edge_cut(key_graph.graph, part.assignment);
+    plan.imbalance = partition::partition_imbalance(
+        key_graph.graph, part.assignment, popt.num_parts);
+    plan.partitioner_fm_passes = part.fm_passes;
+    plan.partitioner_bisections = part.bisections;
+
+    // "Before" cut: the same key graph scored under the currently deployed
+    // routing (last tables, hash for unknown keys) — what every plan is
+    // improving on.
+    {
+      std::vector<std::uint32_t> deployed_assignment(key_graph.vertices.size());
+      std::unordered_map<OperatorId, std::shared_ptr<const RoutingTable>>
+          old_tables;
+      for (std::size_t v = 0; v < key_graph.vertices.size(); ++v) {
+        const KeyVertex& kv = key_graph.vertices[v];
+        auto [it, inserted] = old_tables.try_emplace(kv.op);
+        if (inserted) it->second = current_table(kv.op);
+        const std::uint32_t parallelism = topology_.op(kv.op).parallelism;
+        const InstanceIndex inst =
+            it->second != nullptr ? it->second->route(kv.key, parallelism)
+                                  : hash_instance(kv.key, parallelism);
+        deployed_assignment[v] = placement_.server_of(kv.op, inst);
+      }
+      plan.edge_cut_before =
+          partition::edge_cut(key_graph.graph, deployed_assignment);
+    }
+    const std::uint64_t total_pair_weight = key_graph.graph.total_edge_weight();
+    plan.expected_locality =
+        total_pair_weight == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(plan.edge_cut) /
+                        static_cast<double>(total_pair_weight);
   }
-  const std::uint64_t total_pair_weight = key_graph.graph.total_edge_weight();
-  plan.expected_locality =
-      total_pair_weight == 0
-          ? 0.0
-          : 1.0 - static_cast<double>(plan.edge_cut) /
-                      static_cast<double>(total_pair_weight);
 
   // 3. Routing tables: map each key to an instance of its operator hosted on
   //    the assigned server.  Several local instances -> spread keys among
@@ -241,6 +279,19 @@ ReconfigurationPlan Manager::compute_plan(const std::vector<HopStats>& stats) {
         locals[mix64(kv.key) % locals.size()];
     it->second->assign(kv.key, target);
     ++plan.keys_assigned;
+  }
+
+  // 3b. Elastic epoch consistency: EVERY fields-routed operator gets a
+  //     table (with explicit entries or not) whose fallback domain is the
+  //     new epoch's active instance set.  The domain travels inside the
+  //     table and switches atomically with the wave's table swap.
+  if (elastic) {
+    for (const OperatorId op : fields_dest_ops_) {
+      auto [it, inserted] = tables.try_emplace(op);
+      if (inserted) it->second = std::make_shared<RoutingTable>();
+      it->second->set_fallback(
+          placement_.active_instances(op, active_servers));
+    }
   }
 
   // 4. Migration lists: diff the new tables against the deployed ones over

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/advisor.hpp"
 #include "core/bipartite.hpp"
 #include "core/pair_stats.hpp"
 #include "core/plan.hpp"
@@ -48,6 +49,15 @@ struct ManagerOptions {
   /// storage before starting reconfiguration", Section 3.4).  A restarted
   /// manager calls restore_from_snapshot() to recover the deployed tables.
   std::string snapshot_path;
+
+  /// Cost/benefit model consulted by advise() (Section 6 future work).
+  AdvisorOptions advisor;
+
+  /// When set, engines gate plan deployment on advise(): a plan whose
+  /// predicted benefit does not cover its migration cost is computed (and
+  /// still observable in `lar_plan_*`) but never pushed.  Off by default so
+  /// existing benches keep unconditional-deploy behaviour byte-identical.
+  bool advise_deploys = false;
 };
 
 /// Merged statistics for one optimizable hop: pairs (k, k') where k routed a
@@ -79,6 +89,26 @@ class Manager {
   [[nodiscard]] ReconfigurationPlan compute_plan(
       const std::vector<HopStats>& stats);
 
+  /// Like compute_plan(), but re-plans for `active_servers` live servers
+  /// (the prefix [0, active_servers) of the placement) — the elastic
+  /// re-planning entry point.  Every fields-routed operator receives a
+  /// table (possibly with no explicit entries) whose hash-fallback domain
+  /// is the new epoch's active instance set, so unknown keys switch moduli
+  /// atomically with the table swap and never split between `hash % n_old`
+  /// and `hash % n_new` mid-wave.
+  [[nodiscard]] ReconfigurationPlan plan_for(const std::vector<HopStats>& stats,
+                                             std::uint32_t active_servers);
+
+  /// Pure cost/benefit verdict for deploying `plan` given the currently
+  /// measured locality and balance (options().advisor model).  Publishes
+  /// nothing; deployment gating is the caller's decision.
+  [[nodiscard]] AdvisorVerdict advise(const ReconfigurationPlan& plan,
+                                      double current_locality,
+                                      double current_balance) const {
+    return evaluate_plan(plan, current_locality, current_balance,
+                         options_.advisor);
+  }
+
   /// Records `plan` as the deployed configuration, so the next plan's
   /// migration lists diff against it.
   void mark_deployed(const ReconfigurationPlan& plan);
@@ -108,11 +138,15 @@ class Manager {
   }
 
  private:
+  [[nodiscard]] ReconfigurationPlan compute_impl(
+      const std::vector<HopStats>& stats, std::uint32_t active_servers,
+      bool elastic);
   void publish_plan_metrics(const ReconfigurationPlan& plan);
   const Topology& topology_;
   const Placement& placement_;
   ManagerOptions options_;
   std::vector<EdgeSpec> hops_;
+  std::vector<OperatorId> fields_dest_ops_;  ///< sorted unique kFields dests
   std::uint64_t next_version_ = 1;
   std::unordered_map<OperatorId, std::shared_ptr<const RoutingTable>>
       deployed_;

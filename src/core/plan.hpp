@@ -25,6 +25,11 @@ struct ReconfigurationPlan {
   /// Monotonic plan version; also stamped on every table.
   std::uint64_t version = 0;
 
+  /// Live-server count this plan targets (the active prefix [0, n)).
+  /// 0 means the plan was computed by the fixed-fleet compute_plan() path
+  /// and spans the full placement.
+  std::uint32_t active_servers = 0;
+
   /// destination operator -> new routing table for all its inbound
   /// fields-grouped edges.  Shared and immutable once published.
   std::unordered_map<OperatorId, std::shared_ptr<const RoutingTable>> tables;

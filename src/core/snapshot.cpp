@@ -10,7 +10,10 @@ namespace lar::core {
 namespace {
 
 constexpr char kMagic[4] = {'L', 'A', 'R', 'P'};
-constexpr std::uint32_t kFormatVersion = 1;
+// v2: adds plan.active_servers plus a per-table fallback domain (the
+// elastic epoch's active instance set).  Snapshots are written and read
+// within one deployment, so only the current format is accepted.
+constexpr std::uint32_t kFormatVersion = 2;
 
 struct FileCloser {
   void operator()(std::FILE* f) const noexcept {
@@ -42,6 +45,7 @@ Status save_plan(const ReconfigurationPlan& plan, const std::string& path) {
     bool ok = std::fwrite(kMagic, 1, 4, f) == 4;
     ok = ok && write_pod(f, kFormatVersion);
     ok = ok && write_pod(f, plan.version);
+    ok = ok && write_pod(f, plan.active_servers);
     ok = ok && write_pod(f, plan.expected_locality);
     ok = ok && write_pod(f, plan.edge_cut);
     ok = ok && write_pod(f, plan.imbalance);
@@ -57,6 +61,12 @@ Status save_plan(const ReconfigurationPlan& plan, const std::string& path) {
       // byte-identical regardless of how the tables were populated.
       for (const auto& [key, instance] : table->sorted_entries()) {
         ok = ok && write_pod(f, key) && write_pod(f, instance);
+      }
+      const auto fallback =
+          static_cast<std::uint32_t>(table->fallback().size());
+      ok = ok && write_pod(f, fallback);
+      for (const InstanceIndex inst : table->fallback()) {
+        ok = ok && write_pod(f, inst);
       }
     }
     if (!ok) {
@@ -86,7 +96,8 @@ Result<ReconfigurationPlan> load_plan(const std::string& path) {
   }
   ReconfigurationPlan plan;
   std::uint32_t num_tables = 0;
-  if (!read_pod(f, plan.version) || !read_pod(f, plan.expected_locality) ||
+  if (!read_pod(f, plan.version) || !read_pod(f, plan.active_servers) ||
+      !read_pod(f, plan.expected_locality) ||
       !read_pod(f, plan.edge_cut) || !read_pod(f, plan.imbalance) ||
       !read_pod(f, num_tables)) {
     return Status(ErrorCode::kInvalidArgument, path + " is truncated");
@@ -109,6 +120,17 @@ Result<ReconfigurationPlan> load_plan(const std::string& path) {
       }
       table->assign(key, instance);
     }
+    std::uint32_t fallback = 0;
+    if (!read_pod(f, fallback)) {
+      return Status(ErrorCode::kInvalidArgument, path + " is truncated");
+    }
+    std::vector<InstanceIndex> domain(fallback);
+    for (std::uint32_t i = 0; i < fallback; ++i) {
+      if (!read_pod(f, domain[i])) {
+        return Status(ErrorCode::kInvalidArgument, path + " is truncated");
+      }
+    }
+    table->set_fallback(std::move(domain));
     plan.tables.emplace(op, std::move(table));
     plan.keys_assigned += entries;
   }

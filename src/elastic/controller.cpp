@@ -1,0 +1,125 @@
+#include "elastic/controller.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace lar::elastic {
+
+Controller::Controller(ControllerOptions options) : options_(options) {
+  LAR_CHECK(options_.min_servers >= 1);
+  LAR_CHECK(options_.max_servers >= options_.min_servers);
+  LAR_CHECK(options_.scale_in_utilization < options_.scale_out_utilization);
+  LAR_CHECK(options_.confirm_epochs >= 1);
+}
+
+ScaleDecision Controller::evaluate(const Signals& signals,
+                                   std::uint32_t current_servers) {
+  LAR_CHECK(current_servers >= 1);
+  ScaleDecision decision{current_servers, Reason::kHold};
+
+  // A resize still settling (state in flight) pins the fleet regardless of
+  // what utilization reads — half-migrated epochs produce junk signals.
+  if (signals.migration_backlog > 0.0 || cooldown_ > 0) {
+    if (cooldown_ > 0) --cooldown_;
+    over_streak_ = 0;
+    under_streak_ = 0;
+    decision.reason = Reason::kCooldown;
+    return decision;
+  }
+
+  if (signals.utilization >= options_.scale_out_utilization) {
+    under_streak_ = 0;
+    ++over_streak_;
+    if (over_streak_ < options_.confirm_epochs) {
+      decision.reason = Reason::kConfirming;
+      return decision;
+    }
+    over_streak_ = 0;
+    std::uint32_t target = options_.step == 0
+                               ? current_servers * 2
+                               : current_servers + options_.step;
+    target = std::min(target, options_.max_servers);
+    if (target == current_servers) {
+      decision.reason = Reason::kAtBound;
+      return decision;
+    }
+    cooldown_ = options_.cooldown_epochs;
+    decision.target_servers = target;
+    decision.reason = Reason::kOverload;
+    return decision;
+  }
+
+  if (signals.utilization <= options_.scale_in_utilization) {
+    over_streak_ = 0;
+    ++under_streak_;
+    if (under_streak_ < options_.confirm_epochs) {
+      decision.reason = Reason::kConfirming;
+      return decision;
+    }
+    under_streak_ = 0;
+    std::uint32_t target = options_.step == 0
+                               ? current_servers / 2
+                               : current_servers -
+                                     std::min(options_.step,
+                                              current_servers - 1);
+    target = std::max(target, options_.min_servers);
+    if (target == current_servers) {
+      decision.reason = Reason::kAtBound;
+      return decision;
+    }
+    cooldown_ = options_.cooldown_epochs;
+    decision.target_servers = target;
+    decision.reason = Reason::kUnderload;
+    return decision;
+  }
+
+  // Dead band: healthy. Streaks reset so a breach must be consecutive.
+  over_streak_ = 0;
+  under_streak_ = 0;
+  return decision;
+}
+
+Signals signals_from_registry(const obs::Registry& registry,
+                              double offered_rate) {
+  Signals out;
+  for (const obs::Registry::FamilyView& family : registry.families()) {
+    if (family.name == "lar_window_throughput_tps") {
+      for (const obs::Registry::Sample& s : family.samples) {
+        const double tput = s.gauge->value();
+        if (tput > 0.0) out.utilization = offered_rate / tput;
+      }
+    } else if (family.name == "lar_edge_locality_ratio") {
+      double sum = 0.0;
+      std::size_t n = 0;
+      for (const obs::Registry::Sample& s : family.samples) {
+        sum += s.gauge->value();
+        ++n;
+      }
+      if (n > 0) out.locality = sum / static_cast<double>(n);
+    } else if (family.name == "lar_op_load_balance_ratio") {
+      for (const obs::Registry::Sample& s : family.samples) {
+        out.balance = std::max(out.balance, s.gauge->value());
+      }
+    } else if (family.name == "lar_queue_depth_hwm") {
+      for (const obs::Registry::Sample& s : family.samples) {
+        out.queue_hwm = std::max(out.queue_hwm, s.gauge->value());
+      }
+    }
+  }
+  return out;
+}
+
+void publish_decision(obs::Registry& registry, const ScaleDecision& decision) {
+  registry
+      .gauge("lar_elastic_target_servers", {},
+             "Server count the autoscaling controller last asked for.")
+      .set(static_cast<double>(decision.target_servers));
+  registry
+      .counter("lar_elastic_decisions_total",
+               {{"reason", to_string(decision.reason)}},
+               "Controller evaluations by decision reason.")
+      .inc();
+}
+
+}  // namespace lar::elastic

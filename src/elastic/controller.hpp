@@ -1,0 +1,143 @@
+// Autoscaling controller (lar::elastic): decides WHEN to change the live
+// server count; the Manager's plan_for() + the engine/sim resize paths
+// decide HOW (locality-aware re-planning with epoch-consistent routing).
+//
+// The controller is a deterministic state machine over observability
+// snapshots: every input comes from an obs::Registry (queue high-water
+// marks, per-window throughput, locality, load balance) plus the offered
+// rate the caller knows, and every decision is a pure function of those
+// signals and the controller's own streak/cooldown counters.  No wall
+// clock, no randomness — same signal sequence, same decisions, which is
+// what makes elastic benches byte-reproducible.
+//
+// Hysteresis has three layers, all tunable:
+//   - dual thresholds: scale out above `scale_out_utilization`, in below
+//     `scale_in_utilization`, hold in between (the dead band);
+//   - confirmation: a breach must persist `confirm_epochs` consecutive
+//     evaluations before acting (ephemeral spikes don't resize);
+//   - cooldown: after acting, hold for `cooldown_epochs` evaluations so the
+//     fleet and the re-planner settle before the next change.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace lar::elastic {
+
+struct ControllerOptions {
+  /// Fleet bounds.  max_servers is the provisioned capacity (the Placement's
+  /// server count); scale-out never exceeds it, scale-in never goes below
+  /// min_servers.
+  std::uint32_t min_servers = 1;
+  std::uint32_t max_servers = 1;
+
+  /// Utilization (offered rate / sustainable throughput) above which the
+  /// fleet is overloaded and should grow.
+  double scale_out_utilization = 0.85;
+
+  /// Utilization below which the fleet is underused and should shrink.
+  /// Must sit well under scale_out_utilization: after halving, utilization
+  /// roughly doubles, and a dead band narrower than that oscillates.
+  double scale_in_utilization = 0.35;
+
+  /// Consecutive breaching evaluations required before acting.
+  std::uint32_t confirm_epochs = 2;
+
+  /// Evaluations to hold after a scale decision.
+  std::uint32_t cooldown_epochs = 3;
+
+  /// Servers added/removed per decision; 0 = double on the way out, halve on
+  /// the way in (reaches any fleet size in logarithmic decisions).
+  std::uint32_t step = 0;
+};
+
+/// One evaluation's inputs, typically built by signals_from_registry().
+struct Signals {
+  /// offered rate / sustainable throughput of the last window; > 1 means
+  /// the fleet cannot keep up.  The primary scaling signal.
+  double utilization = 0.0;
+
+  /// Mean per-edge locality ratio (diagnostic; carried into decisions'
+  /// observability, not thresholds — re-planning restores locality after
+  /// any resize).
+  double locality = 0.0;
+
+  /// Worst per-operator max/avg instance load.
+  double balance = 1.0;
+
+  /// Deepest queue high-water mark (runtime engines; 0 in the sim).
+  double queue_hwm = 0.0;
+
+  /// Key states still in flight from the previous resize (0 once settled).
+  double migration_backlog = 0.0;
+};
+
+/// Why the controller decided what it decided.
+enum class Reason : std::uint8_t {
+  kHold,        ///< utilization inside the dead band
+  kOverload,    ///< sustained overload -> scale out
+  kUnderload,   ///< sustained underload -> scale in
+  kCooldown,    ///< holding after a recent decision
+  kConfirming,  ///< breach observed but not yet confirmed
+  kAtBound,     ///< confirmed breach, but the fleet is at min/max already
+};
+
+[[nodiscard]] constexpr const char* to_string(Reason r) noexcept {
+  switch (r) {
+    case Reason::kHold: return "hold";
+    case Reason::kOverload: return "overload";
+    case Reason::kUnderload: return "underload";
+    case Reason::kCooldown: return "cooldown";
+    case Reason::kConfirming: return "confirming";
+    case Reason::kAtBound: return "at_bound";
+  }
+  return "?";
+}
+
+/// The controller's verdict: the server count to run with next.
+/// target_servers == the current count means "no change" (see reason).
+struct ScaleDecision {
+  std::uint32_t target_servers = 0;
+  Reason reason = Reason::kHold;
+
+  [[nodiscard]] bool changed(std::uint32_t current) const noexcept {
+    return target_servers != current;
+  }
+};
+
+/// Deterministic hysteresis state machine; call evaluate() once per epoch
+/// (window, bench interval, ...) and act on decisions that changed().
+class Controller {
+ public:
+  explicit Controller(ControllerOptions options);
+
+  /// One evaluation step.  Mutates only streak/cooldown counters; the same
+  /// (signal, current) sequence always yields the same decision sequence.
+  [[nodiscard]] ScaleDecision evaluate(const Signals& signals,
+                                       std::uint32_t current_servers);
+
+  [[nodiscard]] const ControllerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  ControllerOptions options_;
+  std::uint32_t over_streak_ = 0;
+  std::uint32_t under_streak_ = 0;
+  std::uint32_t cooldown_ = 0;
+};
+
+/// Builds Signals from the canonical registry families the sim/runtime
+/// publish: `lar_window_throughput_tps` (utilization denominator),
+/// `lar_edge_locality_ratio` (mean), `lar_op_load_balance_ratio` (max),
+/// `lar_queue_depth_hwm` (max).  Missing families leave the struct
+/// defaults.  Deterministic: families() iterates in canonical order.
+[[nodiscard]] Signals signals_from_registry(const obs::Registry& registry,
+                                            double offered_rate);
+
+/// Publishes a decision into `registry`: the `lar_elastic_target_servers`
+/// gauge and one `lar_elastic_decisions_total{reason}` counter increment.
+void publish_decision(obs::Registry& registry, const ScaleDecision& decision);
+
+}  // namespace lar::elastic

@@ -37,6 +37,9 @@ enum class Phase : std::uint8_t {
   kDrain = 7,     ///< buffered tuples released after state arrival
   kFault = 8,     ///< lar::chaos injected a fault at this point
   kRecover = 9,   ///< a recovery action absorbed an injected fault
+  kScaleOut = 10, ///< lar::elastic grew the active server prefix
+  kScaleIn = 11,  ///< lar::elastic shrank the active server prefix
+  kRetire = 12,   ///< one retiring POI drained its state and stopped
 };
 
 [[nodiscard]] constexpr const char* to_string(Phase p) noexcept {
@@ -51,6 +54,9 @@ enum class Phase : std::uint8_t {
     case Phase::kDrain: return "drain";
     case Phase::kFault: return "fault";
     case Phase::kRecover: return "recover";
+    case Phase::kScaleOut: return "scale_out";
+    case Phase::kScaleIn: return "scale_in";
+    case Phase::kRetire: return "retire";
   }
   return "?";
 }

@@ -45,6 +45,10 @@ struct Engine::Poi {
   Channel<Message> inbox;
   std::thread thread;
 
+  /// Live in the current epoch (lar::elastic).  Touched only by the driver
+  /// thread; dormant/retired POIs have no running thread.
+  bool active = true;
+
   // Parallel to topology.out_edges(op):
   std::vector<std::unique_ptr<Router>> routers;
   std::vector<std::optional<core::PairStats>> pair_stats;
@@ -93,6 +97,32 @@ Engine::Engine(const Topology& topology, const Placement& placement,
   manager_inbox_.set_push_validator([](const ManagerReply&) { return false; });
 
   anchors_ = compute_stats_anchors(topology);
+  sources_ = topology.sources();
+
+  // Elastic restricted start: only the server prefix [0, active_servers)
+  // is live; fields edges begin on fallback-domain tables so unknown keys
+  // hash over the active instance set, never onto a dormant server.
+  active_servers_ = options_.active_servers == 0 ? placement.num_servers()
+                                                 : options_.active_servers;
+  LAR_CHECK(active_servers_ >= 1 &&
+            active_servers_ <= placement.num_servers());
+  const bool restricted = active_servers_ < placement.num_servers();
+  elastic_ = restricted;
+  if (restricted) require_elastic_capable();
+  std::unordered_map<OperatorId, std::shared_ptr<const RoutingTable>>
+      initial_tables;
+  if (restricted) {
+    for (const auto& edge : topology.edges()) {
+      if (edge.grouping != GroupingType::kFields) continue;
+      auto [it, inserted] = initial_tables.try_emplace(edge.to);
+      if (!inserted) continue;
+      auto table = std::make_shared<RoutingTable>();
+      table->set_fallback(
+          placement.active_instances(edge.to, active_servers_));
+      it->second = std::move(table);
+    }
+  }
+
   poi_index_.resize(topology.num_operators());
   for (OperatorId op = 0; op < topology.num_operators(); ++op) {
     const std::uint32_t parallelism = topology.op(op).parallelism;
@@ -115,9 +145,19 @@ Engine::Engine(const Topology& topology, const Placement& placement,
       poi.pair_stats.reserve(out.size());
       for (const std::uint32_t eid : out) {
         const EdgeSpec& edge = topology.edges()[eid];
+        std::shared_ptr<const RoutingTable> initial;
+        if (auto t = initial_tables.find(edge.to); t != initial_tables.end() &&
+                                                   edge.grouping ==
+                                                       GroupingType::kFields) {
+          initial = t->second;
+        }
         poi.routers.push_back(make_router(
             edge, eid, topology, placement, poi.server, options_.fields_mode,
-            nullptr, options_.seed * 7919 + eid * 131 + i));
+            std::move(initial), options_.seed * 7919 + eid * 131 + i));
+        if (restricted && edge.grouping == GroupingType::kShuffle) {
+          poi.routers.back()->set_active_instances(
+              placement.active_instances(edge.to, active_servers_));
+        }
         if (edge.grouping == GroupingType::kFields &&
             anchors_[edge.from].has_value()) {
           poi.pair_stats.emplace_back(
@@ -132,8 +172,10 @@ Engine::Engine(const Topology& topology, const Placement& placement,
         expected += topology.op(topology.edges()[eid].from).parallelism;
       }
       poi.propagate_expected = topology.op(op).is_source ? 1 : expected;
+      poi.active = poi.server < active_servers_;
     }
   }
+  set_inject_actives(active_servers_);
 }
 
 Engine::~Engine() { shutdown(); }
@@ -142,6 +184,7 @@ void Engine::start() {
   LAR_CHECK(!started_);
   started_ = true;
   for (auto& poi : pois_) {
+    if (!poi->active) continue;  // dormant until add_servers() reaches it
     poi->thread = std::thread([this, p = poi.get()] { poi_loop(*p); });
   }
 }
@@ -172,23 +215,29 @@ Operator& Engine::operator_at(OperatorId op, InstanceIndex index) {
 
 void Engine::inject(Tuple tuple) {
   LAR_CHECK(started_ && !shut_down_);
-  const auto sources = topology_.sources();
-  LAR_CHECK(!sources.empty());
-  const OperatorId src = sources[inject_seq_.load(std::memory_order_relaxed) %
-                                 sources.size()];
-  const std::uint32_t par = topology_.op(src).parallelism;
+  LAR_CHECK(!sources_.empty());
+  OperatorId src = 0;
   InstanceIndex instance = 0;
-  switch (options_.source_mode) {
-    case SourceMode::kAlignedField0:
-      LAR_CHECK(!tuple.fields.empty());
-      instance = static_cast<InstanceIndex>(tuple.fields[0] % par);
-      break;
-    case SourceMode::kRoundRobin:
-      instance =
-          static_cast<InstanceIndex>(inject_seq_.load(std::memory_order_relaxed) % par);
-      break;
+  {
+    // The active lists default to every instance, which makes the picks
+    // below exactly the historical `% parallelism` ones; an elastic resize
+    // swaps the lists under the same mutex.
+    std::lock_guard<std::mutex> lock(source_mutex_);
+    const std::uint64_t seq = inject_seq_.load(std::memory_order_relaxed);
+    const std::size_t pos = seq % sources_.size();
+    src = sources_[pos];
+    const std::vector<InstanceIndex>& act = source_actives_[pos];
+    switch (options_.source_mode) {
+      case SourceMode::kAlignedField0:
+        LAR_CHECK(!tuple.fields.empty());
+        instance = act[tuple.fields[0] % act.size()];
+        break;
+      case SourceMode::kRoundRobin:
+        instance = act[seq % act.size()];
+        break;
+    }
+    inject_seq_.fetch_add(1, std::memory_order_relaxed);
   }
-  inject_seq_.fetch_add(1, std::memory_order_relaxed);
   tuples_injected_.fetch_add(1, std::memory_order_relaxed);
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   poi_at(src, instance).inbox.push(
@@ -438,6 +487,22 @@ void Engine::handle_reconf(Poi& poi, ReconfMsg msg) {
   poi.staged = std::move(msg);
   poi.propagate_seen = 0;
   poi.actions_done = false;
+  // The wave spec pins how many PROPAGATEs to expect *this* round: only
+  // participating predecessor instances forward the wave, so a dormant or
+  // newly spawned fleet never changes what this POI waits for mid-wave.
+  // At full membership the sums equal the constructor's static values.
+  if (const ElasticWave* wave = poi.staged->wave.get(); wave != nullptr) {
+    if (topology_.op(poi.op).is_source) {
+      poi.propagate_expected = 1;
+    } else {
+      std::uint32_t expected = 0;
+      for (const std::uint32_t eid : topology_.in_edges(poi.op)) {
+        expected += static_cast<std::uint32_t>(
+            wave->members[topology_.edges()[eid].from].size());
+      }
+      poi.propagate_expected = expected;
+    }
+  }
   // Buffering must start now: upstream POIs may switch to the new tables
   // (and route keys here) before this POI's own propagate arrives.
   for (const Key key : poi.staged->receive) poi.awaiting.insert(key);
@@ -463,10 +528,19 @@ void Engine::run_reconfig_actions(Poi& poi) {
   const auto& out = topology_.out_edges(poi.op);
 
   // update_routing: install the new tables on outbound fields edges and
-  // restart statistics collection from a clean slate.
+  // restart statistics collection from a clean slate.  Elastic waves also
+  // swap the shuffle restriction to the post-commit active set, in the same
+  // step so a link's pre-switch suffix stays ahead of its PROPAGATE.
+  const ElasticWave* const wave = staged.wave.get();
+  const bool activity_change = wave != nullptr && !wave->actives.empty();
   for (std::size_t k = 0; k < out.size(); ++k) {
     const EdgeSpec& edge = topology_.edges()[out[k]];
-    if (edge.grouping != GroupingType::kFields) continue;
+    if (edge.grouping != GroupingType::kFields) {
+      if (activity_change) {
+        poi.routers[k]->set_active_instances(wave->actives[edge.to]);
+      }
+      continue;
+    }
     auto it = staged.tables.find(edge.to);
     if (it == staged.tables.end()) continue;
     poi.routers[k] = std::make_unique<TableFieldsRouter>(
@@ -492,6 +566,35 @@ void Engine::run_reconfig_actions(Poi& poi) {
         Message{MigrateMsg{staged.version, key, std::move(state)}});
   }
 
+  // Residual drain (elastic waves only): any still-owned key the new epoch
+  // routes away — keys the manager never observed have no move entry, yet a
+  // retiring instance must not keep them and a grown fleet must not leave
+  // them under the old fallback owner.  Scanned after the planned sends, so
+  // `owned_keys` no longer contains the exported ones; receivers import
+  // unconditionally (imports are merge-additive), acknowledged through the
+  // engine-wide drain fence rather than the awaiting set.
+  if (staged.own_table != nullptr) {
+    const std::uint32_t parallelism = topology_.op(poi.op).parallelism;
+    for (const Key key : poi.logic->owned_keys()) {
+      const InstanceIndex dest = staged.own_table->route(key, parallelism);
+      if (dest == poi.index) continue;
+      std::vector<std::byte> state = poi.logic->export_key_state(key);
+      poi.logic->drop_key_state(key);
+      states_drained_.fetch_add(1, std::memory_order_relaxed);
+      states_drained_bytes_.fetch_add(state.size(),
+                                      std::memory_order_relaxed);
+      if (options_.trace != nullptr) {
+        options_.trace->record(staged.version, obs::Phase::kMigrate,
+                               obs::key_entity(key), /*count=*/1,
+                               /*bytes=*/state.size());
+      }
+      drains_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      poi_at(poi.op, dest).inbox.push_unbounded(Message{MigrateMsg{
+          staged.version, key, std::move(state), /*redeliveries=*/0,
+          /*drain=*/true}});
+    }
+  }
+
   poi.actions_done = true;
   maybe_finish_reconfig(poi);
 }
@@ -509,6 +612,21 @@ void Engine::handle_migrate(Poi& poi, MigrateMsg msg) {
     inj->recovery("migrate_redelivery", obs::key_entity(msg.key),
                   /*count=*/1, /*bytes=*/msg.state.size(), msg.version);
     poi.inbox.push_unbounded(Message{std::move(msg)});
+    return;
+  }
+  // Residual drain: imported unconditionally — the sender exported-and-
+  // dropped, so this is the key's only live copy, and additive imports make
+  // a second partial copy merge rather than clobber.  The add/retire caller
+  // blocks on the drain fence, so a chaos-delayed drain can never be lost
+  // behind a retiree's shutdown.
+  if (msg.drain) {
+    states_migrated_.fetch_add(1, std::memory_order_relaxed);
+    states_migrated_bytes_.fetch_add(msg.state.size(),
+                                     std::memory_order_relaxed);
+    poi.logic->import_key_state(msg.key, msg.state);
+    if (drains_in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      drains_in_flight_.notify_all();
+    }
     return;
   }
   // Idempotence: apply a key's state at most once per reconfiguration.  A
@@ -591,10 +709,21 @@ void Engine::maybe_finish_reconfig(Poi& poi) {
     return;
   }
   const std::uint64_t version = poi.staged->version;
-  // Forward the wave: one PROPAGATE per successor POI per edge.
+  // Forward the wave: one PROPAGATE per participating successor POI per
+  // edge.  The membership list rides in the staged message, so the fan-out
+  // matches exactly what each successor's propagate_expected counts.
+  const std::shared_ptr<const ElasticWave> wave = poi.staged->wave;
   std::uint64_t hops = 0;
   for (const std::uint32_t eid : topology_.out_edges(poi.op)) {
     const EdgeSpec& edge = topology_.edges()[eid];
+    if (wave != nullptr) {
+      for (const InstanceIndex i : wave->members[edge.to]) {
+        poi_at(edge.to, i).inbox.push_unbounded(
+            Message{PropagateMsg{version}});
+        ++hops;
+      }
+      continue;
+    }
     const std::uint32_t parallelism = topology_.op(edge.to).parallelism;
     for (InstanceIndex i = 0; i < parallelism; ++i) {
       poi_at(edge.to, i).inbox.push_unbounded(
@@ -618,10 +747,29 @@ void Engine::maybe_finish_reconfig(Poi& poi) {
 
 core::ReconfigurationPlan Engine::reconfigure(core::Manager& manager) {
   LAR_CHECK(started_ && !shut_down_);
+  core::ReconfigurationPlan plan =
+      run_protocol(manager, active_servers_, active_servers_);
+  // Elastic waves may ship residual drains, which ride outside the awaiting
+  // sets (and therefore outside flush()'s in-flight accounting); block until
+  // they have landed so callers get the usual quiescence semantics.
+  if (elastic_) drain_fence();
+  return plan;
+}
 
-  // 1) + 2) GET_METRICS -> SEND_METRICS.
+core::ReconfigurationPlan Engine::run_protocol(core::Manager& manager,
+                                               std::uint32_t current_n,
+                                               std::uint32_t target_n) {
+  const std::uint32_t max_n = std::max(current_n, target_n);
+  const bool resizing = current_n != target_n;
+
+  // 1) + 2) GET_METRICS -> SEND_METRICS, from the POIs live *before* the
+  // wave (a scale-out's fresh POIs have no statistics yet; a scale-in's
+  // retirees still hold theirs).
+  std::size_t gather_members = 0;
   for (auto& poi : pois_) {
+    if (poi->server >= current_n) continue;
     poi->inbox.push_unbounded(Message{GetMetricsMsg{}});
+    ++gather_members;
   }
   std::unordered_map<std::uint32_t, std::vector<std::vector<core::PairCount>>>
       per_edge;
@@ -643,7 +791,7 @@ core::ReconfigurationPlan Engine::reconfigure(core::Manager& manager) {
     delayed_stats_.clear();
   }
   std::uint64_t lost_reports = 0;
-  for (std::size_t i = 0; i < pois_.size(); ++i) {
+  for (std::size_t i = 0; i < gather_members; ++i) {
     auto reply = manager_inbox_.pop();
     LAR_CHECK(reply.has_value());
     auto* metrics = std::get_if<MetricsReply>(&*reply);
@@ -700,25 +848,67 @@ core::ReconfigurationPlan Engine::reconfigure(core::Manager& manager) {
     gathered_pairs += hop_stats.back().pairs.size();
   }
 
-  // compute_reconfiguration.
-  core::ReconfigurationPlan plan = manager.compute_plan(hop_stats);
+  // compute_reconfiguration.  Once elastic, ALL plans flow through
+  // plan_for — a fixed-fleet compute_plan would drop the fallback domain
+  // and silently re-split unknown keys over the full modulus with no
+  // migration to match.
+  core::ReconfigurationPlan plan =
+      elastic_ ? manager.plan_for(hop_stats, target_n)
+               : manager.compute_plan(hop_stats);
   if (options_.trace != nullptr) {
     options_.trace->record(plan.version, obs::Phase::kGather, "manager",
-                           /*count=*/pois_.size(),
+                           /*count=*/gather_members,
                            /*bytes=*/gathered_pairs * sizeof(core::PairCount));
     options_.trace->record(plan.version, obs::Phase::kCompute, "plan",
                            /*count=*/plan.graph_vertices,
                            /*bytes=*/plan.graph_edges);
   }
-  if (plan.tables.empty()) {
+  if (plan.tables.empty() && !resizing) {
     manager.mark_deployed(plan);
     return plan;  // nothing observed yet; stay on current routing
   }
 
-  // 3) + 4) SEND_RECONF -> ACK_RECONF.
+  // Advisor gate (Section 6 future work): a steady-state plan whose
+  // predicted benefit does not cover its migration cost is not pushed.
+  // Resize waves are never gated — the controller already decided.
+  if (manager.options().advise_deploys && !resizing) {
+    const auto [locality, balance] = measured_locality_balance();
+    const core::AdvisorVerdict verdict =
+        manager.advise(plan, locality, balance);
+    if (!verdict.deploy) {
+      LAR_INFO << "engine: advisor vetoed plan v" << plan.version
+               << " (benefit " << verdict.predicted_benefit << " < cost "
+               << verdict.migration_cost << ")";
+      return plan;  // computed, observable, NOT deployed
+    }
+  }
+
+  // Wave membership: everything live before or after the resize.  The spec
+  // travels inside every ReconfMsg of the round so the bookkeeping needs no
+  // shared state; `actives` stays empty on fixed-fleet rounds (no activity
+  // change to apply).
+  auto wave = std::make_shared<ElasticWave>();
+  wave->target_servers = target_n;
+  wave->members.resize(topology_.num_operators());
+  for (OperatorId op = 0; op < topology_.num_operators(); ++op) {
+    wave->members[op] = placement_.active_instances(op, max_n);
+  }
+  if (resizing) {
+    wave->actives.resize(topology_.num_operators());
+    for (OperatorId op = 0; op < topology_.num_operators(); ++op) {
+      wave->actives[op] = placement_.active_instances(op, target_n);
+    }
+  }
+  const std::shared_ptr<const ElasticWave> shared_wave = std::move(wave);
+
+  // 3) + 4) SEND_RECONF -> ACK_RECONF (wave members only).
+  std::size_t wave_size = 0;
   for (auto& poi : pois_) {
+    if (poi->server >= max_n) continue;
+    ++wave_size;
     ReconfMsg msg;
     msg.version = plan.version;
+    msg.wave = shared_wave;
     for (const std::uint32_t eid : topology_.out_edges(poi->op)) {
       const EdgeSpec& edge = topology_.edges()[eid];
       if (edge.grouping != GroupingType::kFields) continue;
@@ -726,15 +916,34 @@ core::ReconfigurationPlan Engine::reconfigure(core::Manager& manager) {
         msg.tables.emplace(edge.to, it->second);
       }
     }
+    if (elastic_) {
+      // The POI's own post-commit table arms the residual-drain scan.  Every
+      // elastic wave needs it, not just resizes: the manager's "before"
+      // model (its last deployed tables, or plain hash before any deploy)
+      // can disagree with where a restricted fleet actually put a key, and
+      // the drain is what ships such strays to their post-commit owner.
+      if (auto it = plan.tables.find(poi->op); it != plan.tables.end()) {
+        msg.own_table = it->second;
+      }
+    }
     if (auto it = plan.moves.find(poi->op); it != plan.moves.end()) {
       for (const core::KeyMove& mv : it->second) {
+        // A move whose nominal sender was dormant before this wave has no
+        // one to ship it — the before-model mismatch again.  The key's real
+        // state (if any) sits on a live instance and reaches `to` through
+        // the residual drain instead; awaiting a MIGRATE that can never be
+        // sent would hang the wave.
+        if (elastic_ &&
+            placement_.server_of(poi->op, mv.from) >= current_n) {
+          continue;
+        }
         if (mv.from == poi->index) msg.send.emplace_back(mv.key, mv.to);
         if (mv.to == poi->index) msg.receive.push_back(mv.key);
       }
     }
     poi->inbox.push_unbounded(Message{std::move(msg)});
   }
-  for (std::size_t i = 0; i < pois_.size(); ++i) {
+  for (std::size_t i = 0; i < wave_size; ++i) {
     auto reply = manager_inbox_.pop();
     LAR_CHECK(reply.has_value());
     auto* ack = std::get_if<AckReconfReply>(&*reply);
@@ -745,19 +954,18 @@ core::ReconfigurationPlan Engine::reconfigure(core::Manager& manager) {
     for (const auto& [op, table] : plan.tables) table_entries += table->size();
     options_.trace->record(
         plan.version, obs::Phase::kStage, "manager",
-        /*count=*/pois_.size(),
+        /*count=*/wave_size,
         /*bytes=*/table_entries * (sizeof(Key) + sizeof(InstanceIndex)));
   }
 
-  // 5) PROPAGATE into the sources; the wave does the rest.
-  for (const OperatorId src : topology_.sources()) {
-    const std::uint32_t parallelism = topology_.op(src).parallelism;
-    for (InstanceIndex i = 0; i < parallelism; ++i) {
+  // 5) PROPAGATE into the participating sources; the wave does the rest.
+  for (const OperatorId src : sources_) {
+    for (const InstanceIndex i : shared_wave->members[src]) {
       poi_at(src, i).inbox.push_unbounded(
           Message{PropagateMsg{plan.version}});
     }
   }
-  for (std::size_t i = 0; i < pois_.size(); ++i) {
+  for (std::size_t i = 0; i < wave_size; ++i) {
     auto reply = manager_inbox_.pop();
     LAR_CHECK(reply.has_value());
     auto* done = std::get_if<ReconfDoneReply>(&*reply);
@@ -767,6 +975,160 @@ core::ReconfigurationPlan Engine::reconfigure(core::Manager& manager) {
   manager.mark_deployed(plan);
   LAR_INFO << "engine: reconfiguration v" << plan.version << " deployed ("
            << plan.total_moves() << " key states migrated)";
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// lar::elastic: online scale-out / scale-in.
+// ---------------------------------------------------------------------------
+
+void Engine::require_elastic_capable() const {
+  // The epoch-consistency story needs the fallback domain to ride inside
+  // routing tables, and activity changes only know how to restrict table
+  // and shuffle routers.
+  LAR_CHECK(options_.fields_mode == FieldsRouting::kTable);
+  for (const EdgeSpec& edge : topology_.edges()) {
+    LAR_CHECK(edge.grouping == GroupingType::kFields ||
+              edge.grouping == GroupingType::kShuffle);
+  }
+}
+
+void Engine::set_inject_actives(std::uint32_t num_active) {
+  std::lock_guard<std::mutex> lock(source_mutex_);
+  source_actives_.resize(sources_.size());
+  for (std::size_t s = 0; s < sources_.size(); ++s) {
+    source_actives_[s] = placement_.active_instances(sources_[s], num_active);
+  }
+}
+
+void Engine::drain_fence() {
+  std::uint64_t v = drains_in_flight_.load(std::memory_order_acquire);
+  while (v != 0) {
+    drains_in_flight_.wait(v, std::memory_order_acquire);
+    v = drains_in_flight_.load(std::memory_order_acquire);
+  }
+}
+
+std::pair<double, double> Engine::measured_locality_balance() const {
+  std::uint64_t local = 0;
+  std::uint64_t total = 0;
+  for (const auto& c : edge_counters_) {
+    const std::uint64_t l = c.local.load(std::memory_order_relaxed);
+    const std::uint64_t r = c.remote.load(std::memory_order_relaxed);
+    local += l;
+    total += l + r;
+  }
+  const double locality =
+      total == 0 ? 0.0
+                 : static_cast<double>(local) / static_cast<double>(total);
+
+  // Worst per-operator processed-load imbalance (max/avg) over live
+  // non-source operators — the same max/avg shape the plan's own imbalance
+  // diagnostic uses.
+  double balance = 1.0;
+  for (OperatorId op = 0; op < topology_.num_operators(); ++op) {
+    if (topology_.op(op).is_source) continue;
+    std::uint64_t sum = 0;
+    std::uint64_t peak = 0;
+    std::uint32_t live = 0;
+    for (const std::uint32_t parallelism = topology_.op(op).parallelism;
+         live < parallelism; ++live) {
+      const std::uint64_t p = pois_[poi_index_[op][live]]->processed.load(
+          std::memory_order_relaxed);
+      sum += p;
+      peak = std::max(peak, p);
+    }
+    if (sum == 0 || live == 0) continue;
+    const double avg = static_cast<double>(sum) / static_cast<double>(live);
+    balance = std::max(balance, static_cast<double>(peak) / avg);
+  }
+  return {locality, balance};
+}
+
+core::ReconfigurationPlan Engine::add_servers(core::Manager& manager,
+                                              std::uint32_t target_servers) {
+  LAR_CHECK(started_ && !shut_down_);
+  LAR_CHECK(target_servers > active_servers_ &&
+            target_servers <= placement_.num_servers());
+  require_elastic_capable();
+  elastic_ = true;
+  const std::uint32_t current = active_servers_;
+
+  // Spin up the joining fleet first: the wave stages tables on it and the
+  // plan may migrate state onto it.  No data can reach these POIs yet —
+  // every live router still carries the old epoch's tables/restrictions.
+  for (auto& poi : pois_) {
+    if (poi->server < current || poi->server >= target_servers) continue;
+    LAR_CHECK(!poi->active);
+    if (poi->thread.joinable()) poi->thread.join();  // a prior retirement
+    poi->active = true;
+    poi->thread = std::thread([this, p = poi.get()] { poi_loop(*p); });
+  }
+
+  core::ReconfigurationPlan plan =
+      run_protocol(manager, current, target_servers);
+
+  // Only after the wave committed may the injector target new source
+  // instances: flipping earlier would route through the stale constructor
+  // routers into the pre-switch epoch.
+  set_inject_actives(target_servers);
+  drain_fence();
+  active_servers_ = target_servers;
+  scale_out_events_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.trace != nullptr) {
+    options_.trace->record(plan.version, obs::Phase::kScaleOut, "manager",
+                           /*count=*/target_servers);
+  }
+  LAR_INFO << "engine: scaled out " << current << " -> " << target_servers
+           << " servers (plan v" << plan.version << ")";
+  return plan;
+}
+
+core::ReconfigurationPlan Engine::retire_servers(core::Manager& manager,
+                                                 std::uint32_t target_servers) {
+  LAR_CHECK(started_ && !shut_down_);
+  LAR_CHECK(target_servers >= 1 && target_servers < active_servers_);
+  require_elastic_capable();
+  elastic_ = true;
+  const std::uint32_t current = active_servers_;
+
+  // Stop feeding the retiring sources first; tuples already queued on them
+  // are processed before their PROPAGATE by per-link FIFO.
+  set_inject_actives(target_servers);
+
+  // Migrate-then-stop: the retirees are full wave members — they hand off
+  // every owned key (planned moves plus the residual drain for keys the
+  // manager never observed) before anything is stopped.
+  core::ReconfigurationPlan plan =
+      run_protocol(manager, current, target_servers);
+
+  // The fence also covers chaos-delayed drain payloads: they re-queue on
+  // *surviving* inboxes (drain targets are post-commit actives), so waiting
+  // here guarantees none is stranded behind the shutdowns below.
+  drain_fence();
+
+  for (auto& poi : pois_) {
+    if (poi->server < target_servers || poi->server >= current) continue;
+    poi->inbox.push_unbounded(Message{ShutdownMsg{}});
+  }
+  for (auto& poi : pois_) {
+    if (poi->server < target_servers || poi->server >= current) continue;
+    if (poi->thread.joinable()) poi->thread.join();
+    poi->active = false;
+    if (options_.trace != nullptr) {
+      options_.trace->record(plan.version, obs::Phase::kRetire,
+                             obs::poi_entity(poi->op, poi->index),
+                             /*count=*/1);
+    }
+  }
+  active_servers_ = target_servers;
+  scale_in_events_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.trace != nullptr) {
+    options_.trace->record(plan.version, obs::Phase::kScaleIn, "manager",
+                           /*count=*/target_servers);
+  }
+  LAR_INFO << "engine: retired to " << target_servers << " servers (plan v"
+           << plan.version << ")";
   return plan;
 }
 
@@ -791,6 +1153,12 @@ EngineMetrics Engine::metrics() const {
   out.stats_reports_lost = stats_reports_lost_.load(std::memory_order_relaxed);
   out.stats_reports_stale =
       stats_reports_stale_.load(std::memory_order_relaxed);
+  out.active_servers = active_servers_;
+  out.states_drained = states_drained_.load(std::memory_order_relaxed);
+  out.states_drained_bytes =
+      states_drained_bytes_.load(std::memory_order_relaxed);
+  out.scale_out_events = scale_out_events_.load(std::memory_order_relaxed);
+  out.scale_in_events = scale_in_events_.load(std::memory_order_relaxed);
   out.edges.reserve(edge_counters_.size());
   for (const auto& c : edge_counters_) {
     out.edges.push_back(EdgeMetricsSnapshot{
@@ -850,6 +1218,26 @@ void Engine::publish_metrics() {
     reg->counter("lar_stats_reports_stale_total", {},
                  "SEND_METRICS reports merged one gather epoch late.")
         .advance_to(stats_reports_stale_.load(std::memory_order_relaxed));
+  }
+
+  // Elastic families only exist once the engine has been elastic, so a
+  // fixed-fleet engine's export stays byte-identical to the pre-elastic one.
+  if (elastic_) {
+    reg->gauge("lar_elastic_active_servers", {},
+               "Live-server count (the active prefix [0, n)).")
+        .set(static_cast<double>(active_servers_));
+    reg->counter("lar_elastic_states_drained_total", {},
+                 "Key states shipped by the elastic residual drain.")
+        .advance_to(states_drained_.load(std::memory_order_relaxed));
+    reg->counter("lar_elastic_states_drained_bytes_total", {},
+                 "Serialized size of all residual-drained key states.")
+        .advance_to(states_drained_bytes_.load(std::memory_order_relaxed));
+    reg->counter("lar_elastic_scale_events_total", {{"direction", "out"}},
+                 "Completed scale-out / scale-in waves.")
+        .advance_to(scale_out_events_.load(std::memory_order_relaxed));
+    reg->counter("lar_elastic_scale_events_total", {{"direction", "in"}},
+                 "Completed scale-out / scale-in waves.")
+        .advance_to(scale_in_events_.load(std::memory_order_relaxed));
   }
 
   for (std::size_t eid = 0; eid < edge_counters_.size(); ++eid) {

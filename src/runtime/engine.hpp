@@ -24,8 +24,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "chaos/injector.hpp"
@@ -80,6 +82,15 @@ struct EngineOptions {
   /// the in-memory ones — serialization is the spill cost, exactly-once is
   /// preserved.
   std::size_t buffered_tuples_cap = 0;
+
+  /// Live-server count at startup (lar::elastic).  0 = all servers of the
+  /// placement (the default, byte-identical to the fixed-fleet engine).
+  /// A value in (0, num_servers) starts the engine in elastic mode with
+  /// only the server prefix [0, active_servers) running: dormant POIs get
+  /// no thread, sources and shuffle edges restrict to active instances,
+  /// and fields edges start from fallback-domain tables.  Requires
+  /// fields_mode == kTable and only kFields / kShuffle groupings.
+  std::uint32_t active_servers = 0;
 };
 
 /// Copyable snapshot of one edge's traffic counters.
@@ -134,6 +145,21 @@ struct EngineMetrics {
   /// delayed into the next gather epoch (merged stale).
   std::uint64_t stats_reports_lost = 0;
   std::uint64_t stats_reports_stale = 0;
+
+  // --- elasticity (all zero / full fleet unless lar::elastic is used) ------
+
+  /// Current live-server count (the active prefix [0, n)).
+  std::uint32_t active_servers = 0;
+
+  /// Key states shipped by the residual drain — owned keys the new epoch
+  /// routes elsewhere that had no explicit move entry (e.g. keys the
+  /// manager never observed, drained off a retiring instance).
+  std::uint64_t states_drained = 0;
+  std::uint64_t states_drained_bytes = 0;
+
+  /// Completed add_servers() / retire_servers() waves.
+  std::uint64_t scale_out_events = 0;
+  std::uint64_t scale_in_events = 0;
 };
 
 /// Deploys and runs a Topology.  Lifecycle: construct -> start() ->
@@ -163,6 +189,31 @@ class Engine {
   /// state migration.  Blocks until every POI reports completion.  The data
   /// stream is NOT paused.  Returns the deployed plan.
   core::ReconfigurationPlan reconfigure(core::Manager& manager);
+
+  // --- lar::elastic: online scale-out / scale-in ---------------------------
+
+  /// Grows the live fleet to the server prefix [0, target_servers): spawns
+  /// the dormant POIs' threads, re-plans via manager.plan_for(), and runs
+  /// one reconfiguration wave that swaps in epoch-consistent tables (and
+  /// shuffle restrictions) plus migrates state onto the new servers.  The
+  /// data stream is NOT paused.  Blocks until the wave and all residual
+  /// state drains complete.  Requires fields_mode == kTable and only
+  /// kFields / kShuffle groupings.
+  core::ReconfigurationPlan add_servers(core::Manager& manager,
+                                        std::uint32_t target_servers);
+
+  /// Shrinks the live fleet to the prefix [0, target_servers).  Retirement
+  /// is migrate-then-stop: the retiring POIs take part in the wave, ship
+  /// every owned key state to the surviving instances (planned moves plus
+  /// the residual drain), and only then receive their shutdown — no tuple
+  /// and no state is lost.  Blocks until the retirees have joined.
+  core::ReconfigurationPlan retire_servers(core::Manager& manager,
+                                           std::uint32_t target_servers);
+
+  /// Current live-server count (the active prefix).
+  [[nodiscard]] std::uint32_t active_servers() const noexcept {
+    return active_servers_;
+  }
 
   /// Flushes, then stops and joins all POI threads.  Idempotent.
   void shutdown();
@@ -202,6 +253,27 @@ class Engine {
   void maybe_finish_reconfig(Poi& poi);
   void send_metrics(Poi& poi);
 
+  /// One full protocol round (gather -> plan -> stage/ack -> wave) over the
+  /// POIs on servers [0, max(current_n, target_n)).  current_n == target_n
+  /// is the fixed-fleet round reconfigure() runs; otherwise the wave carries
+  /// the elastic membership/activity change.  Calls mark_deployed on the
+  /// manager iff the plan was actually pushed.
+  core::ReconfigurationPlan run_protocol(core::Manager& manager,
+                                         std::uint32_t current_n,
+                                         std::uint32_t target_n);
+
+  /// LAR_CHECKs the topology/options shape elasticity supports.
+  void require_elastic_capable() const;
+
+  /// Swaps the injector-side active instance lists of every source operator
+  /// to the prefix [0, num_active) (mutex-guarded against inject()).
+  void set_inject_actives(std::uint32_t num_active);
+
+  /// Blocks until every residual-drain MIGRATE has been imported.
+  void drain_fence();
+
+  [[nodiscard]] std::pair<double, double> measured_locality_balance() const;
+
   /// Routes `tuple` over edge at out-position `out_pos` from `poi`,
   /// serializing if cross-server; `in_key` is the emitting tuple's anchor
   /// key, forwarded to the receiver on non-fields edges.
@@ -229,6 +301,21 @@ class Engine {
   std::atomic<std::uint64_t> states_migrated_{0};
   std::atomic<std::uint64_t> states_migrated_bytes_{0};
   std::atomic<std::uint64_t> inject_seq_{0};
+
+  // Elasticity state.  active_servers_ / elastic_ / poi activity flags are
+  // only touched by the external driver thread (start/reconfigure/add/retire
+  // are externally synchronized, like the rest of the control API); the
+  // drain counter is an atomic fence between POI threads and that driver.
+  std::uint32_t active_servers_ = 0;
+  bool elastic_ = false;
+  std::vector<OperatorId> sources_;  ///< cached topology_.sources()
+  mutable std::mutex source_mutex_;  ///< guards source_actives_ vs inject()
+  std::vector<std::vector<InstanceIndex>> source_actives_;  // [source pos]
+  std::atomic<std::uint64_t> drains_in_flight_{0};
+  std::atomic<std::uint64_t> states_drained_{0};
+  std::atomic<std::uint64_t> states_drained_bytes_{0};
+  std::atomic<std::uint64_t> scale_out_events_{0};
+  std::atomic<std::uint64_t> scale_in_events_{0};
 
   // Chaos / recovery counters (stay zero in the disabled mode).
   std::atomic<std::uint64_t> tuples_spilled_{0};

@@ -46,6 +46,25 @@ struct DataMsg {
 /// Manager -> POI: send me your pair statistics.
 struct GetMetricsMsg {};
 
+/// Wave membership for one reconfiguration: which instances participate per
+/// operator, and (for elastic waves) which remain active once the wave
+/// commits.  Shared immutably by every ReconfMsg of the wave, so the
+/// bookkeeping rides inside the messages — no cross-thread state.
+struct ElasticWave {
+  /// Post-commit live-server count (propagated into trace records).
+  std::uint32_t target_servers = 0;
+
+  /// Per operator: the instances taking part in this wave, ascending.
+  /// Propagate fan-out and propagate_expected are computed from these, so
+  /// dormant instances are never waited on.
+  std::vector<std::vector<InstanceIndex>> members;
+
+  /// Per operator: the instances active after the wave commits, ascending.
+  /// Empty vector-of-vectors = a fixed-fleet wave (no activity change);
+  /// shuffle routers then keep their current restriction.
+  std::vector<std::vector<InstanceIndex>> actives;
+};
+
 /// Manager -> POI: the new configuration (paper Section 3.4).
 struct ReconfMsg {
   std::uint64_t version = 0;
@@ -59,6 +78,17 @@ struct ReconfMsg {
 
   /// Keys whose state this POI will receive ("reconfiguration_receive").
   std::vector<Key> receive;
+
+  /// Wave membership (always set by the engine; actives empty when the wave
+  /// does not change the active set).
+  std::shared_ptr<const ElasticWave> wave;
+
+  /// Elastic waves only: the post-commit table of this POI's *own* operator
+  /// (sources have none).  Drives the residual-drain scan — owned keys the
+  /// new epoch routes elsewhere are shipped even without an explicit move
+  /// entry, which is what makes retirement lossless for keys the manager
+  /// never observed.
+  std::shared_ptr<const RoutingTable> own_table;
 };
 
 /// Predecessor POI (or manager, for sources) -> POI: the reconfiguration
@@ -78,6 +108,12 @@ struct MigrateMsg {
   /// How many times a chaos-delayed copy of this payload has been re-queued
   /// behind the receiver's inbox; bounded by the kMigrateDelay magnitude.
   std::uint32_t redeliveries = 0;
+
+  /// Residual drain (elastic waves): state shipped outside the plan's move
+  /// list because the sender's new own-table routes the key elsewhere.  The
+  /// receiver imports it unconditionally (imports are merge-additive) and
+  /// acknowledges via the engine's drain fence instead of the awaiting set.
+  bool drain = false;
 };
 
 /// POI -> itself: flush the delay stash of producer link `link` (flat POI

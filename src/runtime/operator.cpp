@@ -32,6 +32,14 @@ void CountingOperator::import_key_state(Key key,
 
 void CountingOperator::drop_key_state(Key key) { counts_.erase(key); }
 
+std::vector<Key> CountingOperator::owned_keys() const {
+  std::vector<Key> out;
+  out.reserve(counts_.size());
+  for (const auto& [key, value] : counts_) out.push_back(key);
+  std::sort(out.begin(), out.end());  // canonical drain order
+  return out;
+}
+
 std::vector<std::pair<Key, std::uint64_t>> CountingOperator::top(
     std::size_t k) const {
   std::vector<std::pair<Key, std::uint64_t>> out(counts_.begin(),

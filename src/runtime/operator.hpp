@@ -51,6 +51,15 @@ class Operator {
 
   /// Forgets local state for `key` after it was exported.
   virtual void drop_key_state(Key /*key*/) {}
+
+  /// All keys this instance currently holds state for, ascending (stateful
+  /// operators only; stateless ones return empty).  The elastic residual
+  /// drain scans this to ship keys the new epoch routes elsewhere — even
+  /// keys the manager never observed, so no explicit move entry exists.
+  /// Because two instances can hold partial state for one key while the
+  /// drain converges, import_key_state() of operators that support
+  /// elasticity must be a merge (additive), not an overwrite.
+  [[nodiscard]] virtual std::vector<Key> owned_keys() const { return {}; }
 };
 
 /// Creates the operator object for a given POI.
@@ -78,6 +87,7 @@ class CountingOperator final : public Operator {
   [[nodiscard]] std::vector<std::byte> export_key_state(Key key) override;
   void import_key_state(Key key, std::span<const std::byte> state) override;
   void drop_key_state(Key key) override;
+  [[nodiscard]] std::vector<Key> owned_keys() const override;
 
   /// Current count for `key` (0 if absent).  Test/inspection hook.
   [[nodiscard]] std::uint64_t count(Key key) const;

@@ -50,6 +50,15 @@ struct SimConfig {
   /// Capacity of each POI's pair-statistics sketch (0 = exact counting).
   std::size_t pair_stats_capacity = 1 << 17;
 
+  /// Live-server count at startup (lar::elastic).  0 = all servers of the
+  /// placement (the default, byte-identical to the fixed-fleet model).  A
+  /// value in (0, num_servers) starts the model with only the server prefix
+  /// [0, active_servers) receiving traffic: sources and shuffle edges
+  /// restrict to active instances and fields edges start from
+  /// fallback-domain tables.  Requires FieldsRouting::kTable and only
+  /// kFields / kShuffle groupings; Simulator::resize() changes it mid-run.
+  std::uint32_t active_servers = 0;
+
   std::uint64_t seed = 1;
 };
 

@@ -10,9 +10,13 @@ PipelineModel::PipelineModel(const Topology& topology,
                              const Placement& placement,
                              const SimConfig& config,
                              FieldsRouting fields_mode)
-    : topology_(topology), placement_(placement), config_(config) {
+    : topology_(topology),
+      placement_(placement),
+      config_(config),
+      fields_mode_(fields_mode) {
   LAR_CHECK(topology.validate().is_ok());
   anchors_ = compute_stats_anchors(topology);
+  sources_ = topology.sources();
 
   const auto& edges = topology.edges();
   route_base_.resize(edges.size());
@@ -54,21 +58,58 @@ PipelineModel::PipelineModel(const Topology& topology,
   for (OperatorId op = 0; op < topology.num_operators(); ++op) {
     stats_.instance_load[op].assign(topology.op(op).parallelism, 0);
   }
+
+  // Elastic restricted start (stats vectors stay max-sized; zero-work
+  // servers never become the bottleneck candidate).  Fields edges begin on
+  // fallback-domain tables so unknown keys hash over the active instance
+  // set, never onto a dormant server.
+  active_servers_ = config.active_servers == 0 ? placement.num_servers()
+                                               : config.active_servers;
+  LAR_CHECK(active_servers_ >= 1 &&
+            active_servers_ <= placement.num_servers());
+  if (active_servers_ < placement.num_servers()) {
+    restricted_ = true;
+    for (const EdgeSpec& edge : edges) {
+      if (edge.grouping == GroupingType::kFields) {
+        auto table = std::make_shared<RoutingTable>();
+        table->set_fallback(
+            placement.active_instances(edge.to, active_servers_));
+        set_table(edge.to, std::move(table));
+      }
+    }
+    apply_active_restriction(active_servers_);
+  }
 }
 
 void PipelineModel::process(const Tuple& tuple) {
   ++stats_.tuples;
-  for (const OperatorId src : topology_.sources()) {
-    const std::uint32_t par = topology_.op(src).parallelism;
+  for (std::size_t s = 0; s < sources_.size(); ++s) {
+    const OperatorId src = sources_[s];
     InstanceIndex instance = 0;
-    switch (config_.source_mode) {
-      case SourceMode::kAlignedField0:
-        LAR_CHECK(!tuple.fields.empty());
-        instance = static_cast<InstanceIndex>(tuple.fields[0] % par);
-        break;
-      case SourceMode::kRoundRobin:
-        instance = static_cast<InstanceIndex>(source_seq_ % par);
-        break;
+    if (restricted_) {
+      // Active-list pick; over a full list this is exactly the historical
+      // `% parallelism` pick (act[i] == i).
+      const std::vector<InstanceIndex>& act = source_actives_[s];
+      switch (config_.source_mode) {
+        case SourceMode::kAlignedField0:
+          LAR_CHECK(!tuple.fields.empty());
+          instance = act[tuple.fields[0] % act.size()];
+          break;
+        case SourceMode::kRoundRobin:
+          instance = act[source_seq_ % act.size()];
+          break;
+      }
+    } else {
+      const std::uint32_t par = topology_.op(src).parallelism;
+      switch (config_.source_mode) {
+        case SourceMode::kAlignedField0:
+          LAR_CHECK(!tuple.fields.empty());
+          instance = static_cast<InstanceIndex>(tuple.fields[0] % par);
+          break;
+        case SourceMode::kRoundRobin:
+          instance = static_cast<InstanceIndex>(source_seq_ % par);
+          break;
+      }
     }
     deliver(src, instance, /*routed_in_key=*/kNoKey, tuple);
   }
@@ -161,6 +202,36 @@ void PipelineModel::set_table(OperatorId op,
     for (InstanceIndex i = 0; i < src_par; ++i) {
       bank_.set_table(route_base_[e] + i, edge_tables_[e].get());
     }
+  }
+}
+
+void PipelineModel::set_active_servers(std::uint32_t num_active) {
+  LAR_CHECK(num_active >= 1 && num_active <= placement_.num_servers());
+  restricted_ = true;
+  active_servers_ = num_active;
+  apply_active_restriction(num_active);
+}
+
+void PipelineModel::apply_active_restriction(std::uint32_t num_active) {
+  // Mirror of Engine::require_elastic_capable: the epoch-consistency story
+  // needs the fallback domain to ride inside routing tables, and activity
+  // changes only know how to restrict table and shuffle descriptors.
+  LAR_CHECK(fields_mode_ == FieldsRouting::kTable);
+  const auto& edges = topology_.edges();
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    LAR_CHECK(edges[e].grouping == GroupingType::kFields ||
+              edges[e].grouping == GroupingType::kShuffle);
+    if (edges[e].grouping != GroupingType::kShuffle) continue;
+    const std::vector<InstanceIndex> act =
+        placement_.active_instances(edges[e].to, num_active);
+    const std::uint32_t src_par = topology_.op(edges[e].from).parallelism;
+    for (InstanceIndex i = 0; i < src_par; ++i) {
+      bank_.set_shuffle_actives(route_base_[e] + i, act);
+    }
+  }
+  source_actives_.resize(sources_.size());
+  for (std::size_t s = 0; s < sources_.size(); ++s) {
+    source_actives_[s] = placement_.active_instances(sources_[s], num_active);
   }
 }
 

@@ -71,6 +71,19 @@ class PipelineModel {
   /// (replacing hash or a previous table).  Takes effect immediately.
   void set_table(OperatorId op, std::shared_ptr<const RoutingTable> table);
 
+  /// Restricts traffic to the server prefix [0, num_active) (lar::elastic):
+  /// sources and shuffle edges re-target the active instance sets.  Fields
+  /// edges are NOT touched — the caller installs the new epoch's tables
+  /// (whose hash-fallback domain is the active set) via set_table(), which
+  /// the sim's atomic deploy makes a single logical instant.  Requires
+  /// FieldsRouting::kTable and only kFields / kShuffle groupings.
+  void set_active_servers(std::uint32_t num_active);
+
+  /// Current live-server count (the active prefix).
+  [[nodiscard]] std::uint32_t active_servers() const noexcept {
+    return active_servers_;
+  }
+
   /// Merged pair statistics per optimizable hop, ready for the Manager.
   [[nodiscard]] std::vector<core::HopStats> collect_hop_stats() const;
 
@@ -120,9 +133,14 @@ class PipelineModel {
   void deliver(OperatorId op, InstanceIndex instance, Key routed_in_key,
                const Tuple& tuple);
 
+  /// Re-targets every shuffle descriptor and source pick list to the active
+  /// instance sets of the prefix [0, num_active).
+  void apply_active_restriction(std::uint32_t num_active);
+
   const Topology& topology_;
   const Placement& placement_;
   SimConfig config_;
+  FieldsRouting fields_mode_;
   RouterBank bank_;
   // Descriptor slot of (edge e, src instance i) is route_base_[e] + i.
   std::vector<std::uint32_t> route_base_;
@@ -136,6 +154,14 @@ class PipelineModel {
   /// Per operator: whose input key tuples seen here were last routed by.
   std::vector<std::optional<OperatorId>> anchors_;
   TrafficStats stats_;
+
+  // Elasticity (lar::elastic).  restricted_ latches once the model has ever
+  // had a non-full active set; the restricted source path over a full list
+  // makes exactly the historical `% parallelism` picks.
+  std::uint32_t active_servers_ = 0;
+  bool restricted_ = false;
+  std::vector<OperatorId> sources_;  ///< cached topology_.sources()
+  std::vector<std::vector<InstanceIndex>> source_actives_;  // [source pos]
 };
 
 }  // namespace lar::sim

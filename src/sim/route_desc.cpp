@@ -76,4 +76,18 @@ std::uint32_t RouterBank::add(const EdgeSpec& edge, std::uint32_t edge_index,
   return static_cast<std::uint32_t>(descs_.size() - 1);
 }
 
+void RouterBank::set_shuffle_actives(
+    std::uint32_t slot, const std::vector<InstanceIndex>& instances) {
+  LAR_CHECK(!instances.empty());
+  RouteDesc& d = descs_[slot];
+  LAR_CHECK(d.kind == RouteDesc::Kind::kShuffle ||
+            d.kind == RouteDesc::Kind::kShuffleRestricted);
+  d.kind = RouteDesc::Kind::kShuffleRestricted;
+  d.aux_begin = static_cast<std::uint32_t>(aux_.size());
+  d.aux_len = static_cast<std::uint32_t>(instances.size());
+  aux_.insert(aux_.end(), instances.begin(), instances.end());
+  // Same cursor carry-over as ShuffleRouter::set_active_instances.
+  d.next %= d.aux_len;
+}
+
 }  // namespace lar::sim

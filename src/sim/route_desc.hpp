@@ -32,6 +32,7 @@ namespace lar::sim {
 struct RouteDesc {
   enum class Kind : std::uint8_t {
     kShuffle,         ///< ShuffleRouter
+    kShuffleRestricted,  ///< ShuffleRouter over an elastic active set
     kLocalOrShuffle,  ///< LocalOrShuffleRouter
     kHashFields,      ///< HashFieldsRouter
     kPermutation,     ///< PermutationFieldsRouter
@@ -77,6 +78,11 @@ class RouterBank {
         d.next = (d.next + 1) % d.fanout;
         return out;
       }
+      case RouteDesc::Kind::kShuffleRestricted: {
+        const InstanceIndex out = aux_[d.aux_begin + d.next];
+        d.next = (d.next + 1) % d.aux_len;
+        return out;
+      }
       case RouteDesc::Kind::kLocalOrShuffle: {
         if (d.aux_len != 0) {
           const InstanceIndex out = aux_[d.aux_begin + d.next % d.aux_len];
@@ -119,6 +125,12 @@ class RouterBank {
     descs_[slot].kind = RouteDesc::Kind::kTable;
     descs_[slot].table = table;
   }
+
+  /// Restricts a shuffle descriptor to cycle over `instances` — the
+  /// devirtualized ShuffleRouter::set_active_instances.  Appends the list to
+  /// the aux pool (old ranges are never reclaimed; resizes are rare).
+  void set_shuffle_actives(std::uint32_t slot,
+                           const std::vector<InstanceIndex>& instances);
 
   [[nodiscard]] const RouteDesc& desc(std::uint32_t slot) const noexcept {
     return descs_[slot];

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/stats.hpp"
 #include "common/status.hpp"
@@ -249,16 +250,74 @@ void Simulator::inject_migration_faults(const core::ReconfigurationPlan& plan) {
   }
 }
 
+std::pair<double, double> Simulator::measured_locality_balance() const {
+  const TrafficStats& s = model_.stats();
+  std::uint64_t local = 0;
+  std::uint64_t total = 0;
+  for (const core::EdgeTraffic& t : s.edge_traffic) {
+    local += t.local;
+    total += t.local + t.remote;
+  }
+  const double locality =
+      total == 0 ? 0.0
+                 : static_cast<double>(local) / static_cast<double>(total);
+  double balance = 1.0;
+  for (const auto& loads : s.instance_load) {
+    balance = std::max(balance, imbalance(loads));
+  }
+  return {locality, balance};
+}
+
 core::ReconfigurationPlan Simulator::reconfigure(core::Manager& manager) {
   const std::vector<core::HopStats> stats = gather_hop_stats();
   std::uint64_t pairs = 0;
   for (const auto& h : stats) pairs += h.pairs.size();
   core::ReconfigurationPlan plan = manager.compute_plan(stats);
+  if (manager.options().advise_deploys) {
+    const auto [locality, balance] = measured_locality_balance();
+    if (!manager.advise(plan, locality, balance).deploy) {
+      return plan;  // computed, observable in lar_plan_*, NOT deployed
+    }
+  }
   record_reconfig_trace(plan, stats.size(), pairs);
   inject_migration_faults(plan);
   apply_plan(plan);
   manager.mark_deployed(plan);
   model_.reset_pair_stats();
+  return plan;
+}
+
+core::ReconfigurationPlan Simulator::resize(core::Manager& manager,
+                                            std::uint32_t target_servers) {
+  const std::uint32_t current = model_.active_servers();
+  LAR_CHECK(target_servers >= 1 && target_servers != current &&
+            target_servers <= model_.placement().num_servers());
+  const std::vector<core::HopStats> stats = gather_hop_stats();
+  std::uint64_t pairs = 0;
+  for (const auto& h : stats) pairs += h.pairs.size();
+  core::ReconfigurationPlan plan = manager.plan_for(stats, target_servers);
+  record_reconfig_trace(plan, stats.size(), pairs);
+  const bool out = target_servers > current;
+  trace_.record(plan.version,
+                out ? obs::Phase::kScaleOut : obs::Phase::kScaleIn, "manager",
+                /*count=*/target_servers, /*bytes=*/0, windows_run_);
+  inject_migration_faults(plan);
+  // Atomic deploy: the new epoch's tables (fallback domain = active set) and
+  // the shuffle/source restriction land in the same inter-window instant, so
+  // unknown keys never split between `hash % n_old` and `hash % n_new`.
+  apply_plan(plan);
+  model_.set_active_servers(target_servers);
+  manager.mark_deployed(plan);
+  model_.reset_pair_stats();
+  registry_
+      .gauge("lar_elastic_active_servers", {},
+             "Live-server count (the active prefix [0, n)).")
+      .set(static_cast<double>(target_servers));
+  registry_
+      .counter("lar_elastic_scale_events_total",
+               {{"direction", out ? "out" : "in"}},
+               "Completed scale-out / scale-in waves.")
+      .inc();
   return plan;
 }
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "chaos/injector.hpp"
@@ -69,8 +70,21 @@ class Simulator {
 
   /// Runs one full optimization round: collects pair statistics, asks the
   /// manager for a plan, installs the new tables and resets the statistics.
-  /// Returns the plan (with diagnostics).
+  /// Returns the plan (with diagnostics).  When the manager was constructed
+  /// with advise_deploys, a plan whose predicted benefit does not cover its
+  /// migration cost (Manager::advise, scored against the current window's
+  /// measured locality/balance) is computed but NOT installed — routing and
+  /// statistics stay untouched so evidence keeps accumulating.
   core::ReconfigurationPlan reconfigure(core::Manager& manager);
+
+  /// Elastic resize (lar::elastic): re-plans for `target_servers` live
+  /// servers via Manager::plan_for, installs the epoch-consistent tables,
+  /// restricts sources/shuffle edges to the new active prefix and records a
+  /// scale_out / scale_in trace event.  The sim deploys atomically, so the
+  /// whole resize is one logical instant between windows.  Requires
+  /// FieldsRouting::kTable and only kFields / kShuffle groupings.
+  core::ReconfigurationPlan resize(core::Manager& manager,
+                                   std::uint32_t target_servers);
 
   /// Installs the tables of an externally computed plan (offline mode).
   void apply_plan(const core::ReconfigurationPlan& plan);
@@ -122,6 +136,10 @@ class Simulator {
 
  private:
   [[nodiscard]] WindowReport report_from_stats();
+
+  /// Locality over all edges and worst per-operator imbalance of the traffic
+  /// accumulated since the last reset — the advisor's "current" inputs.
+  [[nodiscard]] std::pair<double, double> measured_locality_balance() const;
 
   /// Gather step under chaos: snapshots per-POI reports, applies loss /
   /// delay decisions, merges survivors plus the previous epoch's stale

@@ -49,6 +49,34 @@ Placement Placement::with_racks(
   return p;
 }
 
+Placement Placement::with_servers(std::uint32_t num_servers) const {
+  LAR_CHECK(num_servers >= 1);
+  Placement p;
+  p.num_servers_ = num_servers;
+  p.rack_of_server_.assign(num_servers, 0);
+  p.servers_.resize(servers_.size());
+  for (std::size_t op = 0; op < servers_.size(); ++op) {
+    const std::size_t parallelism = servers_[op].size();
+    p.servers_[op].resize(parallelism);
+    for (InstanceIndex i = 0; i < parallelism; ++i) {
+      p.servers_[op][i] = i % num_servers;
+    }
+  }
+  p.build_locals();
+  return p;
+}
+
+std::vector<InstanceIndex> Placement::active_instances(
+    OperatorId op, std::uint32_t num_active) const {
+  LAR_CHECK(op < servers_.size());
+  LAR_CHECK(num_active >= 1 && num_active <= num_servers_);
+  std::vector<InstanceIndex> out;
+  for (InstanceIndex i = 0; i < servers_[op].size(); ++i) {
+    if (servers_[op][i] < num_active) out.push_back(i);
+  }
+  return out;
+}
+
 std::vector<ServerId> Placement::servers_in_rack(std::uint32_t rack) const {
   LAR_CHECK(rack < num_racks_);
   std::vector<ServerId> out;
@@ -66,6 +94,7 @@ Placement Placement::explicit_placement(
   p.rack_of_server_.assign(num_servers, 0);
   p.servers_ = std::move(servers);
   for (const auto& per_op : p.servers_) {
+    LAR_CHECK(!per_op.empty() && "operator with zero instances");
     for (const auto s : per_op) LAR_CHECK(s < num_servers);
   }
   p.build_locals();

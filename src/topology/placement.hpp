@@ -85,6 +85,19 @@ class Placement {
   [[nodiscard]] Placement with_racks(
       std::vector<std::uint32_t> rack_of_server) const;
 
+  // --- elasticity -----------------------------------------------------------
+
+  /// Canonical rebuild at a different server count: same per-operator
+  /// parallelism, instance i on server (i % num_servers), single rack —
+  /// the round_robin layout without requiring the Topology again.
+  [[nodiscard]] Placement with_servers(std::uint32_t num_servers) const;
+
+  /// Instances of `op` hosted on the active server prefix [0, num_active),
+  /// ascending.  This is the fallback domain / shuffle target set of an
+  /// epoch with `num_active` live servers.
+  [[nodiscard]] std::vector<InstanceIndex> active_instances(
+      OperatorId op, std::uint32_t num_active) const;
+
  private:
   Placement() = default;
   void build_locals();

@@ -8,9 +8,21 @@ ShuffleRouter::ShuffleRouter(std::uint32_t fanout, std::uint64_t seed)
 }
 
 InstanceIndex ShuffleRouter::route(const Tuple& /*tuple*/) {
+  if (!actives_.empty()) {
+    const InstanceIndex out = actives_[next_ % actives_.size()];
+    next_ = (next_ + 1) % static_cast<std::uint32_t>(actives_.size());
+    return out;
+  }
   const InstanceIndex out = next_;
   next_ = (next_ + 1) % fanout_;
   return out;
+}
+
+void ShuffleRouter::set_active_instances(
+    const std::vector<InstanceIndex>& instances) {
+  LAR_CHECK(!instances.empty());
+  actives_ = instances;
+  next_ %= static_cast<std::uint32_t>(actives_.size());
 }
 
 LocalOrShuffleRouter::LocalOrShuffleRouter(

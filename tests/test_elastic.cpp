@@ -1,0 +1,697 @@
+// Tests for lar::elastic: the autoscaling controller's hysteresis state
+// machine, elastic placement/routing primitives (active prefixes, fallback
+// domains, plan_for), the advisor deployment gate, online scale-out/in in
+// the threaded runtime (exactly-once across resizes, including under
+// injected migration delays), and byte-stable elastic timelines in the
+// simulator.
+//
+// The exactly-once harness mirrors test_chaos.cpp: ground-truth per-key
+// counts recorded at inject time must equal the summed per-instance counts
+// after the stream drains, with every key held by exactly one instance —
+// growing or shrinking the fleet may not lose or duplicate a tuple's effect.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+#include "chaos/injector.hpp"
+#include "core/manager.hpp"
+#include "elastic/controller.hpp"
+#include "obs/export.hpp"
+#include "runtime/engine.hpp"
+#include "sim/simulator.hpp"
+#include "sketch/exact_counter.hpp"
+#include "workload/synthetic.hpp"
+
+namespace lar {
+namespace {
+
+using elastic::Controller;
+using elastic::ControllerOptions;
+using elastic::Reason;
+using elastic::ScaleDecision;
+using elastic::Signals;
+
+Signals util(double u) {
+  Signals s;
+  s.utilization = u;
+  return s;
+}
+
+ControllerOptions bounded(std::uint32_t min_n, std::uint32_t max_n) {
+  ControllerOptions o;
+  o.min_servers = min_n;
+  o.max_servers = max_n;
+  o.confirm_epochs = 2;
+  o.cooldown_epochs = 2;
+  return o;
+}
+
+// --- Controller hysteresis ---------------------------------------------------
+
+TEST(Controller, ConfirmsBeforeActingThenCoolsDown) {
+  Controller c(bounded(2, 16));
+  // First breach only starts the streak.
+  ScaleDecision d = c.evaluate(util(1.2), 4);
+  EXPECT_EQ(d.reason, Reason::kConfirming);
+  EXPECT_FALSE(d.changed(4));
+  // Second consecutive breach confirms: double (step = 0).
+  d = c.evaluate(util(1.2), 4);
+  EXPECT_EQ(d.reason, Reason::kOverload);
+  EXPECT_EQ(d.target_servers, 8u);
+  // Cooldown: even a hard breach is held for cooldown_epochs evaluations.
+  d = c.evaluate(util(2.0), 8);
+  EXPECT_EQ(d.reason, Reason::kCooldown);
+  EXPECT_FALSE(d.changed(8));
+  d = c.evaluate(util(2.0), 8);
+  EXPECT_EQ(d.reason, Reason::kCooldown);
+  // Cooldown over: the breach must be re-confirmed from scratch.
+  d = c.evaluate(util(2.0), 8);
+  EXPECT_EQ(d.reason, Reason::kConfirming);
+  d = c.evaluate(util(2.0), 8);
+  EXPECT_EQ(d.reason, Reason::kOverload);
+  EXPECT_EQ(d.target_servers, 16u);
+}
+
+TEST(Controller, DeadBandHoldsAndResetsStreaks) {
+  Controller c(bounded(1, 8));
+  EXPECT_EQ(c.evaluate(util(1.5), 4).reason, Reason::kConfirming);
+  // One in-band evaluation wipes the streak: a later breach starts over.
+  EXPECT_EQ(c.evaluate(util(0.6), 4).reason, Reason::kHold);
+  EXPECT_EQ(c.evaluate(util(1.5), 4).reason, Reason::kConfirming);
+  EXPECT_EQ(c.evaluate(util(1.5), 4).reason, Reason::kOverload);
+}
+
+TEST(Controller, ScaleInHalvesAndClampsAtMin) {
+  Controller c(bounded(3, 16));
+  EXPECT_EQ(c.evaluate(util(0.1), 8).reason, Reason::kConfirming);
+  ScaleDecision d = c.evaluate(util(0.1), 8);
+  EXPECT_EQ(d.reason, Reason::kUnderload);
+  EXPECT_EQ(d.target_servers, 4u);  // halve on the way in
+  // Cooldown, then confirm again; halving 4 would undershoot min = 3.
+  (void)c.evaluate(util(0.1), 4);
+  (void)c.evaluate(util(0.1), 4);
+  (void)c.evaluate(util(0.1), 4);
+  d = c.evaluate(util(0.1), 4);
+  EXPECT_EQ(d.reason, Reason::kUnderload);
+  EXPECT_EQ(d.target_servers, 3u);
+  // At min, a confirmed underload has nowhere to go.
+  (void)c.evaluate(util(0.1), 3);
+  (void)c.evaluate(util(0.1), 3);
+  (void)c.evaluate(util(0.1), 3);
+  d = c.evaluate(util(0.1), 3);
+  EXPECT_EQ(d.reason, Reason::kAtBound);
+  EXPECT_FALSE(d.changed(3));
+}
+
+TEST(Controller, AtMaxReportsBound) {
+  Controller c(bounded(1, 8));
+  (void)c.evaluate(util(1.4), 8);
+  const ScaleDecision d = c.evaluate(util(1.4), 8);
+  EXPECT_EQ(d.reason, Reason::kAtBound);
+  EXPECT_EQ(d.target_servers, 8u);
+}
+
+TEST(Controller, MigrationBacklogDefersAnyDecision) {
+  Controller c(bounded(1, 8));
+  (void)c.evaluate(util(1.4), 4);  // streak = 1
+  Signals s = util(1.4);
+  s.migration_backlog = 5.0;
+  // In-flight state from the previous resize: hold, and drop the streak so
+  // the breach must persist past the backlog to act.
+  EXPECT_EQ(c.evaluate(s, 4).reason, Reason::kCooldown);
+  EXPECT_EQ(c.evaluate(util(1.4), 4).reason, Reason::kConfirming);
+}
+
+TEST(Controller, FixedStepAddsAndRemovesStep) {
+  ControllerOptions o = bounded(2, 10);
+  o.step = 3;
+  Controller c(o);
+  (void)c.evaluate(util(1.4), 4);
+  EXPECT_EQ(c.evaluate(util(1.4), 4).target_servers, 7u);
+  (void)c.evaluate(util(0.1), 7);  // cooldown
+  (void)c.evaluate(util(0.1), 7);  // cooldown
+  (void)c.evaluate(util(0.1), 7);
+  EXPECT_EQ(c.evaluate(util(0.1), 7).target_servers, 4u);
+}
+
+TEST(Controller, SameSignalSequenceSameDecisions) {
+  const ControllerOptions o = bounded(2, 32);
+  auto run = [&o]() {
+    Controller c(o);
+    Rng rng(97);
+    std::vector<std::pair<std::uint32_t, Reason>> out;
+    std::uint32_t servers = 4;
+    for (int i = 0; i < 200; ++i) {
+      const double u = static_cast<double>(rng.next() % 1000) / 500.0;
+      const ScaleDecision d = c.evaluate(util(u), servers);
+      if (d.changed(servers)) servers = d.target_servers;
+      out.emplace_back(servers, d.reason);
+    }
+    return out;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- Signals / decision observability ----------------------------------------
+
+TEST(ControllerObs, SignalsFromRegistryReadsCanonicalFamilies) {
+  obs::Registry registry;
+  registry.gauge("lar_window_throughput_tps", {}).set(2000.0);
+  registry.gauge("lar_edge_locality_ratio", {{"edge", "S->A"}}).set(0.4);
+  registry.gauge("lar_edge_locality_ratio", {{"edge", "A->B"}}).set(0.8);
+  registry.gauge("lar_op_load_balance_ratio", {{"op", "A"}}).set(1.5);
+  registry.gauge("lar_op_load_balance_ratio", {{"op", "B"}}).set(1.1);
+  const Signals s = elastic::signals_from_registry(registry, 1000.0);
+  EXPECT_DOUBLE_EQ(s.utilization, 0.5);
+  EXPECT_DOUBLE_EQ(s.locality, 0.6);   // mean over edges
+  EXPECT_DOUBLE_EQ(s.balance, 1.5);    // worst operator
+  EXPECT_DOUBLE_EQ(s.queue_hwm, 0.0);  // family absent -> default
+}
+
+TEST(ControllerObs, PublishDecisionWritesGaugeAndCounter) {
+  obs::Registry registry;
+  elastic::publish_decision(registry, {.target_servers = 8,
+                                       .reason = Reason::kOverload});
+  elastic::publish_decision(registry, {.target_servers = 8,
+                                       .reason = Reason::kCooldown});
+  EXPECT_DOUBLE_EQ(registry.gauge("lar_elastic_target_servers", {}).value(),
+                   8.0);
+  EXPECT_EQ(registry
+                .counter("lar_elastic_decisions_total",
+                         {{"reason", "overload"}})
+                .value(),
+            1u);
+  EXPECT_EQ(registry
+                .counter("lar_elastic_decisions_total",
+                         {{"reason", "cooldown"}})
+                .value(),
+            1u);
+}
+
+// --- Placement: active prefixes (satellite) ----------------------------------
+
+TEST(PlacementElastic, WithServersIsCanonicalRoundRobin) {
+  const Topology topo = make_two_stage_topology(6);
+  const Placement place = Placement::round_robin(topo, 6);
+  const Placement shrunk = place.with_servers(4);
+  EXPECT_EQ(shrunk.num_servers(), 4u);
+  EXPECT_EQ(shrunk.num_racks(), 1u);
+  for (OperatorId op = 0; op < topo.num_operators(); ++op) {
+    ASSERT_EQ(shrunk.parallelism_of(op), place.parallelism_of(op));
+    for (InstanceIndex i = 0; i < shrunk.parallelism_of(op); ++i) {
+      EXPECT_EQ(shrunk.server_of(op, i), i % 4);
+    }
+  }
+}
+
+TEST(PlacementElastic, ActiveInstancesAreTheServerPrefix) {
+  const Topology topo = make_two_stage_topology(8);
+  const Placement place = Placement::round_robin(topo, 8);
+  EXPECT_EQ(place.active_instances(1, 3),
+            (std::vector<InstanceIndex>{0, 1, 2}));
+  EXPECT_EQ(place.active_instances(1, 8).size(), 8u);
+  // A placement that piles instances onto low servers keeps them all active
+  // even under a shrunken prefix.
+  const Placement packed = Placement::explicit_placement(
+      {{0, 0}, {0, 1, 2}, {1, 0, 2}}, 3);
+  EXPECT_EQ(packed.active_instances(0, 1),
+            (std::vector<InstanceIndex>{0, 1}));
+  EXPECT_EQ(packed.active_instances(1, 2),
+            (std::vector<InstanceIndex>{0, 1}));
+  EXPECT_EQ(packed.active_instances(2, 2),
+            (std::vector<InstanceIndex>{0, 1}));
+}
+
+TEST(PlacementElasticDeathTest, ExplicitPlacementValidatesItsInput) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(Placement::explicit_placement({{0, 3}}, 3),
+               "LAR_CHECK failed");  // server id out of range
+  EXPECT_DEATH(Placement::explicit_placement({{0}, {}}, 2),
+               "zero instances");
+}
+
+// --- RoutingTable fallback domain (epoch-consistent hash fallback) -----------
+
+TEST(RoutingFallbackDomain, UnknownKeysHashOverTheDomain) {
+  RoutingTable table;
+  table.assign(7, 5);
+  table.set_fallback({0, 2, 4});
+  EXPECT_EQ(table.route(7, 8), 5u);  // explicit entry wins
+  for (Key k = 100; k < 200; ++k) {
+    const InstanceIndex dst = table.route(k, 8);
+    EXPECT_EQ(dst, table.fallback()[mix64(k) % 3]);
+    EXPECT_TRUE(dst == 0 || dst == 2 || dst == 4);
+  }
+  // Clearing the domain restores full-fanout hash fallback.
+  table.set_fallback({});
+  EXPECT_EQ(table.route(100, 8), hash_instance(100, 8));
+}
+
+// --- Manager::plan_for (elastic re-planning) ---------------------------------
+
+TEST(PlanFor, EmptyStatsStillPinTheFallbackDomain) {
+  const Topology topo = make_two_stage_topology(8);
+  const Placement place = Placement::round_robin(topo, 8);
+  core::Manager manager(topo, place, {});
+  const auto plan = manager.plan_for({}, 4);
+  EXPECT_EQ(plan.active_servers, 4u);
+  // No statistics: no explicit entries, but every fields-routed operator
+  // still gets a table whose fallback domain is the new active set — that
+  // is what makes the modulus switch atomic with the wave.
+  for (const OperatorId op : {OperatorId{1}, OperatorId{2}}) {
+    ASSERT_TRUE(plan.tables.contains(op)) << "op " << op;
+    EXPECT_EQ(plan.tables.at(op)->size(), 0u);
+    EXPECT_EQ(plan.tables.at(op)->fallback(), place.active_instances(op, 4));
+  }
+}
+
+TEST(PlanFor, AssignsOnlyActiveInstances) {
+  const Topology topo = make_two_stage_topology(8);
+  const Placement place = Placement::round_robin(topo, 8);
+  core::Manager manager(topo, place, {});
+  ASSERT_EQ(manager.optimizable_hops().size(), 1u);  // A -> B
+  core::HopStats hop;
+  hop.in_op = manager.optimizable_hops()[0].from;
+  hop.out_op = manager.optimizable_hops()[0].to;
+  Rng rng(7);
+  for (Key k = 0; k < 64; ++k) {
+    hop.pairs.push_back({k, (k * 3) % 64, 10 + rng.next() % 50});
+  }
+  const auto plan = manager.plan_for({hop}, 3);
+  EXPECT_EQ(plan.active_servers, 3u);
+  for (const auto& [op, table] : plan.tables) {
+    EXPECT_EQ(table->fallback(), place.active_instances(op, 3));
+    for (const auto& [key, instance] : table->sorted_entries()) {
+      EXPECT_LT(place.server_of(op, instance), 3u)
+          << "op " << op << " key " << key << " assigned to a dormant server";
+    }
+  }
+}
+
+// --- engine fixtures (mirrors test_chaos.cpp) --------------------------------
+
+runtime::OperatorFactory counting_factory() {
+  return [](OperatorId op, InstanceIndex) -> std::unique_ptr<runtime::Operator> {
+    if (op == 0) return std::make_unique<runtime::PassThroughOperator>();
+    return std::make_unique<runtime::CountingOperator>(op == 1 ? 0 : 1);
+  };
+}
+
+runtime::CountingOperator& counter_at(runtime::Engine& engine, OperatorId op,
+                                      InstanceIndex i) {
+  return static_cast<runtime::CountingOperator&>(engine.operator_at(op, i));
+}
+
+struct GroundTruth {
+  sketch::ExactCounter<Key> field0;
+  sketch::ExactCounter<Key> field1;
+};
+
+void pump(runtime::Engine& engine, workload::TupleGenerator& gen, int n,
+          GroundTruth* truth = nullptr) {
+  for (int i = 0; i < n; ++i) {
+    Tuple t = gen.next();
+    if (truth != nullptr) {
+      truth->field0.add(t.fields[0]);
+      truth->field1.add(t.fields[1]);
+    }
+    engine.inject(std::move(t));
+  }
+}
+
+/// Exactly-once: per key, summed counts across instances equal ground truth
+/// and exactly one instance holds the key.  Instances at or above
+/// `live_below` (when set) must hold nothing — retirement really emptied
+/// them, and restricted routing never touched them.
+void expect_counts_match(runtime::Engine& engine, OperatorId op,
+                         std::uint32_t par,
+                         const sketch::ExactCounter<Key>& truth,
+                         std::uint32_t live_below = 0) {
+  for (const auto& entry : truth.entries()) {
+    std::uint64_t sum = 0;
+    int holders = 0;
+    for (InstanceIndex i = 0; i < par; ++i) {
+      const std::uint64_t c = counter_at(engine, op, i).count(entry.key);
+      if (live_below != 0 && i >= live_below) {
+        ASSERT_EQ(c, 0u) << "op " << op << " key " << entry.key
+                         << " stranded on dormant instance " << i;
+      }
+      sum += c;
+      holders += (c > 0);
+    }
+    ASSERT_EQ(sum, entry.count) << "op " << op << " key " << entry.key;
+    ASSERT_EQ(holders, 1) << "op " << op << " key " << entry.key
+                          << " split across instances";
+  }
+}
+
+/// Feeds tuples from a dedicated thread until stopped, recording ground
+/// truth, so scale waves overlap a live stream.
+class Feeder {
+ public:
+  Feeder(runtime::Engine& engine, GroundTruth& truth,
+         workload::TupleGenerator& gen)
+      : thread_([this, &engine, &truth, &gen] {
+          while (!stop_.load()) {
+            Tuple t = gen.next();
+            truth.field0.add(t.fields[0]);
+            truth.field1.add(t.fields[1]);
+            engine.inject(std::move(t));
+          }
+        }) {}
+
+  void stop() {
+    stop_ = true;
+    thread_.join();
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+// --- engine: restricted start + scale-out ------------------------------------
+
+TEST(EngineElastic, RestrictedStartKeepsTheStreamOnThePrefix) {
+  const std::uint32_t n = 8;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  runtime::Engine engine(topo, place, counting_factory(),
+                         {.fields_mode = FieldsRouting::kTable,
+                          .active_servers = 4});
+  engine.start();
+  EXPECT_EQ(engine.active_servers(), 4u);
+  GroundTruth truth;
+  workload::SyntheticGenerator gen(
+      {.num_values = 90, .locality = 0.8, .padding = 0, .seed = 51});
+  pump(engine, gen, 10'000, &truth);
+  engine.flush();
+  // Dormant instances (round-robin: instance i is on server i) saw nothing.
+  expect_counts_match(engine, 1, n, truth.field0, /*live_below=*/4);
+  expect_counts_match(engine, 2, n, truth.field1, /*live_below=*/4);
+  engine.shutdown();
+}
+
+TEST(EngineElastic, ScaleOutIsExactlyOnceAgainstALiveStream) {
+  const std::uint32_t n = 8;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  runtime::Engine engine(topo, place, counting_factory(),
+                         {.fields_mode = FieldsRouting::kTable,
+                          .active_servers = 4});
+  engine.start();
+  core::Manager mgr(topo, place, {});
+
+  GroundTruth truth;
+  workload::SyntheticGenerator gen(
+      {.num_values = 90, .locality = 0.8, .padding = 0, .seed = 52});
+  Feeder feeder(engine, truth, gen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  engine.reconfigure(mgr);  // locality round on the small fleet first
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  engine.add_servers(mgr, 8);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  feeder.stop();
+  engine.flush();
+
+  EXPECT_EQ(engine.active_servers(), 8u);
+  expect_counts_match(engine, 1, n, truth.field0);
+  expect_counts_match(engine, 2, n, truth.field1);
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.active_servers, 8u);
+  EXPECT_EQ(m.scale_out_events, 1u);
+  // The grown fleet is actually used: post-wave traffic reached the joiners.
+  std::uint64_t joined_processed = 0;
+  for (const OperatorId op : {OperatorId{1}, OperatorId{2}}) {
+    for (InstanceIndex i = 4; i < n; ++i) {
+      joined_processed += m.instance_processed[op][i];
+    }
+  }
+  EXPECT_GT(joined_processed, 0u);
+  engine.shutdown();
+}
+
+TEST(EngineElastic, ScaleOutBeforeAnyTrafficRidesTheFallbackDomain) {
+  // No statistics have ever been gathered: the wave deploys empty tables
+  // whose only payload is the new fallback domain.  Everything after is
+  // plain hash routing over eight instances — but epoch-consistent, so the
+  // stream that starts mid-wave still lands exactly once.
+  const std::uint32_t n = 8;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  runtime::Engine engine(topo, place, counting_factory(),
+                         {.fields_mode = FieldsRouting::kTable,
+                          .active_servers = 4});
+  engine.start();
+  core::Manager mgr(topo, place, {});
+  engine.add_servers(mgr, 8);
+  GroundTruth truth;
+  workload::SyntheticGenerator gen(
+      {.num_values = 200, .locality = 0.8, .padding = 0, .seed = 53});
+  pump(engine, gen, 10'000, &truth);
+  engine.flush();
+  expect_counts_match(engine, 1, n, truth.field0);
+  expect_counts_match(engine, 2, n, truth.field1);
+  engine.shutdown();
+}
+
+// --- engine: retirement ------------------------------------------------------
+
+TEST(EngineElastic, RetireUnderDelayedMigrationLosesNothing) {
+  // Migrate-then-stop under chaos: every MIGRATE (planned move, residual
+  // drain) is redelivered three times while two retiring servers drain a
+  // live stream.  Retired instances must end empty, survivors must hold
+  // every count exactly once.
+  const std::uint32_t n = 8;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  chaos::FaultPlan plan(909);
+  plan.set(chaos::FaultSite::kMigrateDelay, {.rate = 1.0, .magnitude = 3});
+  chaos::Injector inj(plan);
+  runtime::Engine engine(topo, place, counting_factory(),
+                         {.fields_mode = FieldsRouting::kTable,
+                          .injector = &inj});
+  engine.start();
+  core::Manager mgr(topo, place, {});
+
+  GroundTruth truth;
+  workload::SyntheticGenerator gen(
+      {.num_values = 90, .locality = 0.8, .padding = 0, .seed = 54});
+  Feeder feeder(engine, truth, gen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  engine.reconfigure(mgr);  // spread state over the full fleet first
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  engine.retire_servers(mgr, 6);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  engine.retire_servers(mgr, 4);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  feeder.stop();
+  engine.flush();
+
+  EXPECT_EQ(engine.active_servers(), 4u);
+  expect_counts_match(engine, 1, n, truth.field0, /*live_below=*/4);
+  expect_counts_match(engine, 2, n, truth.field1, /*live_below=*/4);
+  for (const OperatorId op : {OperatorId{1}, OperatorId{2}}) {
+    for (InstanceIndex i = 4; i < n; ++i) {
+      EXPECT_TRUE(counter_at(engine, op, i).owned_keys().empty())
+          << "op " << op << " retired instance " << i << " kept state";
+    }
+  }
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.scale_in_events, 2u);
+  EXPECT_GT(inj.fired(chaos::FaultSite::kMigrateDelay), 0u);
+  EXPECT_EQ(m.migrate_redeliveries,
+            inj.fired(chaos::FaultSite::kMigrateDelay));
+  engine.shutdown();
+}
+
+TEST(EngineElastic, RetireRoutesUnknownKeysWithinTheNewPrefix) {
+  // Epoch-consistent fallback on the way down: after retiring to two
+  // servers, a stream over a 10x larger key universe — keys no table has
+  // ever seen — must still land only on the surviving prefix.
+  const std::uint32_t n = 8;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  runtime::Engine engine(topo, place, counting_factory(),
+                         {.fields_mode = FieldsRouting::kTable,
+                          .active_servers = 4});
+  engine.start();
+  core::Manager mgr(topo, place, {});
+  GroundTruth truth;
+  workload::SyntheticGenerator warm(
+      {.num_values = 30, .locality = 0.9, .padding = 0, .seed = 55});
+  pump(engine, warm, 8'000, &truth);
+  engine.flush();
+  engine.reconfigure(mgr);
+  engine.retire_servers(mgr, 2);
+  workload::SyntheticGenerator wide(
+      {.num_values = 300, .locality = 0.8, .padding = 0, .seed = 56});
+  pump(engine, wide, 8'000, &truth);
+  engine.flush();
+  expect_counts_match(engine, 1, n, truth.field0, /*live_below=*/2);
+  expect_counts_match(engine, 2, n, truth.field1, /*live_below=*/2);
+  engine.shutdown();
+}
+
+// --- engine: advisor deployment gate (satellite) -----------------------------
+
+TEST(EngineAdvisor, UnprofitablePlansAreComputedButNotDeployed) {
+  const std::uint32_t n = 3;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  runtime::Engine engine(topo, place, counting_factory(),
+                         {.fields_mode = FieldsRouting::kTable});
+  engine.start();
+  core::ManagerOptions mopts;
+  mopts.advise_deploys = true;
+  mopts.advisor.min_net_benefit = 1e18;  // nothing can ever clear this bar
+  core::Manager mgr(topo, place, mopts);
+
+  GroundTruth truth;
+  workload::SyntheticGenerator gen(
+      {.num_values = 60, .locality = 0.9, .padding = 0, .seed = 57});
+  pump(engine, gen, 10'000, &truth);
+  engine.flush();
+  const auto p1 = engine.reconfigure(mgr);
+  EXPECT_GT(p1.total_moves(), 0u);  // a real plan was computed...
+  engine.flush();
+  EXPECT_EQ(engine.metrics().states_migrated, 0u);  // ...but never pushed
+  // Not marked deployed either: the next round proposes the same moves
+  // instead of diffing against a table that never went live.
+  pump(engine, gen, 10'000, &truth);
+  engine.flush();
+  const auto p2 = engine.reconfigure(mgr);
+  EXPECT_GT(p2.total_moves(), 0u);
+  EXPECT_EQ(engine.metrics().states_migrated, 0u);
+  expect_counts_match(engine, 1, n, truth.field0);
+  expect_counts_match(engine, 2, n, truth.field1);
+  engine.shutdown();
+}
+
+TEST(SimAdvisor, RejectedPlanLeavesRoutingAndStatsUntouched) {
+  const std::uint32_t n = 4;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kAlignedField0;
+  sim::Simulator simulator(topo, place, cfg, FieldsRouting::kTable);
+  core::ManagerOptions mopts;
+  mopts.advise_deploys = true;
+  mopts.advisor.min_net_benefit = 1e18;
+  core::Manager mgr(topo, place, mopts);
+  workload::SyntheticGenerator gen(
+      {.num_values = 60, .locality = 0.9, .padding = 0, .seed = 58});
+  const double before =
+      simulator.run_window(gen, 5000).edge_locality.back();
+  const auto plan = simulator.reconfigure(mgr);
+  EXPECT_GT(plan.total_moves(), 0u);
+  // Routing unchanged: the next window's locality matches the pre-"deploy"
+  // one (same generator distribution, same tables).
+  const double after = simulator.run_window(gen, 5000).edge_locality.back();
+  EXPECT_NEAR(before, after, 0.05);
+}
+
+// --- simulator: elastic timelines --------------------------------------------
+
+TEST(SimElastic, ResizeMovesLoadOnAndOffTheJoinedServers) {
+  const std::uint32_t n = 8;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kRoundRobin;
+  cfg.active_servers = 4;
+  sim::Simulator simulator(topo, place, cfg, FieldsRouting::kTable);
+  core::Manager mgr(topo, place, {});
+  workload::SyntheticGenerator gen(
+      {.num_values = 200, .locality = 0.8, .padding = 16, .seed = 59});
+
+  auto loads_above = [&](std::uint32_t live) {
+    std::uint64_t sum = 0;
+    const auto& s = simulator.model().stats();
+    for (OperatorId op = 0; op < topo.num_operators(); ++op) {
+      for (InstanceIndex i = live; i < n; ++i) {
+        sum += s.instance_load[op][i];
+      }
+    }
+    return sum;
+  };
+  auto conserved = [&](std::uint64_t tuples) {
+    const auto& s = simulator.model().stats();
+    for (OperatorId op = 1; op < topo.num_operators(); ++op) {
+      std::uint64_t total = 0;
+      for (const std::uint64_t l : s.instance_load[op]) total += l;
+      if (total != tuples) return false;
+    }
+    return true;
+  };
+
+  simulator.run_window(gen, 5000);
+  EXPECT_EQ(loads_above(4), 0u);  // restricted start: prefix only
+  EXPECT_TRUE(conserved(5000));
+
+  simulator.resize(mgr, 8);
+  simulator.run_window(gen, 5000);
+  EXPECT_GT(loads_above(4), 0u);  // joiners take traffic immediately
+  EXPECT_TRUE(conserved(5000));
+
+  simulator.resize(mgr, 4);
+  simulator.run_window(gen, 5000);
+  EXPECT_EQ(loads_above(4), 0u);  // retirees fully vacated
+  EXPECT_TRUE(conserved(5000));
+  EXPECT_DOUBLE_EQ(
+      simulator.registry().gauge("lar_elastic_active_servers", {}).value(),
+      4.0);
+}
+
+TEST(SimElastic, ControllerDrivenTimelineIsByteIdentical) {
+  const std::uint32_t n = 8;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  auto run = [&]() -> std::string {
+    sim::SimConfig cfg;
+    cfg.source_mode = SourceMode::kRoundRobin;
+    cfg.active_servers = 4;
+    sim::Simulator simulator(topo, place, cfg, FieldsRouting::kTable);
+    core::Manager mgr(topo, place, {});
+    mgr.set_metrics_registry(&simulator.registry());
+    elastic::Controller controller({.min_servers = 4,
+                                    .max_servers = 8,
+                                    .confirm_epochs = 2,
+                                    .cooldown_epochs = 2});
+    workload::SyntheticGenerator gen(
+        {.num_values = 200, .locality = 0.8, .padding = 16, .seed = 60});
+    std::uint32_t servers = 4;
+    for (int window = 0; window < 12; ++window) {
+      const auto report = simulator.run_window(gen, 4000);
+      // Utilization schedule: overload the half fleet, then starve the
+      // full one — one scale-out and one scale-in land on the way.
+      const double offered =
+          window < 6 ? 1.2 * report.throughput : 0.2 * report.throughput;
+      Signals signals =
+          elastic::signals_from_registry(simulator.registry(), offered);
+      signals.utilization = offered / report.throughput;  // exact schedule
+      const ScaleDecision decision = controller.evaluate(signals, servers);
+      elastic::publish_decision(simulator.registry(), decision);
+      if (decision.changed(servers)) {
+        simulator.resize(mgr, decision.target_servers);
+        servers = decision.target_servers;
+      }
+    }
+    EXPECT_EQ(servers, 4u);  // out at ~window 2, back in at ~window 8
+    return obs::report_json(simulator.registry(), &simulator.trace());
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("lar_elastic_active_servers"), std::string::npos);
+  EXPECT_NE(first.find("lar_elastic_decisions_total"), std::string::npos);
+  EXPECT_NE(first.find("\"scale_out\""), std::string::npos);
+  EXPECT_NE(first.find("\"scale_in\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lar
