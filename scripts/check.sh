@@ -2,11 +2,13 @@
 # One-command verification gate (referenced from CLAUDE.md):
 #
 #   scripts/check.sh            # configure + build (zero warnings), full
-#                               # ctest, TSan obs+chaos+elastic, perf smoke,
-#                               # elasticity ablation self-checks
+#                               # ctest, TSan obs+chaos+elastic+ckpt, ASan
+#                               # ckpt, perf smoke, elasticity + checkpoint
+#                               # ablation self-checks
 #
 # Exits nonzero on the first failure.  Build trees: build/ (release-ish,
-# whatever CMakeLists defaults to) and build-tsan/ (-DLAR_SANITIZE=thread).
+# whatever CMakeLists defaults to), build-tsan/ (-DLAR_SANITIZE=thread) and
+# build-asan/ (-DLAR_SANITIZE=address, which expands to ASan+UBSan).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,10 +25,15 @@ fi
 log "full test suite"
 ctest --test-dir build -j "$(nproc)" --output-on-failure
 
-log "ThreadSanitizer: obs + chaos + elastic (registry, wave, injector, scale races)"
+log "ThreadSanitizer: obs + chaos + elastic + ckpt (registry, wave, injector, scale, recovery races)"
 cmake -B build-tsan -G Ninja -DLAR_SANITIZE=thread >/dev/null
 cmake --build build-tsan >/dev/null
-ctest --test-dir build-tsan -L 'obs|chaos|elastic' --output-on-failure
+ctest --test-dir build-tsan -L 'obs|chaos|elastic|ckpt' --output-on-failure
+
+log "AddressSanitizer+UBSan: ckpt (crash recovery frees/respawns state under load)"
+cmake -B build-asan -G Ninja -DLAR_SANITIZE=address >/dev/null
+cmake --build build-asan >/dev/null
+ctest --test-dir build-asan -L ckpt --output-on-failure
 
 log "perf smoke (devirtualized-routing differential checks)"
 ./build/bench/micro_hotpath --ops 20000 >/dev/null
@@ -36,5 +43,10 @@ elastic_dir=$(mktemp -d)
 (cd "$elastic_dir" && "$OLDPWD"/build/bench/ablate_elastic >/dev/null)
 rm -rf "$elastic_dir"
 
+log "checkpoint ablation (self-checking: same-seed byte-identity)"
+ckpt_dir=$(mktemp -d)
+(cd "$ckpt_dir" && "$OLDPWD"/build/bench/ablate_ckpt >/dev/null)
+rm -rf "$ckpt_dir"
+
 echo
-echo "OK: build clean, all tests green, TSan clean, perf + elastic smoke passed"
+echo "OK: build clean, all tests green, TSan + ASan clean, perf + elastic + ckpt smoke passed"

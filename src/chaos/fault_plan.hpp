@@ -37,9 +37,10 @@ enum class FaultSite : std::uint8_t {
   kStatsDelay,         ///< a report arrives one gather epoch late (stale)
   kMigrateDelay,       ///< a MIGRATE payload is redelivered after a backoff
   kMigrateDuplicate,   ///< a MIGRATE payload is delivered twice
+  kServerCrash,        ///< kill every POI of one server (lar::ckpt recovers)
 };
 
-inline constexpr std::size_t kNumFaultSites = 7;
+inline constexpr std::size_t kNumFaultSites = 8;
 
 [[nodiscard]] constexpr const char* to_string(FaultSite s) noexcept {
   switch (s) {
@@ -50,6 +51,7 @@ inline constexpr std::size_t kNumFaultSites = 7;
     case FaultSite::kStatsDelay: return "stats_delay";
     case FaultSite::kMigrateDelay: return "migrate_delay";
     case FaultSite::kMigrateDuplicate: return "migrate_duplicate";
+    case FaultSite::kServerCrash: return "server_crash";
   }
   return "?";
 }

@@ -1,0 +1,117 @@
+#include "ckpt/checkpoint.hpp"
+
+#include "common/status.hpp"
+
+namespace lar::ckpt {
+
+// ---------------------------------------------------------------------------
+// CheckpointStore.
+// ---------------------------------------------------------------------------
+
+void CheckpointStore::begin(std::uint64_t epoch, std::uint32_t active_servers,
+                            std::uint64_t plan_version) {
+  std::lock_guard lock(mutex_);
+  LAR_CHECK(epoch > last_committed_);
+  Checkpoint& ck = epochs_[epoch];
+  ck.epoch = epoch;
+  ck.active_servers = active_servers;
+  ck.plan_version = plan_version;
+}
+
+void CheckpointStore::add(std::uint64_t epoch, PoiCheckpoint poi) {
+  std::lock_guard lock(mutex_);
+  auto it = epochs_.find(epoch);
+  LAR_CHECK(it != epochs_.end() && !it->second.committed);
+  const std::uint32_t flat = poi.flat;
+  it->second.pois.insert_or_assign(flat, std::move(poi));
+}
+
+void CheckpointStore::commit(std::uint64_t epoch) {
+  std::lock_guard lock(mutex_);
+  auto it = epochs_.find(epoch);
+  LAR_CHECK(it != epochs_.end());
+  it->second.committed = true;
+  last_committed_ = epoch;
+  // Older epochs can never be restored to again: the replay buffers are
+  // about to be truncated to this epoch's watermarks.
+  epochs_.erase(epochs_.begin(), it);
+}
+
+std::uint64_t CheckpointStore::last_committed_epoch() const {
+  std::lock_guard lock(mutex_);
+  return last_committed_;
+}
+
+Checkpoint CheckpointStore::last_committed() const {
+  std::lock_guard lock(mutex_);
+  if (auto it = epochs_.find(last_committed_); it != epochs_.end()) {
+    return it->second;
+  }
+  return {};
+}
+
+std::size_t CheckpointStore::num_epochs_held() const {
+  std::lock_guard lock(mutex_);
+  return epochs_.size();
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointCoordinator.
+// ---------------------------------------------------------------------------
+
+CheckpointCoordinator::CheckpointCoordinator(obs::Registry* registry,
+                                             obs::TraceRecorder* trace)
+    : registry_(registry), trace_(trace) {}
+
+std::uint64_t CheckpointCoordinator::begin_epoch(std::uint32_t active_servers,
+                                                 std::uint64_t plan_version) {
+  const std::uint64_t epoch = ++next_epoch_;
+  store_.begin(epoch, active_servers, plan_version);
+  return epoch;
+}
+
+void CheckpointCoordinator::committed(std::uint64_t epoch) {
+  store_.commit(epoch);
+  ++commits_;
+  const Checkpoint ck = store_.last_committed();
+  if (registry_ != nullptr) {
+    registry_
+        ->counter("lar_ckpt_checkpoints_total", {},
+                  "Aligned checkpoint epochs committed.")
+        .advance_to(commits_);
+    registry_
+        ->gauge("lar_ckpt_last_committed_epoch", {},
+                "Epoch number of the last committed checkpoint.")
+        .set(static_cast<double>(epoch));
+  }
+  if (trace_ != nullptr) {
+    trace_->record(epoch, obs::Phase::kCheckpoint, "manager",
+                   /*count=*/ck.pois.size(),
+                   /*bytes=*/ck.total_state_bytes());
+  }
+}
+
+void CheckpointCoordinator::recovered(std::uint64_t epoch,
+                                      std::uint32_t server,
+                                      std::uint64_t pois,
+                                      std::uint64_t states,
+                                      std::uint64_t bytes,
+                                      std::uint64_t replayed) {
+  ++recoveries_;
+  const std::string entity = "server" + std::to_string(server);
+  if (registry_ != nullptr) {
+    registry_
+        ->counter("lar_ckpt_crashes_recovered_total", {},
+                  "server_crash faults recovered from a checkpoint.")
+        .advance_to(recoveries_);
+  }
+  if (trace_ != nullptr) {
+    trace_->record(epoch, obs::Phase::kCrash, entity, /*count=*/pois);
+    trace_->record(epoch, obs::Phase::kRecover, entity, /*count=*/states,
+                   /*bytes=*/bytes);
+    trace_->record(epoch, obs::Phase::kRecover, entity + "/replay",
+                   /*count=*/replayed);
+  }
+}
+
+}  // namespace lar::ckpt

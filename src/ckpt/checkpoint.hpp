@@ -1,0 +1,186 @@
+// lar::ckpt — aligned checkpoints and exactly-once crash recovery.
+//
+// A checkpoint is one epoch-numbered *aligned barrier* round over the
+// threaded runtime (the Chandy-Lamport discipline specialized to FIFO
+// channels): the coordinator injects a barrier into every live source POI,
+// each POI that has seen the barrier on ALL of its input links snapshots its
+// per-key operator state plus its per-link sequence cursors into the
+// CheckpointStore, forwards the barrier downstream and acknowledges.  Data
+// arriving on a link whose barrier is already in (but whose siblings' are
+// not) is held back until alignment completes, so the snapshot is a
+// consistent cut: no tuple's effect is half in, half out.  The epoch commits
+// only when every live POI has acknowledged; commit truncates the bounded
+// per-link replay buffers kept at the senders.
+//
+// Recovery of a crashed server restores its POIs from the last *committed*
+// checkpoint and replays from the surviving senders' replay buffers; the
+// receivers' restored link cursors make the replay exactly-once (seq <=
+// cursor is dropped, everything newer is applied in link order).
+//
+// Everything here is deterministic and wall-clock-free: epochs are logical,
+// the store keeps canonical (flat-index, key-ascending) order, and the
+// crash schedule comes from a chaos::FaultPlan seed.  With no coordinator
+// attached the whole subsystem is a structural no-op behind single
+// null-checks (the registry/injector pattern).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "topology/types.hpp"
+
+namespace lar::ckpt {
+
+/// One POI's slice of a checkpoint epoch: its serialized per-key state and
+/// the link cursors that anchor replay.  All vectors are canonically sorted
+/// (keys, link ids ascending) so two same-seed runs store identical bytes.
+struct PoiCheckpoint {
+  OperatorId op = 0;
+  InstanceIndex index = 0;
+  std::uint32_t flat = 0;  ///< engine flat POI index (store key)
+
+  /// (key, opaque state bytes) for every key the instance owned at the
+  /// barrier, ascending by key.  Reuses the MigrateMsg state codec: what
+  /// export_key_state produced, import_key_state restores.
+  std::vector<std::pair<Key, std::vector<std::byte>>> states;
+
+  /// Inbound cursors: (producer link id, last sequence number applied
+  /// before the barrier), ascending by link.  Restored into the receiver's
+  /// dedup map so replayed tuples with seq <= cursor are dropped.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> in_cursors;
+
+  /// Outbound cursors: (target link id, last sequence number sent before
+  /// the barrier), ascending by target.  Doubles as the replay-buffer
+  /// truncation watermark at commit and as the restored sender cursor, so a
+  /// recovered POI's regenerated emissions reuse the original sequence
+  /// numbers and downstream dedup absorbs them.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out_cursors;
+
+  /// Reconfiguration version the POI had applied when it snapshotted (its
+  /// routing-table epoch).  Recovery asserts this matches the engine's
+  /// current version: a checkpoint predating a wave is never restored.
+  std::uint64_t table_version = 0;
+
+  [[nodiscard]] std::uint64_t state_bytes() const noexcept {
+    std::uint64_t b = 0;
+    for (const auto& [key, state] : states) b += state.size();
+    return b;
+  }
+};
+
+/// One committed (or in-flight) checkpoint epoch.
+struct Checkpoint {
+  std::uint64_t epoch = 0;
+  bool committed = false;
+
+  /// Engine-level consistency anchors at barrier injection time.
+  std::uint32_t active_servers = 0;
+  std::uint64_t plan_version = 0;  ///< last deployed reconfiguration version
+
+  /// flat POI index -> that POI's slice (ordered map: canonical iteration).
+  std::map<std::uint32_t, PoiCheckpoint> pois;
+
+  [[nodiscard]] std::uint64_t total_states() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& [flat, pc] : pois) n += pc.states.size();
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_state_bytes() const noexcept {
+    std::uint64_t b = 0;
+    for (const auto& [flat, pc] : pois) b += pc.state_bytes();
+    return b;
+  }
+};
+
+/// Deterministic in-memory checkpoint store.  Thread-safe: POI threads add
+/// their slices concurrently during alignment; the coordinator thread
+/// begins/commits epochs and recovery reads committed ones.  Keeps the last
+/// committed epoch plus the one in flight (earlier epochs are dropped at
+/// commit — the replay buffers are truncated to the same horizon, so older
+/// checkpoints could never be replayed to anyway).
+class CheckpointStore {
+ public:
+  /// Opens `epoch` for POI slices.  Called by the coordinator before the
+  /// barriers go out.
+  void begin(std::uint64_t epoch, std::uint32_t active_servers,
+             std::uint64_t plan_version);
+
+  /// Adds one POI's slice to the open epoch (POI threads, concurrent).
+  void add(std::uint64_t epoch, PoiCheckpoint poi);
+
+  /// Marks `epoch` committed and drops every older epoch.
+  void commit(std::uint64_t epoch);
+
+  /// Epoch number of the last committed checkpoint (0 = none yet).
+  [[nodiscard]] std::uint64_t last_committed_epoch() const;
+
+  /// Copy of the last committed checkpoint (empty-epoch 0 if none).
+  [[nodiscard]] Checkpoint last_committed() const;
+
+  [[nodiscard]] std::size_t num_epochs_held() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, Checkpoint> epochs_;
+  std::uint64_t last_committed_ = 0;
+};
+
+/// Drives checkpoint epochs for one engine: owns the store and the epoch
+/// counter, and publishes `lar_ckpt_*` metric families (only when attached
+/// — a registry never sees them otherwise, keeping chaos-free exports
+/// byte-identical).  The engine calls begin_epoch()/committed() from its
+/// driver thread, exactly like the gather loop drives GET_METRICS.
+class CheckpointCoordinator {
+ public:
+  /// `registry` / `trace` may be null; when given they must outlive the
+  /// coordinator.
+  explicit CheckpointCoordinator(obs::Registry* registry = nullptr,
+                                 obs::TraceRecorder* trace = nullptr);
+
+  CheckpointCoordinator(const CheckpointCoordinator&) = delete;
+  CheckpointCoordinator& operator=(const CheckpointCoordinator&) = delete;
+
+  [[nodiscard]] CheckpointStore& store() noexcept { return store_; }
+  [[nodiscard]] const CheckpointStore& store() const noexcept {
+    return store_;
+  }
+
+  /// Allocates the next epoch number and opens it in the store.
+  std::uint64_t begin_epoch(std::uint32_t active_servers,
+                            std::uint64_t plan_version);
+
+  /// Commits `epoch`: seals the store, bumps the commit counters and
+  /// records a kCheckpoint trace event (count = POIs, bytes = state bytes).
+  void committed(std::uint64_t epoch);
+
+  /// Records one recovery round (kCrash + kRecover trace events plus the
+  /// crash/recovery counters).  `server` is the crashed server id,
+  /// `pois` how many POIs were restored, `states`/`bytes` what the restore
+  /// imported, `replayed` how many tuples the senders replayed.
+  void recovered(std::uint64_t epoch, std::uint32_t server,
+                 std::uint64_t pois, std::uint64_t states,
+                 std::uint64_t bytes, std::uint64_t replayed);
+
+  [[nodiscard]] std::uint64_t checkpoints_committed() const noexcept {
+    return commits_;
+  }
+  [[nodiscard]] std::uint64_t crashes_recovered() const noexcept {
+    return recoveries_;
+  }
+
+ private:
+  CheckpointStore store_;
+  obs::Registry* registry_;
+  obs::TraceRecorder* trace_;
+  std::uint64_t next_epoch_ = 0;
+  std::uint64_t commits_ = 0;
+  std::uint64_t recoveries_ = 0;
+};
+
+}  // namespace lar::ckpt

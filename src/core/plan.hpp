@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "topology/routing.hpp"
@@ -36,6 +37,13 @@ struct ReconfigurationPlan {
 
   /// operator -> key moves between its instances (old owner -> new owner).
   std::unordered_map<OperatorId, std::vector<KeyMove>> moves;
+
+  /// Per-link sequence cursors (lar::ckpt): pairs of (flat link id, last
+  /// sequence number seen) persisted alongside the routing state, so a
+  /// restarted deployment can resume exactly-once replay from the same
+  /// watermarks the checkpoint was committed at.  Empty for plans that
+  /// never rode a checkpoint (and for v2 snapshots read back).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> link_cursors;
 
   // --- diagnostics -------------------------------------------------------
   /// Locality the partitioner predicts on the training data:

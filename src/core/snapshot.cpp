@@ -11,9 +11,12 @@ namespace {
 
 constexpr char kMagic[4] = {'L', 'A', 'R', 'P'};
 // v2: adds plan.active_servers plus a per-table fallback domain (the
-// elastic epoch's active instance set).  Snapshots are written and read
-// within one deployment, so only the current format is accepted.
-constexpr std::uint32_t kFormatVersion = 2;
+// elastic epoch's active instance set).
+// v3: appends per-link sequence cursors after the tables (lar::ckpt replay
+// watermarks).  v2 snapshots are still readable — the cursor section is
+// simply absent, leaving plan.link_cursors empty.
+constexpr std::uint32_t kFormatVersion = 3;
+constexpr std::uint32_t kMinFormatVersion = 2;
 
 struct FileCloser {
   void operator()(std::FILE* f) const noexcept {
@@ -69,6 +72,12 @@ Status save_plan(const ReconfigurationPlan& plan, const std::string& path) {
         ok = ok && write_pod(f, inst);
       }
     }
+    const auto num_cursors =
+        static_cast<std::uint64_t>(plan.link_cursors.size());
+    ok = ok && write_pod(f, num_cursors);
+    for (const auto& [link, seq] : plan.link_cursors) {
+      ok = ok && write_pod(f, link) && write_pod(f, seq);
+    }
     if (!ok) {
       std::remove(tmp.c_str());
       return {ErrorCode::kInternal, "short write to " + tmp};
@@ -90,7 +99,8 @@ Result<ReconfigurationPlan> load_plan(const std::string& path) {
   char magic[4];
   std::uint32_t format = 0;
   if (std::fread(magic, 1, 4, f) != 4 || std::memcmp(magic, kMagic, 4) != 0 ||
-      !read_pod(f, format) || format != kFormatVersion) {
+      !read_pod(f, format) || format < kMinFormatVersion ||
+      format > kFormatVersion) {
     return Status(ErrorCode::kInvalidArgument,
                   path + " is not a routing snapshot");
   }
@@ -133,6 +143,21 @@ Result<ReconfigurationPlan> load_plan(const std::string& path) {
     table->set_fallback(std::move(domain));
     plan.tables.emplace(op, std::move(table));
     plan.keys_assigned += entries;
+  }
+  if (format >= 3) {
+    std::uint64_t num_cursors = 0;
+    if (!read_pod(f, num_cursors)) {
+      return Status(ErrorCode::kInvalidArgument, path + " is truncated");
+    }
+    plan.link_cursors.reserve(num_cursors);
+    for (std::uint64_t c = 0; c < num_cursors; ++c) {
+      std::uint64_t link = 0;
+      std::uint64_t seq = 0;
+      if (!read_pod(f, link) || !read_pod(f, seq)) {
+        return Status(ErrorCode::kInvalidArgument, path + " is truncated");
+      }
+      plan.link_cursors.emplace_back(link, seq);
+    }
   }
   return plan;
 }

@@ -7,8 +7,11 @@
 // stored: they are transient choreography; after a manager restart the next
 // compute_plan() re-derives moves by diffing against the restored tables.
 //
-// Format: "LARP" magic, format version, plan version, diagnostics, then per
-// table: operator id, table version, entry count, (key, instance) pairs.
+// Format (v3): "LARP" magic, format version, plan version, diagnostics,
+// then per table: operator id, table version, entry count, (key, instance)
+// pairs, fallback-domain count + instances; finally the per-link sequence
+// cursor section (count + (link, seq) pairs — lar::ckpt replay watermarks).
+// v2 snapshots (no cursor section) still load, with empty link_cursors.
 // Little-endian binary.
 #pragma once
 

@@ -40,6 +40,8 @@ enum class Phase : std::uint8_t {
   kScaleOut = 10, ///< lar::elastic grew the active server prefix
   kScaleIn = 11,  ///< lar::elastic shrank the active server prefix
   kRetire = 12,   ///< one retiring POI drained its state and stopped
+  kCheckpoint = 13, ///< lar::ckpt committed one aligned checkpoint epoch
+  kCrash = 14,      ///< a server_crash fault killed one server's POIs
 };
 
 [[nodiscard]] constexpr const char* to_string(Phase p) noexcept {
@@ -57,6 +59,8 @@ enum class Phase : std::uint8_t {
     case Phase::kScaleOut: return "scale_out";
     case Phase::kScaleIn: return "scale_in";
     case Phase::kRetire: return "retire";
+    case Phase::kCheckpoint: return "checkpoint";
+    case Phase::kCrash: return "crash";
   }
   return "?";
 }

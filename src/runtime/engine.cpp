@@ -1,5 +1,6 @@
 #include "runtime/engine.hpp"
 
+#include <algorithm>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -74,6 +75,32 @@ struct Engine::Poi {
   std::size_t pending_count = 0;  ///< in-memory buffered tuples (cap basis)
   std::unordered_map<Key, std::vector<std::vector<std::byte>>>
       spilled;  ///< serialized overflow tuples, drained after `pending`
+
+  // --- lar::ckpt state, touched only by the POI thread (the recovery
+  // driver touches it only between join and respawn).  All empty/idle
+  // without a checkpoint coordinator. ---------------------------------------
+  std::uint64_t applied_version = 0;  ///< last reconfiguration applied here
+  std::uint64_t ckpt_epoch = 0;       ///< epoch currently aligning (0 = idle)
+  std::uint32_t barriers_seen = 0;
+  std::uint32_t barriers_expected = 0;
+  std::shared_ptr<const std::vector<std::vector<InstanceIndex>>>
+      barrier_members;
+  std::unordered_set<std::uint32_t> blocked_links;  ///< barrier already in
+  std::unordered_map<std::uint32_t, std::vector<DataMsg>>
+      align_stash;  ///< post-barrier suffix held per blocked link (FIFO)
+  std::unordered_map<std::uint64_t, std::vector<DataMsg>>
+      replay_out;  ///< target flat -> sends since the last committed epoch
+  std::unordered_map<std::uint64_t, std::uint64_t>
+      snap_out;  ///< out cursors at the last snapshot (commit truncation)
+  std::unordered_set<std::uint32_t> replay_pending;  ///< links mid-replay
+  std::unordered_map<std::uint32_t, std::vector<DataMsg>>
+      replay_stash;  ///< everything held on a pending link until ReplayEnd
+
+  /// Set by the POI thread as it exits on a crash sentinel.  The recovery
+  /// driver spins on it while sweeping victim inboxes, so a victim parked on
+  /// a bounded push into another victim's full inbox can run to its death
+  /// instead of deadlocking the join.
+  std::atomic<bool> crash_exited{false};
 };
 
 // ---------------------------------------------------------------------------
@@ -176,6 +203,12 @@ Engine::Engine(const Topology& topology, const Placement& placement,
     }
   }
   set_inject_actives(active_servers_);
+
+  ckpt_enabled_ = options_.checkpoint != nullptr;
+  if (ckpt_enabled_) {
+    inject_out_seq_.assign(pois_.size(), 0);
+    inject_replay_.resize(pois_.size());
+  }
 }
 
 Engine::~Engine() { shutdown(); }
@@ -237,6 +270,23 @@ void Engine::inject(Tuple tuple) {
         break;
     }
     inject_seq_.fetch_add(1, std::memory_order_relaxed);
+    if (ckpt_enabled_) {
+      // Stamp the coordinator pseudo-link, append to the inject replay log
+      // and push while still holding the mutex: the log order, the sequence
+      // numbers and the inbox order must all agree, and a checkpoint
+      // barrier injected under this same mutex must land after exactly the
+      // tuples logged so far.  The source POI drains its inbox without ever
+      // taking this mutex, so a back-pressured push here cannot deadlock.
+      Poi& target = poi_at(src, instance);
+      DataMsg dm{std::move(tuple), DataMsg::kInjected};
+      dm.from = BarrierMsg::kCoordinator;
+      dm.seq = ++inject_out_seq_[target.flat];
+      inject_replay_[target.flat].push_back(dm);
+      tuples_injected_.fetch_add(1, std::memory_order_relaxed);
+      in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      target.inbox.push(Message{DataMsg{std::move(dm)}});
+      return;
+    }
   }
   tuples_injected_.fetch_add(1, std::memory_order_relaxed);
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
@@ -256,6 +306,13 @@ void Engine::poi_loop(Poi& poi) {
   chaos::Injector* const inj = options_.injector;
   while (auto msg = poi.inbox.pop()) {
     if (std::holds_alternative<ShutdownMsg>(*msg)) return;
+    // A crash sentinel kills the POI where it stands: messages queued behind
+    // it stay unprocessed (the recovery driver discards them — their effects
+    // come back via checkpoint restore + sender replay).
+    if (std::holds_alternative<CrashMsg>(*msg)) {
+      poi.crash_exited.store(true, std::memory_order_release);
+      return;
+    }
     if (inj != nullptr &&
         inj->fire(chaos::FaultSite::kWorkerStall, poi.flat)) {
       // A stall window: the POI yields the CPU `magnitude` times before
@@ -287,6 +344,18 @@ void Engine::poi_loop(Poi& poi) {
           } else if constexpr (std::is_same_v<T, MigrateMsg>) {
             flush_all_delayed(poi);
             handle_migrate(poi, std::move(m));
+          } else if constexpr (std::is_same_v<T, BarrierMsg>) {
+            flush_all_delayed(poi);
+            handle_barrier(poi, m);
+          } else if constexpr (std::is_same_v<T, CheckpointCommitMsg>) {
+            flush_all_delayed(poi);
+            handle_commit(poi, m);
+          } else if constexpr (std::is_same_v<T, ReplayRequestMsg>) {
+            flush_all_delayed(poi);
+            handle_replay_request(poi, m);
+          } else if constexpr (std::is_same_v<T, ReplayEndMsg>) {
+            flush_all_delayed(poi);
+            handle_replay_end(poi, m);
           }
         },
         std::move(*msg));
@@ -295,34 +364,52 @@ void Engine::poi_loop(Poi& poi) {
 
 void Engine::handle_data(Poi& poi, DataMsg msg) {
   chaos::Injector* const inj = options_.injector;
-  if (inj != nullptr && msg.from != DataMsg::kNoFrom) {
+  if (msg.from != DataMsg::kNoFrom && (inj != nullptr || ckpt_enabled_)) {
     const std::uint32_t from = msg.from;
-    // Dedup before anything else: an injected duplicate is dropped even if
-    // its link is currently held in the delay stash.
+    // A link mid-replay holds *everything* — live stragglers may arrive
+    // before the replayed copies, so nothing is applied (and no dedup
+    // cursor advanced) until ReplayEnd sorts the union by sequence number.
+    if (ckpt_enabled_ && poi.replay_pending.contains(from)) {
+      poi.replay_stash[from].push_back(std::move(msg));
+      return;
+    }
+    // Dedup before anything else: an injected duplicate (or a recovered
+    // sender's regenerated emission) is dropped even if its link is
+    // currently held in a stash.
     std::uint64_t& seen = poi.last_seq[from];
     if (msg.seq <= seen) {
       data_dups_dropped_.fetch_add(1, std::memory_order_relaxed);
-      inj->recovery("channel_dedup", link_entity_str(from, poi.flat));
-      if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        in_flight_.notify_all();
+      if (inj != nullptr) {
+        inj->recovery("channel_dedup", link_entity_str(from, poi.flat));
       }
+      drop_data_in_flight(1);
       return;
     }
     seen = msg.seq;
-    // A held link stashes its *whole suffix* — per-producer FIFO is
-    // preserved by construction, the delay never reorders within a link.
-    if (auto it = poi.delayed.find(from); it != poi.delayed.end()) {
-      it->second.push_back(std::move(msg));
+    // A link whose barrier is in while a sibling's is pending stashes its
+    // whole post-barrier suffix until alignment completes (the consistent
+    // cut).  Checked before the chaos delay so a blocked link never
+    // re-enters the delay stash mid-alignment.
+    if (ckpt_enabled_ && poi.blocked_links.contains(from)) {
+      poi.align_stash[from].push_back(std::move(msg));
       return;
     }
-    if (inj->fire(chaos::FaultSite::kChannelDelay,
-                  link_entity(from, poi.flat))) {
-      poi.delayed[from].push_back(std::move(msg));
-      // The sentinel flushes the stash once the inbox contents present now
-      // have drained: one logical queue-drain of delay, deadlock-free
-      // because the push ignores the capacity bound.
-      poi.inbox.push_unbounded(Message{FlushDelayedMsg{from}});
-      return;
+    if (inj != nullptr) {
+      // A held link stashes its *whole suffix* — per-producer FIFO is
+      // preserved by construction, the delay never reorders within a link.
+      if (auto it = poi.delayed.find(from); it != poi.delayed.end()) {
+        it->second.push_back(std::move(msg));
+        return;
+      }
+      if (inj->fire(chaos::FaultSite::kChannelDelay,
+                    link_entity(from, poi.flat))) {
+        poi.delayed[from].push_back(std::move(msg));
+        // The sentinel flushes the stash once the inbox contents present
+        // now have drained: one logical queue-drain of delay, deadlock-free
+        // because the push ignores the capacity bound.
+        poi.inbox.push_unbounded(Message{FlushDelayedMsg{from}});
+        return;
+      }
     }
   }
   deliver_data(poi, std::move(msg));
@@ -451,12 +538,19 @@ void Engine::send_data(Poi& poi, std::uint32_t out_pos, const Tuple& tuple,
     counters.remote_bytes.fetch_add(wire.size(), std::memory_order_relaxed);
     out.tuple = decode_tuple(wire);
   }
-  if (chaos::Injector* const inj = options_.injector; inj != nullptr) {
+  chaos::Injector* const inj = options_.injector;
+  if (inj != nullptr || ckpt_enabled_) {
     // Stamp the link sequence so the receiver can drop duplicates; out_seq
     // is only ever touched by this POI's own thread.
     out.from = static_cast<std::uint32_t>(poi.flat);
     out.seq = ++poi.out_seq[target.flat];
-    if (inj->fire(chaos::FaultSite::kChannelDuplicate,
+    if (ckpt_enabled_) {
+      // Sender-side replay buffer: everything since the last committed
+      // checkpoint, truncated by handle_commit at the snapshot watermark.
+      poi.replay_out[target.flat].push_back(out);
+    }
+    if (inj != nullptr &&
+        inj->fire(chaos::FaultSite::kChannelDuplicate,
                   link_entity(out.from, target.flat))) {
       // Same seq on both copies: whichever arrives second is deduped.
       in_flight_.fetch_add(1, std::memory_order_acq_rel);
@@ -595,6 +689,7 @@ void Engine::run_reconfig_actions(Poi& poi) {
     }
   }
 
+  poi.applied_version = staged.version;
   poi.actions_done = true;
   maybe_finish_reconfig(poi);
 }
@@ -753,6 +848,11 @@ core::ReconfigurationPlan Engine::reconfigure(core::Manager& manager) {
   // sets (and therefore outside flush()'s in-flight accounting); block until
   // they have landed so callers get the usual quiescence semantics.
   if (elastic_) drain_fence();
+  // A wave invalidates every earlier checkpoint (its snapshots pre-date the
+  // key moves, so restoring one would resurrect migrated keys under their
+  // old owners).  Re-checkpoint immediately: recovery always finds a
+  // committed epoch at the current plan version (DESIGN.md §11).
+  if (ckpt_enabled_) checkpoint();
   return plan;
 }
 
@@ -973,6 +1073,7 @@ core::ReconfigurationPlan Engine::run_protocol(core::Manager& manager,
   }
 
   manager.mark_deployed(plan);
+  last_plan_version_ = plan.version;
   LAR_INFO << "engine: reconfiguration v" << plan.version << " deployed ("
            << plan.total_moves() << " key states migrated)";
   return plan;
@@ -1081,6 +1182,9 @@ core::ReconfigurationPlan Engine::add_servers(core::Manager& manager,
   }
   LAR_INFO << "engine: scaled out " << current << " -> " << target_servers
            << " servers (plan v" << plan.version << ")";
+  // Same post-wave rule as reconfigure(): the grown fleet re-checkpoints so
+  // a crash never restores across the resize.
+  if (ckpt_enabled_) checkpoint();
   return plan;
 }
 
@@ -1129,7 +1233,490 @@ core::ReconfigurationPlan Engine::retire_servers(core::Manager& manager,
   }
   LAR_INFO << "engine: retired to " << target_servers << " servers (plan v"
            << plan.version << ")";
+  // Same post-wave rule as reconfigure(); this also re-anchors the replay
+  // horizon so no recovery ever needs a replay from a retired sender.
+  if (ckpt_enabled_) checkpoint();
   return plan;
+}
+
+// ---------------------------------------------------------------------------
+// lar::ckpt: aligned checkpoints + crash recovery.
+// ---------------------------------------------------------------------------
+
+void Engine::drop_data_in_flight(std::size_t n) {
+  if (n == 0) return;
+  if (in_flight_.fetch_sub(n, std::memory_order_acq_rel) == n) {
+    in_flight_.notify_all();
+  }
+}
+
+std::uint64_t Engine::checkpoint() {
+  LAR_CHECK(started_ && !shut_down_);
+  ckpt::CheckpointCoordinator* const coord = options_.checkpoint;
+  LAR_CHECK(coord != nullptr);
+
+  // Barrier membership: the live fleet.  Rides inside every barrier so each
+  // POI derives its alignment count and forwarding fan-out from one
+  // consistent snapshot, exactly like ElasticWave does for the
+  // reconfiguration wave.
+  auto members = std::make_shared<std::vector<std::vector<InstanceIndex>>>();
+  members->resize(topology_.num_operators());
+  std::size_t live = 0;
+  for (OperatorId op = 0; op < topology_.num_operators(); ++op) {
+    (*members)[op] = placement_.active_instances(op, active_servers_);
+    live += (*members)[op].size();
+  }
+
+  const std::uint64_t epoch =
+      coord->begin_epoch(active_servers_, last_plan_version_);
+
+  // Inject the barrier into every live source under the source mutex, so it
+  // sits FIFO-after exactly the tuples inject() logged before it.
+  {
+    std::lock_guard<std::mutex> lock(source_mutex_);
+    for (std::size_t s = 0; s < sources_.size(); ++s) {
+      for (const InstanceIndex i : source_actives_[s]) {
+        poi_at(sources_[s], i).inbox.push_unbounded(
+            Message{BarrierMsg{epoch, BarrierMsg::kCoordinator, members}});
+      }
+    }
+  }
+
+  // One ack per live POI: its barrier aligned, its slice is in the store.
+  for (std::size_t i = 0; i < live; ++i) {
+    auto reply = manager_inbox_.pop();
+    LAR_CHECK(reply.has_value());
+    auto* ack = std::get_if<CheckpointAckReply>(&*reply);
+    LAR_CHECK(ack != nullptr && ack->epoch == epoch);
+  }
+  coord->committed(epoch);
+  checkpoints_committed_.fetch_add(1, std::memory_order_relaxed);
+  const ckpt::Checkpoint snap = coord->store().last_committed();
+  ckpt_states_captured_.fetch_add(snap.total_states(),
+                                  std::memory_order_relaxed);
+  ckpt_state_bytes_.fetch_add(snap.total_state_bytes(),
+                              std::memory_order_relaxed);
+
+  // Commit notification: every live POI truncates its replay buffers at the
+  // watermarks it recorded when snapshotting this epoch.  Per-channel FIFO
+  // guarantees the commit is processed before any barrier of a later epoch.
+  for (auto& poi : pois_) {
+    if (!poi->active) continue;
+    poi->inbox.push_unbounded(Message{CheckpointCommitMsg{epoch}});
+  }
+
+  // The inject log is the coordinator's own replay buffer; truncate it at
+  // each source's snapshotted coordinator-link cursor.
+  {
+    std::lock_guard<std::mutex> lock(source_mutex_);
+    for (const auto& [flat, pc] : snap.pois) {
+      if (!topology_.op(pc.op).is_source) continue;
+      std::uint64_t cut = 0;
+      for (const auto& [link, seq] : pc.in_cursors) {
+        if (link == BarrierMsg::kCoordinator) cut = seq;
+      }
+      std::vector<DataMsg>& log = inject_replay_[flat];
+      const auto keep =
+          std::find_if(log.begin(), log.end(),
+                       [cut](const DataMsg& m) { return m.seq > cut; });
+      log.erase(log.begin(), keep);
+    }
+  }
+  return epoch;
+}
+
+void Engine::handle_barrier(Poi& poi, const BarrierMsg& msg) {
+  if (poi.ckpt_epoch == 0) {
+    // First barrier of the epoch: pin the membership and how many barriers
+    // alignment needs (mirrors propagate_expected, but derived from the
+    // barrier's own member list so dormant instances are never waited on).
+    poi.ckpt_epoch = msg.epoch;
+    poi.barrier_members = msg.members;
+    poi.barriers_seen = 0;
+    if (topology_.op(poi.op).is_source) {
+      poi.barriers_expected = 1;  // the coordinator's injection
+    } else {
+      std::uint32_t expected = 0;
+      for (const std::uint32_t eid : topology_.in_edges(poi.op)) {
+        expected += static_cast<std::uint32_t>(
+            (*msg.members)[topology_.edges()[eid].from].size());
+      }
+      poi.barriers_expected = expected;
+    }
+  }
+  LAR_CHECK(poi.ckpt_epoch == msg.epoch);
+  ++poi.barriers_seen;
+  // Block the link: its post-barrier data waits out the alignment.  A
+  // producer with several edges here sends its barriers back to back, so
+  // blocking at the first one holds no pre-barrier data.
+  poi.blocked_links.insert(msg.link);
+  if (poi.barriers_seen < poi.barriers_expected) return;
+
+  take_snapshot(poi, msg);
+
+  // Forward the barrier on every out edge *before* touching the stashes, so
+  // the held tuples' downstream effects land strictly after the successors'
+  // own alignment points (per-producer FIFO).
+  for (const std::uint32_t eid : topology_.out_edges(poi.op)) {
+    const EdgeSpec& edge = topology_.edges()[eid];
+    for (const InstanceIndex i : (*poi.barrier_members)[edge.to]) {
+      poi_at(edge.to, i).inbox.push_unbounded(
+          Message{BarrierMsg{msg.epoch, static_cast<std::uint32_t>(poi.flat),
+                             poi.barrier_members}});
+    }
+  }
+  manager_inbox_.push_unbounded(ManagerReply{
+      CheckpointAckReply{InstanceId{poi.op, poi.index}, msg.epoch}});
+
+  // Release: alignment is over, the held suffixes resume in link order.
+  // They already passed dedup when stashed, so they go straight to delivery
+  // (the flush_delayed pattern).
+  poi.ckpt_epoch = 0;
+  poi.barriers_seen = 0;
+  poi.barriers_expected = 0;
+  poi.barrier_members.reset();
+  poi.blocked_links.clear();
+  std::vector<std::uint32_t> links;
+  links.reserve(poi.align_stash.size());
+  for (const auto& [link, held] : poi.align_stash) links.push_back(link);
+  std::sort(links.begin(), links.end());
+  for (const std::uint32_t link : links) {
+    std::vector<DataMsg> held = std::move(poi.align_stash[link]);
+    for (DataMsg& dm : held) deliver_data(poi, std::move(dm));
+  }
+  poi.align_stash.clear();
+}
+
+void Engine::take_snapshot(Poi& poi, const BarrierMsg& msg) {
+  ckpt::PoiCheckpoint pc;
+  pc.op = poi.op;
+  pc.index = poi.index;
+  pc.flat = static_cast<std::uint32_t>(poi.flat);
+  pc.table_version = poi.applied_version;
+  // Reuse the migration codec: export without dropping.  owned_keys() is
+  // ascending, so the slice is canonical for the store's golden byte runs.
+  const std::vector<Key> keys = poi.logic->owned_keys();
+  pc.states.reserve(keys.size());
+  for (const Key key : keys) {
+    pc.states.emplace_back(key, poi.logic->export_key_state(key));
+  }
+  for (const auto& item : poi.last_seq.sorted_items()) {
+    // The dedup cursor advances when a tuple is *stashed*, not when it is
+    // applied — so a link blocked mid-alignment may have post-barrier
+    // tuples inside last_seq whose effects are not in this snapshot.  The
+    // cut cursor is the last APPLIED sequence number: one before the first
+    // held tuple (per-link seqs are consecutive).
+    std::uint64_t cursor = item.value;
+    if (const auto held = poi.align_stash.find(item.key);
+        held != poi.align_stash.end() && !held->second.empty()) {
+      cursor = held->second.front().seq - 1;
+    }
+    pc.in_cursors.emplace_back(item.key, cursor);
+  }
+  poi.snap_out.clear();
+  for (const auto& item : poi.out_seq.sorted_items()) {
+    pc.out_cursors.emplace_back(item.key, item.value);
+    poi.snap_out[item.key] = item.value;
+  }
+  options_.checkpoint->store().add(msg.epoch, std::move(pc));
+}
+
+void Engine::handle_commit(Poi& poi, const CheckpointCommitMsg& /*msg*/) {
+  // Truncate each replay buffer at the watermark recorded by this epoch's
+  // snapshot.  Buffers are seq-ascending per target, so the cut is a prefix
+  // erase; entries appended since the snapshot survive.
+  for (auto& [target, buf] : poi.replay_out) {
+    std::uint64_t cut = 0;
+    if (auto it = poi.snap_out.find(target); it != poi.snap_out.end()) {
+      cut = it->second;
+    }
+    const auto keep =
+        std::find_if(buf.begin(), buf.end(),
+                     [cut](const DataMsg& m) { return m.seq > cut; });
+    buf.erase(buf.begin(), keep);
+  }
+}
+
+void Engine::handle_replay_request(Poi& poi, const ReplayRequestMsg& msg) {
+  Poi& target = *pois_[msg.target];
+  std::uint64_t replayed = 0;
+  if (auto it = poi.replay_out.find(msg.target); it != poi.replay_out.end()) {
+    for (const DataMsg& dm : it->second) {
+      in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      target.inbox.push(Message{DataMsg{dm}});
+      ++replayed;
+    }
+  }
+  tuples_replayed_.fetch_add(replayed, std::memory_order_relaxed);
+  // The end marker travels the same channel, so it arrives after both the
+  // replay above and every pre-request live send.
+  target.inbox.push_unbounded(
+      Message{ReplayEndMsg{static_cast<std::uint32_t>(poi.flat)}});
+}
+
+void Engine::handle_replay_end(Poi& poi, const ReplayEndMsg& msg) {
+  LAR_CHECK(poi.replay_pending.erase(msg.link) == 1);
+  std::vector<DataMsg> held;
+  if (auto it = poi.replay_stash.find(msg.link); it != poi.replay_stash.end()) {
+    held = std::move(it->second);
+    poi.replay_stash.erase(it);
+  }
+  // The union of replayed copies and live stragglers, in whatever arrival
+  // order the crash produced: sort by sequence number and apply each effect
+  // exactly once past the restored cursor.
+  std::sort(held.begin(), held.end(),
+            [](const DataMsg& a, const DataMsg& b) { return a.seq < b.seq; });
+  std::uint64_t& seen = poi.last_seq[msg.link];
+  for (DataMsg& dm : held) {
+    if (dm.seq <= seen) {
+      drop_data_in_flight(1);
+      continue;
+    }
+    seen = dm.seq;
+    deliver_data(poi, std::move(dm));
+  }
+  if (poi.replay_pending.empty()) {
+    manager_inbox_.push_unbounded(
+        ManagerReply{RecoverDoneReply{InstanceId{poi.op, poi.index}}});
+  }
+}
+
+void Engine::crash_and_recover(std::uint32_t server) {
+  LAR_CHECK(started_ && !shut_down_);
+  ckpt::CheckpointCoordinator* const coord = options_.checkpoint;
+  LAR_CHECK(coord != nullptr);
+  LAR_CHECK(server < active_servers_);
+
+  const ckpt::Checkpoint snap = coord->store().last_committed();
+  // Recovery needs a committed checkpoint consistent with the current
+  // routing epoch and fleet — guaranteed by the automatic checkpoint after
+  // every wave: restoring across a wave would resurrect migrated keys under
+  // their old owners (DESIGN.md §11).
+  LAR_CHECK(snap.committed && snap.epoch > 0);
+  LAR_CHECK(snap.plan_version == last_plan_version_);
+  LAR_CHECK(snap.active_servers == active_servers_);
+
+  crashes_.fetch_add(1, std::memory_order_relaxed);
+  LAR_INFO << "engine: crashing server " << server
+           << " (recovering from checkpoint epoch " << snap.epoch << ")";
+
+  // 1) Roll-back region: the crashed server's POIs plus the downstream
+  // closure of their operators.  A recovered multi-input POI merges its
+  // replayed links in a fresh interleaving, so its regenerated emissions
+  // carry a different (sequence -> tuple) mapping than the lost originals —
+  // exactly-once only holds against receivers whose state and cursors
+  // rolled back to the same cut.  Receivers no rolled-back producer feeds
+  // (in particular the surviving sources) keep running, and their replay
+  // buffers — plus the coordinator's inject log — re-derive the region.
+  std::vector<char> diverged(topology_.num_operators(), 0);
+  std::vector<char> roll_all(topology_.num_operators(), 0);
+  for (OperatorId op = 0; op < topology_.num_operators(); ++op) {
+    for (const InstanceIndex i :
+         placement_.active_instances(op, active_servers_)) {
+      if (poi_at(op, i).server == server) {
+        diverged[op] = 1;
+        break;
+      }
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const EdgeSpec& edge : topology_.edges()) {
+      if (diverged[edge.from] && !roll_all[edge.to]) {
+        roll_all[edge.to] = 1;
+        diverged[edge.to] = 1;
+        changed = true;
+      }
+    }
+  }
+  std::vector<Poi*> victims;
+  std::vector<char> rolled(pois_.size(), 0);
+  for (auto& poi : pois_) {
+    if (!poi->active) continue;
+    if (poi->server == server || roll_all[poi->op]) {
+      victims.push_back(poi.get());
+      rolled[poi->flat] = 1;
+    }
+  }
+  LAR_CHECK(!victims.empty());
+  // 2) Kill.  The sentinel makes each POI thread exit where it stands:
+  // everything queued behind it stays unprocessed, and the thread's stashes
+  // and operator state lose their owner.  A victim can be parked mid-send on
+  // a bounded push into another victim's full inbox, though, and would then
+  // never pop its own sentinel — so until every victim has signalled exit we
+  // keep sweeping the victims' inboxes (re-arming the sentinel a sweep may
+  // have swallowed) to let blocked producers run on to their own death.
+  std::uint64_t lost = 0;
+  for (Poi* p : victims) {
+    p->crash_exited.store(false, std::memory_order_relaxed);
+    p->inbox.push_unbounded(Message{CrashMsg{}});
+  }
+  for (bool all_dead = false; !all_dead;) {
+    all_dead = true;
+    for (Poi* p : victims) {
+      // Sweep every victim inbox — including the already-exited ones: a
+      // still-live victim may be parked on a push into a dead sibling's
+      // refilled queue, and only a fresh drain can release it.
+      const bool alive = !p->crash_exited.load(std::memory_order_acquire);
+      if (alive) all_dead = false;
+      std::size_t dropped = 0;
+      for (auto& m : p->inbox.drain()) {
+        if (std::holds_alternative<DataMsg>(m)) ++dropped;
+      }
+      if (alive) p->inbox.push_unbounded(Message{CrashMsg{}});
+      if (dropped != 0) {
+        drop_data_in_flight(dropped);
+        lost += dropped;
+      }
+    }
+    if (!all_dead) std::this_thread::yield();
+  }
+  for (Poi* p : victims) {
+    if (p->thread.joinable()) p->thread.join();
+  }
+  std::uint64_t restored = 0;
+  std::uint64_t restored_bytes = 0;
+  std::vector<std::vector<std::uint32_t>> victim_links(victims.size());
+
+  for (std::size_t v = 0; v < victims.size(); ++v) {
+    Poi* const p = victims[v];
+    // 3) Discard the dead inbox and every stash: all of it is covered by
+    // the checkpoint + replay, and applying any of it now would double an
+    // effect the replay re-delivers.
+    std::size_t dropped = 0;
+    for (auto& m : p->inbox.drain()) {
+      if (std::holds_alternative<DataMsg>(m)) ++dropped;
+    }
+    for (const auto& [link, held] : p->delayed) dropped += held.size();
+    for (const auto& [link, held] : p->align_stash) dropped += held.size();
+    for (const auto& [link, held] : p->replay_stash) dropped += held.size();
+    for (const auto& [key, held] : p->pending) dropped += held.size();
+    p->delayed.clear();
+    p->align_stash.clear();
+    p->replay_stash.clear();
+    p->pending.clear();
+    p->pending_count = 0;
+    p->spilled.clear();
+    p->awaiting.clear();
+    p->staged.reset();
+    p->ckpt_epoch = 0;
+    p->barriers_seen = 0;
+    p->barriers_expected = 0;
+    p->barrier_members.reset();
+    p->blocked_links.clear();
+    p->replay_pending.clear();
+    p->replay_out.clear();
+    p->snap_out.clear();
+    p->last_seq.clear();
+    p->out_seq.clear();
+    drop_data_in_flight(dropped);
+    lost += dropped;
+
+    // 4) Restore: a fresh operator object, the checkpointed key states and
+    // both cursor sets.  The restored out cursors make regenerated
+    // emissions reuse their original sequence numbers, so downstream dedup
+    // absorbs the overlap; replay_out refills as reprocessing re-sends, so
+    // the buffer stays complete for a later crash of a successor.
+    p->logic = factory_(p->op, p->index);
+    LAR_CHECK(p->logic != nullptr);
+    const auto pc_it = snap.pois.find(static_cast<std::uint32_t>(p->flat));
+    LAR_CHECK(pc_it != snap.pois.end());
+    const ckpt::PoiCheckpoint& pc = pc_it->second;
+    for (const auto& [key, state] : pc.states) {
+      p->logic->import_key_state(key, state);
+      ++restored;
+      restored_bytes += state.size();
+    }
+    for (const auto& [link, seq] : pc.in_cursors) p->last_seq[link] = seq;
+    for (const auto& [tgt, seq] : pc.out_cursors) p->out_seq[tgt] = seq;
+
+    // 5) Arm replay on every producer link *outside* the region (a
+    // rolled-back producer instead regenerates in order from its own
+    // restored cursors, which the restored last_seq accepts seamlessly).
+    // Sources replay from the coordinator's inject log.
+    for (const std::uint32_t eid : topology_.in_edges(p->op)) {
+      const OperatorId pred = topology_.edges()[eid].from;
+      for (const InstanceIndex i :
+           placement_.active_instances(pred, active_servers_)) {
+        const Poi& sender = poi_at(pred, i);
+        if (rolled[sender.flat]) continue;
+        p->replay_pending.insert(static_cast<std::uint32_t>(sender.flat));
+      }
+    }
+    if (topology_.op(p->op).is_source) {
+      p->replay_pending.insert(BarrierMsg::kCoordinator);
+    }
+    victim_links[v].assign(p->replay_pending.begin(),
+                           p->replay_pending.end());
+    std::sort(victim_links[v].begin(), victim_links[v].end());
+    pois_recovered_.fetch_add(1, std::memory_order_relaxed);
+  }
+  states_restored_.fetch_add(restored, std::memory_order_relaxed);
+  states_restored_bytes_.fetch_add(restored_bytes, std::memory_order_relaxed);
+  tuples_lost_at_crash_.fetch_add(lost, std::memory_order_relaxed);
+
+  // 6) Respawn.  replay_pending is in place, so anything a live sender has
+  // pushed since the drain stashes until its link's replay completes.
+  for (Poi* p : victims) {
+    p->thread = std::thread([this, p] { poi_loop(*p); });
+  }
+
+  // 7) Trigger the replays on the senders' own threads (FIFO with their
+  // live sends), and replay the inject log ourselves for crashed sources.
+  const std::uint64_t replayed_before =
+      tuples_replayed_.load(std::memory_order_relaxed);
+  std::size_t recovering = 0;
+  for (std::size_t v = 0; v < victims.size(); ++v) {
+    Poi* const p = victims[v];
+    if (!victim_links[v].empty()) ++recovering;
+    for (const std::uint32_t link : victim_links[v]) {
+      if (link == BarrierMsg::kCoordinator) continue;
+      pois_[link]->inbox.push_unbounded(
+          Message{ReplayRequestMsg{static_cast<std::uint32_t>(p->flat)}});
+    }
+    if (topology_.op(p->op).is_source) {
+      std::vector<DataMsg> log;
+      {
+        // Copy, then push without the lock: injections racing past the copy
+        // go straight to the inbox and land in the replay stash, where the
+        // seq sort merges both streams.
+        std::lock_guard<std::mutex> lock(source_mutex_);
+        log = inject_replay_[p->flat];
+      }
+      tuples_replayed_.fetch_add(log.size(), std::memory_order_relaxed);
+      for (DataMsg& dm : log) {
+        in_flight_.fetch_add(1, std::memory_order_acq_rel);
+        p->inbox.push(Message{DataMsg{std::move(dm)}});
+      }
+      p->inbox.push_unbounded(Message{ReplayEndMsg{BarrierMsg::kCoordinator}});
+    }
+  }
+
+  // 8) Block until every recovering POI has drained all its replays.
+  for (std::size_t i = 0; i < recovering; ++i) {
+    auto reply = manager_inbox_.pop();
+    LAR_CHECK(reply.has_value());
+    auto* done = std::get_if<RecoverDoneReply>(&*reply);
+    LAR_CHECK(done != nullptr);
+  }
+
+  coord->recovered(
+      snap.epoch, server, victims.size(), restored, restored_bytes,
+      tuples_replayed_.load(std::memory_order_relaxed) - replayed_before);
+  LAR_INFO << "engine: server " << server << " recovered (" << victims.size()
+           << " POIs, " << restored << " states restored)";
+}
+
+std::optional<std::uint32_t> Engine::maybe_crash() {
+  chaos::Injector* const inj = options_.injector;
+  if (inj == nullptr || !ckpt_enabled_) return std::nullopt;
+  for (std::uint32_t s = 0; s < active_servers_; ++s) {
+    if (inj->fire(chaos::FaultSite::kServerCrash, s)) {
+      crash_and_recover(s);
+      return s;
+    }
+  }
+  return std::nullopt;
 }
 
 // ---------------------------------------------------------------------------
@@ -1159,6 +1746,19 @@ EngineMetrics Engine::metrics() const {
       states_drained_bytes_.load(std::memory_order_relaxed);
   out.scale_out_events = scale_out_events_.load(std::memory_order_relaxed);
   out.scale_in_events = scale_in_events_.load(std::memory_order_relaxed);
+  out.checkpoints_committed =
+      checkpoints_committed_.load(std::memory_order_relaxed);
+  out.ckpt_states_captured =
+      ckpt_states_captured_.load(std::memory_order_relaxed);
+  out.ckpt_state_bytes = ckpt_state_bytes_.load(std::memory_order_relaxed);
+  out.crashes = crashes_.load(std::memory_order_relaxed);
+  out.pois_recovered = pois_recovered_.load(std::memory_order_relaxed);
+  out.states_restored = states_restored_.load(std::memory_order_relaxed);
+  out.states_restored_bytes =
+      states_restored_bytes_.load(std::memory_order_relaxed);
+  out.tuples_replayed = tuples_replayed_.load(std::memory_order_relaxed);
+  out.tuples_lost_at_crash =
+      tuples_lost_at_crash_.load(std::memory_order_relaxed);
   out.edges.reserve(edge_counters_.size());
   for (const auto& c : edge_counters_) {
     out.edges.push_back(EdgeMetricsSnapshot{
@@ -1238,6 +1838,36 @@ void Engine::publish_metrics() {
     reg->counter("lar_elastic_scale_events_total", {{"direction", "in"}},
                  "Completed scale-out / scale-in waves.")
         .advance_to(scale_in_events_.load(std::memory_order_relaxed));
+  }
+
+  // lar::ckpt families only exist when a coordinator is attached, so a
+  // checkpoint-free engine's export stays byte-identical to the pre-ckpt
+  // one (the coordinator itself owns lar_ckpt_checkpoints_total etc.).
+  if (ckpt_enabled_) {
+    reg->counter("lar_ckpt_states_captured_total", {},
+                 "Per-key states captured into checkpoint snapshots.")
+        .advance_to(ckpt_states_captured_.load(std::memory_order_relaxed));
+    reg->counter("lar_ckpt_state_bytes_total", {},
+                 "Serialized size of all checkpointed key states.")
+        .advance_to(ckpt_state_bytes_.load(std::memory_order_relaxed));
+    reg->counter("lar_ckpt_crashes_total", {},
+                 "server_crash faults taken (each recovered in place).")
+        .advance_to(crashes_.load(std::memory_order_relaxed));
+    reg->counter("lar_ckpt_pois_recovered_total", {},
+                 "POIs killed and respawned across all crashes.")
+        .advance_to(pois_recovered_.load(std::memory_order_relaxed));
+    reg->counter("lar_ckpt_states_restored_total", {},
+                 "Key states restored from committed checkpoints.")
+        .advance_to(states_restored_.load(std::memory_order_relaxed));
+    reg->counter("lar_ckpt_states_restored_bytes_total", {},
+                 "Serialized size of all restored key states.")
+        .advance_to(states_restored_bytes_.load(std::memory_order_relaxed));
+    reg->counter("lar_ckpt_tuples_replayed_total", {},
+                 "Data tuples re-pushed from replay buffers during recovery.")
+        .advance_to(tuples_replayed_.load(std::memory_order_relaxed));
+    reg->counter("lar_ckpt_tuples_lost_at_crash_total", {},
+                 "Tuples discarded from crashed inboxes (covered by replay).")
+        .advance_to(tuples_lost_at_crash_.load(std::memory_order_relaxed));
   }
 
   for (std::size_t eid = 0; eid < edge_counters_.size(); ++eid) {

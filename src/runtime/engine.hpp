@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "chaos/injector.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "core/manager.hpp"
 #include "core/plan.hpp"
 #include "obs/metrics.hpp"
@@ -82,6 +83,15 @@ struct EngineOptions {
   /// the in-memory ones — serialization is the spill cost, exactly-once is
   /// preserved.
   std::size_t buffered_tuples_cap = 0;
+
+  /// Checkpoint coordinator (lar::ckpt; null = checkpointing disabled, the
+  /// default; must outlive the engine).  When attached, data tuples carry
+  /// link sequence stamps, senders keep bounded per-link replay buffers
+  /// (truncated at every checkpoint commit), and checkpoint() /
+  /// crash_and_recover() become available.  The disabled mode follows the
+  /// registry/injector pattern: one null-check branch per hook, no data-path
+  /// cost, no `lar_ckpt_*` metric families.
+  ckpt::CheckpointCoordinator* checkpoint = nullptr;
 
   /// Live-server count at startup (lar::elastic).  0 = all servers of the
   /// placement (the default, byte-identical to the fixed-fleet engine).
@@ -160,6 +170,36 @@ struct EngineMetrics {
   /// Completed add_servers() / retire_servers() waves.
   std::uint64_t scale_out_events = 0;
   std::uint64_t scale_in_events = 0;
+
+  // --- lar::ckpt (all zero without a checkpoint coordinator) ---------------
+
+  /// Committed aligned checkpoint epochs.
+  std::uint64_t checkpoints_committed = 0;
+
+  /// Per-key states captured into checkpoint snapshots (sum over epochs).
+  std::uint64_t ckpt_states_captured = 0;
+  std::uint64_t ckpt_state_bytes = 0;
+
+  /// server_crash events taken (every one is recovered before the call
+  /// returns).
+  std::uint64_t crashes = 0;
+
+  /// POIs rolled back and respawned across all crashes (the crashed
+  /// server's POIs plus each crash's downstream-closure region).
+  std::uint64_t pois_recovered = 0;
+
+  /// Per-key states restored from the last committed checkpoint.
+  std::uint64_t states_restored = 0;
+  std::uint64_t states_restored_bytes = 0;
+
+  /// Data tuples re-pushed from sender replay buffers (and the source
+  /// inject log) during recovery.  Receiver-side dedup drops the subset
+  /// whose effects survived, so replayed >= re-applied.
+  std::uint64_t tuples_replayed = 0;
+
+  /// Data tuples discarded from crashed inboxes/stashes (all of them are
+  /// covered by replay — nothing is lost, this is the crash's blast radius).
+  std::uint64_t tuples_lost_at_crash = 0;
 };
 
 /// Deploys and runs a Topology.  Lifecycle: construct -> start() ->
@@ -215,6 +255,41 @@ class Engine {
     return active_servers_;
   }
 
+  // --- lar::ckpt: aligned checkpoints + crash recovery ---------------------
+
+  /// Runs one aligned checkpoint round and returns its epoch number.
+  /// Injects epoch barriers into every live source POI; each POI snapshots
+  /// its per-key state and link cursors once the barrier has arrived on all
+  /// input links, acks, and forwards the barrier downstream.  Blocks until
+  /// every live POI has acked, commits the epoch into the coordinator's
+  /// store and truncates the sender-side replay buffers.  The data stream
+  /// is NOT paused.  Requires options().checkpoint.  Called from the same
+  /// external driver thread as reconfigure() (the control API is externally
+  /// synchronized), so a checkpoint never overlaps a reconfiguration wave.
+  std::uint64_t checkpoint();
+
+  /// Deterministically kills every live POI of `server` mid-stream —
+  /// operator state, inbox contents and chaos stashes are discarded — and
+  /// recovers the *region*: the victims plus the downstream closure of
+  /// their operators roll back to the last committed checkpoint (a
+  /// recovered multi-input POI merges its replayed links in a fresh
+  /// interleaving, so its regenerated emissions are exactly-once only
+  /// against receivers restored to the same cut).  Producers outside the
+  /// region — in particular the surviving sources — keep running and
+  /// re-derive the region from their replay buffers (and the coordinator's
+  /// inject log); per-link sequence dedup absorbs every overlap.  Blocks
+  /// until every recovered POI has caught up.  Requires a committed
+  /// checkpoint taken at the current reconfiguration version (checkpoint()
+  /// runs automatically after every wave when a coordinator is attached).
+  void crash_and_recover(std::uint32_t server);
+
+  /// Evaluates the chaos `server_crash` schedule once per live server (in
+  /// server order) and, on the first decision that fires, crashes and
+  /// recovers that server.  Pure function of the FaultPlan seed and how
+  /// many times each server has been evaluated.  Returns the crashed server
+  /// or nullopt.  No-op without both an injector and a coordinator.
+  std::optional<std::uint32_t> maybe_crash();
+
   /// Flushes, then stops and joins all POI threads.  Idempotent.
   void shutdown();
 
@@ -249,6 +324,12 @@ class Engine {
   void handle_reconf(Poi& poi, ReconfMsg msg);
   void handle_propagate(Poi& poi, const PropagateMsg& msg);
   void handle_migrate(Poi& poi, MigrateMsg msg);
+  void handle_barrier(Poi& poi, const BarrierMsg& msg);
+  void take_snapshot(Poi& poi, const BarrierMsg& msg);
+  void handle_commit(Poi& poi, const CheckpointCommitMsg& msg);
+  void handle_replay_request(Poi& poi, const ReplayRequestMsg& msg);
+  void handle_replay_end(Poi& poi, const ReplayEndMsg& msg);
+  void drop_data_in_flight(std::size_t n);
   void run_reconfig_actions(Poi& poi);
   void maybe_finish_reconfig(Poi& poi);
   void send_metrics(Poi& poi);
@@ -316,6 +397,26 @@ class Engine {
   std::atomic<std::uint64_t> states_drained_bytes_{0};
   std::atomic<std::uint64_t> scale_out_events_{0};
   std::atomic<std::uint64_t> scale_in_events_{0};
+
+  // lar::ckpt state.  ckpt_enabled_ is fixed at construction; the inject
+  // log (per-source-POI replay buffer + sequence counters for tuples that
+  // enter via inject()) is guarded by source_mutex_ so barrier injection
+  // and replay order exactly against concurrent inject() calls.  The crash
+  // counters are atomics for the metrics snapshot; the driver-side recovery
+  // bookkeeping is externally synchronized like the rest of the control API.
+  bool ckpt_enabled_ = false;
+  std::uint64_t last_plan_version_ = 0;  ///< last deployed wave version
+  std::vector<std::uint64_t> inject_out_seq_;          // [flat] source POIs
+  std::vector<std::vector<DataMsg>> inject_replay_;    // [flat] source POIs
+  std::atomic<std::uint64_t> checkpoints_committed_{0};
+  std::atomic<std::uint64_t> ckpt_states_captured_{0};
+  std::atomic<std::uint64_t> ckpt_state_bytes_{0};
+  std::atomic<std::uint64_t> crashes_{0};
+  std::atomic<std::uint64_t> pois_recovered_{0};
+  std::atomic<std::uint64_t> states_restored_{0};
+  std::atomic<std::uint64_t> states_restored_bytes_{0};
+  std::atomic<std::uint64_t> tuples_replayed_{0};
+  std::atomic<std::uint64_t> tuples_lost_at_crash_{0};
 
   // Chaos / recovery counters (stay zero in the disabled mode).
   std::atomic<std::uint64_t> tuples_spilled_{0};

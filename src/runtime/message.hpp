@@ -127,8 +127,58 @@ struct FlushDelayedMsg {
 /// Engine -> POI: drain and exit.
 struct ShutdownMsg {};
 
-using Message = std::variant<DataMsg, GetMetricsMsg, ReconfMsg, PropagateMsg,
-                             MigrateMsg, FlushDelayedMsg, ShutdownMsg>;
+// --- lar::ckpt: aligned checkpoints + crash recovery -------------------------
+
+/// Epoch-numbered checkpoint barrier (control message, push_unbounded only).
+/// `link` is the flat POI index of the forwarding producer — kCoordinator
+/// for the barrier the coordinator injects into sources (and the pseudo
+/// producer id for tuples entering via inject()).  `members` carries the
+/// live instance set per operator at injection time, exactly like
+/// ElasticWave: alignment counts and the downstream fan-out are computed
+/// from it, so dormant/retired POIs are never waited on.
+struct BarrierMsg {
+  /// Pseudo producer link for coordinator-injected barriers and injected
+  /// tuples.  Distinct from DataMsg::kNoFrom so "unstamped" and "stamped by
+  /// the injector itself" stay distinguishable.
+  static constexpr std::uint32_t kCoordinator =
+      static_cast<std::uint32_t>(-2);
+
+  std::uint64_t epoch = 0;
+  std::uint32_t link = kCoordinator;
+  std::shared_ptr<const std::vector<std::vector<InstanceIndex>>> members;
+};
+
+/// Coordinator -> POI: epoch committed; truncate your replay buffers up to
+/// the watermarks you recorded when forwarding this epoch's barrier.
+struct CheckpointCommitMsg {
+  std::uint64_t epoch = 0;
+};
+
+/// Recovery driver -> surviving sender POI: re-push your replay buffer for
+/// the link to `target` (flat POI index), then send it a ReplayEndMsg.
+/// Handled on the sender's own thread, so replayed tuples stay FIFO with
+/// its subsequent live sends.
+struct ReplayRequestMsg {
+  std::uint32_t target = 0;
+};
+
+/// Sender -> recovering POI: the replay for producer link `link` is
+/// complete; sort the held tuples by sequence number, apply once each, and
+/// resume normal processing on the link.
+struct ReplayEndMsg {
+  std::uint32_t link = 0;
+};
+
+/// Recovery driver -> POI: die where you stand.  Unlike ShutdownMsg the
+/// messages queued behind it are NOT processed — they stay in the channel
+/// (or are discarded by the driver) and their effects are recovered by
+/// checkpoint restore + replay.
+struct CrashMsg {};
+
+using Message =
+    std::variant<DataMsg, GetMetricsMsg, ReconfMsg, PropagateMsg, MigrateMsg,
+                 FlushDelayedMsg, ShutdownMsg, BarrierMsg, CheckpointCommitMsg,
+                 ReplayRequestMsg, ReplayEndMsg, CrashMsg>;
 
 // --- replies to the manager ------------------------------------------------
 
@@ -151,6 +201,21 @@ struct ReconfDoneReply {
   std::uint64_t version = 0;
 };
 
-using ManagerReply = std::variant<MetricsReply, AckReconfReply, ReconfDoneReply>;
+/// POI -> coordinator: barrier aligned on all input links, state snapshot
+/// stored for `epoch`, barrier forwarded downstream.
+struct CheckpointAckReply {
+  InstanceId from;
+  std::uint64_t epoch = 0;
+};
+
+/// Recovering POI -> recovery driver: every pending link finished its
+/// replay; the instance is caught up and live again.
+struct RecoverDoneReply {
+  InstanceId from;
+};
+
+using ManagerReply = std::variant<MetricsReply, AckReconfReply,
+                                  ReconfDoneReply, CheckpointAckReply,
+                                  RecoverDoneReply>;
 
 }  // namespace lar::runtime

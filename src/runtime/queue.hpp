@@ -108,6 +108,22 @@ class Channel {
     return items_.size();
   }
 
+  /// Atomically removes and returns everything currently queued.  Crash
+  /// recovery only (lar::ckpt): after the owning POI thread has been killed
+  /// and joined, the driver discards the dead inbox's contents — their
+  /// effects come back via checkpoint restore + sender replay.  Producers
+  /// may keep pushing concurrently; anything pushed after the drain is
+  /// simply seen by the respawned consumer.
+  [[nodiscard]] std::deque<T> drain() {
+    std::deque<T> out;
+    {
+      std::lock_guard lock(mutex_);
+      out.swap(items_);
+    }
+    not_full_.notify_all();
+    return out;
+  }
+
   /// Deepest the queue has ever been (items, including unbounded control
   /// messages).  A back-pressure indicator for the observability layer;
   /// scheduling-dependent, so exports that must be byte-stable filter it.

@@ -1,0 +1,660 @@
+// Tests for lar::ckpt: the deterministic checkpoint store, aligned barrier
+// checkpoints over the threaded runtime, exactly-once crash recovery under
+// the chaos `server_crash` site, recovery ordering against reconfiguration
+// and elastic resizes, and the disabled mode's byte-identity.
+//
+// The exactly-once harness mirrors test_chaos.cpp: ground-truth per-key
+// counts recorded at inject time must equal the summed per-instance counts
+// after the stream drains — killing a server mid-stream may not lose or
+// duplicate a single tuple's effect.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "chaos/fault_plan.hpp"
+#include "chaos/injector.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "core/manager.hpp"
+#include "obs/export.hpp"
+#include "runtime/engine.hpp"
+#include "sim/simulator.hpp"
+#include "sketch/exact_counter.hpp"
+#include "workload/synthetic.hpp"
+
+namespace lar {
+namespace {
+
+using chaos::FaultPlan;
+using chaos::FaultSite;
+
+// --- CheckpointStore ---------------------------------------------------------
+
+ckpt::PoiCheckpoint sample_slice(std::uint32_t flat, Key key,
+                                 std::uint64_t count) {
+  ckpt::PoiCheckpoint pc;
+  pc.op = 1;
+  pc.index = flat;
+  pc.flat = flat;
+  std::vector<std::byte> state(sizeof count);
+  std::memcpy(state.data(), &count, sizeof count);
+  pc.states.emplace_back(key, std::move(state));
+  pc.in_cursors.emplace_back(0, 10 * flat);
+  pc.out_cursors.emplace_back(1, 20 * flat);
+  return pc;
+}
+
+TEST(CheckpointStore, CommitSealsAndDropsOlderEpochs) {
+  ckpt::CheckpointStore store;
+  store.begin(1, /*active_servers=*/3, /*plan_version=*/0);
+  store.add(1, sample_slice(0, 7, 42));
+  store.add(1, sample_slice(1, 9, 17));
+  EXPECT_EQ(store.last_committed_epoch(), 0u);
+  store.commit(1);
+  EXPECT_EQ(store.last_committed_epoch(), 1u);
+  const ckpt::Checkpoint c1 = store.last_committed();
+  EXPECT_TRUE(c1.committed);
+  EXPECT_EQ(c1.pois.size(), 2u);
+  EXPECT_EQ(c1.total_states(), 2u);
+  EXPECT_EQ(c1.total_state_bytes(), 16u);
+  EXPECT_EQ(c1.pois.at(0).states[0].first, 7u);
+
+  // A later epoch commits: the older one is dropped (its replay horizon is
+  // gone), only the newest is held.
+  store.begin(2, 3, 0);
+  store.add(2, sample_slice(0, 7, 50));
+  store.commit(2);
+  EXPECT_EQ(store.num_epochs_held(), 1u);
+  EXPECT_EQ(store.last_committed().epoch, 2u);
+}
+
+TEST(CheckpointCoordinator, EpochsAreMonotonicAndObservable) {
+  obs::Registry registry;
+  obs::TraceRecorder trace;
+  ckpt::CheckpointCoordinator coord(&registry, &trace);
+  EXPECT_EQ(coord.begin_epoch(4, 0), 1u);
+  coord.store().add(1, sample_slice(2, 3, 5));
+  coord.committed(1);
+  EXPECT_EQ(coord.begin_epoch(4, 0), 2u);
+  coord.committed(2);
+  EXPECT_EQ(coord.checkpoints_committed(), 2u);
+  EXPECT_EQ(registry.counter("lar_ckpt_checkpoints_total", {}).value(), 2u);
+  int checkpoints = 0;
+  for (const obs::TraceEvent& ev : trace.events()) {
+    checkpoints += ev.phase == obs::Phase::kCheckpoint;
+  }
+  EXPECT_EQ(checkpoints, 2);
+  coord.recovered(/*epoch=*/2, /*server=*/1, /*pois=*/3, /*states=*/10,
+                  /*bytes=*/80, /*replayed=*/25);
+  EXPECT_EQ(coord.crashes_recovered(), 1u);
+  EXPECT_EQ(registry.counter("lar_ckpt_crashes_recovered_total", {}).value(),
+            1u);
+}
+
+// --- FaultPlan: the server_crash site -----------------------------------------
+
+TEST(FaultPlanCkpt, ServerCrashDecisionIsPureAndIndependent) {
+  const FaultPlan a = FaultPlan::uniform(42, 0.3);
+  const FaultPlan b = FaultPlan::uniform(42, 0.3);
+  int fired = 0;
+  int disagreements = 0;
+  for (std::uint64_t seq = 0; seq < 500; ++seq) {
+    const bool hit = a.should_inject(FaultSite::kServerCrash, 1, seq);
+    EXPECT_EQ(hit, b.should_inject(FaultSite::kServerCrash, 1, seq));
+    fired += hit;
+    disagreements +=
+        hit != a.should_inject(FaultSite::kChannelDelay, 1, seq);
+  }
+  // The new site draws from its own salted stream: correlated with nothing.
+  EXPECT_GT(fired, 80);
+  EXPECT_LT(fired, 220);
+  EXPECT_GT(disagreements, 100);
+  EXPECT_EQ(chaos::to_string(FaultSite::kServerCrash),
+            std::string("server_crash"));
+}
+
+// --- engine fixtures (mirrors test_chaos.cpp) --------------------------------
+
+runtime::OperatorFactory counting_factory() {
+  return [](OperatorId op, InstanceIndex) -> std::unique_ptr<runtime::Operator> {
+    if (op == 0) return std::make_unique<runtime::PassThroughOperator>();
+    return std::make_unique<runtime::CountingOperator>(op == 1 ? 0 : 1);
+  };
+}
+
+runtime::CountingOperator& counter_at(runtime::Engine& engine, OperatorId op,
+                                      InstanceIndex i) {
+  return static_cast<runtime::CountingOperator&>(engine.operator_at(op, i));
+}
+
+struct GroundTruth {
+  sketch::ExactCounter<Key> field0;
+  sketch::ExactCounter<Key> field1;
+};
+
+void pump(runtime::Engine& engine, workload::TupleGenerator& gen, int n,
+          GroundTruth* truth = nullptr) {
+  for (int i = 0; i < n; ++i) {
+    Tuple t = gen.next();
+    if (truth != nullptr) {
+      truth->field0.add(t.fields[0]);
+      truth->field1.add(t.fields[1]);
+    }
+    engine.inject(std::move(t));
+  }
+}
+
+/// Exactly-once: per key, summed counts across instances equal ground truth
+/// and exactly one instance holds the key.  `live_below` restricts the
+/// holder check to the active prefix (elastic tests).
+void expect_counts_match(runtime::Engine& engine, OperatorId op,
+                         std::uint32_t par,
+                         const sketch::ExactCounter<Key>& truth) {
+  for (const auto& entry : truth.entries()) {
+    std::uint64_t sum = 0;
+    int holders = 0;
+    for (InstanceIndex i = 0; i < par; ++i) {
+      const std::uint64_t c = counter_at(engine, op, i).count(entry.key);
+      sum += c;
+      holders += (c > 0);
+    }
+    ASSERT_EQ(sum, entry.count) << "op " << op << " key " << entry.key;
+    ASSERT_EQ(holders, 1) << "op " << op << " key " << entry.key
+                          << " split across instances";
+  }
+}
+
+class Feeder {
+ public:
+  Feeder(runtime::Engine& engine, GroundTruth& truth,
+         workload::TupleGenerator& gen)
+      : thread_([this, &engine, &truth, &gen] {
+          while (!stop_.load()) {
+            Tuple t = gen.next();
+            truth.field0.add(t.fields[0]);
+            truth.field1.add(t.fields[1]);
+            engine.inject(std::move(t));
+          }
+        }) {}
+
+  void stop() {
+    stop_ = true;
+    thread_.join();
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+// --- disabled mode -----------------------------------------------------------
+
+// With lar_ckpt linked but no coordinator attached the runtime must behave
+// exactly as before: zero ckpt counters and no lar_ckpt_* metric families in
+// the export (so pre-ckpt golden outputs stay byte-identical).
+TEST(CkptDisabled, NoCoordinatorMeansNoCkptFamilies) {
+  const std::uint32_t n = 3;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  obs::Registry registry;
+  runtime::Engine engine(topo, place, counting_factory(),
+                         {.fields_mode = FieldsRouting::kTable,
+                          .registry = &registry});
+  engine.start();
+  core::Manager mgr(topo, place, {});
+  GroundTruth truth;
+  workload::SyntheticGenerator gen(
+      {.num_values = 60, .locality = 0.8, .padding = 0, .seed = 51});
+  pump(engine, gen, 10'000, &truth);
+  engine.flush();
+  engine.reconfigure(mgr);
+  engine.flush();
+  engine.publish_metrics();
+  expect_counts_match(engine, 1, n, truth.field0);
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.checkpoints_committed, 0u);
+  EXPECT_EQ(m.crashes, 0u);
+  EXPECT_EQ(m.tuples_replayed, 0u);
+  EXPECT_EQ(obs::to_prometheus(registry).find("lar_ckpt_"),
+            std::string::npos);
+  engine.shutdown();
+}
+
+// fig13-style simulator run, twice: lar::ckpt must not perturb the
+// performance substrate at all — the sim takes no ckpt hooks, so its full
+// report stays byte-identical and free of lar_ckpt_* families.
+TEST(CkptDisabled, SimReportStaysByteIdentical) {
+  const std::uint32_t n = 4;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  auto run = [&]() -> std::string {
+    sim::SimConfig cfg;
+    cfg.source_mode = SourceMode::kRoundRobin;
+    cfg.seed = 3;
+    sim::Simulator simulator(topo, place, cfg, FieldsRouting::kTable);
+    core::Manager mgr(topo, place, {});
+    workload::SyntheticGenerator gen(
+        {.num_values = 60, .locality = 0.8, .padding = 16, .seed = 52});
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      simulator.run_window(gen, 4000);
+      simulator.reconfigure(mgr);
+    }
+    return obs::report_json(simulator.registry(), &simulator.trace());
+  };
+  const std::string first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_EQ(first.find("lar_ckpt_"), std::string::npos);
+}
+
+// --- aligned checkpoints -----------------------------------------------------
+
+TEST(Ckpt, AlignedCheckpointCommitsAndTruncates) {
+  const std::uint32_t n = 3;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  obs::Registry registry;
+  ckpt::CheckpointCoordinator coord(&registry);
+  runtime::Engine engine(topo, place, counting_factory(),
+                         {.fields_mode = FieldsRouting::kTable,
+                          .registry = &registry,
+                          .checkpoint = &coord});
+  engine.start();
+  GroundTruth truth;
+  workload::SyntheticGenerator gen(
+      {.num_values = 60, .locality = 0.8, .padding = 0, .seed = 53});
+  pump(engine, gen, 10'000, &truth);
+  engine.flush();
+
+  EXPECT_EQ(engine.checkpoint(), 1u);
+  const ckpt::Checkpoint c1 = coord.store().last_committed();
+  EXPECT_TRUE(c1.committed);
+  // Every live POI contributed a slice (3 ops x n instances).
+  EXPECT_EQ(c1.pois.size(), 3u * n);
+  EXPECT_GT(c1.total_states(), 0u);
+  EXPECT_GT(c1.total_state_bytes(), 0u);
+  // The quiescent stream is fully inside the cut: the snapshotted counts
+  // sum to the injected tuple count for the field-0 counting stage.
+  std::uint64_t snapshotted = 0;
+  for (const auto& [flat, pc] : c1.pois) {
+    if (pc.op != 1) continue;
+    for (const auto& [key, state] : pc.states) {
+      std::uint64_t count = 0;
+      ASSERT_EQ(state.size(), sizeof count);
+      std::memcpy(&count, state.data(), sizeof count);
+      snapshotted += count;
+    }
+  }
+  EXPECT_EQ(snapshotted, 10'000u);
+
+  pump(engine, gen, 2'000, &truth);
+  engine.flush();
+  EXPECT_EQ(engine.checkpoint(), 2u);
+  // Only the newest committed epoch is held.
+  EXPECT_EQ(coord.store().num_epochs_held(), 1u);
+  EXPECT_EQ(coord.store().last_committed_epoch(), 2u);
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.checkpoints_committed, 2u);
+  EXPECT_GT(m.ckpt_states_captured, 0u);
+  engine.publish_metrics();
+  const std::string prom = obs::to_prometheus(registry);
+  EXPECT_NE(prom.find("lar_ckpt_checkpoints_total"), std::string::npos);
+  EXPECT_NE(prom.find("lar_ckpt_states_captured_total"), std::string::npos);
+  expect_counts_match(engine, 1, n, truth.field0);
+  engine.shutdown();
+}
+
+TEST(Ckpt, BarriersAlignAgainstALiveStream) {
+  const std::uint32_t n = 4;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  ckpt::CheckpointCoordinator coord;
+  runtime::Engine engine(topo, place, counting_factory(),
+                         {.fields_mode = FieldsRouting::kTable,
+                          .checkpoint = &coord});
+  engine.start();
+  GroundTruth truth;
+  workload::SyntheticGenerator gen(
+      {.num_values = 90, .locality = 0.8, .padding = 0, .seed = 54});
+  Feeder feeder(engine, truth, gen);
+  for (int round = 0; round < 5; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    engine.checkpoint();
+  }
+  feeder.stop();
+  engine.flush();
+  EXPECT_EQ(coord.checkpoints_committed(), 5u);
+  expect_counts_match(engine, 1, n, truth.field0);
+  expect_counts_match(engine, 2, n, truth.field1);
+  engine.shutdown();
+}
+
+// --- crash + recovery --------------------------------------------------------
+
+TEST(Ckpt, CrashRecoveryIsExactlyOnceAgainstALiveStream) {
+  const std::uint32_t n = 3;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  obs::Registry registry;
+  obs::TraceRecorder trace;
+  ckpt::CheckpointCoordinator coord(&registry, &trace);
+  runtime::Engine engine(topo, place, counting_factory(),
+                         {.fields_mode = FieldsRouting::kTable,
+                          .registry = &registry,
+                          .trace = &trace,
+                          .checkpoint = &coord});
+  engine.start();
+  GroundTruth truth;
+  workload::SyntheticGenerator gen(
+      {.num_values = 90, .locality = 0.8, .padding = 0, .seed = 55});
+  Feeder feeder(engine, truth, gen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  engine.checkpoint();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  engine.crash_and_recover(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  engine.checkpoint();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  engine.crash_and_recover(2);
+  feeder.stop();
+  engine.flush();
+
+  expect_counts_match(engine, 1, n, truth.field0);
+  expect_counts_match(engine, 2, n, truth.field1);
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.crashes, 2u);
+  // Each crash rolls back the server's 3 POIs plus the downstream closure:
+  // all n counting instances of both stages (the server's own two are
+  // already counted), while the surviving sources keep running.
+  EXPECT_EQ(m.pois_recovered, 2u * (3u + 2u * (n - 1)));
+  EXPECT_GT(m.states_restored, 0u);
+  EXPECT_GT(m.tuples_replayed, 0u);
+  EXPECT_EQ(coord.crashes_recovered(), 2u);
+  int crash_events = 0;
+  for (const obs::TraceEvent& ev : trace.events()) {
+    crash_events += ev.phase == obs::Phase::kCrash;
+  }
+  EXPECT_EQ(crash_events, 2);
+  engine.shutdown();
+}
+
+// Server 0 hosts source POIs: recovering it replays from the inject log
+// (the coordinator pseudo-link), not from an upstream POI.
+TEST(Ckpt, SourceServerCrashReplaysTheInjectLog) {
+  const std::uint32_t n = 3;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  ckpt::CheckpointCoordinator coord;
+  runtime::Engine engine(topo, place, counting_factory(),
+                         {.fields_mode = FieldsRouting::kTable,
+                          .checkpoint = &coord});
+  engine.start();
+  GroundTruth truth;
+  workload::SyntheticGenerator gen(
+      {.num_values = 60, .locality = 0.8, .padding = 0, .seed = 56});
+  pump(engine, gen, 8'000, &truth);
+  engine.flush();
+  engine.checkpoint();
+  pump(engine, gen, 3'000, &truth);
+  engine.flush();
+  engine.crash_and_recover(0);
+  pump(engine, gen, 2'000, &truth);
+  engine.flush();
+  expect_counts_match(engine, 1, n, truth.field0);
+  expect_counts_match(engine, 2, n, truth.field1);
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.crashes, 1u);
+  EXPECT_GT(m.tuples_replayed, 0u);
+  engine.shutdown();
+}
+
+// Recovery restores the LAST COMMITTED checkpoint: state the second epoch
+// captured survives a crash even though the first epoch also exists.
+TEST(Ckpt, RecoveryRestoresFromLastCommittedEpoch) {
+  const std::uint32_t n = 3;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  ckpt::CheckpointCoordinator coord;
+  runtime::Engine engine(topo, place, counting_factory(),
+                         {.fields_mode = FieldsRouting::kTable,
+                          .checkpoint = &coord});
+  engine.start();
+  GroundTruth truth;
+  workload::SyntheticGenerator gen(
+      {.num_values = 60, .locality = 0.8, .padding = 0, .seed = 57});
+  pump(engine, gen, 5'000, &truth);
+  engine.flush();
+  EXPECT_EQ(engine.checkpoint(), 1u);
+  pump(engine, gen, 5'000, &truth);
+  engine.flush();
+  EXPECT_EQ(engine.checkpoint(), 2u);
+  const std::uint64_t restored_before = engine.metrics().states_restored;
+  engine.crash_and_recover(1);
+  // Quiescent crash right after a commit: everything comes back from the
+  // epoch-2 snapshot, nothing needs replay dedup to fix it up.
+  EXPECT_GT(engine.metrics().states_restored, restored_before);
+  EXPECT_EQ(coord.store().last_committed_epoch(), 2u);
+  engine.flush();
+  expect_counts_match(engine, 1, n, truth.field0);
+  expect_counts_match(engine, 2, n, truth.field1);
+  engine.shutdown();
+}
+
+// Two same-seed runs with the same crash script agree on every recovery
+// counter and on the final per-key state (byte-level determinism).
+TEST(Ckpt, SameSeedCrashRunsAreDeterministic) {
+  const std::uint32_t n = 3;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  auto run = [&](runtime::EngineMetrics* out) {
+    ckpt::CheckpointCoordinator coord;
+    runtime::Engine engine(topo, place, counting_factory(),
+                           {.fields_mode = FieldsRouting::kTable,
+                            .checkpoint = &coord});
+    engine.start();
+    GroundTruth truth;
+    workload::SyntheticGenerator gen(
+        {.num_values = 60, .locality = 0.8, .padding = 0, .seed = 58});
+    pump(engine, gen, 6'000, &truth);
+    engine.flush();
+    engine.checkpoint();
+    pump(engine, gen, 3'000, &truth);
+    engine.flush();
+    engine.crash_and_recover(2);
+    engine.flush();
+    expect_counts_match(engine, 1, n, truth.field0);
+    *out = engine.metrics();
+    engine.shutdown();
+  };
+  runtime::EngineMetrics a;
+  runtime::EngineMetrics b;
+  run(&a);
+  run(&b);
+  EXPECT_EQ(a.states_restored, b.states_restored);
+  EXPECT_EQ(a.states_restored_bytes, b.states_restored_bytes);
+  EXPECT_EQ(a.tuples_replayed, b.tuples_replayed);
+  EXPECT_EQ(a.tuples_lost_at_crash, b.tuples_lost_at_crash);
+  EXPECT_EQ(a.ckpt_state_bytes, b.ckpt_state_bytes);
+  EXPECT_GT(a.tuples_replayed, 0u);
+}
+
+// --- crash x reconfiguration / elasticity ------------------------------------
+
+// Pinned ordering: every wave auto-checkpoints when a coordinator is
+// attached, so a crash right after a reconfiguration restores a snapshot
+// taken AT the new plan version — never one that predates the wave.
+TEST(Ckpt, WavesAutoCheckpointSoCrashAfterReconfigureRecovers) {
+  const std::uint32_t n = 3;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  ckpt::CheckpointCoordinator coord;
+  runtime::Engine engine(topo, place, counting_factory(),
+                         {.fields_mode = FieldsRouting::kTable,
+                          .checkpoint = &coord});
+  engine.start();
+  core::Manager mgr(topo, place, {});
+  GroundTruth truth;
+  workload::SyntheticGenerator gen(
+      {.num_values = 90, .locality = 0.8, .padding = 0, .seed = 59});
+  Feeder feeder(engine, truth, gen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  const auto plan = engine.reconfigure(mgr);
+  // The wave committed a checkpoint stamped with its own plan version.
+  EXPECT_GE(coord.checkpoints_committed(), 1u);
+  EXPECT_EQ(coord.store().last_committed().plan_version, plan.version);
+  // Crash immediately: recovery must come from that post-wave snapshot.
+  engine.crash_and_recover(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  engine.crash_and_recover(1);
+  feeder.stop();
+  engine.flush();
+  expect_counts_match(engine, 1, n, truth.field0);
+  expect_counts_match(engine, 2, n, truth.field1);
+  engine.shutdown();
+}
+
+TEST(Ckpt, CrashesInterleaveWithElasticResizes) {
+  const std::uint32_t n = 4;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  ckpt::CheckpointCoordinator coord;
+  runtime::Engine engine(topo, place, counting_factory(),
+                         {.fields_mode = FieldsRouting::kTable,
+                          .checkpoint = &coord,
+                          .active_servers = 2});
+  engine.start();
+  core::Manager mgr(topo, place, {});
+  GroundTruth truth;
+  workload::SyntheticGenerator gen(
+      {.num_values = 90, .locality = 0.8, .padding = 0, .seed = 60});
+  Feeder feeder(engine, truth, gen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Scale out (auto-checkpoint), then kill one of the freshly spawned
+  // servers: its state must come back from the post-scale snapshot.
+  engine.add_servers(mgr, 4);
+  engine.crash_and_recover(3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Scale in (auto-checkpoint covers the shrunken fleet), then kill a
+  // survivor: no replay may be needed from the retired server.
+  engine.retire_servers(mgr, 3);
+  engine.crash_and_recover(0);
+  feeder.stop();
+  engine.flush();
+  expect_counts_match(engine, 1, n, truth.field0);
+  expect_counts_match(engine, 2, n, truth.field1);
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.crashes, 2u);
+  EXPECT_EQ(m.active_servers, 3u);
+  engine.shutdown();
+}
+
+// --- the chaos schedule ------------------------------------------------------
+
+TEST(Ckpt, MaybeCrashFollowsTheFaultPlanDeterministically) {
+  const std::uint32_t n = 3;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  FaultPlan plan(707);
+  plan.set(FaultSite::kServerCrash, {.rate = 0.5});
+  auto run = [&]() -> std::vector<std::uint32_t> {
+    chaos::Injector inj(plan);
+    ckpt::CheckpointCoordinator coord;
+    runtime::Engine engine(topo, place, counting_factory(),
+                           {.fields_mode = FieldsRouting::kTable,
+                            .injector = &inj,
+                            .checkpoint = &coord});
+    engine.start();
+    GroundTruth truth;
+    workload::SyntheticGenerator gen(
+        {.num_values = 60, .locality = 0.8, .padding = 0, .seed = 61});
+    std::vector<std::uint32_t> crashed;
+    for (int round = 0; round < 6; ++round) {
+      pump(engine, gen, 2'000, &truth);
+      engine.flush();
+      engine.checkpoint();
+      if (const auto server = engine.maybe_crash()) {
+        crashed.push_back(*server);
+      }
+    }
+    engine.flush();
+    expect_counts_match(engine, 1, n, truth.field0);
+    engine.shutdown();
+    return crashed;
+  };
+  const auto first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(Ckpt, MaybeCrashIsANoOpWithoutInjectorOrCoordinator) {
+  const std::uint32_t n = 2;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  runtime::Engine engine(topo, place, counting_factory(),
+                         {.fields_mode = FieldsRouting::kTable});
+  engine.start();
+  EXPECT_EQ(engine.maybe_crash(), std::nullopt);
+  engine.shutdown();
+}
+
+// --- everything at once, many threads (TSan target) --------------------------
+
+TEST(Ckpt, CheckpointsAndCrashesStressManyThreads) {
+  // 12 POI threads + 2 feeders + the driver = 14 busy threads; `ctest -L
+  // ckpt` under -DLAR_SANITIZE=thread (and address) must come back clean.
+  const std::uint32_t n = 4;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  FaultPlan plan(808);
+  plan.set(FaultSite::kServerCrash, {.rate = 0.6});
+  plan.set(FaultSite::kChannelDelay, {.rate = 0.005});
+  plan.set(FaultSite::kChannelDuplicate, {.rate = 0.005});
+  obs::Registry registry;
+  obs::TraceRecorder trace;
+  chaos::Injector inj(plan, &registry, &trace);
+  ckpt::CheckpointCoordinator coord(&registry, &trace);
+  runtime::Engine engine(topo, place, counting_factory(),
+                         {.fields_mode = FieldsRouting::kTable,
+                          .registry = &registry,
+                          .trace = &trace,
+                          .injector = &inj,
+                          .checkpoint = &coord});
+  engine.start();
+  core::Manager mgr(topo, place, {});
+
+  GroundTruth truth1;
+  GroundTruth truth2;
+  workload::SyntheticGenerator gen1(
+      {.num_values = 120, .locality = 0.8, .padding = 0, .seed = 62});
+  workload::SyntheticGenerator gen2(
+      {.num_values = 120, .locality = 0.8, .padding = 0, .seed = 63});
+  Feeder feeder1(engine, truth1, gen1);
+  Feeder feeder2(engine, truth2, gen2);
+  for (int round = 0; round < 4; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    engine.checkpoint();
+    engine.maybe_crash();
+    if (round == 1) engine.reconfigure(mgr);
+  }
+  feeder1.stop();
+  feeder2.stop();
+  engine.flush();
+
+  GroundTruth truth;
+  for (GroundTruth* t : {&truth1, &truth2}) {
+    for (const auto& e : t->field0.entries()) truth.field0.add(e.key, e.count);
+    for (const auto& e : t->field1.entries()) truth.field1.add(e.key, e.count);
+  }
+  expect_counts_match(engine, 1, n, truth.field0);
+  expect_counts_match(engine, 2, n, truth.field1);
+  const auto m = engine.metrics();
+  EXPECT_GT(m.crashes, 0u);
+  engine.publish_metrics();
+  const std::string prom = obs::to_prometheus(registry);
+  EXPECT_NE(prom.find("lar_ckpt_checkpoints_total"), std::string::npos);
+  EXPECT_NE(prom.find("lar_ckpt_crashes_total"), std::string::npos);
+  engine.shutdown();
+}
+
+}  // namespace
+}  // namespace lar

@@ -2,6 +2,8 @@
 // graph, Manager plans and migration diffs.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
 #include <set>
 #include <unordered_map>
 
@@ -9,6 +11,7 @@
 #include "core/locality.hpp"
 #include "core/manager.hpp"
 #include "core/pair_stats.hpp"
+#include "core/snapshot.hpp"
 #include "workload/synthetic.hpp"
 
 namespace lar::core {
@@ -313,6 +316,102 @@ TEST(EdgeTraffic, LocalityMath) {
   u += t;
   EXPECT_EQ(u.local, 40u);
   EXPECT_EQ(u.remote, 70u);
+}
+
+// --- Snapshot format v3 (per-link sequence cursors, lar::ckpt) ---------------
+
+// v3 round-trip: tables AND link cursors survive save/load unchanged.
+TEST(SnapshotV3, RoundTripPreservesLinkCursors) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lar_snapshot_v3.larp")
+          .string();
+  ReconfigurationPlan plan;
+  plan.version = 7;
+  plan.active_servers = 4;
+  auto table = std::make_shared<RoutingTable>();
+  table->set_version(7);
+  for (Key k = 0; k < 50; ++k) {
+    table->assign(k * 3, static_cast<InstanceIndex>(k % 4));
+  }
+  table->set_fallback({0, 1, 2, 3});
+  plan.tables.emplace(2, std::move(table));
+  plan.link_cursors = {{0, 120}, {1, 0}, {5, 999'999}, {17, 42}};
+
+  ASSERT_TRUE(save_plan(plan, path).is_ok());
+  auto restored = load_plan(path);
+  ASSERT_TRUE(restored.is_ok());
+  const auto& r = restored.value();
+  EXPECT_EQ(r.version, 7u);
+  EXPECT_EQ(r.active_servers, 4u);
+  ASSERT_TRUE(r.tables.contains(2));
+  EXPECT_EQ(r.tables.at(2)->size(), 50u);
+  EXPECT_EQ(r.link_cursors, plan.link_cursors);
+  std::filesystem::remove(path);
+}
+
+// Backward read: a v2 snapshot (no cursor section) still loads, with empty
+// link_cursors.  The v2 bytes are written by hand so this test keeps failing
+// loudly if someone drops v2 support from load_plan.
+TEST(SnapshotV3, ReadsV2SnapshotWithEmptyCursors) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lar_snapshot_v2_compat.larp")
+          .string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    auto put = [&](const auto& v) {
+      ASSERT_EQ(std::fwrite(&v, sizeof v, 1, f), 1u);
+    };
+    std::fwrite("LARP", 1, 4, f);
+    put(std::uint32_t{2});      // format v2: ends after the tables
+    put(std::uint64_t{5});      // plan version
+    put(std::uint32_t{3});      // active servers
+    put(double{0.75});          // expected locality
+    put(std::uint64_t{1234});   // edge cut
+    put(double{1.05});          // imbalance
+    put(std::uint32_t{1});      // one table
+    put(OperatorId{1});
+    put(std::uint64_t{5});      // table version
+    put(std::uint64_t{2});      // two entries
+    put(Key{10});
+    put(InstanceIndex{0});
+    put(Key{20});
+    put(InstanceIndex{2});
+    put(std::uint32_t{3});      // fallback domain {0,1,2}
+    put(InstanceIndex{0});
+    put(InstanceIndex{1});
+    put(InstanceIndex{2});
+    std::fclose(f);
+  }
+  auto restored = load_plan(path);
+  ASSERT_TRUE(restored.is_ok());
+  const auto& r = restored.value();
+  EXPECT_EQ(r.version, 5u);
+  EXPECT_EQ(r.active_servers, 3u);
+  ASSERT_TRUE(r.tables.contains(1));
+  EXPECT_EQ(r.tables.at(1)->lookup(20).value(), 2u);
+  EXPECT_EQ(r.tables.at(1)->fallback().size(), 3u);
+  EXPECT_TRUE(r.link_cursors.empty());
+  std::filesystem::remove(path);
+}
+
+// Unknown future formats are rejected, not misparsed.
+TEST(SnapshotV3, RejectsUnknownFormatVersion) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lar_snapshot_v9.larp")
+          .string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("LARP", 1, 4, f);
+    const std::uint32_t format = 9;
+    ASSERT_EQ(std::fwrite(&format, sizeof format, 1, f), 1u);
+    std::fclose(f);
+  }
+  const auto r = load_plan(path);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument);
+  std::filesystem::remove(path);
 }
 
 }  // namespace
