@@ -17,6 +17,7 @@
 #include "core/manager.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "topology/placement.hpp"
@@ -117,6 +118,49 @@ class JsonBenchReport {
  private:
   std::string bench_;
   std::vector<std::pair<std::string, std::string>> panels_;  // label, report
+};
+
+/// Accumulates per-panel obs::Timeline snapshots and writes them as
+/// TIMELINE_<name>.json:
+///
+///   {"bench":"<name>","panels":[
+///     {"panel":"<label>","timeline":{"ticks_total":...,"base":{...},
+///      "ticks":[...]}}, ...]}
+///
+/// Like JsonBenchReport, emission order is insertion order and the embedded
+/// JSON is canonical, so the file is byte-stable for deterministic runs.
+class JsonTimelineArtifact {
+ public:
+  explicit JsonTimelineArtifact(std::string bench) : bench_(std::move(bench)) {}
+
+  void add_panel(std::string label, const obs::Timeline& timeline) {
+    panels_.emplace_back(std::move(label), obs::timeline_to_json(timeline));
+  }
+
+  /// Writes TIMELINE_<bench>.json into the working directory and announces
+  /// it as a comment line.  Returns the path.
+  std::string write() const {
+    const std::string path = "TIMELINE_" + bench_ + ".json";
+    std::string out = "{\"bench\":\"" + bench_ + "\",\"panels\":[";
+    for (std::size_t i = 0; i < panels_.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"panel\":\"" + panels_[i].first +
+             "\",\"timeline\":" + panels_[i].second + '}';
+    }
+    out += "]}\n";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fputs(out.c_str(), f);
+      std::fclose(f);
+      std::printf("# wrote %s\n", path.c_str());
+    } else {
+      std::printf("# failed to write %s\n", path.c_str());
+    }
+    return path;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> panels_;  // label, json
 };
 
 }  // namespace lar::bench

@@ -10,6 +10,8 @@
 
 #include "bench_util.hpp"
 #include "core/manager.hpp"
+#include "obs/probe.hpp"
+#include "obs/timeline.hpp"
 #include "sim/simulator.hpp"
 #include "workload/flickr_like.hpp"
 
@@ -22,13 +24,15 @@ constexpr int kReconfigPeriod = 10;
 constexpr std::uint64_t kTuplesPerMinute = 100'000;
 
 /// Per-minute sustainable throughput for one configuration.  When `report`
-/// is given, the simulator's registry and full reconfiguration trace
-/// (gather -> compute -> stage -> propagate -> migrate -> drain, with
-/// per-phase tuple/byte counts) are captured as panel `panel_label`.
+/// is given, the run is fully instrumented with obs v2 — spans enabled on
+/// the trace, a per-window timeline and a health probe attached — and the
+/// simulator's registry plus the span-carrying reconfiguration trace are
+/// captured as panel `panel_label` (the timeline lands in `timelines`).
 std::vector<double> run(std::uint32_t padding, double bandwidth,
                         bool with_reconfig,
                         bench::JsonBenchReport* report = nullptr,
-                        const std::string& panel_label = {}) {
+                        const std::string& panel_label = {},
+                        bench::JsonTimelineArtifact* timelines = nullptr) {
   const std::uint32_t n = 6;
   const Topology topo = make_two_stage_topology(n);
   const Placement place = Placement::round_robin(topo, n);
@@ -38,6 +42,13 @@ std::vector<double> run(std::uint32_t padding, double bandwidth,
   sim::Simulator simulator(topo, place, cfg, FieldsRouting::kTable);
   core::Manager manager(topo, place, {});
   manager.set_metrics_registry(&simulator.registry());
+  obs::Timeline timeline;
+  obs::Probe probe;
+  if (report != nullptr) {
+    simulator.trace().set_spans_enabled(true);
+    simulator.set_timeline(&timeline);
+    simulator.set_probe(&probe);
+  }
   workload::FlickrLikeConfig wcfg;
   wcfg.padding = padding;
   wcfg.seed = 13;
@@ -54,6 +65,7 @@ std::vector<double> run(std::uint32_t padding, double bandwidth,
   }
   if (report != nullptr) {
     report->add_panel(panel_label, simulator.registry(), &simulator.trace());
+    if (timelines != nullptr) timelines->add_panel(panel_label, timeline);
   }
   return series;
 }
@@ -71,6 +83,7 @@ int main() {
       "1 Gb/s network; reconfiguration itself causes no dip\n");
 
   bench::JsonBenchReport report("fig13_reconfig_timeline");
+  bench::JsonTimelineArtifact timelines("fig13_reconfig_timeline");
   char panel = 'a';
   for (const double bandwidth : {sim::kTenGbps, sim::kOneGbps}) {
     for (const std::uint32_t padding : {4'000u, 8'000u, 12'000u}) {
@@ -81,7 +94,8 @@ int main() {
       std::printf("\n# (%c) network=%s, padding=%ukB\n", panel++,
                   bandwidth == sim::kTenGbps ? "10Gb/s" : "1Gb/s",
                   padding / 1000);
-      const auto with = run(padding, bandwidth, true, &report, label);
+      const auto with = run(padding, bandwidth, true, &report, label,
+                            &timelines);
       const auto without = run(padding, bandwidth, false);
       std::printf("%-8s %-12s %-12s\n", "minute", "w/reconf", "w/o-reconf");
       for (int m = 0; m < kMinutes; ++m) {
@@ -96,5 +110,6 @@ int main() {
     }
   }
   report.write();
+  timelines.write();
   return 0;
 }

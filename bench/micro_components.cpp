@@ -18,6 +18,7 @@
 #include "core/pair_stats.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "partition/partitioner.hpp"
 #include "runtime/engine.hpp"
@@ -185,6 +186,45 @@ void BM_ObsRegistryLookup(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObsRegistryLookup);
+
+/// Populates `reg` like a mid-size instrumented run: `samples` counter and
+/// gauge samples spread across two families.
+void populate_registry(obs::Registry& reg, std::int64_t samples) {
+  for (std::int64_t i = 0; i < samples; ++i) {
+    const obs::Labels labels = {{"op", "count"},
+                                {"inst", std::to_string(i)}};
+    reg.counter("bench_tuples_total", labels)
+        .inc(static_cast<std::uint64_t>(i));
+    reg.gauge("bench_depth", labels).set(static_cast<double>(i % 7));
+  }
+}
+
+void BM_ObsRegistrySnapshot(benchmark::State& state) {
+  // Cost of one canonical families() walk — what every timeline tick and
+  // every exporter pass pays.
+  obs::Registry reg;
+  populate_registry(reg, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.families());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsRegistrySnapshot)->Arg(16)->Arg(256);
+
+void BM_ObsTimelineTick(benchmark::State& state) {
+  // Steady-state timeline tick: values unchanged between ticks, so each
+  // tick flattens the registry and emits an empty delta — the per-window
+  // cost fig13 pays with a timeline attached.
+  obs::Registry reg;
+  populate_registry(reg, state.range(0));
+  obs::Timeline timeline;
+  double vtime = 0.0;
+  for (auto _ : state) {
+    timeline.tick(reg, vtime += 1.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsTimelineTick)->Arg(16)->Arg(256);
 
 // --- custom main: obs overhead check + BENCH json --------------------------
 

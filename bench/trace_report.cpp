@@ -1,0 +1,93 @@
+// trace_report — the obs v2 span-tree report for one fig13-style
+// reconfiguration wave.
+//
+// Runs the two-stage Flickr-like simulation with spans enabled, triggers a
+// reconfiguration at window 10, rebuilds the causal span tree from the
+// recorded trace and prints its virtual-time critical path: gather ->
+// compute -> stage -> slowest ack -> propagate -> migrate -> last drain,
+// with per-phase begin/end vtimes from the SimConfig vt_* cost model.
+//
+// Determinism self-check: the whole pipeline runs twice with the same seed
+// and the rendered report plus the timeline JSON must be byte-identical
+// (exit 1 otherwise) — the "with one attached" half of the obs v2
+// byte-identity invariant.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/manager.hpp"
+#include "obs/probe.hpp"
+#include "obs/span_report.hpp"
+#include "obs/timeline.hpp"
+#include "sim/simulator.hpp"
+#include "workload/flickr_like.hpp"
+
+using namespace lar;
+
+namespace {
+
+constexpr int kWindows = 12;
+constexpr int kReconfigWindow = 10;
+constexpr std::uint64_t kTuplesPerWindow = 100'000;
+
+struct RunOutput {
+  std::string report;    ///< rendered span-tree + critical-path report
+  std::string timeline;  ///< timeline JSON over all windows
+};
+
+RunOutput run_once() {
+  const std::uint32_t n = 6;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kRoundRobin;
+  sim::Simulator simulator(topo, place, cfg, FieldsRouting::kTable);
+  core::Manager manager(topo, place, {});
+  manager.set_metrics_registry(&simulator.registry());
+  obs::Timeline timeline;
+  obs::Probe probe;
+  simulator.trace().set_spans_enabled(true);
+  simulator.set_timeline(&timeline);
+  simulator.set_probe(&probe);
+  workload::FlickrLikeConfig wcfg;
+  wcfg.padding = 8'000;
+  wcfg.seed = 13;
+  workload::FlickrLikeGenerator gen(wcfg);
+  for (int w = 1; w <= kWindows; ++w) {
+    (void)simulator.run_window(gen, kTuplesPerWindow);
+    if (w == kReconfigWindow) (void)simulator.reconfigure(manager);
+  }
+  const obs::SpanTree tree =
+      obs::build_span_tree(simulator.trace().canonical_events());
+  return RunOutput{obs::render_span_report(tree),
+                   obs::timeline_to_json(timeline)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "# trace_report — virtual-time critical path of one reconfiguration "
+      "wave (fig13 setup: parallelism 6, Flickr-like, reconfigure at window "
+      "%d of %d)\n"
+      "# expected shape: one wave span whose child phases run gather -> "
+      "compute -> stage -> ack -> propagate -> migrate back to back; the "
+      "critical path total is the wave's virtual duration\n",
+      kReconfigWindow, kWindows);
+
+  const RunOutput a = run_once();
+  const RunOutput b = run_once();
+  if (a.report != b.report || a.timeline != b.timeline) {
+    std::printf(
+        "# FAIL: same-seed outputs differ (span report %s, timeline JSON "
+        "%s)\n",
+        a.report == b.report ? "identical" : "DIFFER",
+        a.timeline == b.timeline ? "identical" : "DIFFER");
+    return 1;
+  }
+  std::fputs(a.report.c_str(), stdout);
+  std::printf(
+      "# determinism self-check: span report and timeline JSON "
+      "byte-identical across two same-seed runs\n");
+  return 0;
+}

@@ -3,8 +3,8 @@
 #
 #   scripts/check.sh            # configure + build (zero warnings), full
 #                               # ctest, TSan obs+chaos+elastic+ckpt, ASan
-#                               # ckpt, perf smoke, elasticity + checkpoint
-#                               # ablation self-checks
+#                               # ckpt, perf smoke, obs v2 byte-identity,
+#                               # elasticity + checkpoint ablation self-checks
 #
 # Exits nonzero on the first failure.  Build trees: build/ (release-ish,
 # whatever CMakeLists defaults to), build-tsan/ (-DLAR_SANITIZE=thread) and
@@ -37,6 +37,16 @@ ctest --test-dir build-asan -L ckpt --output-on-failure
 
 log "perf smoke (devirtualized-routing differential checks)"
 ./build/bench/micro_hotpath --ops 20000 >/dev/null
+
+log "obs v2 byte-identity (fig13 with spans+timeline+probe attached, twice same-seed)"
+obs_a=$(mktemp -d); obs_b=$(mktemp -d)
+(cd "$obs_a" && "$OLDPWD"/build/bench/fig13_reconfig_timeline >/dev/null)
+(cd "$obs_b" && "$OLDPWD"/build/bench/fig13_reconfig_timeline >/dev/null)
+diff "$obs_a"/BENCH_fig13_reconfig_timeline.json \
+     "$obs_b"/BENCH_fig13_reconfig_timeline.json
+diff "$obs_a"/TIMELINE_fig13_reconfig_timeline.json \
+     "$obs_b"/TIMELINE_fig13_reconfig_timeline.json
+rm -rf "$obs_a" "$obs_b"
 
 log "elasticity ablation (self-checking: byte-identity, conservation, locality)"
 elastic_dir=$(mktemp -d)

@@ -402,6 +402,11 @@ void Manager::publish_plan_metrics(const ReconfigurationPlan& plan) {
   reg.counter("lar_partitioner_bisections_total", {},
               "Multilevel bisections across all computed plans")
       .inc(plan.partitioner_bisections);
+  // Timeline (obs v2): one tick per planning round, at vtime = plan
+  // version — the manager's only deterministic clock.
+  if (timeline_ != nullptr) {
+    timeline_->tick(reg, static_cast<double>(plan.version));
+  }
 }
 
 void Manager::mark_deployed(const ReconfigurationPlan& plan) {

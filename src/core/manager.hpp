@@ -17,6 +17,7 @@
 #include "core/pair_stats.hpp"
 #include "core/plan.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "partition/partitioner.hpp"
 #include "topology/placement.hpp"
 #include "topology/routing.hpp"
@@ -137,6 +138,14 @@ class Manager {
     registry_ = registry;
   }
 
+  /// Attaches a timeline store (obs v2): every compute ticks it right
+  /// after the plan diagnostics are published, at vtime = plan version —
+  /// one tick per planning round.  Requires an attached registry to have
+  /// any effect; null detaches.
+  void set_timeline(obs::Timeline* timeline) noexcept {
+    timeline_ = timeline;
+  }
+
  private:
   [[nodiscard]] ReconfigurationPlan compute_impl(
       const std::vector<HopStats>& stats, std::uint32_t active_servers,
@@ -151,6 +160,7 @@ class Manager {
   std::unordered_map<OperatorId, std::shared_ptr<const RoutingTable>>
       deployed_;
   obs::Registry* registry_ = nullptr;
+  obs::Timeline* timeline_ = nullptr;
 };
 
 }  // namespace lar::core

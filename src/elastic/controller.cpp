@@ -20,7 +20,10 @@ ScaleDecision Controller::evaluate(const Signals& signals,
 
   // A resize still settling (state in flight) pins the fleet regardless of
   // what utilization reads — half-migrated epochs produce junk signals.
-  if (signals.migration_backlog > 0.0 || cooldown_ > 0) {
+  // The health probe's veto (migration/recovery work observed in the last
+  // timeline tick) pins for exactly the same reason.
+  if (signals.migration_backlog > 0.0 || signals.health_veto > 0.0 ||
+      cooldown_ > 0) {
     if (cooldown_ > 0) --cooldown_;
     over_streak_ = 0;
     under_streak_ = 0;
@@ -28,7 +31,11 @@ ScaleDecision Controller::evaluate(const Signals& signals,
     return decision;
   }
 
-  if (signals.utilization >= options_.scale_out_utilization) {
+  // A health-pressure alert (sustained imbalance, locality drop or queue
+  // growth) is an overload observation even when raw utilization sits in
+  // the dead band — and, by taking this branch, it also blocks scale-in.
+  if (signals.utilization >= options_.scale_out_utilization ||
+      signals.health_pressure > 0.0) {
     under_streak_ = 0;
     ++over_streak_;
     if (over_streak_ < options_.confirm_epochs) {
@@ -104,6 +111,14 @@ Signals signals_from_registry(const obs::Registry& registry,
     } else if (family.name == "lar_queue_depth_hwm") {
       for (const obs::Registry::Sample& s : family.samples) {
         out.queue_hwm = std::max(out.queue_hwm, s.gauge->value());
+      }
+    } else if (family.name == "lar_health_pressure") {
+      for (const obs::Registry::Sample& s : family.samples) {
+        out.health_pressure = std::max(out.health_pressure, s.gauge->value());
+      }
+    } else if (family.name == "lar_health_veto") {
+      for (const obs::Registry::Sample& s : family.samples) {
+        out.health_veto = std::max(out.health_veto, s.gauge->value());
       }
     }
   }

@@ -71,6 +71,16 @@ struct Signals {
 
   /// Key states still in flight from the previous resize (0 once settled).
   double migration_backlog = 0.0;
+
+  /// Health-probe inputs (obs v2; 0 when no probe publishes, keeping every
+  /// probe-free decision sequence identical).  `health_pressure` is the
+  /// `lar_health_pressure` gauge: a sustained imbalance / locality-drop /
+  /// queue-growth alert counts as an overload observation (and therefore
+  /// also blocks scale-in).  `health_veto` is the `lar_health_veto` gauge:
+  /// migration or recovery work still in flight pins the fleet exactly
+  /// like migration_backlog does.
+  double health_pressure = 0.0;
+  double health_veto = 0.0;
 };
 
 /// Why the controller decided what it decided.
@@ -131,8 +141,10 @@ class Controller {
 /// Builds Signals from the canonical registry families the sim/runtime
 /// publish: `lar_window_throughput_tps` (utilization denominator),
 /// `lar_edge_locality_ratio` (mean), `lar_op_load_balance_ratio` (max),
-/// `lar_queue_depth_hwm` (max).  Missing families leave the struct
-/// defaults.  Deterministic: families() iterates in canonical order.
+/// `lar_queue_depth_hwm` (max), plus — when an obs::Probe feeds the same
+/// registry — `lar_health_pressure` / `lar_health_veto`.  Missing families
+/// leave the struct defaults.  Deterministic: families() iterates in
+/// canonical order.
 [[nodiscard]] Signals signals_from_registry(const obs::Registry& registry,
                                             double offered_rate);
 

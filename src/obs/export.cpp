@@ -3,53 +3,36 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/fmt.hpp"
+
 namespace lar::obs {
 
 namespace {
 
-/// Fixed-precision, locale-independent double formatting.  Integral values
-/// print without a fractional part ("42", not "42.000000") so counters and
-/// integer-valued gauges read naturally in both formats.
-std::string fmt_double(double v) {
-  if (std::isnan(v)) return "NaN";
-  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
-  char buf[40];
-  if (v == static_cast<double>(static_cast<long long>(v)) &&
-      std::abs(v) < 1e15) {
-    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
-  } else {
-    std::snprintf(buf, sizeof buf, "%.10g", v);
-  }
-  return buf;
-}
+using detail::append_json_escaped;
+using detail::fmt_double;
+using detail::fmt_json_number;
+using detail::fmt_u64;
 
-/// JSON has no Inf/NaN literals; those degrade to null.
-std::string fmt_json_number(double v) {
-  if (std::isnan(v) || std::isinf(v)) return "null";
-  return fmt_double(v);
-}
-
-std::string fmt_u64(std::uint64_t v) {
-  char buf[24];
-  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
-  return buf;
-}
-
-void append_json_escaped(std::string& out, std::string_view s) {
+/// Prometheus label values escape `\`, `"` and newline per the exposition
+/// format (HELP text escapes `\` and newline only).
+void append_prom_escaped(std::string& out, std::string_view s) {
   for (const char c : s) {
     switch (c) {
+      case '\\': out += "\\\\"; break;
       case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void append_prom_help_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+      default: out += c;
     }
   }
 }
@@ -62,7 +45,7 @@ std::string prom_labels(const Labels& labels) {
     if (i > 0) out += ',';
     out += labels[i].key;
     out += "=\"";
-    out += labels[i].value;
+    append_prom_escaped(out, labels[i].value);
     out += '"';
   }
   out += '}';
@@ -76,7 +59,7 @@ std::string prom_labels_with(const Labels& labels, std::string_view key,
   for (const Label& l : labels) {
     out += l.key;
     out += "=\"";
-    out += l.value;
+    append_prom_escaped(out, l.value);
     out += "\",";
   }
   out += key;
@@ -110,7 +93,7 @@ std::string to_prometheus(const Registry& registry, const MetricFilter& keep) {
       out += "# HELP ";
       out += fam.name;
       out += ' ';
-      out += fam.help;
+      append_prom_help_escaped(out, fam.help);
       out += '\n';
     }
     out += "# TYPE ";
@@ -247,6 +230,20 @@ void append_trace_json(std::string& out, const TraceRecorder& trace,
     out += fmt_u64(e.bytes);
     out += ",\"vtime\":";
     out += fmt_json_number(e.vtime);
+    // Span fields (obs v2) appear only on traces recorded with spans
+    // enabled, keeping legacy trace JSON byte-identical.
+    if (e.span != 0) {
+      out += ",\"span\":";
+      out += fmt_u64(e.span);
+    }
+    if (e.parent != 0) {
+      out += ",\"parent\":";
+      out += fmt_u64(e.parent);
+    }
+    if (e.vtime_end != e.vtime) {
+      out += ",\"vtime_end\":";
+      out += fmt_json_number(e.vtime_end);
+    }
     if (include_seq) {
       out += ",\"seq\":";
       out += fmt_u64(e.seq);

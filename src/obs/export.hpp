@@ -17,10 +17,8 @@
 
 namespace lar::obs {
 
-/// Optional metric filter: return true to keep the family.  Used e.g. to
-/// drop scheduling-dependent gauges (queue high-water marks) from exports
-/// that must be byte-identical across runs of the threaded runtime.
-using MetricFilter = std::function<bool(std::string_view name)>;
+// MetricFilter (return true to keep a family) lives in obs/metrics.hpp so
+// the timeline store can use it without depending on the exporters.
 
 /// Prometheus text exposition format (HELP/TYPE headers, histogram
 /// `_bucket`/`_sum`/`_count` expansion, `le` labels with `+Inf`).

@@ -1,0 +1,62 @@
+// lar::obs — shared deterministic formatting helpers for the exporters.
+//
+// Fixed-precision, locale-independent; no wall-clock input anywhere.  Used
+// by export.cpp (Prometheus/JSON/trace) and timeline.cpp (timeline JSON) so
+// every artifact formats numbers identically.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace lar::obs::detail {
+
+/// Integral values print without a fractional part ("42", not "42.000000")
+/// so counters and integer-valued gauges read naturally in both formats.
+inline std::string fmt_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+  }
+  return buf;
+}
+
+/// JSON has no Inf/NaN literals; those degrade to null.
+inline std::string fmt_json_number(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  return fmt_double(v);
+}
+
+inline std::string fmt_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+inline void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace lar::obs::detail

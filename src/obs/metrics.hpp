@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -33,6 +34,12 @@
 #include <vector>
 
 namespace lar::obs {
+
+/// Optional metric filter: return true to keep the family.  Used e.g. to
+/// drop scheduling-dependent gauges (queue high-water marks) from exports
+/// and timelines that must be byte-identical across runs of the threaded
+/// runtime.
+using MetricFilter = std::function<bool(std::string_view name)>;
 
 /// One label dimension, e.g. {"edge", "3"}.
 struct Label {

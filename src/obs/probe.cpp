@@ -1,0 +1,170 @@
+#include "obs/probe.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+namespace lar::obs {
+
+namespace {
+
+/// True when flat sample id `id` belongs to family `family` — exact match
+/// or `family{...}` (a longer family name sharing the prefix does not
+/// match: the next char must be '{').
+bool in_family(const std::string& id, std::string_view family) {
+  if (id.size() < family.size() ||
+      id.compare(0, family.size(), family) != 0) {
+    return false;
+  }
+  return id.size() == family.size() || id[family.size()] == '{';
+}
+
+double family_max(const Timeline::Values& values, std::string_view family) {
+  double out = 0.0;
+  for (const auto& [id, value] : values) {
+    if (in_family(id, family)) out = std::max(out, value);
+  }
+  return out;
+}
+
+double family_mean(const Timeline::Values& values, std::string_view family) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [id, value] : values) {
+    if (in_family(id, family)) {
+      sum += value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double family_sum(const Timeline::Values& values, std::string_view family) {
+  double sum = 0.0;
+  for (const auto& [id, value] : values) {
+    if (in_family(id, family)) sum += value;
+  }
+  return sum;
+}
+
+double value_at(const Timeline::Values& values, const std::string& id) {
+  const auto it = values.find(id);
+  return it == values.end() ? 0.0 : it->second;
+}
+
+/// Counter families whose per-tick delta means key/state movement.
+constexpr std::string_view kMigrationFamilies[] = {
+    "lar_key_moves_total",
+    "lar_states_migrated_total",
+    "lar_elastic_states_drained_total",
+};
+
+/// Counter families whose per-tick delta means recovery work.
+constexpr std::string_view kRecoveryFamilies[] = {
+    "lar_chaos_recovery_total",
+    "lar_ckpt_crashes_recovered_total",
+};
+
+}  // namespace
+
+Probe::Probe(ProbeRules rules) : rules_(rules) {}
+
+Health Probe::assess(const Timeline::Snapshot& latest,
+                     const Timeline::Snapshot& previous,
+                     const ProbeRules& rules,
+                     std::uint64_t prior_recovery_ticks) {
+  Health h;
+  if (!latest.valid) return h;
+  h.imbalance = family_max(latest.values, "lar_op_load_balance_ratio");
+  h.locality = family_mean(latest.values, "lar_edge_locality_ratio");
+  if (previous.valid) {
+    const double prev_locality =
+        family_mean(previous.values, "lar_edge_locality_ratio");
+    h.locality_drop = std::max(0.0, prev_locality - h.locality);
+    for (const auto& [id, value] : latest.values) {
+      if (!in_family(id, "lar_queue_depth_hwm")) continue;
+      h.queue_growth =
+          std::max(h.queue_growth, value - value_at(previous.values, id));
+    }
+  }
+  // Counter deltas; on the first tick the full counter value counts (a run
+  // that starts mid-migration is not steady-state either).
+  for (const std::string_view family : kMigrationFamilies) {
+    h.migration_delta +=
+        family_sum(latest.values, family) -
+        (previous.valid ? family_sum(previous.values, family) : 0.0);
+  }
+  for (const std::string_view family : kRecoveryFamilies) {
+    h.recovery_delta +=
+        family_sum(latest.values, family) -
+        (previous.valid ? family_sum(previous.values, family) : 0.0);
+  }
+  h.recovery_ticks =
+      h.recovery_delta > 0.0 ? prior_recovery_ticks + 1 : 0;
+  h.pressure = h.imbalance > rules.imbalance_alpha ||
+               h.locality_drop > rules.locality_drop ||
+               h.queue_growth > rules.queue_growth;
+  h.veto = h.migration_delta > rules.migration_delta ||
+           h.recovery_delta > rules.recovery_delta;
+  return h;
+}
+
+Health Probe::evaluate(const Timeline& timeline, Registry& registry) {
+  const Health h =
+      assess(timeline.latest(), timeline.previous(), rules_, recovery_ticks_);
+  recovery_ticks_ = h.recovery_ticks;
+
+  registry
+      .gauge("lar_health_imbalance_ratio", {},
+             "Worst per-operator load-balance ratio at the latest tick")
+      .set(h.imbalance);
+  registry
+      .gauge("lar_health_locality_ratio", {},
+             "Mean per-edge locality ratio at the latest tick")
+      .set(h.locality);
+  registry
+      .gauge("lar_health_locality_drop_ratio", {},
+             "One-tick drop of the mean locality ratio (floored at 0)")
+      .set(h.locality_drop);
+  registry
+      .gauge("lar_health_queue_growth", {},
+             "Largest one-tick growth of any queue high-water mark")
+      .set(h.queue_growth);
+  registry
+      .gauge("lar_health_migration_delta", {},
+             "Key/state moves observed in the latest tick")
+      .set(h.migration_delta);
+  registry
+      .gauge("lar_health_recovery_ticks", {},
+             "Consecutive ticks with recovery activity")
+      .set(static_cast<double>(h.recovery_ticks));
+  registry
+      .gauge("lar_health_pressure", {},
+             "1 when a pressure rule (imbalance/locality_drop/queue_growth) "
+             "fired at the latest tick")
+      .set(h.pressure ? 1.0 : 0.0);
+  registry
+      .gauge("lar_health_veto", {},
+             "1 when a veto rule (migration/recovery) fired at the latest "
+             "tick")
+      .set(h.veto ? 1.0 : 0.0);
+
+  const char* const help = "Health alerts fired, by rule";
+  Counter& imbalance =
+      registry.counter("lar_alerts_total", {{"rule", "imbalance"}}, help);
+  Counter& locality_drop =
+      registry.counter("lar_alerts_total", {{"rule", "locality_drop"}}, help);
+  Counter& queue_growth =
+      registry.counter("lar_alerts_total", {{"rule", "queue_growth"}}, help);
+  Counter& migration =
+      registry.counter("lar_alerts_total", {{"rule", "migration"}}, help);
+  Counter& recovery =
+      registry.counter("lar_alerts_total", {{"rule", "recovery"}}, help);
+  if (h.imbalance > rules_.imbalance_alpha) imbalance.inc();
+  if (h.locality_drop > rules_.locality_drop) locality_drop.inc();
+  if (h.queue_growth > rules_.queue_growth) queue_growth.inc();
+  if (h.migration_delta > rules_.migration_delta) migration.inc();
+  if (h.recovery_delta > rules_.recovery_delta) recovery.inc();
+  return h;
+}
+
+}  // namespace lar::obs

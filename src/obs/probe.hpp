@@ -1,0 +1,87 @@
+// lar::obs — health probe over the timeline (obs v2).
+//
+// A Probe turns the timeline's last two ticks into health verdicts.  The
+// assessment itself (`assess`) is a pure function of those two snapshots,
+// the rule thresholds, and the prior recovery streak — no hidden state, no
+// wall clock — so probe output is byte-identical across same-seed runs.
+// `evaluate` additionally publishes the verdict into a registry as
+// `lar_health_*` gauges and `lar_alerts_total{rule}` counters; those
+// families exist only once a probe has evaluated (structural disable), so
+// runs without a probe keep their exports byte-identical.
+//
+// The two boolean outputs feed the elastic controller (see
+// elastic/controller.hpp):
+//  - `pressure` (imbalance / locality drop / queue growth) counts as an
+//    overload observation, letting alerts trigger scale-out;
+//  - `veto` (migration or recovery activity this tick) pins the fleet like
+//    a migration backlog does, because signals measured mid-migration or
+//    mid-replay are not steady-state.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
+namespace lar::obs {
+
+/// Alert thresholds.  Every rule compares the latest tick (or its delta
+/// against the previous tick) to one threshold; crossing it fires the
+/// alert counter and raises the matching health gauge.
+struct ProbeRules {
+  /// Fire "imbalance" when the worst per-operator load-balance ratio
+  /// (`lar_op_load_balance_ratio`, max instance load / mean) exceeds this
+  /// α — the balance criterion of the partitioner.
+  double imbalance_alpha = 1.5;
+  /// Fire "locality_drop" when mean `lar_edge_locality_ratio` falls by
+  /// more than this much in one tick.
+  double locality_drop = 0.15;
+  /// Fire "queue_growth" when any `lar_queue_depth_hwm` sample grows by
+  /// more than this many tuples in one tick.
+  double queue_growth = 1024.0;
+  /// Fire "migration" when more than this many key/state moves (planned
+  /// moves, migrated states, elastic drains) land in one tick.
+  double migration_delta = 0.0;
+  /// Fire "recovery" when more than this many recovery actions (chaos
+  /// recoveries, crash replays) land in one tick.
+  double recovery_delta = 0.0;
+};
+
+/// One tick's verdict.
+struct Health {
+  double imbalance = 0.0;       ///< max lar_op_load_balance_ratio
+  double locality = 0.0;        ///< mean lar_edge_locality_ratio
+  double locality_drop = 0.0;   ///< previous locality - locality, floored at 0
+  double queue_growth = 0.0;    ///< max per-sample lar_queue_depth_hwm delta
+  double migration_delta = 0.0; ///< key/state moves this tick
+  double recovery_delta = 0.0;  ///< recovery actions this tick
+  std::uint64_t recovery_ticks = 0;  ///< consecutive ticks with recovery
+  bool pressure = false;  ///< imbalance / locality_drop / queue_growth fired
+  bool veto = false;      ///< migration / recovery fired
+};
+
+class Probe {
+ public:
+  explicit Probe(ProbeRules rules = {});
+
+  /// Pure assessment of two timeline snapshots.  `prior_recovery_ticks` is
+  /// the streak before this tick (the probe's only cross-tick state).
+  [[nodiscard]] static Health assess(const Timeline::Snapshot& latest,
+                                     const Timeline::Snapshot& previous,
+                                     const ProbeRules& rules,
+                                     std::uint64_t prior_recovery_ticks);
+
+  /// Assesses the timeline's latest/previous ticks, updates the recovery
+  /// streak, and publishes `lar_health_*` gauges plus `lar_alerts_total`
+  /// counters (all rule labels interned up front so export shape is
+  /// deterministic).  Call once per tick, after Timeline::tick.
+  Health evaluate(const Timeline& timeline, Registry& registry);
+
+  [[nodiscard]] const ProbeRules& rules() const { return rules_; }
+
+ private:
+  ProbeRules rules_;
+  std::uint64_t recovery_ticks_ = 0;
+};
+
+}  // namespace lar::obs

@@ -1,0 +1,225 @@
+#include "obs/span_report.hpp"
+
+#include <array>
+#include <cstdio>
+#include <map>
+
+#include "obs/fmt.hpp"
+
+namespace lar::obs {
+
+namespace {
+
+/// Fixed-width virtual-time formatting (deterministic, locale-free).
+std::string fmt_vt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+constexpr std::size_t kNumPhases = 16;  // Phase::kGather..Phase::kWave
+
+}  // namespace
+
+SpanTree build_span_tree(const std::vector<TraceEvent>& events) {
+  std::map<std::uint64_t, SpanNode> nodes;
+  for (const TraceEvent& e : events) {
+    if (e.span != 0) nodes[e.span].event = e;
+  }
+
+  SpanTree tree;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> child_ids;
+  std::vector<std::uint64_t> root_ids;
+  for (const auto& [id, node] : nodes) {
+    const std::uint64_t parent = node.event.parent;
+    if (parent == 0) {
+      root_ids.push_back(id);
+    } else if (nodes.count(parent) != 0) {
+      child_ids[parent].push_back(id);
+    } else {
+      tree.orphans.push_back(node.event);
+    }
+  }
+  for (const TraceEvent& e : events) {
+    if (e.span != 0) continue;
+    if (e.parent == 0) {
+      tree.toplevel.push_back(e);
+    } else if (const auto it = nodes.find(e.parent); it != nodes.end()) {
+      it->second.leaves.push_back(e);
+    } else {
+      tree.orphans.push_back(e);
+    }
+  }
+
+  // Materialize bottom-up; child id vectors are in span-id order because
+  // `nodes` iterates in id order.
+  struct Builder {
+    std::map<std::uint64_t, SpanNode>& nodes;
+    std::map<std::uint64_t, std::vector<std::uint64_t>>& child_ids;
+    SpanNode build(std::uint64_t id) {
+      SpanNode out = std::move(nodes[id]);
+      if (const auto it = child_ids.find(id); it != child_ids.end()) {
+        out.children.reserve(it->second.size());
+        for (const std::uint64_t child : it->second) {
+          out.children.push_back(build(child));
+        }
+      }
+      return out;
+    }
+  } builder{nodes, child_ids};
+  tree.roots.reserve(root_ids.size());
+  for (const std::uint64_t id : root_ids) {
+    tree.roots.push_back(builder.build(id));
+  }
+  return tree;
+}
+
+namespace {
+
+void fold_event(std::array<PhaseStat, kNumPhases>& stats,
+                std::array<bool, kNumPhases>& present, const TraceEvent& e) {
+  const auto idx = static_cast<std::size_t>(e.phase);
+  if (idx >= kNumPhases) return;
+  PhaseStat& s = stats[idx];
+  if (!present[idx]) {
+    present[idx] = true;
+    s.phase = e.phase;
+    s.begin = e.vtime;
+    s.end = e.vtime_end;
+  } else {
+    s.begin = std::min(s.begin, e.vtime);
+    s.end = std::max(s.end, e.vtime_end);
+  }
+  ++s.events;
+  s.count += e.count;
+  s.bytes += e.bytes;
+  const double duration = e.vtime_end - e.vtime;
+  const bool slower = s.events == 1 || duration > s.slowest_duration ||
+                      (duration == s.slowest_duration &&
+                       e.entity < s.slowest_entity);
+  if (slower) {
+    s.slowest_duration = duration;
+    s.slowest_entity = e.entity;
+  }
+}
+
+}  // namespace
+
+WaveCriticalPath wave_critical_path(const SpanNode& wave) {
+  WaveCriticalPath cp;
+  cp.version = wave.event.version;
+  cp.begin = wave.event.vtime;
+  cp.end = wave.event.vtime_end;
+  std::array<PhaseStat, kNumPhases> stats{};
+  std::array<bool, kNumPhases> present{};
+  for (const SpanNode& child : wave.children) {
+    fold_event(stats, present, child.event);
+  }
+  for (const TraceEvent& leaf : wave.leaves) {
+    fold_event(stats, present, leaf);
+  }
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    if (present[i]) cp.phases.push_back(stats[i]);
+  }
+  return cp;
+}
+
+namespace {
+
+void append_phase_stat(std::string& out, const PhaseStat& s,
+                       std::string_view indent) {
+  out += indent;
+  out += to_string(s.phase);
+  out += " [";
+  out += fmt_vt(s.begin);
+  out += ',';
+  out += fmt_vt(s.end);
+  out += "] d=";
+  out += fmt_vt(s.end - s.begin);
+  out += " events=";
+  out += detail::fmt_u64(s.events);
+  out += " count=";
+  out += detail::fmt_u64(s.count);
+  out += " bytes=";
+  out += detail::fmt_u64(s.bytes);
+  if (!s.slowest_entity.empty()) {
+    out += " slowest=";
+    out += s.slowest_entity;
+    out += " d=";
+    out += fmt_vt(s.slowest_duration);
+  }
+  out += '\n';
+}
+
+void append_node(std::string& out, const SpanNode& node, int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  out += indent;
+  out += to_string(node.event.phase);
+  out += " v";
+  out += detail::fmt_u64(node.event.version);
+  out += ' ';
+  out += node.event.entity;
+  out += " [";
+  out += fmt_vt(node.event.vtime);
+  out += ',';
+  out += fmt_vt(node.event.vtime_end);
+  out += "] d=";
+  out += fmt_vt(node.event.vtime_end - node.event.vtime);
+  if (node.event.count != 0) {
+    out += " count=";
+    out += detail::fmt_u64(node.event.count);
+  }
+  if (node.event.bytes != 0) {
+    out += " bytes=";
+    out += detail::fmt_u64(node.event.bytes);
+  }
+  out += '\n';
+  for (const SpanNode& child : node.children) {
+    append_node(out, child, depth + 1);
+  }
+  // Leaves are summarized per phase — a wave can carry thousands of
+  // per-key migrate leaves.
+  std::array<PhaseStat, kNumPhases> stats{};
+  std::array<bool, kNumPhases> present{};
+  for (const TraceEvent& leaf : node.leaves) {
+    fold_event(stats, present, leaf);
+  }
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    if (present[i]) append_phase_stat(out, stats[i], indent + "  * ");
+  }
+}
+
+}  // namespace
+
+std::string render_span_report(const SpanTree& tree) {
+  std::string out = "== span tree ==\n";
+  for (const SpanNode& root : tree.roots) {
+    append_node(out, root, 0);
+  }
+  if (!tree.toplevel.empty()) {
+    out += "toplevel leaves: ";
+    out += detail::fmt_u64(tree.toplevel.size());
+    out += '\n';
+  }
+  if (!tree.orphans.empty()) {
+    out += "ORPHANS: ";
+    out += detail::fmt_u64(tree.orphans.size());
+    out += '\n';
+  }
+  for (const SpanNode& root : tree.roots) {
+    if (root.event.phase != Phase::kWave) continue;
+    const WaveCriticalPath cp = wave_critical_path(root);
+    out += "== critical path v";
+    out += detail::fmt_u64(cp.version);
+    out += " ==\n";
+    for (const PhaseStat& s : cp.phases) {
+      append_phase_stat(out, s, "  ");
+    }
+    out += "  total d=";
+    out += fmt_vt(cp.duration());
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace lar::obs

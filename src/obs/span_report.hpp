@@ -1,0 +1,70 @@
+// lar::obs — span-tree analysis for traces recorded with spans enabled
+// (obs v2).  Rebuilds the causal tree from a trace's events, validates its
+// well-formedness (every referenced parent span exists), and computes the
+// per-phase virtual-time critical path of each reconfiguration wave:
+// gather → compute → stage → slowest ack → propagate depth → last drain.
+//
+// Everything here is a pure function of the canonical event list, so the
+// rendered report is byte-identical across same-seed runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace lar::obs {
+
+/// One span with its child spans and the leaf events recorded under it.
+struct SpanNode {
+  TraceEvent event;  ///< the span-opening event (event.span != 0)
+  std::vector<TraceEvent> leaves;   ///< leaf events parented to this span
+  std::vector<SpanNode> children;   ///< child spans, in span-id order
+};
+
+struct SpanTree {
+  std::vector<SpanNode> roots;      ///< spans with no (retained) parent span
+  std::vector<TraceEvent> toplevel; ///< leaf events outside any span
+  /// Events referencing a parent span id that no span event carries —
+  /// empty iff the trace is well-formed (nothing dropped mid-span).
+  std::vector<TraceEvent> orphans;
+};
+
+/// Builds the span tree from canonical events (see
+/// TraceRecorder::canonical_events); deterministic for a deterministic
+/// event set.  Children and leaves keep canonical order.
+[[nodiscard]] SpanTree build_span_tree(const std::vector<TraceEvent>& events);
+
+/// Aggregate of one wave phase across a wave span's child spans and leaves.
+struct PhaseStat {
+  Phase phase = Phase::kGather;
+  std::uint64_t events = 0;
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+  double begin = 0.0;  ///< min vtime over the phase's events
+  double end = 0.0;    ///< max vtime_end over the phase's events
+  /// The phase's slowest single event: longest (vtime_end - vtime), ties
+  /// broken by count then entity — "which POI's ack was the straggler?".
+  std::string slowest_entity;
+  double slowest_duration = 0.0;
+};
+
+/// Per-phase critical path of one wave span (a SpanNode whose event.phase
+/// is Phase::kWave).  Phases appear in wave order; absent phases are
+/// skipped.
+struct WaveCriticalPath {
+  std::uint64_t version = 0;
+  double begin = 0.0;
+  double end = 0.0;
+  std::vector<PhaseStat> phases;
+  [[nodiscard]] double duration() const { return end - begin; }
+};
+
+[[nodiscard]] WaveCriticalPath wave_critical_path(const SpanNode& wave);
+
+/// Deterministic text report: the span tree, then one critical-path block
+/// per wave span.
+[[nodiscard]] std::string render_span_report(const SpanTree& tree);
+
+}  // namespace lar::obs

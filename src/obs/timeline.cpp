@@ -1,0 +1,172 @@
+#include "obs/timeline.hpp"
+
+#include "obs/fmt.hpp"
+
+namespace lar::obs {
+
+namespace {
+
+/// Canonical sample id: `name` for label-less samples, `name{k="v",...}`
+/// otherwise (labels are already interned in canonical key order).
+std::string sample_id(std::string_view name, const Labels& labels,
+                      std::string_view suffix = "") {
+  std::string id(name);
+  id += suffix;
+  if (labels.empty()) return id;
+  id += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) id += ',';
+    id += labels[i].key;
+    id += "=\"";
+    id += labels[i].value;
+    id += '"';
+  }
+  id += '}';
+  return id;
+}
+
+}  // namespace
+
+Timeline::Timeline() : Timeline(Options{}) {}
+
+Timeline::Timeline(Options options) : options_(std::move(options)) {}
+
+Timeline::Values Timeline::flatten(const Registry& registry,
+                                   const MetricFilter& keep) {
+  Values out;
+  for (const Registry::FamilyView& fam : registry.families()) {
+    if (keep && !keep(fam.name)) continue;
+    for (const Registry::Sample& s : fam.samples) {
+      switch (fam.kind) {
+        case MetricKind::kCounter:
+          out.emplace(sample_id(fam.name, *s.labels),
+                      static_cast<double>(s.counter->value()));
+          break;
+        case MetricKind::kGauge:
+          out.emplace(sample_id(fam.name, *s.labels), s.gauge->value());
+          break;
+        case MetricKind::kHistogram:
+          out.emplace(sample_id(fam.name, *s.labels, "_sum"),
+                      s.histogram->sum());
+          out.emplace(sample_id(fam.name, *s.labels, "_count"),
+                      static_cast<double>(s.histogram->count()));
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+void Timeline::tick(const Registry& registry, double vtime) {
+  Values full = flatten(registry, options_.keep);
+  std::lock_guard lock(mutex_);
+  TickDelta delta;
+  delta.index = next_index_++;
+  delta.vtime = vtime;
+  for (const auto& [id, value] : full) {
+    const auto it = latest_.values.find(id);
+    if (it == latest_.values.end() || it->second != value) {
+      delta.delta.emplace(id, value);
+    }
+  }
+  previous_ = latest_.valid ? std::move(latest_) : Snapshot{};
+  latest_ = Snapshot{std::move(full), vtime, true};
+  ticks_.push_back(std::move(delta));
+  if (options_.capacity != 0) {
+    while (ticks_.size() > options_.capacity) {
+      for (auto& [id, value] : ticks_.front().delta) {
+        base_[id] = value;
+      }
+      ticks_.pop_front();
+      ++dropped_;
+    }
+  }
+}
+
+Timeline::Snapshot Timeline::latest() const {
+  std::lock_guard lock(mutex_);
+  return latest_;
+}
+
+Timeline::Snapshot Timeline::previous() const {
+  std::lock_guard lock(mutex_);
+  return previous_;
+}
+
+Timeline::Values Timeline::base() const {
+  std::lock_guard lock(mutex_);
+  return base_;
+}
+
+std::vector<Timeline::TickDelta> Timeline::ticks() const {
+  std::lock_guard lock(mutex_);
+  return std::vector<TickDelta>(ticks_.begin(), ticks_.end());
+}
+
+std::size_t Timeline::size() const {
+  std::lock_guard lock(mutex_);
+  return ticks_.size();
+}
+
+std::uint64_t Timeline::ticks_total() const {
+  std::lock_guard lock(mutex_);
+  return next_index_;
+}
+
+std::uint64_t Timeline::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void Timeline::clear() {
+  std::lock_guard lock(mutex_);
+  base_.clear();
+  latest_ = Snapshot{};
+  previous_ = Snapshot{};
+  ticks_.clear();
+  next_index_ = 0;
+  dropped_ = 0;
+}
+
+namespace {
+
+void append_values_json(std::string& out, const Timeline::Values& values) {
+  out += '{';
+  bool first = true;
+  for (const auto& [id, value] : values) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    detail::append_json_escaped(out, id);
+    out += "\":";
+    out += detail::fmt_json_number(value);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string timeline_to_json(const Timeline& timeline) {
+  std::string out = "{\"ticks_total\":";
+  out += detail::fmt_u64(timeline.ticks_total());
+  out += ",\"dropped\":";
+  out += detail::fmt_u64(timeline.dropped());
+  out += ",\"base\":";
+  append_values_json(out, timeline.base());
+  out += ",\"ticks\":[";
+  const auto ticks = timeline.ticks();
+  for (std::size_t i = 0; i < ticks.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"i\":";
+    out += detail::fmt_u64(ticks[i].index);
+    out += ",\"vtime\":";
+    out += detail::fmt_json_number(ticks[i].vtime);
+    out += ",\"delta\":";
+    append_values_json(out, ticks[i].delta);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace lar::obs

@@ -1,0 +1,99 @@
+// lar::obs — per-window timeline store (obs v2).
+//
+// A Timeline snapshots a Registry's `lar_*` families at deterministic ticks
+// — one per sim window, per runtime publish epoch, or per manager plan —
+// into a bounded, delta-compressed series.  Each tick flattens the registry
+// to a canonical map from sample id (`name{k="v",...}`; histograms expand
+// to `_sum`/`_count`) to value, and stores only the samples that changed
+// since the previous tick.  Beyond `capacity` ticks the oldest deltas are
+// folded into a base snapshot and counted as dropped, so week-long runs
+// stay bounded while the retained window remains exactly reconstructible
+// (base + retained deltas).
+//
+// Tick times are virtual (window index, publish epoch, plan version) —
+// never wall clock — so `timeline_to_json` output is byte-identical across
+// same-seed runs, like every other obs exporter.  Attachment follows the
+// structural-disable pattern: components hold a nullable `obs::Timeline*`
+// and with none attached no timeline code runs at all.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace lar::obs {
+
+class Timeline {
+ public:
+  /// Flattened registry snapshot: canonical sample id -> value.
+  using Values = std::map<std::string, double>;
+
+  /// One retained tick: the samples whose value changed since the previous
+  /// tick (the first tick carries the full set).
+  struct TickDelta {
+    std::uint64_t index = 0;  ///< 0-based tick number since construction
+    double vtime = 0.0;       ///< caller-supplied virtual time of the tick
+    Values delta;
+  };
+
+  struct Options {
+    /// Retained ticks; older deltas fold into the base snapshot.
+    /// 0 = unbounded.
+    std::size_t capacity = 1024;
+    /// Optional family filter (same contract as the exporters'
+    /// MetricFilter): return true to keep.  Used e.g. to drop
+    /// scheduling-dependent `lar_queue_*` gauges from byte-stable
+    /// timelines of the threaded runtime.
+    MetricFilter keep = nullptr;
+  };
+
+  Timeline();
+  explicit Timeline(Options options);
+
+  /// Snapshots the registry at virtual time `vtime` and appends one tick.
+  void tick(const Registry& registry, double vtime);
+
+  /// Values at a tick, as {values, vtime}; `valid` is false before the
+  /// first (`latest`) / second (`previous`) tick.
+  struct Snapshot {
+    Values values;
+    double vtime = 0.0;
+    bool valid = false;
+  };
+  [[nodiscard]] Snapshot latest() const;
+  [[nodiscard]] Snapshot previous() const;
+
+  /// Values folded out of the retained window (empty until eviction).
+  [[nodiscard]] Values base() const;
+  /// Retained ticks, oldest first.
+  [[nodiscard]] std::vector<TickDelta> ticks() const;
+
+  [[nodiscard]] std::size_t size() const;          ///< retained ticks
+  [[nodiscard]] std::uint64_t ticks_total() const; ///< ticks ever taken
+  [[nodiscard]] std::uint64_t dropped() const;     ///< ticks folded into base
+  void clear();
+
+ private:
+  static Values flatten(const Registry& registry, const MetricFilter& keep);
+
+  mutable std::mutex mutex_;
+  Options options_;
+  Values base_;
+  Snapshot latest_;
+  Snapshot previous_;
+  std::deque<TickDelta> ticks_;
+  std::uint64_t next_index_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Byte-stable JSON:
+/// {"ticks_total":N,"dropped":D,"base":{...},
+///  "ticks":[{"i":I,"vtime":V,"delta":{"id":value,...}},...]}.
+[[nodiscard]] std::string timeline_to_json(const Timeline& timeline);
+
+}  // namespace lar::obs

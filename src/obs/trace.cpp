@@ -19,19 +19,100 @@ std::string key_entity(std::uint64_t key) {
   return buf;
 }
 
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {}
+
+TraceEvent* TraceRecorder::find_locked(std::uint64_t seq) {
+  if (events_.empty()) return nullptr;
+  const std::uint64_t front_seq = events_.front().seq;
+  if (seq < front_seq) return nullptr;  // evicted
+  const std::uint64_t pos = seq - front_seq;
+  if (pos >= events_.size()) return nullptr;
+  return &events_[pos];
+}
+
+void TraceRecorder::evict_locked() {
+  if (capacity_ == 0) return;
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
 std::uint64_t TraceRecorder::record(std::uint64_t version, Phase phase,
                                     std::string entity, std::uint64_t count,
                                     std::uint64_t bytes, double vtime) {
   std::lock_guard lock(mutex_);
   const std::uint64_t seq = next_seq_++;
-  events_.push_back(
-      TraceEvent{seq, version, phase, std::move(entity), count, bytes, vtime});
+  const std::uint64_t parent = span_stack_.empty() ? 0 : span_stack_.back();
+  events_.push_back(TraceEvent{seq, version, phase, std::move(entity), count,
+                               bytes, vtime, /*span=*/0, parent,
+                               /*vtime_end=*/vtime});
+  evict_locked();
   return seq;
+}
+
+void TraceRecorder::set_spans_enabled(bool enabled) {
+  std::lock_guard lock(mutex_);
+  spans_enabled_ = enabled;
+}
+
+bool TraceRecorder::spans_enabled() const {
+  std::lock_guard lock(mutex_);
+  return spans_enabled_;
+}
+
+std::uint64_t TraceRecorder::begin_span(std::uint64_t version, Phase phase,
+                                        std::string entity,
+                                        std::uint64_t count,
+                                        std::uint64_t bytes, double vtime) {
+  std::lock_guard lock(mutex_);
+  if (!spans_enabled_) return 0;
+  const std::uint64_t seq = next_seq_++;
+  const std::uint64_t parent = span_stack_.empty() ? 0 : span_stack_.back();
+  const std::uint64_t span = next_span_++;
+  events_.push_back(TraceEvent{seq, version, phase, std::move(entity), count,
+                               bytes, vtime, span, parent,
+                               /*vtime_end=*/vtime});
+  span_stack_.push_back(span);
+  span_event_seqs_.push_back(seq);
+  evict_locked();
+  return span;
+}
+
+void TraceRecorder::end_span(std::uint64_t span, double vtime_end) {
+  if (span == 0) return;
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = span_stack_.size(); i-- > 0;) {
+    if (span_stack_[i] != span) continue;
+    if (TraceEvent* ev = find_locked(span_event_seqs_[i])) {
+      ev->vtime_end = vtime_end;
+    }
+    span_stack_.erase(span_stack_.begin() + static_cast<std::ptrdiff_t>(i));
+    span_event_seqs_.erase(span_event_seqs_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+    return;
+  }
+}
+
+std::uint64_t TraceRecorder::current_span() const {
+  std::lock_guard lock(mutex_);
+  return span_stack_.empty() ? 0 : span_stack_.back();
+}
+
+void TraceRecorder::set_capacity(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  capacity_ = capacity;
+  evict_locked();
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
 }
 
 std::vector<TraceEvent> TraceRecorder::events() const {
   std::lock_guard lock(mutex_);
-  return events_;
+  return std::vector<TraceEvent>(events_.begin(), events_.end());
 }
 
 std::vector<TraceEvent> TraceRecorder::canonical_events() const {
@@ -53,6 +134,11 @@ void TraceRecorder::clear() {
   std::lock_guard lock(mutex_);
   events_.clear();
   next_seq_ = 0;
+  dropped_ = 0;
+  next_span_ = 1;
+  span_stack_.clear();
+  span_event_seqs_.clear();
 }
 
 }  // namespace lar::obs
+

@@ -14,9 +14,26 @@
 // events canonically by (version, phase, entity) and omits the raw sequence
 // number unless asked for it; post-hoc debugging reads events() in seq
 // order instead.
+//
+// Causal spans (obs v2).  When span recording is enabled, driver-side code
+// opens spans (begin_span/end_span) around compound protocol actions — a
+// reconfiguration wave, a checkpoint, a crash recovery — and every event
+// recorded while a span is open inherits it as `parent`.  Span ids are
+// allocated from their own counter, incremented only by begin_span; because
+// spans are opened and closed by one externally-synchronized driver thread,
+// span ids (and hence the span *tree*) are deterministic even though raw
+// seq numbers of racing leaf events are not.  With spans disabled (the
+// default) begin_span records nothing and returns 0, so all pre-existing
+// trace output stays byte-identical.
+//
+// The event log is a bounded ring: beyond `capacity` events the oldest are
+// dropped and counted (dropped()), so long chaos/elastic runs cannot grow
+// memory without bound.  The default capacity is far above what any bench
+// or test records, so nothing drops unless a caller opts into a small cap.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -42,6 +59,7 @@ enum class Phase : std::uint8_t {
   kRetire = 12,   ///< one retiring POI drained its state and stopped
   kCheckpoint = 13, ///< lar::ckpt committed one aligned checkpoint epoch
   kCrash = 14,      ///< a server_crash fault killed one server's POIs
+  kWave = 15,       ///< span root covering one whole reconfiguration wave
 };
 
 [[nodiscard]] constexpr const char* to_string(Phase p) noexcept {
@@ -61,6 +79,7 @@ enum class Phase : std::uint8_t {
     case Phase::kRetire: return "retire";
     case Phase::kCheckpoint: return "checkpoint";
     case Phase::kCrash: return "crash";
+    case Phase::kWave: return "wave";
   }
   return "?";
 }
@@ -68,7 +87,10 @@ enum class Phase : std::uint8_t {
 /// One protocol step.  `entity` identifies the actor or object in canonical
 /// text form ("op1/i0" for a POI, "key42" for a key, "plan" for
 /// manager-side steps); `count` and `bytes` are the step's tuple/key count
-/// and payload size where meaningful.
+/// and payload size where meaningful.  `span` is nonzero iff this event
+/// opens a span; `parent` is the id of the span enclosing the event (0 =
+/// none); `vtime_end` is the span's close time and equals `vtime` for
+/// instantaneous (leaf) events.
 struct TraceEvent {
   std::uint64_t seq = 0;      ///< logical sequence number (recording order)
   std::uint64_t version = 0;  ///< reconfiguration plan version
@@ -77,6 +99,9 @@ struct TraceEvent {
   std::uint64_t count = 0;
   std::uint64_t bytes = 0;
   double vtime = 0.0;  ///< virtual/simulated time; 0 when not modeled
+  std::uint64_t span = 0;    ///< span id this event opens (0 = leaf event)
+  std::uint64_t parent = 0;  ///< enclosing span id (0 = root / no span)
+  double vtime_end = 0.0;    ///< span close time; == vtime for leaf events
 };
 
 /// Formats a POI identity as a canonical entity string ("op1/i03").
@@ -87,13 +112,50 @@ struct TraceEvent {
 /// Formats a key identity as a canonical entity string ("key00000042").
 [[nodiscard]] std::string key_entity(std::uint64_t key);
 
-/// Thread-safe append-only event log.
+/// Thread-safe bounded event log with optional causal spans.
 class TraceRecorder {
  public:
-  /// Records one event and returns its sequence number.
+  /// Default ring capacity: large enough that no existing bench or test
+  /// ever drops an event (byte-identity), small enough to bound week-long
+  /// chaos/elastic runs.
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 20;
+
+  explicit TraceRecorder(std::size_t capacity = kDefaultCapacity);
+
+  /// Records one event and returns its sequence number.  The event's
+  /// `parent` is the innermost currently-open span (0 if none).
   std::uint64_t record(std::uint64_t version, Phase phase, std::string entity,
                        std::uint64_t count = 0, std::uint64_t bytes = 0,
                        double vtime = 0.0);
+
+  /// Enables/disables span recording.  Off by default: begin_span records
+  /// nothing and returns 0, end_span is a no-op, record() leaves parent 0 —
+  /// output is byte-identical to the pre-span recorder.
+  void set_spans_enabled(bool enabled);
+  [[nodiscard]] bool spans_enabled() const;
+
+  /// Opens a span: records an event carrying a fresh span id (parented to
+  /// the innermost open span) and makes it current, so every subsequent
+  /// record() — from any thread — inherits it until end_span.  Only call
+  /// from externally-synchronized driver code (the thread that runs the
+  /// wave / checkpoint / recovery); span ids stay deterministic because
+  /// they are allocated in driver order.  Returns 0 when spans are off.
+  std::uint64_t begin_span(std::uint64_t version, Phase phase,
+                           std::string entity, std::uint64_t count = 0,
+                           std::uint64_t bytes = 0, double vtime = 0.0);
+
+  /// Closes a span: stamps its event's vtime_end and pops it from the open
+  /// stack.  No-op for span == 0 or if the opening event was evicted.
+  void end_span(std::uint64_t span, double vtime_end);
+
+  /// Innermost currently-open span id (0 if none).
+  [[nodiscard]] std::uint64_t current_span() const;
+
+  /// Ring capacity (0 = unbounded).  Shrinking evicts oldest events.
+  void set_capacity(std::size_t capacity);
+
+  /// Events evicted from the ring since construction/clear().
+  [[nodiscard]] std::uint64_t dropped() const;
 
   /// Events in recording (seq) order.
   [[nodiscard]] std::vector<TraceEvent> events() const;
@@ -106,9 +168,20 @@ class TraceRecorder {
   void clear();
 
  private:
+  /// Pointer to the retained event with sequence number `seq`, or nullptr
+  /// if it was evicted.  Caller holds mutex_.
+  TraceEvent* find_locked(std::uint64_t seq);
+  void evict_locked();
+
   mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  std::deque<TraceEvent> events_;
   std::uint64_t next_seq_ = 0;
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+  bool spans_enabled_ = false;
+  std::uint64_t next_span_ = 1;
+  std::vector<std::uint64_t> span_stack_;        ///< open spans, innermost last
+  std::vector<std::uint64_t> span_event_seqs_;   ///< seq of each open span's event
 };
 
 }  // namespace lar::obs

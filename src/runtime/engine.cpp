@@ -853,7 +853,16 @@ core::ReconfigurationPlan Engine::reconfigure(core::Manager& manager) {
   // old owners).  Re-checkpoint immediately: recovery always finds a
   // committed epoch at the current plan version (DESIGN.md §11).
   if (ckpt_enabled_) checkpoint();
+  end_wave_span();
   return plan;
+}
+
+void Engine::end_wave_span() {
+  if (wave_span_ == 0) return;
+  if (options_.trace != nullptr) {
+    options_.trace->end_span(wave_span_, static_cast<double>(control_epoch_));
+  }
+  wave_span_ = 0;
 }
 
 core::ReconfigurationPlan Engine::run_protocol(core::Manager& manager,
@@ -955,6 +964,16 @@ core::ReconfigurationPlan Engine::run_protocol(core::Manager& manager,
   core::ReconfigurationPlan plan =
       elastic_ ? manager.plan_for(hop_stats, target_n)
                : manager.compute_plan(hop_stats);
+  // One wave = one control epoch, the engine's logical span clock (the
+  // runtime has no virtual time; wall-clock is banned).  The span stays
+  // open past run_protocol so the caller's post-wave work — drain fence,
+  // auto-checkpoint — nests under it; callers close it via end_wave_span().
+  ++control_epoch_;
+  if (options_.trace != nullptr) {
+    wave_span_ = options_.trace->begin_span(
+        plan.version, obs::Phase::kWave, "wave", /*count=*/gather_members,
+        /*bytes=*/0, static_cast<double>(control_epoch_));
+  }
   if (options_.trace != nullptr) {
     options_.trace->record(plan.version, obs::Phase::kGather, "manager",
                            /*count=*/gather_members,
@@ -965,6 +984,7 @@ core::ReconfigurationPlan Engine::run_protocol(core::Manager& manager,
   }
   if (plan.tables.empty() && !resizing) {
     manager.mark_deployed(plan);
+    end_wave_span();  // empty wave: nothing staged, close it here
     return plan;  // nothing observed yet; stay on current routing
   }
 
@@ -979,6 +999,7 @@ core::ReconfigurationPlan Engine::run_protocol(core::Manager& manager,
       LAR_INFO << "engine: advisor vetoed plan v" << plan.version
                << " (benefit " << verdict.predicted_benefit << " < cost "
                << verdict.migration_cost << ")";
+      end_wave_span();  // vetoed wave: nothing deployed, close it here
       return plan;  // computed, observable, NOT deployed
     }
   }
@@ -1185,6 +1206,7 @@ core::ReconfigurationPlan Engine::add_servers(core::Manager& manager,
   // Same post-wave rule as reconfigure(): the grown fleet re-checkpoints so
   // a crash never restores across the resize.
   if (ckpt_enabled_) checkpoint();
+  end_wave_span();
   return plan;
 }
 
@@ -1236,6 +1258,7 @@ core::ReconfigurationPlan Engine::retire_servers(core::Manager& manager,
   // Same post-wave rule as reconfigure(); this also re-anchors the replay
   // horizon so no recovery ever needs a replay from a retired sender.
   if (ckpt_enabled_) checkpoint();
+  end_wave_span();
   return plan;
 }
 
@@ -1269,6 +1292,17 @@ std::uint64_t Engine::checkpoint() {
 
   const std::uint64_t epoch =
       coord->begin_epoch(active_servers_, last_plan_version_);
+  // One checkpoint = one control epoch.  The span nests under an open wave
+  // span (the auto-checkpoint case) and encloses the coordinator's own
+  // kCheckpoint commit record when both share the recorder.
+  ++control_epoch_;
+  const std::uint64_t ckpt_span =
+      options_.trace != nullptr
+          ? options_.trace->begin_span(last_plan_version_,
+                                       obs::Phase::kCheckpoint, "barrier",
+                                       /*count=*/epoch, /*bytes=*/0,
+                                       static_cast<double>(control_epoch_))
+          : 0;
 
   // Inject the barrier into every live source under the source mutex, so it
   // sits FIFO-after exactly the tuples inject() logged before it.
@@ -1321,6 +1355,9 @@ std::uint64_t Engine::checkpoint() {
                        [cut](const DataMsg& m) { return m.seq > cut; });
       log.erase(log.begin(), keep);
     }
+  }
+  if (ckpt_span != 0 && options_.trace != nullptr) {
+    options_.trace->end_span(ckpt_span, static_cast<double>(control_epoch_));
   }
   return epoch;
 }
@@ -1497,6 +1534,16 @@ void Engine::crash_and_recover(std::uint32_t server) {
   LAR_CHECK(snap.active_servers == active_servers_);
 
   crashes_.fetch_add(1, std::memory_order_relaxed);
+  // One crash+recovery = one control epoch; the coordinator's kCrash
+  // recovery record and every replay-side leaf nest under this span.
+  ++control_epoch_;
+  const std::uint64_t crash_span =
+      options_.trace != nullptr
+          ? options_.trace->begin_span(last_plan_version_, obs::Phase::kCrash,
+                                       "server" + std::to_string(server),
+                                       /*count=*/snap.epoch, /*bytes=*/0,
+                                       static_cast<double>(control_epoch_))
+          : 0;
   LAR_INFO << "engine: crashing server " << server
            << " (recovering from checkpoint epoch " << snap.epoch << ")";
 
@@ -1703,6 +1750,9 @@ void Engine::crash_and_recover(std::uint32_t server) {
   coord->recovered(
       snap.epoch, server, victims.size(), restored, restored_bytes,
       tuples_replayed_.load(std::memory_order_relaxed) - replayed_before);
+  if (crash_span != 0 && options_.trace != nullptr) {
+    options_.trace->end_span(crash_span, static_cast<double>(control_epoch_));
+  }
   LAR_INFO << "engine: server " << server << " recovered (" << victims.size()
            << " POIs, " << restored << " states restored)";
 }
@@ -1905,6 +1955,23 @@ void Engine::publish_metrics() {
     reg->gauge("lar_queue_depth_hwm", labels,
                "Deepest a POI inbox has ever been (items).")
         .max_of(static_cast<double>(poi->inbox.high_water_mark()));
+  }
+
+  // obs v2: the ring-drop counter registers only once something actually
+  // dropped (byte-identity for every run that fits the ring); the timeline
+  // ticks at the publish epoch — the engine's only deterministic clock —
+  // and the probe reads the tick it just appended.
+  if (options_.trace != nullptr && options_.trace->dropped() > 0) {
+    reg->counter("lar_trace_dropped_total", {},
+                 "Trace events evicted from the bounded recorder ring.")
+        .advance_to(options_.trace->dropped());
+  }
+  if (options_.timeline != nullptr) {
+    ++publish_epoch_;
+    options_.timeline->tick(*reg, static_cast<double>(publish_epoch_));
+    if (options_.probe != nullptr) {
+      options_.probe->evaluate(*options_.timeline, *reg);
+    }
   }
 }
 

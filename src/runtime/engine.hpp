@@ -35,6 +35,8 @@
 #include "core/manager.hpp"
 #include "core/plan.hpp"
 #include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "runtime/message.hpp"
 #include "runtime/operator.hpp"
@@ -69,6 +71,21 @@ struct EngineOptions {
   /// steps (ack, propagate hop, migration, buffer/drain — see obs/trace.hpp).
   obs::Registry* registry = nullptr;
   obs::TraceRecorder* trace = nullptr;
+
+  /// Timeline store (obs v2; null = disabled, must outlive the engine).
+  /// When attached — together with a registry — every publish_metrics()
+  /// call appends one tick at vtime = publish epoch (a counter of publish
+  /// calls, the engine's only deterministic clock).  Spans on `trace`
+  /// follow the same opt-in: enable them on the recorder and every
+  /// reconfiguration wave / resize / checkpoint / crash-recovery becomes
+  /// one span tree (vtimes are control epochs, durations unmodeled).
+  obs::Timeline* timeline = nullptr;
+
+  /// Health probe (obs v2; null = disabled, must outlive the engine).
+  /// Evaluated right after each timeline tick; requires `timeline` and
+  /// `registry`.  Publishes `lar_health_*` / `lar_alerts_total` into
+  /// `registry`.
+  obs::Probe* probe = nullptr;
 
   /// Fault injector (null = chaos disabled; must outlive the engine).  The
   /// disabled mode is a structural no-op: every chaos hook sits behind one
@@ -353,6 +370,11 @@ class Engine {
   /// Blocks until every residual-drain MIGRATE has been imported.
   void drain_fence();
 
+  /// Closes the wave span run_protocol() opened (no-op when spans are off
+  /// or no wave is open).  Callers close after the post-wave work — drain
+  /// fence, auto-checkpoint — so those nest inside the wave.
+  void end_wave_span();
+
   [[nodiscard]] std::pair<double, double> measured_locality_balance() const;
 
   /// Routes `tuple` over edge at out-position `out_pos` from `poi`,
@@ -426,6 +448,15 @@ class Engine {
   std::atomic<std::uint64_t> migrate_redeliveries_{0};
   std::atomic<std::uint64_t> stats_reports_lost_{0};
   std::atomic<std::uint64_t> stats_reports_stale_{0};
+
+  // obs v2 state, touched only by the externally-synchronized control API:
+  // control_epoch_ counts control-plane operations (waves, checkpoints,
+  // crashes) and is the vtime of engine-side spans; publish_epoch_ counts
+  // publish_metrics() calls and is the timeline tick vtime; wave_span_ is
+  // the span run_protocol() opened, closed by its caller.
+  std::uint64_t control_epoch_ = 0;
+  std::uint64_t publish_epoch_ = 0;
+  std::uint64_t wave_span_ = 0;
 
   // Gather-epoch state, touched only by the reconfigure() caller thread:
   // reports kStatsDelay held back, merged (stale) into the next epoch.

@@ -60,6 +60,20 @@ struct SimConfig {
   std::uint32_t active_servers = 0;
 
   std::uint64_t seed = 1;
+
+  /// Virtual-time span cost model (obs v2).  Used only to stamp begin/end
+  /// times on reconfiguration-wave trace spans when span recording is
+  /// enabled on the simulator's trace recorder; never feeds the throughput
+  /// solver, so all figure shapes are unaffected.  Units: virtual seconds
+  /// per item, scaled so a fig13-size wave (~10^5 pairs, ~10^4 staged
+  /// entries) completes well within one 60 s window, like the paper's
+  /// sub-second reconfigurations.
+  double vt_gather_per_pair = 2.0e-6;
+  double vt_compute_per_vertex = 1.0e-5;
+  double vt_stage_per_entry = 5.0e-7;
+  double vt_ack_per_table = 1.0e-4;
+  double vt_propagate_per_hop = 1.0e-3;
+  double vt_migrate_per_key = 2.0e-5;
 };
 
 /// 10 Gb/s in bytes per second.

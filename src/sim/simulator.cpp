@@ -33,7 +33,24 @@ WindowReport Simulator::run_window(workload::TupleGenerator& gen,
     fed += m;
   }
   ++windows_run_;
-  return report_from_stats();
+  WindowReport report = report_from_stats();
+  observe_window();
+  return report;
+}
+
+void Simulator::observe_window() {
+  if (const std::uint64_t dropped = trace_.dropped(); dropped > 0) {
+    // Registered only once something dropped, so bounded-but-never-full
+    // runs keep their exports byte-identical.
+    registry_
+        .counter("lar_trace_dropped_total", {},
+                 "Trace events evicted from the bounded recorder ring.")
+        .advance_to(dropped);
+  }
+  if (timeline_ != nullptr) {
+    timeline_->tick(registry_, static_cast<double>(windows_run_));
+    if (probe_ != nullptr) probe_->evaluate(*timeline_, registry_);
+  }
 }
 
 WindowReport Simulator::report_from_stats() {
@@ -279,11 +296,19 @@ core::ReconfigurationPlan Simulator::reconfigure(core::Manager& manager) {
       return plan;  // computed, observable in lar_plan_*, NOT deployed
     }
   }
-  record_reconfig_trace(plan, stats.size(), pairs);
+  // Span mode: the whole wave — phase spans, injected faults and their
+  // recoveries — nests under one kWave root (begin_span returns 0 and the
+  // trace is unchanged when spans are off).
+  const std::uint64_t wave =
+      trace_.begin_span(plan.version, obs::Phase::kWave, "wave",
+                        /*count=*/0, /*bytes=*/0,
+                        static_cast<double>(windows_run_));
+  const double wave_end = record_reconfig_trace(plan, stats.size(), pairs);
   inject_migration_faults(plan);
   apply_plan(plan);
   manager.mark_deployed(plan);
   model_.reset_pair_stats();
+  trace_.end_span(wave, wave_end);
   return plan;
 }
 
@@ -296,7 +321,11 @@ core::ReconfigurationPlan Simulator::resize(core::Manager& manager,
   std::uint64_t pairs = 0;
   for (const auto& h : stats) pairs += h.pairs.size();
   core::ReconfigurationPlan plan = manager.plan_for(stats, target_servers);
-  record_reconfig_trace(plan, stats.size(), pairs);
+  const std::uint64_t wave =
+      trace_.begin_span(plan.version, obs::Phase::kWave, "wave",
+                        /*count=*/0, /*bytes=*/0,
+                        static_cast<double>(windows_run_));
+  const double wave_end = record_reconfig_trace(plan, stats.size(), pairs);
   const bool out = target_servers > current;
   trace_.record(plan.version,
                 out ? obs::Phase::kScaleOut : obs::Phase::kScaleIn, "manager",
@@ -318,32 +347,73 @@ core::ReconfigurationPlan Simulator::resize(core::Manager& manager,
                {{"direction", out ? "out" : "in"}},
                "Completed scale-out / scale-in waves.")
       .inc();
+  trace_.end_span(wave, wave_end);
   return plan;
 }
 
-void Simulator::record_reconfig_trace(const core::ReconfigurationPlan& plan,
-                                      std::uint64_t gathered_hops,
-                                      std::uint64_t gathered_pairs) {
-  // The simulator deploys atomically, so the six protocol phases collapse
-  // into one logical instant; the trace still records each of them (with the
-  // same virtual time = windows run) so fig13's timeline covers the full
-  // gather -> compute -> stage -> propagate -> migrate -> drain sequence.
+double Simulator::record_reconfig_trace(const core::ReconfigurationPlan& plan,
+                                        std::uint64_t gathered_hops,
+                                        std::uint64_t gathered_pairs) {
   const std::uint64_t vt = windows_run_;
-  trace_.record(plan.version, obs::Phase::kGather, "manager", gathered_hops,
-                gathered_pairs * sizeof(core::PairCount), vt);
-  trace_.record(plan.version, obs::Phase::kCompute, "plan",
-                plan.graph_vertices, plan.graph_edges, vt);
+  const std::uint64_t gather_bytes =
+      gathered_pairs * sizeof(core::PairCount);
   std::uint64_t table_entries = 0;
   for (const auto& [op, table] : plan.tables) table_entries += table->size();
-  trace_.record(plan.version, obs::Phase::kStage, "manager",
-                plan.tables.size(),
-                table_entries * (sizeof(Key) + sizeof(InstanceIndex)), vt);
-  trace_.record(plan.version, obs::Phase::kPropagate, "wave",
-                plan.tables.size(), 0, vt);
-  // Sim does not model per-key state bytes; the engine's trace carries them.
-  trace_.record(plan.version, obs::Phase::kMigrate, "keys", plan.total_moves(),
-                0, vt);
-  trace_.record(plan.version, obs::Phase::kDrain, "keys", 0, 0, vt);
+  const std::uint64_t stage_bytes =
+      table_entries * (sizeof(Key) + sizeof(InstanceIndex));
+  if (!trace_.spans_enabled()) {
+    // The simulator deploys atomically, so the six protocol phases collapse
+    // into one logical instant; the trace still records each of them (with
+    // the same virtual time = windows run) so fig13's timeline covers the
+    // full gather -> compute -> stage -> propagate -> migrate -> drain
+    // sequence.
+    trace_.record(plan.version, obs::Phase::kGather, "manager", gathered_hops,
+                  gather_bytes, vt);
+    trace_.record(plan.version, obs::Phase::kCompute, "plan",
+                  plan.graph_vertices, plan.graph_edges, vt);
+    trace_.record(plan.version, obs::Phase::kStage, "manager",
+                  plan.tables.size(), stage_bytes, vt);
+    trace_.record(plan.version, obs::Phase::kPropagate, "wave",
+                  plan.tables.size(), 0, vt);
+    // Sim does not model per-key state bytes; the engine's trace carries
+    // them.
+    trace_.record(plan.version, obs::Phase::kMigrate, "keys",
+                  plan.total_moves(), 0, vt);
+    trace_.record(plan.version, obs::Phase::kDrain, "keys", 0, 0, vt);
+    return static_cast<double>(vt);
+  }
+  // Span mode (obs v2): each phase becomes a child span of the enclosing
+  // wave with a modeled virtual-time duration (SimConfig vt_* constants).
+  // The durations exist only in the trace — the throughput solver never
+  // sees them — but they make the critical path of a wave quantitative:
+  // which phase dominated, how long the wave took in virtual seconds.
+  const SimConfig& cfg = model_.config();
+  const std::uint64_t tables = plan.tables.size();
+  double t = static_cast<double>(vt);
+  const auto span_phase = [&](obs::Phase phase, const char* entity,
+                              std::uint64_t count, std::uint64_t bytes,
+                              double duration) {
+    const std::uint64_t span =
+        trace_.begin_span(plan.version, phase, entity, count, bytes, t);
+    t += duration;
+    trace_.end_span(span, t);
+  };
+  span_phase(obs::Phase::kGather, "manager", gathered_hops, gather_bytes,
+             static_cast<double>(gathered_pairs) * cfg.vt_gather_per_pair);
+  span_phase(obs::Phase::kCompute, "plan", plan.graph_vertices,
+             plan.graph_edges,
+             static_cast<double>(plan.graph_vertices) *
+                 cfg.vt_compute_per_vertex);
+  span_phase(obs::Phase::kStage, "manager", tables, stage_bytes,
+             static_cast<double>(table_entries) * cfg.vt_stage_per_entry);
+  span_phase(obs::Phase::kAck, "manager", tables, 0,
+             static_cast<double>(tables) * cfg.vt_ack_per_table);
+  span_phase(obs::Phase::kPropagate, "wave", tables, 0,
+             static_cast<double>(tables) * cfg.vt_propagate_per_hop);
+  span_phase(obs::Phase::kMigrate, "keys", plan.total_moves(), 0,
+             static_cast<double>(plan.total_moves()) * cfg.vt_migrate_per_key);
+  span_phase(obs::Phase::kDrain, "keys", 0, 0, 0.0);
+  return t;
 }
 
 void Simulator::apply_plan(const core::ReconfigurationPlan& plan) {
@@ -363,10 +433,15 @@ Simulator::AdvisedReconfig Simulator::reconfigure_if_beneficial(
   out.verdict = core::evaluate_plan(out.plan, current_locality,
                                     current_balance, advisor_options);
   if (out.verdict.deploy) {
-    record_reconfig_trace(out.plan, stats.size(), pairs);
+    const std::uint64_t wave =
+        trace_.begin_span(out.plan.version, obs::Phase::kWave, "wave",
+                          /*count=*/0, /*bytes=*/0,
+                          static_cast<double>(windows_run_));
+    const double wave_end = record_reconfig_trace(out.plan, stats.size(), pairs);
     apply_plan(out.plan);
     manager.mark_deployed(out.plan);
     model_.reset_pair_stats();
+    trace_.end_span(wave, wave_end);
   }
   return out;
 }

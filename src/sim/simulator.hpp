@@ -23,6 +23,8 @@
 #include "core/advisor.hpp"
 #include "core/manager.hpp"
 #include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "sim/pipeline.hpp"
 #include "workload/workload.hpp"
@@ -134,6 +136,17 @@ class Simulator {
   [[nodiscard]] obs::Registry& registry() noexcept { return registry_; }
   [[nodiscard]] obs::TraceRecorder& trace() noexcept { return trace_; }
 
+  /// Attaches a timeline store (obs v2): every run_window() then snapshots
+  /// the registry at vtime = windows run so far, after the window gauges
+  /// are published.  Null detaches; with none attached no timeline code
+  /// runs at all (structural disable).
+  void set_timeline(obs::Timeline* timeline) noexcept { timeline_ = timeline; }
+
+  /// Attaches a health probe, evaluated right after each timeline tick
+  /// (requires a timeline).  Its `lar_health_*` / `lar_alerts_total`
+  /// families land in this registry — and therefore in the *next* tick.
+  void set_probe(obs::Probe* probe) noexcept { probe_ = probe; }
+
  private:
   [[nodiscard]] WindowReport report_from_stats();
 
@@ -150,14 +163,24 @@ class Simulator {
   /// accounting, duplicate -> dedup accounting).
   void inject_migration_faults(const core::ReconfigurationPlan& plan);
 
-  /// Records one six-phase reconfiguration trace; vtime = windows run so far.
-  void record_reconfig_trace(const core::ReconfigurationPlan& plan,
-                             std::uint64_t gathered_hops,
-                             std::uint64_t gathered_pairs);
+  /// Records one reconfiguration trace and returns the wave's end vtime.
+  /// With spans disabled: the legacy six same-instant events (vtime =
+  /// windows run so far).  With spans enabled: one child span per phase
+  /// (gather, compute, stage, ack, propagate, migrate, drain) whose
+  /// durations follow the SimConfig vt_* cost model.
+  double record_reconfig_trace(const core::ReconfigurationPlan& plan,
+                               std::uint64_t gathered_hops,
+                               std::uint64_t gathered_pairs);
+
+  /// Publishes lar_trace_dropped_total (only once something dropped) and
+  /// ticks the attached timeline/probe.  Runs at the end of every window.
+  void observe_window();
 
   PipelineModel model_;
   obs::Registry registry_;
   obs::TraceRecorder trace_;
+  obs::Timeline* timeline_ = nullptr;  ///< optional, see set_timeline()
+  obs::Probe* probe_ = nullptr;        ///< optional, see set_probe()
   std::uint64_t windows_run_ = 0;  ///< virtual time for trace events
 
   std::optional<chaos::Injector> injector_;  ///< armed by set_fault_plan()

@@ -192,6 +192,49 @@ TEST(ControllerObs, PublishDecisionWritesGaugeAndCounter) {
             1u);
 }
 
+TEST(ControllerObs, ProbeHealthFeedsControllerVetoAndPressure) {
+  // obs v2 end to end: a probe evaluates the timeline into lar_health_*
+  // gauges, signals_from_registry picks them up, and the controller treats
+  // veto as a pin and pressure as an overload observation.
+  obs::Registry registry;
+  obs::Timeline timeline;
+  obs::Probe probe;
+  registry.gauge("lar_window_throughput_tps", {}).set(2000.0);
+  registry.gauge("lar_op_load_balance_ratio", {{"op", "B"}}).set(1.1);
+
+  // Tick 1: healthy, plus migration activity -> veto.
+  registry.counter("lar_key_moves_total").inc(25);
+  timeline.tick(registry, 1.0);
+  (void)probe.evaluate(timeline, registry);
+  Signals s = elastic::signals_from_registry(registry, 1000.0);
+  EXPECT_DOUBLE_EQ(s.health_veto, 1.0);
+  Controller c(bounded(1, 8));
+  // Utilization 0.5 is in the dead band, but the veto alone must pin.
+  EXPECT_EQ(c.evaluate(s, 4).reason, Reason::kCooldown);
+
+  // Tick 2: migration settled, but the fleet is now badly imbalanced ->
+  // pressure.  Confirmed pressure scales out even at in-band utilization.
+  registry.gauge("lar_op_load_balance_ratio", {{"op", "B"}}).set(3.0);
+  timeline.tick(registry, 2.0);
+  (void)probe.evaluate(timeline, registry);
+  s = elastic::signals_from_registry(registry, 1000.0);
+  EXPECT_DOUBLE_EQ(s.health_veto, 0.0);
+  EXPECT_DOUBLE_EQ(s.health_pressure, 1.0);
+  EXPECT_EQ(c.evaluate(s, 4).reason, Reason::kConfirming);
+  ScaleDecision d = c.evaluate(s, 4);
+  EXPECT_EQ(d.reason, Reason::kOverload);
+  EXPECT_EQ(d.target_servers, 8u);
+
+  // Pressure also blocks scale-in: utilization far below the scale-in
+  // threshold still routes through the overload branch.
+  Controller c2(bounded(1, 8));
+  Signals low = s;
+  low.utilization = 0.1;
+  EXPECT_EQ(c2.evaluate(low, 4).reason, Reason::kConfirming);
+  low.health_pressure = 0.0;
+  EXPECT_EQ(c2.evaluate(low, 4).reason, Reason::kConfirming);  // underload now
+}
+
 // --- Placement: active prefixes (satellite) ----------------------------------
 
 TEST(PlacementElastic, WithServersIsCanonicalRoundRobin) {

@@ -3,6 +3,7 @@
 // the exports for a fixed-seed engine run.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <thread>
@@ -11,6 +12,9 @@
 #include "core/manager.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/span_report.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "runtime/engine.hpp"
 #include "sim/simulator.hpp"
@@ -409,6 +413,364 @@ TEST(ByteStability, SimulatorReconfigureTraceCoversAllSixPhases) {
   // The plan diagnostics landed in the shared registry via the manager.
   EXPECT_EQ(simulator.registry().counter("lar_plans_computed_total").value(),
             1u);
+}
+
+// --- obs v2: bounded trace ring ----------------------------------------------
+
+TEST(TraceRing, CapDropsOldestAndCounts) {
+  TraceRecorder trace(/*capacity=*/4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    trace.record(1, Phase::kMigrate, obs::key_entity(i));
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().seq, 6u);  // oldest retained
+  EXPECT_EQ(events.front().entity, obs::key_entity(6));
+  EXPECT_EQ(events.back().seq, 9u);
+  trace.clear();
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(TraceRing, ShrinkingCapacityEvictsImmediately) {
+  TraceRecorder trace;
+  for (int i = 0; i < 8; ++i) trace.record(1, Phase::kAck, "a");
+  trace.set_capacity(2);
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.dropped(), 6u);
+}
+
+// --- obs v2: exporter escaping -----------------------------------------------
+
+TEST(Exporters, PrometheusEscapesHostileLabelValues) {
+  Registry reg;
+  reg.counter("lar_hostile_total", {{"edge", "A\"B\\C\nD"}},
+              "Help with \\ and\na newline.")
+      .inc(1);
+  const std::string expected =
+      "# HELP lar_hostile_total Help with \\\\ and\\na newline.\n"
+      "# TYPE lar_hostile_total counter\n"
+      "lar_hostile_total{edge=\"A\\\"B\\\\C\\nD\"} 1\n";
+  EXPECT_EQ(obs::to_prometheus(reg), expected);
+}
+
+// --- obs v2: causal spans ----------------------------------------------------
+
+TEST(Spans, DisabledByDefaultAndOptIn) {
+  TraceRecorder trace;
+  EXPECT_EQ(trace.begin_span(1, Phase::kWave, "wave"), 0u);
+  EXPECT_EQ(trace.size(), 0u);  // disabled begin_span records nothing
+  trace.set_spans_enabled(true);
+  const std::uint64_t outer = trace.begin_span(1, Phase::kWave, "wave");
+  EXPECT_NE(outer, 0u);
+  EXPECT_EQ(trace.current_span(), outer);
+  trace.record(1, Phase::kAck, "a");
+  const std::uint64_t inner = trace.begin_span(1, Phase::kCheckpoint, "c");
+  trace.record(1, Phase::kMigrate, "k");
+  trace.end_span(inner, 2.0);
+  trace.end_span(outer, 3.0);
+  EXPECT_EQ(trace.current_span(), 0u);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].span, outer);
+  EXPECT_EQ(events[0].parent, 0u);
+  EXPECT_DOUBLE_EQ(events[0].vtime_end, 3.0);
+  EXPECT_EQ(events[1].parent, outer);   // leaf under the wave
+  EXPECT_EQ(events[2].span, inner);
+  EXPECT_EQ(events[2].parent, outer);   // nested span
+  EXPECT_DOUBLE_EQ(events[2].vtime_end, 2.0);
+  EXPECT_EQ(events[3].parent, inner);   // leaf under the checkpoint
+}
+
+TEST(Spans, SimulatorWaveFormsWellFormedPhaseTree) {
+  const std::uint32_t n = 3;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kRoundRobin;
+  cfg.seed = 5;
+  sim::Simulator simulator(topo, place, cfg, FieldsRouting::kTable);
+  core::Manager manager(topo, place, {});
+  manager.set_metrics_registry(&simulator.registry());
+  simulator.trace().set_spans_enabled(true);
+  workload::SyntheticGenerator gen(
+      {.num_values = 300, .locality = 0.7, .padding = 0, .seed = 5});
+  (void)simulator.run_window(gen, 20'000);
+  (void)simulator.reconfigure(manager);
+
+  const obs::SpanTree tree =
+      obs::build_span_tree(simulator.trace().canonical_events());
+  EXPECT_TRUE(tree.orphans.empty());  // every referenced parent span exists
+  ASSERT_EQ(tree.roots.size(), 1u);
+  const obs::SpanNode& wave = tree.roots[0];
+  EXPECT_EQ(wave.event.phase, Phase::kWave);
+  // All seven phases, nested under the wave in wave order, back to back:
+  // each phase starts where the previous one ended.
+  const Phase order[] = {Phase::kGather,    Phase::kCompute, Phase::kStage,
+                         Phase::kAck,       Phase::kPropagate,
+                         Phase::kMigrate,   Phase::kDrain};
+  ASSERT_EQ(wave.children.size(), 7u);
+  double t = wave.event.vtime;
+  for (std::size_t i = 0; i < wave.children.size(); ++i) {
+    EXPECT_EQ(wave.children[i].event.phase, order[i]);
+    EXPECT_DOUBLE_EQ(wave.children[i].event.vtime, t);
+    EXPECT_GE(wave.children[i].event.vtime_end, wave.children[i].event.vtime);
+    t = wave.children[i].event.vtime_end;
+  }
+  EXPECT_DOUBLE_EQ(wave.event.vtime_end, t);  // wave closes at the last drain
+
+  // The same wave's critical path reports every phase once.
+  const obs::WaveCriticalPath path = obs::wave_critical_path(wave);
+  ASSERT_EQ(path.phases.size(), 7u);
+  EXPECT_DOUBLE_EQ(path.duration(), t - wave.event.vtime);
+}
+
+TEST(Spans, EngineWaveAdoptsRacingProtocolLeaves) {
+  const std::uint32_t n = 3;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  Registry reg;
+  TraceRecorder trace;
+  trace.set_spans_enabled(true);
+  runtime::EngineOptions opts;
+  opts.fields_mode = FieldsRouting::kHash;
+  opts.pair_stats_capacity = 0;
+  opts.registry = &reg;
+  opts.trace = &trace;
+  runtime::Engine engine(topo, place, counting_factory(), opts);
+  engine.start();
+  core::Manager manager(topo, place, {});
+  workload::SyntheticGenerator gen(
+      {.num_values = 120, .locality = 0.8, .padding = 8, .seed = 31});
+  for (int i = 0; i < 6000; ++i) engine.inject(gen.next());
+  engine.flush();
+  (void)engine.reconfigure(manager);
+  engine.shutdown();
+
+  const obs::SpanTree tree = obs::build_span_tree(trace.canonical_events());
+  EXPECT_TRUE(tree.orphans.empty());
+  ASSERT_EQ(tree.roots.size(), 1u);
+  const obs::SpanNode& wave = tree.roots[0];
+  EXPECT_EQ(wave.event.phase, Phase::kWave);
+  // Driver-side records and the racing per-POI acks / propagate hops /
+  // migrations all landed inside the wave span.
+  bool saw[static_cast<int>(Phase::kWave) + 1] = {};
+  for (const auto& leaf : wave.leaves) saw[static_cast<int>(leaf.phase)] = true;
+  EXPECT_TRUE(saw[static_cast<int>(Phase::kGather)]);
+  EXPECT_TRUE(saw[static_cast<int>(Phase::kCompute)]);
+  EXPECT_TRUE(saw[static_cast<int>(Phase::kStage)]);
+  EXPECT_TRUE(saw[static_cast<int>(Phase::kAck)]);
+  EXPECT_TRUE(saw[static_cast<int>(Phase::kPropagate)]);
+  EXPECT_TRUE(saw[static_cast<int>(Phase::kMigrate)]);
+  // Nothing recorded after the wave closed ended up outside it except
+  // pre-wave events (none here).
+  EXPECT_TRUE(tree.toplevel.empty());
+}
+
+// --- obs v2: timeline store --------------------------------------------------
+
+TEST(Timeline, DeltaCompressionAndEviction) {
+  Registry reg;
+  obs::Gauge& g = reg.gauge("lar_x");
+  obs::Counter& c = reg.counter("lar_y_total");
+  obs::Timeline::Options topts;
+  topts.capacity = 2;
+  obs::Timeline tl(topts);
+
+  g.set(1.0);
+  c.inc();
+  tl.tick(reg, 1.0);  // first tick: full set
+  g.set(2.0);
+  tl.tick(reg, 2.0);  // delta: lar_x only
+  tl.tick(reg, 3.0);  // nothing changed: empty delta; evicts tick 0
+
+  EXPECT_EQ(tl.ticks_total(), 3u);
+  EXPECT_EQ(tl.size(), 2u);
+  EXPECT_EQ(tl.dropped(), 1u);
+  const obs::Timeline::Values base = tl.base();  // folded first tick
+  ASSERT_EQ(base.size(), 2u);
+  EXPECT_DOUBLE_EQ(base.at("lar_x"), 1.0);
+  EXPECT_DOUBLE_EQ(base.at("lar_y_total"), 1.0);
+  const auto ticks = tl.ticks();
+  ASSERT_EQ(ticks.size(), 2u);
+  EXPECT_EQ(ticks[0].index, 1u);
+  ASSERT_EQ(ticks[0].delta.size(), 1u);
+  EXPECT_DOUBLE_EQ(ticks[0].delta.at("lar_x"), 2.0);
+  EXPECT_TRUE(ticks[1].delta.empty());
+  // latest()/previous() reconstruct the full snapshots.
+  EXPECT_TRUE(tl.latest().valid);
+  EXPECT_DOUBLE_EQ(tl.latest().values.at("lar_x"), 2.0);
+  EXPECT_DOUBLE_EQ(tl.latest().vtime, 3.0);
+  EXPECT_TRUE(tl.previous().valid);
+  EXPECT_DOUBLE_EQ(tl.previous().vtime, 2.0);
+}
+
+TEST(Timeline, GoldenJson) {
+  Registry reg;
+  reg.gauge("lar_g", {{"op", "a"}}).set(0.5);
+  reg.counter("lar_c_total").inc(2);
+  obs::Timeline tl;
+  tl.tick(reg, 1.0);
+  reg.gauge("lar_g", {{"op", "a"}}).set(1.5);
+  tl.tick(reg, 2.0);
+  EXPECT_EQ(obs::timeline_to_json(tl),
+            "{\"ticks_total\":2,\"dropped\":0,\"base\":{},"
+            "\"ticks\":[{\"i\":0,\"vtime\":1,\"delta\":{\"lar_c_total\":2,"
+            "\"lar_g{op=\\\"a\\\"}\":0.5}},"
+            "{\"i\":1,\"vtime\":2,\"delta\":{\"lar_g{op=\\\"a\\\"}\":1.5}}]}");
+}
+
+/// One fully-instrumented sim run (spans + timeline + probe) and its
+/// timeline JSON — the "with one attached" half of the byte-identity
+/// invariant.
+std::string sim_timeline_json(std::uint32_t seed) {
+  const std::uint32_t n = 3;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kRoundRobin;
+  cfg.seed = seed;
+  sim::Simulator simulator(topo, place, cfg, FieldsRouting::kTable);
+  core::Manager manager(topo, place, {});
+  manager.set_metrics_registry(&simulator.registry());
+  obs::Timeline timeline;
+  obs::Probe probe;
+  simulator.trace().set_spans_enabled(true);
+  simulator.set_timeline(&timeline);
+  simulator.set_probe(&probe);
+  workload::SyntheticGenerator gen(
+      {.num_values = 300, .locality = 0.7, .padding = 0, .seed = seed});
+  for (int w = 0; w < 3; ++w) {
+    (void)simulator.run_window(gen, 20'000);
+    if (w == 1) (void)simulator.reconfigure(manager);
+  }
+  return obs::timeline_to_json(timeline);
+}
+
+TEST(Timeline, ByteIdenticalAcrossSameSeedRuns) {
+  EXPECT_EQ(sim_timeline_json(17), sim_timeline_json(17));
+  EXPECT_EQ(sim_timeline_json(18), sim_timeline_json(18));
+  EXPECT_NE(sim_timeline_json(17), sim_timeline_json(18));
+}
+
+// --- obs v2: health probe ----------------------------------------------------
+
+TEST(Probe, RulesFireAndPublishAlerts) {
+  Registry reg;
+  obs::Timeline tl;
+  obs::Probe probe;  // default rules
+
+  // Tick 1: balanced, local, quiet.
+  reg.gauge("lar_op_load_balance_ratio", {{"op", "B"}}).set(1.1);
+  reg.gauge("lar_edge_locality_ratio", {{"edge", "A->B"}}).set(0.9);
+  tl.tick(reg, 1.0);
+  const obs::Health h1 = probe.evaluate(tl, reg);
+  EXPECT_FALSE(h1.pressure);
+  EXPECT_FALSE(h1.veto);
+  EXPECT_DOUBLE_EQ(reg.gauge("lar_health_pressure").value(), 0.0);
+
+  // Tick 2: imbalance above alpha, locality collapsed, migration activity.
+  reg.gauge("lar_op_load_balance_ratio", {{"op", "B"}}).set(2.0);
+  reg.gauge("lar_edge_locality_ratio", {{"edge", "A->B"}}).set(0.5);
+  reg.counter("lar_key_moves_total").inc(10);
+  tl.tick(reg, 2.0);
+  const obs::Health h2 = probe.evaluate(tl, reg);
+  EXPECT_TRUE(h2.pressure);
+  EXPECT_TRUE(h2.veto);
+  EXPECT_DOUBLE_EQ(h2.imbalance, 2.0);
+  EXPECT_NEAR(h2.locality_drop, 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(h2.migration_delta, 10.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("lar_health_pressure").value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("lar_health_veto").value(), 1.0);
+  EXPECT_EQ(reg.counter("lar_alerts_total", {{"rule", "imbalance"}}).value(),
+            1u);
+  EXPECT_EQ(
+      reg.counter("lar_alerts_total", {{"rule", "locality_drop"}}).value(),
+      1u);
+  EXPECT_EQ(reg.counter("lar_alerts_total", {{"rule", "migration"}}).value(),
+            1u);
+  EXPECT_EQ(reg.counter("lar_alerts_total", {{"rule", "queue_growth"}}).value(),
+            0u);
+
+  // Tick 3: everything settles; pressure and veto clear, recovery streak 0.
+  tl.tick(reg, 3.0);
+  const obs::Health h3 = probe.evaluate(tl, reg);
+  EXPECT_FALSE(h3.veto);
+  EXPECT_EQ(h3.recovery_ticks, 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("lar_health_veto").value(), 0.0);
+}
+
+TEST(Probe, RecoveryStreakCountsConsecutiveTicks) {
+  Registry reg;
+  obs::Timeline tl;
+  obs::Probe probe;
+  obs::Counter& rec = reg.counter("lar_chaos_recovery_total");
+  rec.inc(1);
+  tl.tick(reg, 1.0);
+  EXPECT_EQ(probe.evaluate(tl, reg).recovery_ticks, 1u);  // first tick: full
+  rec.inc(2);
+  tl.tick(reg, 2.0);
+  EXPECT_EQ(probe.evaluate(tl, reg).recovery_ticks, 2u);
+  tl.tick(reg, 3.0);  // no new recoveries: streak resets
+  const obs::Health h = probe.evaluate(tl, reg);
+  EXPECT_EQ(h.recovery_ticks, 0u);
+  EXPECT_FALSE(h.veto);
+}
+
+// --- obs v2: concurrency (ctest label: obs, runs under TSan) -----------------
+
+TEST(Concurrency, TimelineAndProbeTickWhileRegistryMutates) {
+  Registry reg;
+  obs::Timeline tl;
+  obs::Probe probe;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&reg, &stop, t] {
+      obs::Counter& c =
+          reg.counter("lar_conc_tl_total", {{"w", std::to_string(t)}});
+      obs::Gauge& g = reg.gauge("lar_conc_tl_hwm");
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.inc();
+        g.max_of(static_cast<double>(t));
+      }
+    });
+  }
+  // The driver thread ticks the timeline and evaluates the probe against
+  // the live registry, exactly like the engine's publish path.
+  for (int i = 0; i < 200; ++i) {
+    tl.tick(reg, static_cast<double>(i + 1));
+    (void)probe.evaluate(tl, reg);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(tl.ticks_total(), 200u);
+  EXPECT_TRUE(tl.latest().valid);
+}
+
+TEST(Concurrency, SpanLeavesAdoptParentAcrossThreads) {
+  TraceRecorder trace;
+  trace.set_spans_enabled(true);
+  const std::uint64_t wave = trace.begin_span(1, Phase::kWave, "wave");
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace, t] {
+      for (int i = 0; i < kIters; ++i) {
+        trace.record(1, Phase::kMigrate, obs::key_entity(t), 1, 8);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  trace.end_span(wave, 1.0);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 1u + kThreads * kIters);
+  for (const auto& e : events) {
+    if (e.span == wave) continue;
+    EXPECT_EQ(e.parent, wave);  // every racing leaf inherited the open span
+  }
 }
 
 }  // namespace
