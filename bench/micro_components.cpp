@@ -327,6 +327,13 @@ int main(int argc, char** argv) {
       static_cast<double>(kTuples) / base, static_cast<double>(kTuples) / inst,
       (inst - base) / base * 100.0);
 
+  // The SPSC ring slot size: every lane hand-off moves one Message by value
+  // (DESIGN.md §13), so growth here is a data-plane regression.  Tracked as a
+  // printed report, not an assert — alternates legitimately differ per ABI.
+  std::printf("# sizeof(lar::runtime::Message) = %zu bytes (SPSC ring slot); "
+              "sizeof(Tuple) = %zu, sizeof(DataMsg) = %zu\n",
+              sizeof(runtime::Message), sizeof(Tuple), sizeof(runtime::DataMsg));
+
   write_bench_json();
   return 0;
 }

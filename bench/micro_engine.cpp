@@ -1,0 +1,151 @@
+// End-to-end threaded-runtime throughput: the tentpole number for the
+// data-plane fast path (DESIGN.md §13).  Pushes a synthetic stream through a
+// real Engine (per-producer SPSC lanes, batched hand-off, tuple arenas,
+// zero-copy local edges all active) and reports sustained tuples/sec over
+// the inject+flush hot loop.
+//
+// Doubles as a determinism self-check: the same stream is replayed with
+// lane_batch = 1 — the degenerate batch, publishing every push exactly like
+// the unbatched hand-off — and the per-key count checksum of both runs must
+// match bit-for-bit (batching is a hand-off granularity, never a semantic).
+// fig13 cannot host this check (it is simulator-only and lane-free), so the
+// batch-equivalence gate lives here; scripts/check.sh runs it with a
+// tuples/sec floor.  Exit is nonzero on checksum mismatch or a missed floor.
+//
+// Like BENCH_micro_hotpath.json, BENCH_micro_engine.json embeds measured
+// wall-clock throughput and is not byte-stable across runs; the checksum and
+// tuple counts in it are.
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/hash.hpp"
+#include "runtime/engine.hpp"
+#include "topology/placement.hpp"
+#include "topology/topology.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace lar;
+
+namespace {
+
+runtime::OperatorFactory counting_factory() {
+  return [](OperatorId op,
+            InstanceIndex) -> std::unique_ptr<runtime::Operator> {
+    if (op == 0) return std::make_unique<runtime::PassThroughOperator>();
+    return std::make_unique<runtime::CountingOperator>(op == 1 ? 0u : 1u);
+  };
+}
+
+struct RunResult {
+  double seconds = 0.0;       // inject+flush wall time (not byte-stable)
+  std::uint64_t checksum = 0; // order-independent per-key count digest
+};
+
+RunResult run_engine(std::size_t lane_batch, std::uint64_t tuples) {
+  const std::uint32_t parallelism = 4;
+  const Topology topo = make_two_stage_topology(parallelism);
+  const Placement place = Placement::round_robin(topo, parallelism);
+  runtime::EngineOptions opts;
+  opts.fields_mode = FieldsRouting::kHash;
+  opts.lane_batch = lane_batch;
+  runtime::Engine engine(topo, place, counting_factory(), opts);
+  engine.start();
+  workload::SyntheticGenerator gen({.num_values = parallelism * 1000,
+                                    .locality = 0.8,
+                                    .padding = 16,
+                                    .seed = 17});
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < tuples; ++i) engine.inject(gen.next());
+  engine.flush();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Quiescent after flush(): fold every stateful instance's (key, count)
+  // pairs into a commutative digest, so the thread-dependent interleaving
+  // cannot affect it — only the counts themselves can.
+  RunResult r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (OperatorId op = 1; op < topo.num_operators(); ++op) {
+    for (InstanceIndex i = 0; i < topo.op(op).parallelism; ++i) {
+      const auto& counter =
+          static_cast<runtime::CountingOperator&>(engine.operator_at(op, i));
+      for (const auto& [key, count] : counter.counts()) {
+        r.checksum += mix64(key * 0x9E3779B97F4A7C15ULL + count);
+      }
+    }
+  }
+  engine.shutdown();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t tuples = 500'000;
+  double min_tps = 0.0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--tuples") == 0) {
+      tuples = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--min-tps") == 0) {
+      min_tps = std::strtod(argv[i + 1], nullptr);
+    }
+  }
+  if (tuples == 0) tuples = 1;
+
+  std::printf(
+      "# micro_engine — threaded-runtime end-to-end throughput (%" PRIu64
+      " tuples)\n"
+      "# two-stage topology on 4 servers; SPSC lanes + batched hand-off +\n"
+      "# arenas + zero-copy local edges; lane_batch default vs 1 must agree\n",
+      tuples);
+
+  // Warm-up (thread spawn, page faults), then the timed default-batch run
+  // and the degenerate-batch replay for the equivalence check.
+  (void)run_engine(runtime::EngineOptions{}.lane_batch,
+                   std::min<std::uint64_t>(tuples / 10 + 1, 50'000));
+  const RunResult fast = run_engine(runtime::EngineOptions{}.lane_batch, tuples);
+  const RunResult unbatched = run_engine(1, tuples);
+
+  const double tps = static_cast<double>(tuples) / fast.seconds;
+  const double tps1 = static_cast<double>(tuples) / unbatched.seconds;
+  std::printf("tuples_per_sec            %12.0f  (lane_batch %zu)\n", tps,
+              runtime::EngineOptions{}.lane_batch);
+  std::printf("tuples_per_sec_batch1     %12.0f  (degenerate hand-off)\n",
+              tps1);
+  std::printf("checksum                  %" PRIu64 "\n", fast.checksum);
+
+  int failures = 0;
+  if (fast.checksum != unbatched.checksum) {
+    std::fprintf(stderr,
+                 "DETERMINISM MISMATCH: lane_batch default vs 1 (%" PRIu64
+                 " vs %" PRIu64 ")\n",
+                 fast.checksum, unbatched.checksum);
+    ++failures;
+  }
+  if (min_tps > 0.0 && tps < min_tps) {
+    std::fprintf(stderr, "THROUGHPUT FLOOR MISSED: %.0f < %.0f tuples/s\n",
+                 tps, min_tps);
+    ++failures;
+  }
+
+  char tps_buf[64];
+  char tps1_buf[64];
+  std::snprintf(tps_buf, sizeof tps_buf, "%.0f", tps);
+  std::snprintf(tps1_buf, sizeof tps1_buf, "%.0f", tps1);
+  const std::string json =
+      std::string("{\"bench\":\"micro_engine\",\"tuples\":") +
+      std::to_string(tuples) + ",\"tuples_per_sec\":" + tps_buf +
+      ",\"tuples_per_sec_batch1\":" + tps1_buf +
+      ",\"lane_batch\":" + std::to_string(runtime::EngineOptions{}.lane_batch) +
+      ",\"checksum\":" + std::to_string(fast.checksum) + "}\n";
+  if (std::FILE* f = std::fopen("BENCH_micro_engine.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("# wrote BENCH_micro_engine.json\n");
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -30,6 +30,7 @@
 
 #include "common/hash.hpp"
 #include "common/rng.hpp"
+#include "runtime/queue.hpp"
 #include "sim/route_desc.hpp"
 #include "sketch/space_saving.hpp"
 #include "sketch/zipf.hpp"
@@ -314,6 +315,65 @@ int main(int argc, char** argv) {
       return sum;
     }));
     check_equal("flat map vs unordered map contents",
+                points[points.size() - 2].checksum, points.back().checksum);
+  }
+
+  // --- channel hand-off: shared MPSC queue vs SPSC lane vs batched lane -----
+  //
+  // The runtime's per-hop cost (DESIGN.md §13), measured single-threaded in
+  // push/pop chunks so the numbers isolate the hand-off mechanism itself:
+  // mutex+deque (the seed's only path, still the control plane), an SPSC
+  // ring lane publishing every push (batch 1 — the degenerate batch, same
+  // per-item visibility as the old queue), and the same lane publishing
+  // every 32 pushes (the engine's default lane_batch).  All three pop the
+  // identical value stream, so the checksums triple as a differential test.
+  {
+    constexpr std::uint64_t kChunk = 64;
+    const std::uint64_t chunks = std::max<std::uint64_t>(ops / kChunk, 1);
+    const std::uint64_t n = chunks * kChunk;
+    {
+      runtime::Channel<std::uint64_t> ch(kChunk);
+      points.push_back(timed("channel_mpsc_push_pop", n, [&] {
+        std::uint64_t sum = 0;
+        std::uint64_t v = 1;
+        for (std::uint64_t c = 0; c < chunks; ++c) {
+          for (std::uint64_t k = 0; k < kChunk; ++k) ch.push(v++);
+          for (std::uint64_t k = 0; k < kChunk; ++k) sum += *ch.try_pop();
+        }
+        return sum;
+      }));
+    }
+    {
+      runtime::Channel<std::uint64_t> ch(kChunk);
+      const std::uint32_t lane = ch.add_lane(kChunk);
+      points.push_back(timed("channel_spsc_lane_push_pop", n, [&] {
+        std::uint64_t sum = 0;
+        std::uint64_t v = 1;
+        for (std::uint64_t c = 0; c < chunks; ++c) {
+          for (std::uint64_t k = 0; k < kChunk; ++k) ch.lane_push(lane, v++);
+          for (std::uint64_t k = 0; k < kChunk; ++k) sum += *ch.try_pop();
+        }
+        return sum;
+      }));
+    }
+    {
+      runtime::Channel<std::uint64_t> ch(kChunk);
+      const std::uint32_t lane = ch.add_lane(kChunk);
+      ch.set_lane_batch(32);
+      points.push_back(timed("channel_batched_push_pop", n, [&] {
+        std::uint64_t sum = 0;
+        std::uint64_t v = 1;
+        for (std::uint64_t c = 0; c < chunks; ++c) {
+          for (std::uint64_t k = 0; k < kChunk; ++k) ch.lane_push(lane, v++);
+          ch.lane_flush(lane);
+          for (std::uint64_t k = 0; k < kChunk; ++k) sum += *ch.try_pop();
+        }
+        return sum;
+      }));
+    }
+    check_equal("channel mpsc vs spsc lane", points[points.size() - 3].checksum,
+                points[points.size() - 2].checksum);
+    check_equal("channel spsc lane vs batched",
                 points[points.size() - 2].checksum, points.back().checksum);
   }
 

@@ -2,9 +2,11 @@
 # One-command verification gate (referenced from CLAUDE.md):
 #
 #   scripts/check.sh            # configure + build (zero warnings), full
-#                               # ctest, TSan obs+chaos+elastic+ckpt, ASan
-#                               # ckpt, perf smoke, obs v2 byte-identity,
-#                               # elasticity + checkpoint ablation self-checks
+#                               # ctest, TSan obs+chaos+elastic+ckpt+queue,
+#                               # ASan ckpt+queue, perf smoke, runtime
+#                               # throughput floor + batch equivalence, obs
+#                               # v2 byte-identity, elasticity + checkpoint
+#                               # ablation self-checks
 #
 # Exits nonzero on the first failure.  Build trees: build/ (release-ish,
 # whatever CMakeLists defaults to), build-tsan/ (-DLAR_SANITIZE=thread) and
@@ -25,18 +27,27 @@ fi
 log "full test suite"
 ctest --test-dir build -j "$(nproc)" --output-on-failure
 
-log "ThreadSanitizer: obs + chaos + elastic + ckpt (registry, wave, injector, scale, recovery races)"
+log "ThreadSanitizer: obs + chaos + elastic + ckpt + queue (registry, wave, injector, scale, recovery, lane races)"
 cmake -B build-tsan -G Ninja -DLAR_SANITIZE=thread >/dev/null
 cmake --build build-tsan >/dev/null
-ctest --test-dir build-tsan -L 'obs|chaos|elastic|ckpt' --output-on-failure
+ctest --test-dir build-tsan -L 'obs|chaos|elastic|ckpt|queue' --output-on-failure
 
-log "AddressSanitizer+UBSan: ckpt (crash recovery frees/respawns state under load)"
+log "AddressSanitizer+UBSan: ckpt + queue (crash recovery frees/respawns state under load; lane slot reuse)"
 cmake -B build-asan -G Ninja -DLAR_SANITIZE=address >/dev/null
 cmake --build build-asan >/dev/null
-ctest --test-dir build-asan -L ckpt --output-on-failure
+ctest --test-dir build-asan -L 'ckpt|queue' --output-on-failure
 
-log "perf smoke (devirtualized-routing differential checks)"
+log "perf smoke (devirtualized-routing + channel hand-off differential checks)"
 ./build/bench/micro_hotpath --ops 20000 >/dev/null
+
+log "runtime throughput floor + lane_batch degenerate-batch equivalence"
+# micro_engine replays the same stream with lane_batch 1 and fails on any
+# per-key count divergence — the batched hand-off must be semantics-free.
+# (fig13 cannot host that check: it is simulator-only and never touches the
+# runtime's lanes, so the batch-equivalence gate lives here.)  The floor is
+# deliberately loose — an order of magnitude under a healthy run — so it
+# catches a structurally broken fast path, not machine noise.
+./build/bench/micro_engine --tuples 200000 --min-tps 100000 >/dev/null
 
 log "obs v2 byte-identity (fig13 with spans+timeline+probe attached, twice same-seed)"
 obs_a=$(mktemp -d); obs_b=$(mktemp -d)
@@ -59,4 +70,4 @@ ckpt_dir=$(mktemp -d)
 rm -rf "$ckpt_dir"
 
 echo
-echo "OK: build clean, all tests green, TSan + ASan clean, perf + elastic + ckpt smoke passed"
+echo "OK: build clean, all tests green, TSan + ASan clean, perf + runtime-floor + elastic + ckpt smoke passed"

@@ -35,58 +35,97 @@ void repair_per_op_balance(const KeyGraph& key_graph,
     }
   }
 
+  // Scratch reused across operators.  `inc` holds, for each in-domain vertex
+  // of the current operator, its incident edge weight toward every repair
+  // slot; `members[s]` lists the operator's vertices on slot s in ascending
+  // VertexId order.  Both are maintained incrementally across moves, so each
+  // round costs O(|hot slot|) instead of O(|op| + edges) — the greedy picks
+  // the exact same move sequence as a fresh full scan would.
+  std::vector<std::int64_t> inc;
+  std::vector<std::uint64_t> wv;
+  std::vector<std::vector<std::uint32_t>> members(num_parts);
+
   for (auto& [op, vertices] : by_op) {
+    const std::size_t n = vertices.size();
     std::vector<std::uint64_t> mass(num_parts, 0);
     std::uint64_t total = 0;
-    for (const auto v : vertices) {
-      mass[slot_of.at(assignment[v])] += g.vertex_weight(v);
-      total += g.vertex_weight(v);
+    wv.assign(n, 0);
+    for (auto& m : members) m.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      wv[i] = g.vertex_weight(vertices[i]);
+      const std::size_t s = slot_of.at(assignment[vertices[i]]);
+      mass[s] += wv[i];
+      total += wv[i];
+      members[s].push_back(static_cast<std::uint32_t>(i));
     }
     const double cap =
         alpha * static_cast<double>(total) / static_cast<double>(num_parts) +
         1.0;
+    const auto peak = static_cast<std::size_t>(
+        std::max_element(mass.begin(), mass.end()) - mass.begin());
+    if (static_cast<double>(mass[peak]) <= cap) continue;  // already balanced
+
+    inc.assign(n * num_parts, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto nbrs = g.neighbors(vertices[i]);
+      const auto wgts = g.neighbor_weights(vertices[i]);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        const auto it = slot_of.find(assignment[nbrs[k]]);
+        if (it != slot_of.end()) {
+          inc[i * num_parts + it->second] +=
+              static_cast<std::int64_t>(wgts[k]);
+        }
+      }
+    }
 
     // Bounded number of rounds; each round moves one key off the hottest
     // server, so progress is monotone in its mass.
-    for (std::size_t round = 0; round < vertices.size(); ++round) {
+    for (std::size_t round = 0; round < n; ++round) {
       const auto hot_slot = static_cast<std::size_t>(
           std::max_element(mass.begin(), mass.end()) - mass.begin());
       if (static_cast<double>(mass[hot_slot]) <= cap) break;
       const auto cold_slot = static_cast<std::size_t>(
           std::min_element(mass.begin(), mass.end()) - mass.begin());
-      const std::uint32_t hot = servers[hot_slot];
-      const std::uint32_t cold = servers[cold_slot];
 
       // Pick the hot-server key with the smallest cut penalty for moving to
       // the cold server; skip keys so heavy the move would just swap roles.
-      partition::VertexId best = static_cast<partition::VertexId>(-1);
+      // First strict minimum in ascending VertexId order, as before.
+      constexpr std::uint32_t kNone = static_cast<std::uint32_t>(-1);
+      std::uint32_t best = kNone;
       std::int64_t best_penalty = 0;
-      for (const auto v : vertices) {
-        if (assignment[v] != hot) continue;
-        const std::uint64_t w = g.vertex_weight(v);
-        if (mass[cold_slot] + w >= mass[hot_slot]) continue;  // no net gain
-        std::int64_t to_hot = 0;
-        std::int64_t to_cold = 0;
-        const auto nbrs = g.neighbors(v);
-        const auto wgts = g.neighbor_weights(v);
-        for (std::size_t i = 0; i < nbrs.size(); ++i) {
-          if (assignment[nbrs[i]] == hot) {
-            to_hot += static_cast<std::int64_t>(wgts[i]);
-          } else if (assignment[nbrs[i]] == cold) {
-            to_cold += static_cast<std::int64_t>(wgts[i]);
-          }
-        }
-        const std::int64_t penalty = to_hot - to_cold;  // cut increase
-        if (best == static_cast<partition::VertexId>(-1) ||
-            penalty < best_penalty) {
-          best = v;
+      for (const std::uint32_t i : members[hot_slot]) {
+        if (mass[cold_slot] + wv[i] >= mass[hot_slot]) continue;  // no net gain
+        const std::int64_t penalty = inc[i * num_parts + hot_slot] -
+                                     inc[i * num_parts + cold_slot];
+        if (best == kNone || penalty < best_penalty) {
+          best = i;
           best_penalty = penalty;
         }
       }
-      if (best == static_cast<partition::VertexId>(-1)) break;
-      mass[hot_slot] -= g.vertex_weight(best);
-      mass[cold_slot] += g.vertex_weight(best);
-      assignment[best] = cold;
+      if (best == kNone) break;
+      mass[hot_slot] -= wv[best];
+      mass[cold_slot] += wv[best];
+      const partition::VertexId moved = vertices[best];
+      assignment[moved] = servers[cold_slot];
+      auto& h = members[hot_slot];
+      h.erase(std::lower_bound(h.begin(), h.end(), best));
+      auto& c = members[cold_slot];
+      c.insert(std::lower_bound(c.begin(), c.end(), best), best);
+      // In-domain same-operator neighbors (none in a bipartite key graph,
+      // but kept exact regardless) see their hot/cold incidence shift.
+      const auto nbrs = g.neighbors(moved);
+      const auto wgts = g.neighbor_weights(moved);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        const auto u = nbrs[k];
+        if (key_graph.vertices[u].op != op) continue;
+        const auto it =
+            std::lower_bound(vertices.begin(), vertices.end(), u);
+        if (it == vertices.end() || *it != u) continue;  // outside domain
+        const auto j =
+            static_cast<std::size_t>(it - vertices.begin());
+        inc[j * num_parts + hot_slot] -= static_cast<std::int64_t>(wgts[k]);
+        inc[j * num_parts + cold_slot] += static_cast<std::int64_t>(wgts[k]);
+      }
     }
   }
 }

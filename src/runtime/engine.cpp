@@ -54,6 +54,39 @@ struct Engine::Poi {
   std::vector<std::unique_ptr<Router>> routers;
   std::vector<std::optional<core::PairStats>> pair_stats;
 
+  // --- data-plane fast path (DESIGN.md §13), wired at construction ---------
+  // This POI owns one SPSC lane into every channel it can send to; the lane
+  // is the producer-side half of the pair, so only this POI's thread may
+  // push on it.
+  struct OutLane {
+    Poi* target = nullptr;
+    std::uint32_t lane = 0;
+  };
+  std::vector<std::vector<OutLane>> out_lanes;  ///< [out_pos][dst instance]
+  std::vector<OutLane> flush_lanes;  ///< deduplicated; flushed before idling
+  FlatMap<std::uint64_t, std::uint32_t> lane_to;  ///< target flat -> lane id
+
+  /// Bounded free-list of recycled tuple field buffers.  Owned end to end by
+  /// this POI's thread: buffers are acquired when this POI copies an
+  /// emission for a non-final local edge and released once a delivered
+  /// tuple has been fully processed, so the steady-state data path stops
+  /// heap-allocating.
+  std::vector<std::vector<Key>> arena;
+  static constexpr std::size_t kArenaCap = 256;
+
+  [[nodiscard]] std::vector<Key> arena_acquire() {
+    if (arena.empty()) return {};
+    std::vector<Key> buf = std::move(arena.back());
+    arena.pop_back();
+    buf.clear();
+    return buf;
+  }
+
+  void arena_release(std::vector<Key>&& buf) {
+    if (buf.capacity() == 0 || arena.size() >= kArenaCap) return;
+    arena.push_back(std::move(buf));
+  }
+
   std::atomic<std::uint64_t> processed{0};
 
   // --- reconfiguration state, touched only by the POI thread --------------
@@ -202,6 +235,56 @@ Engine::Engine(const Topology& topology, const Placement& placement,
       poi.active = poi.server < active_servers_;
     }
   }
+  // Second pass: wire the data-plane fast path.  Every producer of a
+  // channel — each upstream POI instance, plus the injector for sources —
+  // registers its own SPSC ring lane, sized so the per-channel total stays
+  // near queue_capacity.  Dormant instances are wired too: lanes are cheap
+  // and registration must finish before any producer thread starts, so an
+  // elastic resize never adds lanes mid-stream.
+  LAR_CHECK(options_.lane_batch >= 1);
+  std::vector<std::uint32_t> producers(topology.num_operators(), 0);
+  for (const EdgeSpec& edge : topology.edges()) {
+    producers[edge.to] += topology.op(edge.from).parallelism;
+  }
+  for (OperatorId op = 0; op < topology.num_operators(); ++op) {
+    if (topology.op(op).is_source) ++producers[op];  // the injector
+  }
+  const auto lane_cap = [&](OperatorId op) {
+    return std::max<std::size_t>(
+        64,
+        options_.queue_capacity / std::max<std::uint32_t>(producers[op], 1));
+  };
+  for (auto& poi_ptr : pois_) {
+    Poi& poi = *poi_ptr;
+    const auto& out = topology.out_edges(poi.op);
+    poi.out_lanes.resize(out.size());
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      const EdgeSpec& edge = topology.edges()[out[k]];
+      const std::uint32_t parallelism = topology.op(edge.to).parallelism;
+      poi.out_lanes[k].resize(parallelism);
+      for (InstanceIndex i = 0; i < parallelism; ++i) {
+        Poi& target = poi_at(edge.to, i);
+        const auto flat = static_cast<std::uint64_t>(target.flat);
+        std::uint32_t lane = 0;
+        if (const std::uint32_t* found = poi.lane_to.find(flat)) {
+          lane = *found;  // a second edge into the same channel shares it
+        } else {
+          lane = target.inbox.add_lane(lane_cap(edge.to));
+          poi.lane_to[flat] = lane;
+          poi.flush_lanes.push_back(Poi::OutLane{&target, lane});
+        }
+        poi.out_lanes[k][i] = Poi::OutLane{&target, lane};
+      }
+    }
+  }
+  inject_lane_.assign(pois_.size(), 0);
+  for (const OperatorId src : sources_) {
+    for (const std::size_t flat : poi_index_[src]) {
+      inject_lane_[flat] = pois_[flat]->inbox.add_lane(lane_cap(src));
+    }
+  }
+  for (auto& poi : pois_) poi->inbox.set_lane_batch(options_.lane_batch);
+
   set_inject_actives(active_servers_);
 
   ckpt_enabled_ = options_.checkpoint != nullptr;
@@ -270,28 +353,32 @@ void Engine::inject(Tuple tuple) {
         break;
     }
     inject_seq_.fetch_add(1, std::memory_order_relaxed);
+    // The injector's SPSC lane: source_mutex_ is its producer serialization
+    // domain, so pushing while still holding the mutex keeps the inject log
+    // order, the sequence numbers and the lane order in agreement — and a
+    // checkpoint barrier injected under this same mutex lands after exactly
+    // the tuples logged so far.  The source POI drains its inbox without
+    // ever taking this mutex, so a back-pressured push cannot deadlock.
+    // Every inject flushes: callers may flush() right after, and a staged
+    // tuple nobody publishes would hang that fence.
+    Poi& target = poi_at(src, instance);
+    const std::uint32_t lane = inject_lane_[target.flat];
     if (ckpt_enabled_) {
-      // Stamp the coordinator pseudo-link, append to the inject replay log
-      // and push while still holding the mutex: the log order, the sequence
-      // numbers and the inbox order must all agree, and a checkpoint
-      // barrier injected under this same mutex must land after exactly the
-      // tuples logged so far.  The source POI drains its inbox without ever
-      // taking this mutex, so a back-pressured push here cannot deadlock.
-      Poi& target = poi_at(src, instance);
       DataMsg dm{std::move(tuple), DataMsg::kInjected};
       dm.from = BarrierMsg::kCoordinator;
       dm.seq = ++inject_out_seq_[target.flat];
       inject_replay_[target.flat].push_back(dm);
       tuples_injected_.fetch_add(1, std::memory_order_relaxed);
       in_flight_.fetch_add(1, std::memory_order_acq_rel);
-      target.inbox.push(Message{DataMsg{std::move(dm)}});
-      return;
+      target.inbox.lane_push(lane, Message{DataMsg{std::move(dm)}});
+    } else {
+      tuples_injected_.fetch_add(1, std::memory_order_relaxed);
+      in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      target.inbox.lane_push(
+          lane, Message{DataMsg{std::move(tuple), DataMsg::kInjected}});
     }
+    target.inbox.lane_flush(lane);
   }
-  tuples_injected_.fetch_add(1, std::memory_order_relaxed);
-  in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  poi_at(src, instance).inbox.push(
-      Message{DataMsg{std::move(tuple), DataMsg::kInjected}});
 }
 
 void Engine::flush() {
@@ -304,7 +391,20 @@ void Engine::flush() {
 
 void Engine::poi_loop(Poi& poi) {
   chaos::Injector* const inj = options_.injector;
-  while (auto msg = poi.inbox.pop()) {
+  for (;;) {
+    auto msg = poi.inbox.try_pop();
+    if (!msg.has_value()) {
+      // About to go idle: publish every staged outbound batch first, or a
+      // downstream POI could wait forever on tuples already emitted here.
+      // Flushing only on the empty-inbox edge (not per message) is what
+      // lets batches form while the POI is busy; the per-lane batch bound
+      // caps how long a tuple can stay staged meanwhile.
+      for (const Poi::OutLane& ol : poi.flush_lanes) {
+        ol.target->inbox.lane_flush(ol.lane);
+      }
+      msg = poi.inbox.pop();
+      if (!msg.has_value()) return;
+    }
     if (std::holds_alternative<ShutdownMsg>(*msg)) return;
     // A crash sentinel kills the POI where it stands: messages queued behind
     // it stay unprocessed (the recovery driver discards them — their effects
@@ -439,6 +539,7 @@ void Engine::deliver_data(Poi& poi, DataMsg msg) {
     }
   }
   process_tuple(poi, msg.tuple, in_key);
+  poi.arena_release(std::move(msg.tuple.fields));
   if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     in_flight_.notify_all();
   }
@@ -507,19 +608,24 @@ void Engine::process_tuple(Poi& poi, const Tuple& tuple, Key in_key) {
           LAR_CHECK(edge.key_field < tuple.fields.size());
           poi.pair_stats[k]->record(in_key, tuple.fields[edge.key_field]);
         }
-        engine.send_data(poi, static_cast<std::uint32_t>(k), tuple, in_key);
+        engine.send_data(poi, static_cast<std::uint32_t>(k), tuple, in_key,
+                         /*last=*/k + 1 == out.size());
       }
+      // The final local edge moved the storage out; anything left (sinks,
+      // remote-only emissions) goes back to the free-list.
+      poi.arena_release(std::move(tuple.fields));
     }
   } emitter(*this, poi, in_key);
   poi.logic->process(tuple, emitter);
 }
 
-void Engine::send_data(Poi& poi, std::uint32_t out_pos, const Tuple& tuple,
-                       Key in_key) {
+void Engine::send_data(Poi& poi, std::uint32_t out_pos, Tuple& tuple,
+                       Key in_key, bool last) {
   const std::uint32_t eid = topology_.out_edges(poi.op)[out_pos];
   const EdgeSpec& edge = topology_.edges()[eid];
   const InstanceIndex dst = poi.routers[out_pos]->route(tuple);
-  Poi& target = poi_at(edge.to, dst);
+  const Poi::OutLane& ol = poi.out_lanes[out_pos][dst];
+  Poi& target = *ol.target;
   EdgeCounters& counters = edge_counters_[eid];
 
   // The receiver's anchor: a fields hop re-anchors at its own key, anything
@@ -529,9 +635,21 @@ void Engine::send_data(Poi& poi, std::uint32_t out_pos, const Tuple& tuple,
                          : in_key;
 
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  DataMsg out{tuple, eid, anchor};
+  DataMsg out{Tuple{}, eid, anchor};
   if (target.server == poi.server) {
     counters.local.fetch_add(1, std::memory_order_relaxed);
+    if (last) {
+      // Same-server final edge: the hand-off is a pointer move into the
+      // co-located POI's lane — the paper's "address in memory" hop, with
+      // no copy at all.  The receiver recycles the storage once processed.
+      out.tuple = std::move(tuple);
+    } else {
+      // A non-final local edge still needs its own copy, but into a
+      // recycled buffer rather than a fresh heap allocation.
+      out.tuple.fields = poi.arena_acquire();
+      out.tuple.fields.assign(tuple.fields.begin(), tuple.fields.end());
+      out.tuple.padding = tuple.padding;
+    }
   } else {
     counters.remote.fetch_add(1, std::memory_order_relaxed);
     const std::vector<std::byte> wire = encode_tuple(tuple);
@@ -554,10 +672,10 @@ void Engine::send_data(Poi& poi, std::uint32_t out_pos, const Tuple& tuple,
                   link_entity(out.from, target.flat))) {
       // Same seq on both copies: whichever arrives second is deduped.
       in_flight_.fetch_add(1, std::memory_order_acq_rel);
-      target.inbox.push(Message{DataMsg{out}});
+      target.inbox.lane_push(ol.lane, Message{DataMsg{out}});
     }
   }
-  target.inbox.push(Message{std::move(out)});
+  target.inbox.lane_push(ol.lane, Message{std::move(out)});
 }
 
 // ---------------------------------------------------------------------------
@@ -784,13 +902,15 @@ void Engine::handle_migrate(Poi& poi, MigrateMsg msg) {
     }
     for (DataMsg& dm : buffered) {
       process_tuple(poi, dm.tuple, msg.key);
+      poi.arena_release(std::move(dm.tuple.fields));
       if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         in_flight_.notify_all();
       }
     }
     for (const std::vector<std::byte>& wire : spilled) {
-      const Tuple tuple = decode_tuple(wire);
+      Tuple tuple = decode_tuple(wire);
       process_tuple(poi, tuple, msg.key);
+      poi.arena_release(std::move(tuple.fields));
       if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         in_flight_.notify_all();
       }
@@ -809,20 +929,25 @@ void Engine::maybe_finish_reconfig(Poi& poi) {
   // matches exactly what each successor's propagate_expected counts.
   const std::shared_ptr<const ElasticWave> wave = poi.staged->wave;
   std::uint64_t hops = 0;
+  // Each PROPAGATE rides FIFO-after this POI's own lane into its successor:
+  // push_unbounded_after publishes any staged batch first, so a successor
+  // always processes the pre-switch suffix before it sees the wave.
   for (const std::uint32_t eid : topology_.out_edges(poi.op)) {
     const EdgeSpec& edge = topology_.edges()[eid];
     if (wave != nullptr) {
       for (const InstanceIndex i : wave->members[edge.to]) {
-        poi_at(edge.to, i).inbox.push_unbounded(
-            Message{PropagateMsg{version}});
+        Poi& target = poi_at(edge.to, i);
+        target.inbox.push_unbounded_after(*poi.lane_to.find(target.flat),
+                                          Message{PropagateMsg{version}});
         ++hops;
       }
       continue;
     }
     const std::uint32_t parallelism = topology_.op(edge.to).parallelism;
     for (InstanceIndex i = 0; i < parallelism; ++i) {
-      poi_at(edge.to, i).inbox.push_unbounded(
-          Message{PropagateMsg{version}});
+      Poi& target = poi_at(edge.to, i);
+      target.inbox.push_unbounded_after(*poi.lane_to.find(target.flat),
+                                        Message{PropagateMsg{version}});
       ++hops;
     }
   }
@@ -1310,7 +1435,11 @@ std::uint64_t Engine::checkpoint() {
     std::lock_guard<std::mutex> lock(source_mutex_);
     for (std::size_t s = 0; s < sources_.size(); ++s) {
       for (const InstanceIndex i : source_actives_[s]) {
-        poi_at(sources_[s], i).inbox.push_unbounded(
+        Poi& p = poi_at(sources_[s], i);
+        // FIFO-after the injector's lane: the barrier sits behind exactly
+        // the tuples inject() logged before it.
+        p.inbox.push_unbounded_after(
+            inject_lane_[p.flat],
             Message{BarrierMsg{epoch, BarrierMsg::kCoordinator, members}});
       }
     }
@@ -1397,7 +1526,11 @@ void Engine::handle_barrier(Poi& poi, const BarrierMsg& msg) {
   for (const std::uint32_t eid : topology_.out_edges(poi.op)) {
     const EdgeSpec& edge = topology_.edges()[eid];
     for (const InstanceIndex i : (*poi.barrier_members)[edge.to]) {
-      poi_at(edge.to, i).inbox.push_unbounded(
+      Poi& target = poi_at(edge.to, i);
+      // FIFO-after this POI's lane: the forwarded barrier publishes any
+      // staged pre-barrier batch ahead of itself.
+      target.inbox.push_unbounded_after(
+          *poi.lane_to.find(target.flat),
           Message{BarrierMsg{msg.epoch, static_cast<std::uint32_t>(poi.flat),
                              poi.barrier_members}});
     }
@@ -1476,19 +1609,21 @@ void Engine::handle_commit(Poi& poi, const CheckpointCommitMsg& /*msg*/) {
 
 void Engine::handle_replay_request(Poi& poi, const ReplayRequestMsg& msg) {
   Poi& target = *pois_[msg.target];
+  const std::uint32_t lane = *poi.lane_to.find(msg.target);
   std::uint64_t replayed = 0;
   if (auto it = poi.replay_out.find(msg.target); it != poi.replay_out.end()) {
     for (const DataMsg& dm : it->second) {
       in_flight_.fetch_add(1, std::memory_order_acq_rel);
-      target.inbox.push(Message{DataMsg{dm}});
+      target.inbox.lane_push(lane, Message{DataMsg{dm}});
       ++replayed;
     }
   }
   tuples_replayed_.fetch_add(replayed, std::memory_order_relaxed);
-  // The end marker travels the same channel, so it arrives after both the
-  // replay above and every pre-request live send.
-  target.inbox.push_unbounded(
-      Message{ReplayEndMsg{static_cast<std::uint32_t>(poi.flat)}});
+  // The end marker travels the same lane, so it arrives after both the
+  // replay above and every pre-request live send (including any batch still
+  // staged — push_unbounded_after publishes it first).
+  target.inbox.push_unbounded_after(
+      lane, Message{ReplayEndMsg{static_cast<std::uint32_t>(poi.flat)}});
 }
 
 void Engine::handle_replay_end(Poi& poi, const ReplayEndMsg& msg) {
@@ -1621,6 +1756,23 @@ void Engine::crash_and_recover(std::uint32_t server) {
   for (Poi* p : victims) {
     if (p->thread.joinable()) p->thread.join();
   }
+  // Reap each victim's staged-but-unpublished lane batches now that its
+  // thread is joined (lane_abort_staged's contract).  Every staged item is
+  // a DataMsg counted in in_flight_, and every victim's successors are
+  // victims themselves (the rollback region is downstream-closed), so
+  // nothing outside the region loses data.  Surviving producers' staged
+  // batches toward victims publish later and are absorbed by the replay
+  // stash's sequence sort + dedup.
+  for (Poi* p : victims) {
+    std::size_t aborted = 0;
+    for (const Poi::OutLane& ol : p->flush_lanes) {
+      aborted += ol.target->inbox.lane_abort_staged(ol.lane);
+    }
+    if (aborted != 0) {
+      drop_data_in_flight(aborted);
+      lost += aborted;
+    }
+  }
   std::uint64_t restored = 0;
   std::uint64_t restored_bytes = 0;
   std::vector<std::vector<std::uint32_t>> victim_links(victims.size());
@@ -1722,20 +1874,23 @@ void Engine::crash_and_recover(std::uint32_t server) {
           Message{ReplayRequestMsg{static_cast<std::uint32_t>(p->flat)}});
     }
     if (topology_.op(p->op).is_source) {
-      std::vector<DataMsg> log;
-      {
-        // Copy, then push without the lock: injections racing past the copy
-        // go straight to the inbox and land in the replay stash, where the
-        // seq sort merges both streams.
-        std::lock_guard<std::mutex> lock(source_mutex_);
-        log = inject_replay_[p->flat];
-      }
+      // Replay the inject log on the injector's own lane, holding the
+      // inject mutex for the whole run: the lane's producer domain is
+      // source_mutex_, so log order, lane order and any racing inject()
+      // stay mutually FIFO, and the end marker (which publishes the lane
+      // first) lands after exactly the replayed prefix.  The respawned
+      // source never takes this mutex, so the bounded pushes cannot
+      // deadlock.
+      std::lock_guard<std::mutex> lock(source_mutex_);
+      const std::vector<DataMsg>& log = inject_replay_[p->flat];
       tuples_replayed_.fetch_add(log.size(), std::memory_order_relaxed);
-      for (DataMsg& dm : log) {
+      for (const DataMsg& dm : log) {
         in_flight_.fetch_add(1, std::memory_order_acq_rel);
-        p->inbox.push(Message{DataMsg{std::move(dm)}});
+        p->inbox.lane_push(inject_lane_[p->flat], Message{DataMsg{dm}});
       }
-      p->inbox.push_unbounded(Message{ReplayEndMsg{BarrierMsg::kCoordinator}});
+      p->inbox.push_unbounded_after(
+          inject_lane_[p->flat],
+          Message{ReplayEndMsg{BarrierMsg::kCoordinator}});
     }
   }
 

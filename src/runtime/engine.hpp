@@ -53,6 +53,15 @@ struct EngineOptions {
   /// pressure).
   std::size_t queue_capacity = 4096;
 
+  /// Tuples staged per SPSC lane before the producer publishes them to the
+  /// consumer in one atomic store (the threaded analogue of the sim's
+  /// 256-tuple windows).  1 = publish every push, the degenerate unbatched
+  /// mode.  Purely a hand-off granularity: batches are always flushed
+  /// before any control push and before a POI blocks on an empty inbox, so
+  /// ordering, liveness, and every deterministic output are independent of
+  /// the value.
+  std::size_t lane_batch = 32;
+
   /// Capacity of each POI's pair-statistics sketch (0 = exact).
   std::size_t pair_stats_capacity = 1 << 16;
 
@@ -379,9 +388,12 @@ class Engine {
 
   /// Routes `tuple` over edge at out-position `out_pos` from `poi`,
   /// serializing if cross-server; `in_key` is the emitting tuple's anchor
-  /// key, forwarded to the receiver on non-fields edges.
-  void send_data(Poi& poi, std::uint32_t out_pos, const Tuple& tuple,
-                 Key in_key);
+  /// key, forwarded to the receiver on non-fields edges.  `last` marks the
+  /// final out-edge of this emission: a same-server hand-off may then move
+  /// the tuple's field storage into the destination lane instead of copying
+  /// (non-last local edges copy into an arena-recycled buffer).
+  void send_data(Poi& poi, std::uint32_t out_pos, Tuple& tuple, Key in_key,
+                 bool last);
 
   [[nodiscard]] Poi& poi_at(OperatorId op, InstanceIndex index);
 
@@ -428,6 +440,11 @@ class Engine {
   // bookkeeping is externally synchronized like the rest of the control API.
   bool ckpt_enabled_ = false;
   std::uint64_t last_plan_version_ = 0;  ///< last deployed wave version
+  /// Injector-owned SPSC lane id on each source POI's inbox ([flat]; only
+  /// source entries are meaningful).  inject(), barrier injection, and
+  /// crashed-source replay all push on it under source_mutex_, which is the
+  /// lane's producer serialization domain.
+  std::vector<std::uint32_t> inject_lane_;
   std::vector<std::uint64_t> inject_out_seq_;          // [flat] source POIs
   std::vector<std::vector<DataMsg>> inject_replay_;    // [flat] source POIs
   std::atomic<std::uint64_t> checkpoints_committed_{0};

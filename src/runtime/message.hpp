@@ -175,6 +175,11 @@ struct ReplayEndMsg {
 /// checkpoint restore + replay.
 struct CrashMsg {};
 
+// DataMsg must stay the first alternative: the channel's SPSC ring slots
+// are value-initialized `Message{}` and reset to it when a staged batch is
+// aborted, so the default alternative has to be the cheap data one (and
+// default-constructible).  Keep Message lean — sizeof(Message) is the ring
+// slot size on every data-plane hand-off (bench/micro_hotpath reports it).
 using Message =
     std::variant<DataMsg, GetMetricsMsg, ReconfMsg, PropagateMsg, MigrateMsg,
                  FlushDelayedMsg, ShutdownMsg, BarrierMsg, CheckpointCommitMsg,

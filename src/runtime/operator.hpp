@@ -19,6 +19,12 @@ namespace lar::runtime {
 
 /// Sink for tuples an operator emits; the engine routes them on every
 /// outbound edge of the operator.
+///
+/// The emitted tuple is handed over by value and the engine takes full
+/// ownership of its storage: a same-server hop moves the field buffer
+/// straight into the destination's lane and otherwise recycles it through a
+/// per-POI arena (DESIGN.md §13).  Operators must not keep references into
+/// an emitted tuple after emit() returns.
 class Emitter {
  public:
   virtual ~Emitter() = default;

@@ -1,0 +1,328 @@
+// Tests for the hybrid Channel (DESIGN.md §13): per-producer SPSC ring
+// lanes with batched publication and watermarked control, differentially
+// against the legacy shared mutex queue — per-producer FIFO must be
+// identical between the two paths, with control messages pinned at the
+// exact data position they were pushed at.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/queue.hpp"
+
+namespace lar::runtime {
+namespace {
+
+// Item encoding for multi-producer runs: producer * kStride + position.
+// Data items are positive; a control item is the negated encoding of how
+// many data items its producer pushed before it.
+constexpr std::int64_t kStride = 10'000'000;
+
+/// Asserts the per-producer projection is canonical: data positions strictly
+/// consecutive from 0, and every control item consumed when exactly its
+/// pushed-behind count of data items has been consumed (FIFO-behind-data,
+/// ahead of everything pushed after it).
+void check_per_producer_fifo(
+    const std::vector<std::vector<std::int64_t>>& seqs) {
+  for (std::size_t p = 0; p < seqs.size(); ++p) {
+    std::int64_t next_data = 0;
+    for (const std::int64_t v : seqs[p]) {
+      if (v >= 0) {
+        ASSERT_EQ(v % kStride, next_data) << "producer " << p;
+        ++next_data;
+      } else {
+        ASSERT_EQ((-v) % kStride, next_data)
+            << "producer " << p << ": control out of position";
+      }
+    }
+  }
+}
+
+// --- differential: lane channel vs reference shared channel ----------------
+
+TEST(QueueDifferential, LanesMatchSharedQueuePerProducerOrder) {
+  constexpr int kProducers = 8;
+  constexpr std::int64_t kItems = 4000;
+  constexpr std::int64_t kCtrlEvery = 97;
+
+  const auto run = [&](bool use_lanes) {
+    Channel<std::int64_t> ch(256);
+    std::vector<std::uint32_t> lanes;
+    if (use_lanes) {
+      for (int p = 0; p < kProducers; ++p) lanes.push_back(ch.add_lane(64));
+      ch.set_lane_batch(7);  // deliberately not a divisor of anything
+    }
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    std::int64_t total = 0;
+    for (int p = 0; p < kProducers; ++p) {
+      total += kItems + (kItems - 1) / kCtrlEvery + 1;
+      producers.emplace_back([&, p] {
+        const std::int64_t base = p * kStride;
+        for (std::int64_t i = 0; i < kItems; ++i) {
+          if (i != 0 && i % kCtrlEvery == 0) {
+            if (use_lanes) {
+              ASSERT_TRUE(ch.push_unbounded_after(lanes[p], -(base + i)));
+            } else {
+              ASSERT_TRUE(ch.push_unbounded(-(base + i)));
+            }
+          }
+          if (use_lanes) {
+            ASSERT_TRUE(ch.lane_push(lanes[p], base + i));
+          } else {
+            ASSERT_TRUE(ch.push(base + i));
+          }
+        }
+        // Trailing control: also exercises flush-before-control at the end.
+        if (use_lanes) {
+          ASSERT_TRUE(ch.push_unbounded_after(lanes[p], -(base + kItems)));
+        } else {
+          ASSERT_TRUE(ch.push_unbounded(-(base + kItems)));
+        }
+      });
+    }
+    std::vector<std::vector<std::int64_t>> seqs(kProducers);
+    for (std::int64_t n = 0; n < total; ++n) {
+      const auto v = ch.pop();
+      EXPECT_TRUE(v.has_value());
+      if (!v.has_value()) break;
+      const std::int64_t x = *v;
+      const auto p = static_cast<std::size_t>((x < 0 ? -x : x) / kStride);
+      if (p >= seqs.size()) {
+        ADD_FAILURE() << "item " << x << " maps to no producer";
+        break;
+      }
+      seqs[p].push_back(x);
+    }
+    for (auto& t : producers) t.join();
+    return seqs;
+  };
+
+  const auto lane_seqs = run(/*use_lanes=*/true);
+  const auto ref_seqs = run(/*use_lanes=*/false);
+  check_per_producer_fifo(lane_seqs);
+  check_per_producer_fifo(ref_seqs);
+  // Canonical per-producer order means the projections are identical.
+  EXPECT_EQ(lane_seqs, ref_seqs);
+}
+
+// --- batching semantics ----------------------------------------------------
+
+TEST(QueueBatch, StagedItemsInvisibleUntilFlushOrBatchBoundary) {
+  Channel<int> ch(16);
+  const std::uint32_t lane = ch.add_lane(16);
+  ch.set_lane_batch(3);
+  ASSERT_TRUE(ch.lane_push(lane, 1));
+  ASSERT_TRUE(ch.lane_push(lane, 2));
+  EXPECT_EQ(ch.size(), 0u);  // staged, not published
+  EXPECT_FALSE(ch.try_pop().has_value());
+  ASSERT_TRUE(ch.lane_push(lane, 3));  // batch boundary publishes
+  EXPECT_EQ(ch.size(), 3u);
+  EXPECT_EQ(ch.try_pop(), 1);
+  EXPECT_EQ(ch.try_pop(), 2);
+  EXPECT_EQ(ch.try_pop(), 3);
+  ASSERT_TRUE(ch.lane_push(lane, 4));
+  EXPECT_FALSE(ch.try_pop().has_value());
+  ch.lane_flush(lane);
+  EXPECT_EQ(ch.try_pop(), 4);
+  EXPECT_FALSE(ch.try_pop().has_value());
+}
+
+TEST(QueueBatch, ControlPushPublishesStagedBatchFirst) {
+  Channel<int> ch(16);
+  const std::uint32_t lane = ch.add_lane(16);
+  ch.set_lane_batch(100);  // larger than anything staged here
+  ASSERT_TRUE(ch.lane_push(lane, 1));
+  ASSERT_TRUE(ch.lane_push(lane, 2));
+  EXPECT_FALSE(ch.try_pop().has_value());
+  ASSERT_TRUE(ch.push_unbounded_after(lane, 99));
+  EXPECT_EQ(ch.size(), 3u);
+  EXPECT_EQ(ch.pop(), 1);
+  EXPECT_EQ(ch.pop(), 2);
+  EXPECT_EQ(ch.pop(), 99);
+}
+
+TEST(QueueBatch, ControlHoldsBackDataPublishedAfterIt) {
+  Channel<int> ch(16);
+  const std::uint32_t lane = ch.add_lane(16);
+  ASSERT_TRUE(ch.lane_push(lane, 1));
+  ASSERT_TRUE(ch.push_unbounded_after(lane, -1));
+  ASSERT_TRUE(ch.lane_push(lane, 2));
+  EXPECT_EQ(ch.pop(), 1);
+  EXPECT_EQ(ch.pop(), -1);  // the watermark pins it between 1 and 2
+  EXPECT_EQ(ch.pop(), 2);
+}
+
+TEST(QueueBatch, SharedQueueServedBeforeLaneControl) {
+  // The engine relies on driver-side shared control (e.g. a checkpoint
+  // commit) keeping its FIFO edge over later lane-side control (e.g. the
+  // next epoch's barrier).
+  Channel<int> ch(16);
+  const std::uint32_t lane = ch.add_lane(16);
+  ASSERT_TRUE(ch.lane_push(lane, 1));
+  ASSERT_TRUE(ch.push_unbounded_after(lane, 100));  // lane control
+  ASSERT_TRUE(ch.push_unbounded(200));              // shared (driver) control
+  EXPECT_EQ(ch.pop(), 200);
+  EXPECT_EQ(ch.pop(), 1);
+  EXPECT_EQ(ch.pop(), 100);
+}
+
+// --- abort / drain ---------------------------------------------------------
+
+TEST(QueueAbort, AbortStagedDiscardsOnlyUnpublishedItems) {
+  Channel<int> ch(16);
+  const std::uint32_t lane = ch.add_lane(16);
+  ch.set_lane_batch(100);
+  for (int i = 1; i <= 7; ++i) ASSERT_TRUE(ch.lane_push(lane, i));
+  ch.lane_flush(lane);
+  for (int i = 8; i <= 9; ++i) ASSERT_TRUE(ch.lane_push(lane, i));
+  EXPECT_EQ(ch.lane_abort_staged(lane), 2u);
+  for (int i = 1; i <= 7; ++i) EXPECT_EQ(ch.try_pop(), i);
+  EXPECT_FALSE(ch.try_pop().has_value());
+  EXPECT_EQ(ch.lane_abort_staged(lane), 0u);
+}
+
+TEST(QueueDrain, DrainMergesLaneDataControlAndShared) {
+  Channel<int> ch(16);
+  const std::uint32_t lane = ch.add_lane(16);
+  ASSERT_TRUE(ch.lane_push(lane, 1));
+  ASSERT_TRUE(ch.push_unbounded_after(lane, -1));
+  ASSERT_TRUE(ch.lane_push(lane, 2));
+  ASSERT_TRUE(ch.push_unbounded(-2));
+  const auto out = ch.drain();
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], -1);  // control at its watermark position
+  EXPECT_EQ(out[2], 2);
+  EXPECT_EQ(out[3], -2);  // shared queue after the lanes
+  EXPECT_EQ(ch.size(), 0u);
+  EXPECT_FALSE(ch.try_pop().has_value());
+}
+
+// --- close/drain under concurrent push: conservation -----------------------
+
+TEST(QueueStress, CloseAndDrainDuringConcurrentPushConservesItems) {
+  // 12 producers + 1 popping consumer + 1 sweeping drainer = 14 threads,
+  // the crash-sweep shape: drain() racing a live consumer through the gate
+  // while producers keep pushing until close().
+  constexpr int kProducers = 12;
+  constexpr std::int64_t kItems = 20'000;
+  Channel<std::int64_t> ch(128);
+  std::vector<std::uint32_t> lanes;
+  lanes.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) lanes.push_back(ch.add_lane(32));
+  ch.set_lane_batch(5);
+
+  std::vector<std::atomic<std::int64_t>> pushed(kProducers);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::int64_t i = 0; i < kItems; ++i) {
+        if (!ch.lane_push(lanes[p], p * kStride + i)) break;  // closed
+        pushed[p].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::vector<char>> seen(kProducers,
+                                      std::vector<char>(kItems, 0));
+  std::mutex seen_mutex;
+  std::atomic<std::int64_t> consumed{0};
+  const auto record = [&](std::int64_t v) {
+    const auto p = static_cast<std::size_t>(v / kStride);
+    const auto i = static_cast<std::size_t>(v % kStride);
+    std::lock_guard lock(seen_mutex);
+    ASSERT_LT(p, seen.size());
+    ASSERT_EQ(seen[p][i], 0) << "duplicate delivery";
+    seen[p][i] = 1;
+  };
+
+  std::thread consumer([&] {
+    while (const auto v = ch.pop()) {
+      record(*v);
+      consumed.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::thread drainer([&] {
+    for (int round = 0; round < 50; ++round) {
+      for (const std::int64_t v : ch.drain()) {
+        record(v);
+        consumed.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::yield();
+    }
+  });
+  drainer.join();
+  ch.close();
+  for (auto& t : producers) t.join();
+  consumer.join();
+
+  // Post-close sweep: published leftovers drain; staged leftovers abort.
+  for (const std::int64_t v : ch.drain()) {
+    record(v);
+    consumed.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::int64_t aborted = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    aborted += static_cast<std::int64_t>(ch.lane_abort_staged(lanes[p]));
+  }
+  std::int64_t total_pushed = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    total_pushed += pushed[p].load(std::memory_order_relaxed);
+  }
+  EXPECT_EQ(consumed.load(std::memory_order_relaxed) + aborted, total_pushed);
+}
+
+// --- metrics ---------------------------------------------------------------
+
+TEST(QueueMetrics, SizeAndHighWaterMarkTrackPublishedDepth) {
+  Channel<int> ch(16);
+  const std::uint32_t lane = ch.add_lane(16);
+  EXPECT_EQ(ch.high_water_mark(), 0u);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ch.lane_push(lane, i));
+  EXPECT_EQ(ch.size(), 4u);  // default batch 1: every push publishes
+  ASSERT_TRUE(ch.push_unbounded(99));
+  EXPECT_EQ(ch.size(), 5u);
+  while (ch.try_pop().has_value()) {
+  }
+  EXPECT_EQ(ch.size(), 0u);
+  EXPECT_EQ(ch.high_water_mark(), 5u);  // the ratchet survives the pops
+}
+
+TEST(QueueBackpressure, FullLaneBlocksUntilConsumed) {
+  Channel<int> ch(4);
+  const std::uint32_t lane = ch.add_lane(2);  // tiny ring
+  ASSERT_TRUE(ch.lane_push(lane, 1));
+  ASSERT_TRUE(ch.lane_push(lane, 2));
+  std::atomic<bool> third_done{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(ch.lane_push(lane, 3));  // blocks until a slot frees
+    third_done.store(true, std::memory_order_release);
+  });
+  EXPECT_EQ(ch.pop(), 1);
+  EXPECT_EQ(ch.pop(), 2);
+  EXPECT_EQ(ch.pop(), 3);
+  producer.join();
+  EXPECT_TRUE(third_done.load(std::memory_order_acquire));
+}
+
+TEST(QueueClose, CloseWakesBlockedLaneProducer) {
+  Channel<int> ch(4);
+  const std::uint32_t lane = ch.add_lane(2);
+  ASSERT_TRUE(ch.lane_push(lane, 1));
+  ASSERT_TRUE(ch.lane_push(lane, 2));
+  std::thread producer([&] {
+    EXPECT_FALSE(ch.lane_push(lane, 3));  // parked full, released by close
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.close();
+  producer.join();
+}
+
+}  // namespace
+}  // namespace lar::runtime
