@@ -1,0 +1,214 @@
+// Ablation: hot-key splitting (lar::split) under Zipf skew.
+//
+// Sweeps the Flickr-like tag skew s in {0.6, 1.0, 1.4} against the split
+// budget max-degree in {1, 2, 4} on the two-stage topology (parallelism 6,
+// 4 kB padding, 1 Gb/s).  The claim under test is DESIGN.md §14's: splitting
+// only the keys whose mass exceeds the balance cap holds the load-balance
+// alpha as skew grows, while the *tail* — every key the planner did not
+// split — keeps its locality, because tail keys still route through a single
+// explicit mapping.  max-degree 1 is the no-split baseline (the default:
+// identical to the pre-split planner).
+//
+// Self-checks (nonzero exit on violation):
+//   * determinism — every (s, max-degree) cell runs twice and the two obs
+//     reports must match byte for byte;
+//   * balance — wherever the planner split at least one key, the measured
+//     hot-op balance must be no worse than the no-split run's;
+//   * tail locality — re-measuring both the split and the no-split plan on
+//     the tail traffic only (split keys filtered out of the stream), the
+//     split run's locality must stay within 5% of the baseline's.
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/manager.hpp"
+#include "sim/simulator.hpp"
+#include "workload/flickr_like.hpp"
+
+using namespace lar;
+
+namespace {
+
+constexpr std::uint32_t kParallelism = 6;
+constexpr std::uint64_t kWindow = 100'000;
+
+workload::FlickrLikeConfig workload_config(double s) {
+  workload::FlickrLikeConfig wcfg;
+  wcfg.zipf_tags = s;
+  wcfg.padding = 4'000;
+  wcfg.seed = 61;
+  return wcfg;
+}
+
+/// Flickr-like stream with every tuple touching a split key redrawn — the
+/// tail traffic both plans route through single explicit mappings.
+class TailGenerator final : public workload::TupleGenerator {
+ public:
+  TailGenerator(const workload::FlickrLikeConfig& cfg,
+                const std::set<Key>& skip)
+      : gen_(cfg), skip_(skip) {}
+
+  [[nodiscard]] Tuple next() override {
+    for (;;) {
+      Tuple t = gen_.next();
+      if (skip_.count(t.fields[0]) == 0 && skip_.count(t.fields[1]) == 0) {
+        return t;
+      }
+    }
+  }
+
+ private:
+  workload::FlickrLikeGenerator gen_;
+  const std::set<Key>& skip_;
+};
+
+struct CellResult {
+  double balance_a = 0.0;   // hot-op (tag stage) max/avg instance load
+  double balance_b = 0.0;   // country stage
+  double locality = 0.0;    // A -> B hop locality
+  double throughput = 0.0;  // tuples/s
+  std::uint64_t keys_split = 0;
+  std::uint32_t max_split_degree = 0;
+  std::set<Key> split_keys;  // union over the plan's tables
+  std::string report;        // canonical obs report (byte-stable)
+};
+
+/// Learn for one window, reconfigure with the given split budget, measure
+/// for one window.  Deterministic: everything flows from the fixed seeds.
+CellResult run_cell(double s, std::uint32_t max_degree) {
+  const Topology topo = make_two_stage_topology(kParallelism);
+  const Placement place = Placement::round_robin(topo, kParallelism);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kRoundRobin;
+  cfg.nic_bandwidth = sim::kOneGbps;
+  sim::Simulator simulator(topo, place, cfg, FieldsRouting::kTable);
+  core::ManagerOptions mopts;
+  mopts.split.max_degree = max_degree;
+  core::Manager manager(topo, place, mopts);
+  manager.set_metrics_registry(&simulator.registry());
+  workload::FlickrLikeGenerator gen(workload_config(s));
+
+  simulator.run_window(gen, kWindow);  // learn, then measure
+  const auto plan = simulator.reconfigure(manager);
+  const auto window = simulator.run_window(gen, kWindow);
+
+  CellResult out;
+  out.balance_a = window.op_load_balance[1];
+  out.balance_b = window.op_load_balance[2];
+  out.locality = window.edge_locality[1];
+  out.throughput = window.throughput;
+  out.keys_split = plan.keys_split;
+  out.max_split_degree = plan.max_split_degree;
+  for (const auto& [op, table] : plan.tables) {
+    for (const auto& [key, cands] : table->sorted_split_entries()) {
+      (void)cands;
+      out.split_keys.insert(key);
+    }
+  }
+  out.report = obs::report_json(simulator.registry());
+  return out;
+}
+
+/// Locality of the tail traffic under the plan a fresh (same-seeded) manager
+/// with the given budget deploys: learn + reconfigure exactly like run_cell,
+/// then measure one window with the split keys filtered from the stream.
+double tail_locality(double s, std::uint32_t max_degree,
+                     const std::set<Key>& split_keys) {
+  const Topology topo = make_two_stage_topology(kParallelism);
+  const Placement place = Placement::round_robin(topo, kParallelism);
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kRoundRobin;
+  cfg.nic_bandwidth = sim::kOneGbps;
+  sim::Simulator simulator(topo, place, cfg, FieldsRouting::kTable);
+  core::ManagerOptions mopts;
+  mopts.split.max_degree = max_degree;
+  core::Manager manager(topo, place, mopts);
+  workload::FlickrLikeGenerator learn(workload_config(s));
+  simulator.run_window(learn, kWindow);
+  simulator.reconfigure(manager);
+  TailGenerator tail(workload_config(s), split_keys);
+  return simulator.run_window(tail, kWindow).edge_locality[1];
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "# Ablation — hot-key splitting under Zipf skew; two-stage Flickr-like, "
+      "parallelism %u, 4kB padding, 1Gb/s\n"
+      "# cells: tag skew s x split budget max-degree; one learn + one "
+      "measure window of %llu tuples each\n"
+      "# columns: s, max-degree, keys-split, max-split, balance(A), "
+      "balance(B), locality, throughput (Ktuples/s)\n"
+      "# expected shape: balance(A) degrades with s at max-degree 1 and is "
+      "held by splitting; tail locality stays within 5%% of no-split\n",
+      kParallelism, static_cast<unsigned long long>(kWindow));
+
+  const double skews[] = {0.6, 1.0, 1.4};
+  const std::uint32_t degrees[] = {1, 2, 4};
+  bench::JsonBenchReport report("ablate_split");
+  int failures = 0;
+
+  for (const double s : skews) {
+    std::vector<CellResult> row;
+    for (const std::uint32_t d : degrees) {
+      CellResult first = run_cell(s, d);
+      const CellResult second = run_cell(s, d);
+      if (first.report != second.report) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: two runs at s=%.1f max-degree=%u "
+                     "produced different observability reports\n",
+                     s, d);
+        ++failures;
+      }
+      char label[32];
+      std::snprintf(label, sizeof(label), "s=%.1f,d=%u", s, d);
+      report.add_panel_report(label, first.report);
+      std::printf("%-6.1f %-10u %-10llu %-9u %-11.3f %-11.3f %-9.3f %-10.1f\n",
+                  s, d, static_cast<unsigned long long>(first.keys_split),
+                  first.max_split_degree, first.balance_a, first.balance_b,
+                  first.locality, first.throughput / 1000.0);
+      row.push_back(std::move(first));
+    }
+
+    // max-degree 1 must split nothing (it is the disabled default) …
+    if (row[0].keys_split != 0) {
+      std::fprintf(stderr, "SPLIT VIOLATION: max-degree 1 split %llu keys\n",
+                   static_cast<unsigned long long>(row[0].keys_split));
+      ++failures;
+    }
+    for (std::size_t i = 1; i < row.size(); ++i) {
+      const CellResult& cell = row[i];
+      if (cell.keys_split == 0) continue;  // under the cap: nothing to check
+      // … and wherever splitting engaged, the hot op's balance is held.
+      if (cell.balance_a > row[0].balance_a + 1e-9) {
+        std::fprintf(stderr,
+                     "BALANCE VIOLATION: s=%.1f max-degree=%u balance %.3f "
+                     "worse than no-split %.3f\n",
+                     s, degrees[i], cell.balance_a, row[0].balance_a);
+        ++failures;
+      }
+      // Tail locality: measure both plans on the split-key-free stream.
+      const double base = tail_locality(s, 1, cell.split_keys);
+      const double with = tail_locality(s, degrees[i], cell.split_keys);
+      const double drift = base > 0.0 ? (base - with) / base : 0.0;
+      std::printf("# s=%.1f max-degree=%u: tail locality %.3f vs no-split "
+                  "%.3f (drift %+.1f%%)\n",
+                  s, degrees[i], with, base, drift * 100.0);
+      if (drift > 0.05) {
+        std::fprintf(stderr,
+                     "TAIL LOCALITY VIOLATION: s=%.1f max-degree=%u tail "
+                     "locality %.3f fell more than 5%% below no-split %.3f\n",
+                     s, degrees[i], with, base);
+        ++failures;
+      }
+    }
+  }
+
+  std::printf("# determinism self-check: all cells byte-identical across two "
+              "runs\n");
+  report.write();
+  return failures == 0 ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 // associative aggregations tolerate; the counting workload here is one.)
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "core/manager.hpp"
 #include "sim/simulator.hpp"
 #include "workload/flickr_like.hpp"
@@ -30,6 +31,7 @@ int main() {
   wcfg.padding = 4'000;
   wcfg.seed = 61;
 
+  bench::JsonBenchReport json("baseline_pkg");
   std::printf("%-16s %-10s %-14s %-14s\n", "routing", "locality",
               "load-balance", "throughput");
   for (const FieldsRouting mode :
@@ -49,6 +51,8 @@ int main() {
     std::printf("%-16s %-10.3f %-14.3f %-14.1f\n", to_string(mode),
                 report.edge_locality[1], report.op_load_balance[2],
                 report.throughput / 1000.0);
+    json.add_panel(to_string(mode), simulator.registry());
   }
+  json.write();
   return 0;
 }

@@ -266,6 +266,57 @@ int main(int argc, char** argv) {
                 points.back().checksum);
   }
 
+  // --- split routing: d-candidate least-loaded, virtual vs devirtualized ----
+  //
+  // Tables where 10% of the planned keys are split (lar::split hot keys):
+  // each split lookup walks its d candidates' sent counters and bumps the
+  // winner, so this prices the per-degree overhead over plain table routing.
+  for (const std::uint32_t degree : {2u, 4u}) {
+    const EdgeSpec& edge = topo.edges()[0];
+    const std::uint32_t fanout = 8;  // op A's parallelism
+    auto table = std::make_shared<RoutingTable>();
+    Rng fill(21 + degree);
+    for (std::size_t i = 0; i < n_keys; ++i) {
+      const Key k = static_cast<Key>(i);
+      if (fill.below(10) == 0) {
+        std::vector<InstanceIndex> cands;
+        const auto first = static_cast<InstanceIndex>(fill.below(fanout));
+        for (std::uint32_t c = 0; c < degree; ++c) {
+          cands.push_back((first + c) % fanout);
+        }
+        table->assign_split(k, cands);
+      } else {
+        table->assign(k, static_cast<InstanceIndex>(fill.below(fanout)));
+      }
+    }
+    auto router = make_router(edge, 0, topo, place,
+                              place.server_of(edge.from, 0),
+                              FieldsRouting::kTable, table, /*seed=*/9);
+    sim::RouterBank bank;
+    const std::uint32_t slot =
+        bank.add(edge, 0, topo, place, place.server_of(edge.from, 0),
+                 FieldsRouting::kTable, table.get(), /*seed=*/9);
+    const std::string name = "split_d" + std::to_string(degree);
+    points.push_back(timed("route_" + name + "_virtual", ops, [&] {
+      std::uint64_t sum = 0;
+      for (std::uint64_t i = 0; i < ops; ++i) {
+        sum += router->route(tuples[i & kTupleMask]);
+      }
+      return sum;
+    }));
+    points.push_back(timed("route_" + name + "_switch", ops, [&] {
+      std::uint64_t sum = 0;
+      for (std::uint64_t i = 0; i < ops; ++i) {
+        sum += bank.route(slot, tuples[i & kTupleMask]);
+      }
+      return sum;
+    }));
+    // Both routers advanced their sent counters through identical call
+    // sequences, so the decision streams must agree exactly.
+    check_equal(name.c_str(), points[points.size() - 2].checksum,
+                points.back().checksum);
+  }
+
   // --- SpaceSaving add throughput -------------------------------------------
   {
     std::vector<std::uint64_t> keys;

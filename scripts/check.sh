@@ -2,11 +2,12 @@
 # One-command verification gate (referenced from CLAUDE.md):
 #
 #   scripts/check.sh            # configure + build (zero warnings), full
-#                               # ctest, TSan obs+chaos+elastic+ckpt+queue,
-#                               # ASan ckpt+queue, perf smoke, runtime
-#                               # throughput floor + batch equivalence, obs
-#                               # v2 byte-identity, elasticity + checkpoint
-#                               # ablation self-checks
+#                               # ctest, TSan obs+chaos+elastic+ckpt+queue+
+#                               # split, ASan ckpt+queue+split, perf smoke,
+#                               # runtime throughput floor + batch
+#                               # equivalence, obs v2 byte-identity,
+#                               # elasticity + checkpoint + split ablation
+#                               # self-checks
 #
 # Exits nonzero on the first failure.  Build trees: build/ (release-ish,
 # whatever CMakeLists defaults to), build-tsan/ (-DLAR_SANITIZE=thread) and
@@ -27,15 +28,18 @@ fi
 log "full test suite"
 ctest --test-dir build -j "$(nproc)" --output-on-failure
 
-log "ThreadSanitizer: obs + chaos + elastic + ckpt + queue (registry, wave, injector, scale, recovery, lane races)"
+log "split label (degree selection, split routing, exactly-once merge)"
+ctest --test-dir build -L split --output-on-failure
+
+log "ThreadSanitizer: obs + chaos + elastic + ckpt + queue + split (registry, wave, injector, scale, recovery, lane, replica races)"
 cmake -B build-tsan -G Ninja -DLAR_SANITIZE=thread >/dev/null
 cmake --build build-tsan >/dev/null
-ctest --test-dir build-tsan -L 'obs|chaos|elastic|ckpt|queue' --output-on-failure
+ctest --test-dir build-tsan -L 'obs|chaos|elastic|ckpt|queue|split' --output-on-failure
 
-log "AddressSanitizer+UBSan: ckpt + queue (crash recovery frees/respawns state under load; lane slot reuse)"
+log "AddressSanitizer+UBSan: ckpt + queue + split (crash recovery frees/respawns state under load; lane slot reuse; replica partials)"
 cmake -B build-asan -G Ninja -DLAR_SANITIZE=address >/dev/null
 cmake --build build-asan >/dev/null
-ctest --test-dir build-asan -L 'ckpt|queue' --output-on-failure
+ctest --test-dir build-asan -L 'ckpt|queue|split' --output-on-failure
 
 log "perf smoke (devirtualized-routing + channel hand-off differential checks)"
 ./build/bench/micro_hotpath --ops 20000 >/dev/null
@@ -69,5 +73,10 @@ ckpt_dir=$(mktemp -d)
 (cd "$ckpt_dir" && "$OLDPWD"/build/bench/ablate_ckpt >/dev/null)
 rm -rf "$ckpt_dir"
 
+log "split ablation (self-checking: byte-identity, balance held, tail locality within 5%)"
+split_dir=$(mktemp -d)
+(cd "$split_dir" && "$OLDPWD"/build/bench/ablate_split >/dev/null)
+rm -rf "$split_dir"
+
 echo
-echo "OK: build clean, all tests green, TSan + ASan clean, perf + runtime-floor + elastic + ckpt smoke passed"
+echo "OK: build clean, all tests green, TSan + ASan clean, perf + runtime-floor + elastic + ckpt + split smoke passed"

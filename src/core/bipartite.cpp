@@ -16,13 +16,25 @@ KeyGraph BipartiteGraphBuilder::build() const {
   partition::GraphBuilder builder;
   FlatMap<KeyVertex, partition::VertexId, KeyVertexHash> ids;
 
-  auto vertex_of = [&](OperatorId op, Key key) {
-    const KeyVertex kv{op, key};
+  auto vertex_of = [&](OperatorId op, Key key, std::uint32_t replica = 0) {
+    const KeyVertex kv{op, key, replica};
     if (const partition::VertexId* found = ids.find(kv)) return *found;
     const partition::VertexId id = builder.add_vertex(0);
     ids[kv] = id;
     out.vertices.push_back(kv);
     return id;
+  };
+
+  // lar::split degree lookup ((op, key) -> d, absent = 1).  degrees_ is
+  // empty on every no-split path, so the branch below never fires there.
+  FlatMap<KeyVertex, std::uint32_t, KeyVertexHash> degree_of;
+  for (const split::KeyDegree& kd : degrees_) {
+    degree_of[KeyVertex{kd.op, kd.key, 0}] = kd.degree;
+  }
+  auto degree = [&](OperatorId op, Key key) -> std::uint32_t {
+    if (degree_of.size() == 0) return 1;
+    const std::uint32_t* d = degree_of.find(KeyVertex{op, key, 0});
+    return d != nullptr ? *d : 1;
   };
 
   for (const auto& hop : hops_) {
@@ -50,19 +62,52 @@ KeyGraph BipartiteGraphBuilder::build() const {
               });
     for (const auto& pc : pairs) {
       if (pc.count == 0) continue;
-      const partition::VertexId a = vertex_of(hop.in_op, pc.in);
-      const partition::VertexId b = vertex_of(hop.out_op, pc.out);
-      // A key pair with in == out across two *different* operators is two
-      // distinct vertices, so a != b always holds here unless the caller
-      // recorded a hop from an operator to itself with identical keys;
-      // self-edges carry no cut information either way.
-      if (a == b) {
-        builder.add_vertex_weight(a, 2 * pc.count);
+      const std::uint32_t da = degree(hop.in_op, pc.in);
+      const std::uint32_t db = degree(hop.out_op, pc.out);
+      if (da == 1 && db == 1) {
+        const partition::VertexId a = vertex_of(hop.in_op, pc.in);
+        const partition::VertexId b = vertex_of(hop.out_op, pc.out);
+        // A key pair with in == out across two *different* operators is two
+        // distinct vertices, so a != b always holds here unless the caller
+        // recorded a hop from an operator to itself with identical keys;
+        // self-edges carry no cut information either way.
+        if (a == b) {
+          builder.add_vertex_weight(a, 2 * pc.count);
+          continue;
+        }
+        builder.add_edge(a, b, pc.count);
+        builder.add_vertex_weight(a, pc.count);
+        builder.add_vertex_weight(b, pc.count);
         continue;
       }
-      builder.add_edge(a, b, pc.count);
-      builder.add_vertex_weight(a, pc.count);
-      builder.add_vertex_weight(b, pc.count);
+      // Split endpoint(s): spread the pair's weight over the replica cross
+      // product — equal integer shares, remainder (count % (da*db)) to the
+      // lowest flat indices ra*db+rb.  Row sums give each source replica
+      // ~count/da and column sums each destination replica ~count/db, so
+      // replica vertex weights stay balanced and the partitioner can place
+      // them independently.  The distribution is a pure function of
+      // (count, da, db) — no RNG, no order dependence.
+      const std::uint64_t combos = static_cast<std::uint64_t>(da) * db;
+      const std::uint64_t base = pc.count / combos;
+      const std::uint64_t rem = pc.count % combos;
+      for (std::uint32_t ra = 0; ra < da; ++ra) {
+        for (std::uint32_t rb = 0; rb < db; ++rb) {
+          // Materialize every replica vertex even when its share is 0, so
+          // the table-building stage always sees the full candidate set.
+          const partition::VertexId a = vertex_of(hop.in_op, pc.in, ra);
+          const partition::VertexId b = vertex_of(hop.out_op, pc.out, rb);
+          const std::uint64_t flat = static_cast<std::uint64_t>(ra) * db + rb;
+          const std::uint64_t w = base + (flat < rem ? 1 : 0);
+          if (w == 0) continue;
+          if (a == b) {
+            builder.add_vertex_weight(a, 2 * w);
+            continue;
+          }
+          builder.add_edge(a, b, w);
+          builder.add_vertex_weight(a, w);
+          builder.add_vertex_weight(b, w);
+        }
+      }
     }
   }
   out.graph = builder.build();

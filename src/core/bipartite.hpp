@@ -17,14 +17,19 @@
 
 #include "core/pair_stats.hpp"
 #include "partition/graph.hpp"
+#include "split/degree.hpp"
 #include "topology/types.hpp"
 
 namespace lar::core {
 
-/// A key as routed into a specific operator.
+/// A key as routed into a specific operator.  lar::split keys with degree
+/// d >= 2 appear as d distinct *replica* vertices (replica in [0, d)) so the
+/// partitioner places each partial-aggregation replica independently for
+/// balance; unsplit keys keep replica == 0.
 struct KeyVertex {
   OperatorId op = 0;
   Key key = 0;
+  std::uint32_t replica = 0;
 
   friend bool operator==(const KeyVertex&, const KeyVertex&) = default;
 };
@@ -58,6 +63,16 @@ class BipartiteGraphBuilder {
   /// (0 = keep all).  Models the bounded statistics budget of Figure 12.
   void set_top_edges(std::size_t top_edges) noexcept { top_edges_ = top_edges; }
 
+  /// Declares lar::split degrees: each listed (op, key) materializes as
+  /// `degree` replica vertices, with every incident pair's weight spread
+  /// across the replica cross product (equal integer shares, remainder to
+  /// the lowest flat indices — deterministic and order-free).  Unlisted keys
+  /// keep one vertex; an empty list (the default) reproduces the unsplit
+  /// graph bit-for-bit.
+  void set_split_degrees(std::vector<split::KeyDegree> degrees) {
+    degrees_ = std::move(degrees);
+  }
+
   /// Builds the graph.  Vertex weights are the sums of incident pair counts;
   /// parallel pair observations are merged.
   [[nodiscard]] KeyGraph build() const;
@@ -69,6 +84,7 @@ class BipartiteGraphBuilder {
     std::vector<PairCount> pairs;
   };
   std::vector<Hop> hops_;
+  std::vector<split::KeyDegree> degrees_;
   std::size_t top_edges_ = 0;
 };
 

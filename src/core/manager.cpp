@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/flat_map.hpp"
 #include "common/logging.hpp"
 #include "common/status.hpp"
 #include "core/snapshot.hpp"
@@ -169,6 +170,95 @@ std::vector<std::uint32_t> hierarchical_partition(
   return assignment;
 }
 
+/// lar::split replica placement overlay (DESIGN.md §14).  The partitioner
+/// runs on the *base* (unsplit) key graph, so every unsplit key — the tail —
+/// lands exactly where the no-split plan puts it; this lifts that assignment
+/// onto the replica-expanded graph and places the extra replica vertices:
+/// replica 0 pins to the base server, and each higher replica goes to the
+/// least-loaded server not yet hosting one of the key's replicas (same-rack
+/// first under hierarchical partitioning, then any unused server, then pure
+/// least-loaded once the degree exceeds the server count).  Deterministic:
+/// ties break on the lowest server id, loads accumulate in vertex order, and
+/// `degrees` arrives in the selector's sorted (op, key) order.
+std::vector<std::uint32_t> overlay_split_replicas(
+    const KeyGraph& key_graph, const KeyGraph& base_graph,
+    const std::vector<std::uint32_t>& base_assignment,
+    const std::vector<split::KeyDegree>& degrees, std::uint32_t num_parts,
+    const Placement& placement, bool rack_scoped) {
+  FlatMap<KeyVertex, std::uint32_t, KeyVertexHash> base_server;
+  for (std::size_t v = 0; v < base_graph.vertices.size(); ++v) {
+    base_server[base_graph.vertices[v]] = base_assignment[v];
+  }
+
+  std::vector<std::uint32_t> out(key_graph.vertices.size(), 0);
+  // Loads are tracked per operator: the α bound is per PO (Section 3.1), so
+  // a replica of an op-X key must relieve the hottest op-X instance even if
+  // that server is cold in combined mass.
+  std::unordered_map<OperatorId, std::vector<std::uint64_t>> load_of_op;
+  FlatMap<KeyVertex, std::size_t, KeyVertexHash> replica_index;
+  for (std::size_t v = 0; v < key_graph.vertices.size(); ++v) {
+    const KeyVertex& kv = key_graph.vertices[v];
+    if (kv.replica != 0) {
+      replica_index[kv] = v;
+      continue;
+    }
+    // Both graphs are built from the same budget-cut pair set, so every
+    // base vertex of the expanded graph exists in the base graph.
+    const std::uint32_t* server = base_server.find(kv);
+    LAR_CHECK(server != nullptr);
+    out[v] = *server;
+    auto [it, inserted] = load_of_op.try_emplace(kv.op);
+    if (inserted) it->second.assign(num_parts, 0);
+    it->second[*server] += key_graph.graph.vertex_weight(v);
+  }
+
+  for (const split::KeyDegree& kd : degrees) {
+    const std::uint32_t* anchor =
+        base_server.find(KeyVertex{kd.op, kd.key, 0});
+    if (anchor == nullptr) continue;  // budget-cut from the graph entirely
+    auto load_it = load_of_op.find(kd.op);
+    LAR_CHECK(load_it != load_of_op.end());
+    std::vector<std::uint64_t>& load = load_it->second;
+    std::vector<std::uint32_t> used{*anchor};
+    for (std::uint32_t r = 1; r < kd.degree; ++r) {
+      const std::size_t* v = replica_index.find(KeyVertex{kd.op, kd.key, r});
+      if (v == nullptr) continue;
+      const auto is_used = [&](std::uint32_t s) {
+        return std::find(used.begin(), used.end(), s) != used.end();
+      };
+      std::uint32_t pick = num_parts;
+      for (int pass = rack_scoped ? 0 : 1; pass < 3 && pick == num_parts;
+           ++pass) {
+        for (std::uint32_t s = 0; s < num_parts; ++s) {
+          if (pass < 2 && is_used(s)) continue;
+          if (pass == 0 &&
+              placement.rack_of(s) != placement.rack_of(*anchor)) {
+            continue;
+          }
+          if (pick == num_parts || load[s] < load[pick]) pick = s;
+        }
+      }
+      LAR_CHECK(pick < num_parts);
+      out[*v] = pick;
+      load[pick] += key_graph.graph.vertex_weight(*v);
+      used.push_back(pick);
+    }
+  }
+  return out;
+}
+
+/// Degree of (op, key) in the selector's sorted output; 1 when absent.
+std::uint32_t split_degree_of(const std::vector<split::KeyDegree>& degrees,
+                              OperatorId op, Key key) {
+  const auto it = std::lower_bound(
+      degrees.begin(), degrees.end(), std::make_pair(op, key),
+      [](const split::KeyDegree& d, const std::pair<OperatorId, Key>& t) {
+        return d.op != t.first ? d.op < t.first : d.key < t.second;
+      });
+  if (it == degrees.end() || it->op != op || it->key != key) return 1;
+  return it->degree;
+}
+
 }  // namespace
 
 Manager::Manager(const Topology& topology, const Placement& placement,
@@ -225,6 +315,38 @@ ReconfigurationPlan Manager::compute_impl(const std::vector<HopStats>& stats,
   for (const auto& hop : stats) {
     builder.add_pairs(hop.in_op, hop.out_op, hop.pairs);
   }
+
+  // 1b. lar::split degree selection (DESIGN.md §14): heavy hitters whose
+  //     mass exceeds the per-instance balance cap become d replica vertices.
+  //     With max_degree 1 (the default) `degrees` stays empty, the builder
+  //     takes its unsplit path, and everything below is byte-identical.
+  std::vector<split::KeyDegree> degrees;
+  if (options_.split.max_degree > 1) {
+    std::vector<split::HopView> views;
+    views.reserve(stats.size());
+    std::vector<split::OpInstances> insts;
+    for (const auto& hop : stats) {
+      views.push_back(split::HopView{hop.in_op, hop.out_op, &hop.pairs});
+      for (const OperatorId op : {hop.in_op, hop.out_op}) {
+        const bool seen = std::any_of(
+            insts.begin(), insts.end(),
+            [op](const split::OpInstances& oi) { return oi.op == op; });
+        if (!seen) {
+          insts.push_back(split::OpInstances{
+              op, static_cast<std::uint32_t>(
+                      placement_.active_instances(op, active_servers).size())});
+        }
+      }
+    }
+    std::sort(insts.begin(), insts.end(),
+              [](const split::OpInstances& a, const split::OpInstances& b) {
+                return a.op < b.op;
+              });
+    degrees = split::choose_degrees(views, options_.split,
+                                    options_.partition.alpha, insts);
+    builder.set_split_degrees(degrees);
+  }
+
   const KeyGraph key_graph = builder.build();
   plan.graph_vertices = key_graph.graph.num_vertices();
   plan.graph_edges = key_graph.graph.num_edges();
@@ -253,21 +375,42 @@ ReconfigurationPlan Manager::compute_impl(const std::vector<HopStats>& stats,
     const bool hierarchical =
         options_.rack_aware && placement_.num_racks() > 1 &&
         active_servers == placement_.num_servers();
+    // lar::split: the partitioner (and the per-op repair) runs on the *base*
+    // unsplit key graph, bit-identical to the no-split path, so splitting a
+    // hot key never re-shuffles the tail — the §14 tail-locality guarantee.
+    // Replica vertices are overlaid afterwards by overlay_split_replicas().
+    KeyGraph base_graph;
+    if (!degrees.empty()) {
+      BipartiteGraphBuilder base_builder;
+      base_builder.set_top_edges(options_.top_edges);
+      for (const auto& hop : stats) {
+        base_builder.add_pairs(hop.in_op, hop.out_op, hop.pairs);
+      }
+      base_graph = base_builder.build();
+    }
+    const KeyGraph& part_graph = degrees.empty() ? key_graph : base_graph;
+
     if (hierarchical) {
       part.assignment = hierarchical_partition(
-          key_graph.graph, placement_, popt,
+          part_graph.graph, placement_, popt,
           &part.fm_passes, &part.bisections);
       for (std::uint32_t r = 0; r < placement_.num_racks(); ++r) {
-        repair_per_op_balance(key_graph, part.assignment,
+        repair_per_op_balance(part_graph, part.assignment,
                               placement_.servers_in_rack(r),
                               popt.alpha);
       }
     } else {
-      part = partition::partition_graph(key_graph.graph, popt);
+      part = partition::partition_graph(part_graph.graph, popt);
       std::vector<std::uint32_t> all_servers(popt.num_parts);
       for (std::uint32_t s = 0; s < all_servers.size(); ++s) all_servers[s] = s;
-      repair_per_op_balance(key_graph, part.assignment, all_servers,
+      repair_per_op_balance(part_graph, part.assignment, all_servers,
                             popt.alpha);
+    }
+    if (!degrees.empty()) {
+      part.assignment =
+          overlay_split_replicas(key_graph, base_graph, part.assignment,
+                                 degrees, popt.num_parts, placement_,
+                                 hierarchical);
     }
     plan.edge_cut = partition::edge_cut(key_graph.graph, part.assignment);
     plan.imbalance = partition::partition_imbalance(
@@ -306,18 +449,61 @@ ReconfigurationPlan Manager::compute_impl(const std::vector<HopStats>& stats,
   // 3. Routing tables: map each key to an instance of its operator hosted on
   //    the assigned server.  Several local instances -> spread keys among
   //    them by hash; no local instance -> hash fallback over all instances.
+  //    Split keys collect one target per replica vertex — replica r on
+  //    server s maps to locals[(mix64(key) + r) % |locals|], so replica 0
+  //    reproduces the unsplit pick exactly — deduplicated in replica order
+  //    into the table's candidate list.
   std::unordered_map<OperatorId, std::shared_ptr<RoutingTable>> tables;
+  FlatMap<KeyVertex, std::vector<std::pair<std::uint32_t, ServerId>>,
+          KeyVertexHash>
+      split_assigns;
   for (std::size_t v = 0; v < key_graph.vertices.size(); ++v) {
     const KeyVertex& kv = key_graph.vertices[v];
     const ServerId server = part.assignment[v];
-    const auto& locals = placement_.local_instances(kv.op, server);
     auto [it, inserted] = tables.try_emplace(kv.op);
     if (inserted) it->second = std::make_shared<RoutingTable>();
+    if (!degrees.empty() &&
+        (kv.replica != 0 ||
+         split_degree_of(degrees, kv.op, kv.key) >= 2)) {
+      split_assigns[KeyVertex{kv.op, kv.key, 0}].emplace_back(kv.replica,
+                                                              server);
+      continue;
+    }
+    const auto& locals = placement_.local_instances(kv.op, server);
     if (locals.empty()) continue;  // key keeps hash routing
     const InstanceIndex target =
         locals[mix64(kv.key) % locals.size()];
     it->second->assign(kv.key, target);
     ++plan.keys_assigned;
+  }
+  // Split keys, in the selector's ascending (op, key) order.
+  for (const split::KeyDegree& kd : degrees) {
+    auto* assigns = split_assigns.find(KeyVertex{kd.op, kd.key, 0});
+    if (assigns == nullptr) continue;  // budget-cut from the graph entirely
+    std::sort(assigns->begin(), assigns->end());
+    std::vector<InstanceIndex> targets;
+    for (const auto& [replica, server] : *assigns) {
+      const auto& locals = placement_.local_instances(kd.op, server);
+      if (locals.empty()) continue;
+      const InstanceIndex target =
+          locals[(mix64(kd.key) + replica) % locals.size()];
+      if (std::find(targets.begin(), targets.end(), target) == targets.end()) {
+        targets.push_back(target);
+      }
+    }
+    auto it = tables.find(kd.op);
+    LAR_CHECK(it != tables.end());
+    if (targets.size() >= 2) {
+      it->second->assign_split(kd.key, targets);
+      ++plan.keys_assigned;
+      ++plan.keys_split;
+      plan.max_split_degree = std::max(
+          plan.max_split_degree, static_cast<std::uint32_t>(targets.size()));
+    } else if (targets.size() == 1) {
+      // Replicas collapsed onto one instance: an ordinary assignment.
+      it->second->assign(kd.key, targets[0]);
+      ++plan.keys_assigned;
+    }
   }
 
   // 3b. Elastic epoch consistency: EVERY fields-routed operator gets a
@@ -350,13 +536,40 @@ ReconfigurationPlan Manager::compute_impl(const std::vector<HopStats>& stats,
     }
     std::sort(keys.begin(), keys.end());
     keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    // Candidate-set diff (lar::split): a key's owners are its split
+    // candidates, or the single routed instance when unsplit — so both sets
+    // are singletons on no-split paths and this loop degenerates to the
+    // classic `before != after` diff, move for move.  Every before-owner
+    // that is no longer a candidate ships its (partial) state to the new
+    // primary: on a degree decrease the replicas' partials converge there
+    // and merge additively; on an increase only the old owner moves and the
+    // fresh replicas start empty.
+    auto candidates_of = [](const RoutingTable* t, Key key,
+                            std::uint32_t fanout,
+                            std::vector<InstanceIndex>& out) {
+      out.clear();
+      if (t == nullptr) {
+        out.push_back(hash_instance(key, fanout));
+        return;
+      }
+      const auto split = t->split_candidates(key);
+      if (!split.empty()) {
+        out.assign(split.begin(), split.end());
+        return;
+      }
+      out.push_back(t->route(key, fanout));
+    };
     std::vector<KeyMove> moves;
+    std::vector<InstanceIndex> before_set;
+    std::vector<InstanceIndex> after_set;
     for (const Key key : keys) {
-      const InstanceIndex before =
-          old != nullptr ? old->route(key, parallelism)
-                         : hash_instance(key, parallelism);
-      const InstanceIndex after = table->route(key, parallelism);
-      if (before != after) moves.push_back(KeyMove{key, before, after});
+      candidates_of(old.get(), key, parallelism, before_set);
+      candidates_of(table.get(), key, parallelism, after_set);
+      for (const InstanceIndex inst : before_set) {
+        const bool kept = std::find(after_set.begin(), after_set.end(),
+                                    inst) != after_set.end();
+        if (!kept) moves.push_back(KeyMove{key, inst, after_set.front()});
+      }
     }
     if (topology_.op(op).stateful && !moves.empty()) {
       plan.moves.emplace(op, std::move(moves));
@@ -422,6 +635,17 @@ void Manager::publish_plan_metrics(const ReconfigurationPlan& plan) {
   reg.gauge("lar_plan_keys_assigned", {},
             "Explicit routing-table entries in the last plan")
       .set(static_cast<double>(plan.keys_assigned));
+  // lar::split families register only once a plan actually splits keys, so
+  // no-split exporter output stays byte-identical.
+  if (plan.keys_split > 0) {
+    reg.gauge("lar_plan_split_keys", {},
+              "Keys the last plan split into >= 2 partial-aggregation "
+              "replicas (lar::split)")
+        .set(static_cast<double>(plan.keys_split));
+    reg.gauge("lar_plan_split_max_degree", {},
+              "Largest candidate-list length the last plan deployed")
+        .set(static_cast<double>(plan.max_split_degree));
+  }
   reg.gauge("lar_plan_key_moves", {},
             "Key states the last plan migrates between sibling instances")
       .set(static_cast<double>(plan.total_moves()));

@@ -19,6 +19,7 @@
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "partition/partitioner.hpp"
+#include "split/degree.hpp"
 #include "topology/placement.hpp"
 #include "topology/routing.hpp"
 #include "topology/topology.hpp"
@@ -59,6 +60,11 @@ struct ManagerOptions {
   /// still observable in `lar_plan_*`) but never pushed.  Off by default so
   /// existing benches keep unconditional-deploy behaviour byte-identical.
   bool advise_deploys = false;
+
+  /// lar::split hot-key splitting (DESIGN.md §14).  max_degree 1 (the
+  /// default) disables splitting; plans are then bit-identical to the
+  /// pre-split planner.
+  split::SplitOptions split;
 };
 
 /// Merged statistics for one optimizable hop: pairs (k, k') where k routed a

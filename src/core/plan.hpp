@@ -57,6 +57,8 @@ struct ReconfigurationPlan {
   std::uint64_t edge_cut_before = 0;
   double imbalance = 1.0;            ///< partition imbalance (max/avg)
   std::size_t keys_assigned = 0;     ///< explicit routing table entries
+  std::size_t keys_split = 0;        ///< lar::split keys with degree >= 2
+  std::uint32_t max_split_degree = 0;  ///< largest deployed candidate count
   std::size_t graph_vertices = 0;
   std::size_t graph_edges = 0;
 

@@ -15,7 +15,11 @@ constexpr char kMagic[4] = {'L', 'A', 'R', 'P'};
 // v3: appends per-link sequence cursors after the tables (lar::ckpt replay
 // watermarks).  v2 snapshots are still readable — the cursor section is
 // simply absent, leaving plan.link_cursors empty.
-constexpr std::uint32_t kFormatVersion = 3;
+// v4: appends per-table lar::split candidate lists after the cursors.
+// Plans without split keys are still written as v3, so every pre-split
+// snapshot byte stream is reproduced exactly.
+constexpr std::uint32_t kFormatVersion = 4;
+constexpr std::uint32_t kSplitlessFormatVersion = 3;
 constexpr std::uint32_t kMinFormatVersion = 2;
 
 struct FileCloser {
@@ -45,8 +49,14 @@ Status save_plan(const ReconfigurationPlan& plan, const std::string& path) {
       return {ErrorCode::kInvalidArgument, "cannot open " + tmp};
     }
     std::FILE* f = file.get();
+    bool has_splits = false;
+    for (const auto& [op, table] : plan.tables) {
+      if (table->has_splits()) has_splits = true;
+    }
+    const std::uint32_t format =
+        has_splits ? kFormatVersion : kSplitlessFormatVersion;
     bool ok = std::fwrite(kMagic, 1, 4, f) == 4;
-    ok = ok && write_pod(f, kFormatVersion);
+    ok = ok && write_pod(f, format);
     ok = ok && write_pod(f, plan.version);
     ok = ok && write_pod(f, plan.active_servers);
     ok = ok && write_pod(f, plan.expected_locality);
@@ -77,6 +87,24 @@ Status save_plan(const ReconfigurationPlan& plan, const std::string& path) {
     ok = ok && write_pod(f, num_cursors);
     for (const auto& [link, seq] : plan.link_cursors) {
       ok = ok && write_pod(f, link) && write_pod(f, seq);
+    }
+    if (format >= 4) {
+      // Split section: per table (same iteration order as above), the
+      // canonical ascending-key candidate lists.
+      for (const auto& [op, table] : plan.tables) {
+        ok = ok && write_pod(f, op);
+        const auto num_split =
+            static_cast<std::uint64_t>(table->num_split_keys());
+        ok = ok && write_pod(f, num_split);
+        for (const auto& [key, candidates] : table->sorted_split_entries()) {
+          ok = ok && write_pod(f, key);
+          const auto len = static_cast<std::uint32_t>(candidates.size());
+          ok = ok && write_pod(f, len);
+          for (const InstanceIndex inst : candidates) {
+            ok = ok && write_pod(f, inst);
+          }
+        }
+      }
     }
     if (!ok) {
       std::remove(tmp.c_str());
@@ -157,6 +185,37 @@ Result<ReconfigurationPlan> load_plan(const std::string& path) {
         return Status(ErrorCode::kInvalidArgument, path + " is truncated");
       }
       plan.link_cursors.emplace_back(link, seq);
+    }
+  }
+  if (format >= 4) {
+    for (std::size_t t = 0; t < plan.tables.size(); ++t) {
+      OperatorId op = 0;
+      std::uint64_t num_split = 0;
+      if (!read_pod(f, op) || !read_pod(f, num_split)) {
+        return Status(ErrorCode::kInvalidArgument, path + " is truncated");
+      }
+      const auto it = plan.tables.find(op);
+      if (it == plan.tables.end()) {
+        return Status(ErrorCode::kInvalidArgument,
+                      path + " split section names an unknown operator");
+      }
+      // plan.tables holds const tables; the split entries are part of the
+      // same load, so mutating through the just-created object is safe.
+      auto* table = const_cast<RoutingTable*>(it->second.get());
+      for (std::uint64_t k = 0; k < num_split; ++k) {
+        Key key = 0;
+        std::uint32_t len = 0;
+        if (!read_pod(f, key) || !read_pod(f, len) || len < 2) {
+          return Status(ErrorCode::kInvalidArgument, path + " is truncated");
+        }
+        std::vector<InstanceIndex> candidates(len);
+        for (std::uint32_t i = 0; i < len; ++i) {
+          if (!read_pod(f, candidates[i])) {
+            return Status(ErrorCode::kInvalidArgument, path + " is truncated");
+          }
+        }
+        table->assign_split(key, candidates);
+      }
     }
   }
   return plan;

@@ -94,7 +94,10 @@ struct Engine::Poi {
   std::uint32_t propagate_seen = 0;
   std::uint32_t propagate_expected = 0;
   bool actions_done = true;  ///< propagate wave handled (tables installed)
-  std::unordered_set<Key> awaiting;                      ///< state not here yet
+  /// State not here yet: key -> the senders still owing a MIGRATE.  A
+  /// lar::split degree decrease lists several senders per key; the key stays
+  /// buffered until every replica's partial has arrived and merged.
+  std::unordered_map<Key, std::vector<InstanceIndex>> awaiting;
   std::unordered_map<Key, std::vector<DataMsg>> pending;  ///< buffered tuples
 
   // --- chaos state ---------------------------------------------------------
@@ -716,8 +719,12 @@ void Engine::handle_reconf(Poi& poi, ReconfMsg msg) {
     }
   }
   // Buffering must start now: upstream POIs may switch to the new tables
-  // (and route keys here) before this POI's own propagate arrives.
-  for (const Key key : poi.staged->receive) poi.awaiting.insert(key);
+  // (and route keys here) before this POI's own propagate arrives.  Each
+  // entry is one (key, sender) debt: a split convergence lists the same key
+  // once per old replica, and the key unblocks only when all have merged.
+  for (const auto& [key, sender] : poi.staged->receive) {
+    poi.awaiting[key].push_back(sender);
+  }
   if (options_.trace != nullptr) {
     options_.trace->record(version, obs::Phase::kAck,
                            obs::poi_entity(poi.op, poi.index),
@@ -772,10 +779,10 @@ void Engine::run_reconfig_actions(Poi& poi) {
                                     staged.version)) {
       // The receiver's awaiting-set check absorbs the second copy.
       target.inbox.push_unbounded(
-          Message{MigrateMsg{staged.version, key, state}});
+          Message{MigrateMsg{staged.version, key, state, poi.index}});
     }
     target.inbox.push_unbounded(
-        Message{MigrateMsg{staged.version, key, std::move(state)}});
+        Message{MigrateMsg{staged.version, key, std::move(state), poi.index}});
   }
 
   // Residual drain (elastic waves only): any still-owned key the new epoch
@@ -788,8 +795,10 @@ void Engine::run_reconfig_actions(Poi& poi) {
   if (staged.own_table != nullptr) {
     const std::uint32_t parallelism = topology_.op(poi.op).parallelism;
     for (const Key key : poi.logic->owned_keys()) {
+      // A split candidate legitimately holds a partial — only ship state the
+      // new epoch gives this instance no ownership of at all.
+      if (staged.own_table->is_owner(key, poi.index, parallelism)) continue;
       const InstanceIndex dest = staged.own_table->route(key, parallelism);
-      if (dest == poi.index) continue;
       std::vector<std::byte> state = poi.logic->export_key_state(key);
       poi.logic->drop_key_state(key);
       states_drained_.fetch_add(1, std::memory_order_relaxed);
@@ -802,8 +811,8 @@ void Engine::run_reconfig_actions(Poi& poi) {
       }
       drains_in_flight_.fetch_add(1, std::memory_order_acq_rel);
       poi_at(poi.op, dest).inbox.push_unbounded(Message{MigrateMsg{
-          staged.version, key, std::move(state), /*redeliveries=*/0,
-          /*drain=*/true}});
+          staged.version, key, std::move(state), /*from=*/poi.index,
+          /*redeliveries=*/0, /*drain=*/true}});
     }
   }
 
@@ -842,16 +851,24 @@ void Engine::handle_migrate(Poi& poi, MigrateMsg msg) {
     }
     return;
   }
-  // Idempotence: apply a key's state at most once per reconfiguration.  A
-  // legit first delivery always finds `staged` at the payload's version with
-  // the key in `awaiting` (states ship only after every ack, and the wave
-  // can't finish here until awaiting drains).  Anything else is a duplicate
-  // or a stale straggler from a finished round — e.g. a redelivered v1 copy
-  // popping after v2 re-stages the same key — and importing it would
-  // double-apply or resurrect old state, so drop *before* touching the
-  // operator.
-  if (!poi.staged.has_value() || poi.staged->version != msg.version ||
-      !poi.awaiting.contains(msg.key)) {
+  // Idempotence: apply each (key, sender) state at most once per
+  // reconfiguration.  A legit first delivery always finds `staged` at the
+  // payload's version with the sender still listed under the key in
+  // `awaiting` (states ship only after every ack, and the wave can't finish
+  // here until awaiting drains).  Anything else is a duplicate or a stale
+  // straggler from a finished round — e.g. a redelivered v1 copy popping
+  // after v2 re-stages the same key — and importing it would double-apply
+  // or resurrect old state, so drop *before* touching the operator.  The
+  // sender match matters under lar::split: a degree decrease awaits several
+  // senders per key, and a chaos-duplicated copy from one must not consume
+  // another's slot.
+  const auto awaiting_it = poi.awaiting.find(msg.key);
+  const bool legit =
+      poi.staged.has_value() && poi.staged->version == msg.version &&
+      awaiting_it != poi.awaiting.end() &&
+      std::find(awaiting_it->second.begin(), awaiting_it->second.end(),
+                msg.from) != awaiting_it->second.end();
+  if (!legit) {
     migrates_deduped_.fetch_add(1, std::memory_order_relaxed);
     if (inj != nullptr) {
       inj->recovery("migrate_dedup", obs::key_entity(msg.key),
@@ -876,7 +893,15 @@ void Engine::handle_migrate(Poi& poi, MigrateMsg msg) {
                            /*bytes=*/msg.state.size());
   }
   poi.logic->import_key_state(msg.key, msg.state);
-  poi.awaiting.erase(msg.key);
+  std::vector<InstanceIndex>& senders = awaiting_it->second;
+  senders.erase(std::find(senders.begin(), senders.end(), msg.from));
+  if (!senders.empty()) {
+    // lar::split convergence: more replica partials are still in flight for
+    // this key (imports are merge-additive, so they sum).  The key stays
+    // awaited and its tuples stay buffered until the last one lands.
+    return;
+  }
+  poi.awaiting.erase(awaiting_it);
   // Drain tuples that were buffered waiting for this key's state: the
   // in-memory batch first, then (in arrival order after it, by spill
   // stickiness) the serialized spill store.
@@ -1184,7 +1209,7 @@ core::ReconfigurationPlan Engine::run_protocol(core::Manager& manager,
           continue;
         }
         if (mv.from == poi->index) msg.send.emplace_back(mv.key, mv.to);
-        if (mv.to == poi->index) msg.receive.push_back(mv.key);
+        if (mv.to == poi->index) msg.receive.emplace_back(mv.key, mv.from);
       }
     }
     poi->inbox.push_unbounded(Message{std::move(msg)});

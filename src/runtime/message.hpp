@@ -76,8 +76,12 @@ struct ReconfMsg {
   /// Keys whose state this POI must send away ("reconfiguration_send").
   std::vector<std::pair<Key, InstanceIndex>> send;
 
-  /// Keys whose state this POI will receive ("reconfiguration_receive").
-  std::vector<Key> receive;
+  /// Keys whose state this POI will receive, paired with the sending
+  /// instance ("reconfiguration_receive").  Sender-qualified because a
+  /// lar::split degree decrease converges several replicas' partials onto
+  /// one instance: the receiver must await one MIGRATE *per sender*, not
+  /// per key.
+  std::vector<std::pair<Key, InstanceIndex>> receive;
 
   /// Wave membership (always set by the engine; actives empty when the wave
   /// does not change the active set).
@@ -104,6 +108,11 @@ struct MigrateMsg {
   std::uint64_t version = 0;
   Key key = 0;
   std::vector<std::byte> state;
+
+  /// Flat instance index of the sending POI.  Receivers of a lar::split
+  /// convergence match (key, from) against their sender-qualified awaiting
+  /// lists; pre-split single-sender moves work the same way with one entry.
+  InstanceIndex from = 0;
 
   /// How many times a chaos-delayed copy of this payload has been re-queued
   /// behind the receiver's inbox; bounded by the kMigrateDelay magnitude.

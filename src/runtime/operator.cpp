@@ -56,4 +56,85 @@ std::uint64_t CountingOperator::count(Key key) const {
   return it == counts_.end() ? 0 : it->second;
 }
 
+void PartialCountOperator::process(const Tuple& tuple, Emitter& emitter) {
+  LAR_CHECK(key_field_ < tuple.fields.size());
+  const Key key = tuple.fields[key_field_];
+  ++partials_[key];
+  // One delta per input, routed downstream by the key: the merge stage's
+  // totals equal the per-key input counts no matter how many replicas the
+  // key is split across.
+  emitter.emit(Tuple{{key, 1}, /*padding=*/0});
+}
+
+std::vector<std::byte> PartialCountOperator::export_key_state(Key key) {
+  auto it = partials_.find(key);
+  if (it == partials_.end()) return {};
+  std::vector<std::byte> out(sizeof(std::uint64_t));
+  std::memcpy(out.data(), &it->second, sizeof(std::uint64_t));
+  return out;
+}
+
+void PartialCountOperator::import_key_state(Key key,
+                                            std::span<const std::byte> state) {
+  if (state.empty()) return;
+  LAR_CHECK(state.size() == sizeof(std::uint64_t));
+  std::uint64_t value = 0;
+  std::memcpy(&value, state.data(), sizeof(std::uint64_t));
+  partials_[key] += value;  // += so converging replica partials merge
+}
+
+void PartialCountOperator::drop_key_state(Key key) { partials_.erase(key); }
+
+std::vector<Key> PartialCountOperator::owned_keys() const {
+  std::vector<Key> out;
+  out.reserve(partials_.size());
+  for (const auto& [key, value] : partials_) out.push_back(key);
+  std::sort(out.begin(), out.end());  // canonical drain order
+  return out;
+}
+
+std::uint64_t PartialCountOperator::partial(Key key) const {
+  auto it = partials_.find(key);
+  return it == partials_.end() ? 0 : it->second;
+}
+
+void MergeCountOperator::process(const Tuple& tuple, Emitter& emitter) {
+  (void)emitter;  // terminal: deltas are absorbed, nothing flows downstream
+  LAR_CHECK(key_field_ < tuple.fields.size());
+  LAR_CHECK(value_field_ < tuple.fields.size());
+  totals_[tuple.fields[key_field_]] += tuple.fields[value_field_];
+}
+
+std::vector<std::byte> MergeCountOperator::export_key_state(Key key) {
+  auto it = totals_.find(key);
+  if (it == totals_.end()) return {};
+  std::vector<std::byte> out(sizeof(std::uint64_t));
+  std::memcpy(out.data(), &it->second, sizeof(std::uint64_t));
+  return out;
+}
+
+void MergeCountOperator::import_key_state(Key key,
+                                          std::span<const std::byte> state) {
+  if (state.empty()) return;
+  LAR_CHECK(state.size() == sizeof(std::uint64_t));
+  std::uint64_t value = 0;
+  std::memcpy(&value, state.data(), sizeof(std::uint64_t));
+  totals_[key] += value;  // += so partial local totals merge correctly
+}
+
+void MergeCountOperator::drop_key_state(Key key) { totals_.erase(key); }
+
+std::vector<Key> MergeCountOperator::owned_keys() const {
+  std::vector<Key> out;
+  out.reserve(totals_.size());
+  for (const auto& [key, value] : totals_) out.push_back(key);
+  std::sort(out.begin(), out.end());  // canonical drain order
+  return out;
+}
+
+std::uint64_t MergeCountOperator::total(Key key) const {
+  auto it = totals_.find(key);
+  return it == totals_.end() ? 0 : it->second;
+}
+
 }  // namespace lar::runtime

@@ -116,4 +116,73 @@ class CountingOperator final : public Operator {
   std::unordered_map<Key, std::uint64_t> counts_;
 };
 
+/// lar::split partial-aggregation stage: counts per key like
+/// CountingOperator, but emits a `{key, 1}` *delta* tuple per input instead
+/// of forwarding the input unchanged.  Because counting is associative and
+/// commutative, any number of replicas may each hold a partial count for a
+/// split key — the per-key total is the sum of the replicas' partials, and
+/// the downstream MergeCountOperator reconstructs it exactly from the
+/// deltas.  State is a plain uint64 per key, merge-additive on import, so
+/// migration convergence and checkpoint restore need nothing new.
+class PartialCountOperator final : public Operator {
+ public:
+  explicit PartialCountOperator(std::uint32_t key_field)
+      : key_field_(key_field) {}
+
+  void process(const Tuple& tuple, Emitter& emitter) override;
+
+  [[nodiscard]] std::vector<std::byte> export_key_state(Key key) override;
+  void import_key_state(Key key, std::span<const std::byte> state) override;
+  void drop_key_state(Key key) override;
+  [[nodiscard]] std::vector<Key> owned_keys() const override;
+
+  /// This replica's partial count for `key` (0 if absent).
+  [[nodiscard]] std::uint64_t partial(Key key) const;
+
+  [[nodiscard]] const std::unordered_map<Key, std::uint64_t>& partials()
+      const noexcept {
+    return partials_;
+  }
+
+ private:
+  std::uint32_t key_field_;
+  std::unordered_map<Key, std::uint64_t> partials_;
+};
+
+/// lar::split merge stage: sums the delta tuples `{key, delta}` emitted by
+/// the upstream partial replicas into exact per-key totals.  Routed by
+/// fields grouping on the key, so each key's total lives on exactly one
+/// instance (the merge operator itself is never split); with every tuple
+/// contributing exactly one delta through exactly one replica, the totals
+/// equal the per-key input counts — the split-is-exactly-once invariant the
+/// split tests pin.  Terminal: emits nothing.
+class MergeCountOperator final : public Operator {
+ public:
+  /// `key_field`/`value_field`: positions of the key and the delta in the
+  /// incoming tuple (the partial stage emits `{key, delta}` = fields 0, 1).
+  explicit MergeCountOperator(std::uint32_t key_field = 0,
+                              std::uint32_t value_field = 1)
+      : key_field_(key_field), value_field_(value_field) {}
+
+  void process(const Tuple& tuple, Emitter& emitter) override;
+
+  [[nodiscard]] std::vector<std::byte> export_key_state(Key key) override;
+  void import_key_state(Key key, std::span<const std::byte> state) override;
+  void drop_key_state(Key key) override;
+  [[nodiscard]] std::vector<Key> owned_keys() const override;
+
+  /// Merged total for `key` (0 if absent).
+  [[nodiscard]] std::uint64_t total(Key key) const;
+
+  [[nodiscard]] const std::unordered_map<Key, std::uint64_t>& totals()
+      const noexcept {
+    return totals_;
+  }
+
+ private:
+  std::uint32_t key_field_;
+  std::uint32_t value_field_;
+  std::unordered_map<Key, std::uint64_t> totals_;
+};
+
 }  // namespace lar::runtime

@@ -1,5 +1,6 @@
 #include "sim/route_desc.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/rng.hpp"
@@ -55,6 +56,9 @@ std::uint32_t RouterBank::add(const EdgeSpec& edge, std::uint32_t edge_index,
         case FieldsRouting::kTable:
           d.kind = RouteDesc::Kind::kTable;
           d.table = table;  // null = hash fallback, like an empty table
+          // Split sent counters, zeroed like TableFieldsRouter's sent_.
+          d.sent_begin = static_cast<std::uint32_t>(sent_.size());
+          sent_.resize(sent_.size() + fanout, 0);
           break;
         case FieldsRouting::kIdentity:
           d.kind = RouteDesc::Kind::kIdentity;
@@ -74,6 +78,18 @@ std::uint32_t RouterBank::add(const EdgeSpec& edge, std::uint32_t edge_index,
   }
   descs_.push_back(d);
   return static_cast<std::uint32_t>(descs_.size() - 1);
+}
+
+void RouterBank::set_table(std::uint32_t slot, const RoutingTable* table) {
+  RouteDesc& d = descs_[slot];
+  d.kind = RouteDesc::Kind::kTable;
+  d.table = table;
+  if (d.sent_begin == RouteDesc::kNoSent) {
+    d.sent_begin = static_cast<std::uint32_t>(sent_.size());
+    sent_.resize(sent_.size() + d.fanout, 0);
+  } else {
+    std::fill_n(sent_.data() + d.sent_begin, d.fanout, 0);
+  }
 }
 
 void RouterBank::set_shuffle_actives(

@@ -41,6 +41,10 @@ struct RouteDesc {
     kPartialKey,      ///< PartialKeyRouter
   };
 
+  /// "No sent-counter region allocated" sentinel (region 0 is a valid pool
+  /// offset, so 0 cannot mean "none").
+  static constexpr std::uint32_t kNoSent = 0xffffffffU;
+
   Kind kind = Kind::kHashFields;
   std::uint32_t key_field = 0;
   std::uint32_t fanout = 1;
@@ -48,7 +52,7 @@ struct RouteDesc {
   std::uint32_t next = 0;        ///< kShuffle / kLocalOrShuffle cursor
   std::uint32_t aux_begin = 0;   ///< locals / permutation range in aux pool
   std::uint32_t aux_len = 0;
-  std::uint32_t sent_begin = 0;  ///< kPartialKey per-instance counters
+  std::uint32_t sent_begin = kNoSent;  ///< kPartialKey / kTable counters
   const RoutingTable* table = nullptr;  ///< kTable; not owned
 };
 
@@ -99,8 +103,22 @@ class RouterBank {
         return aux_[d.aux_begin + tuple.fields[d.key_field] % d.fanout];
       case RouteDesc::Kind::kTable: {
         const Key key = tuple.fields[d.key_field];
-        return d.table != nullptr ? d.table->route(key, d.fanout)
-                                  : hash_instance(key, d.fanout);
+        if (d.table == nullptr) return hash_instance(key, d.fanout);
+        if (d.table->has_splits()) {
+          const auto candidates = d.table->split_candidates(key);
+          if (!candidates.empty()) {
+            // Same least-loaded-of-d, first-listed-wins-ties discipline as
+            // TableFieldsRouter (bit-equivalence pinned in test_sim.cpp).
+            std::uint64_t* sent = sent_.data() + d.sent_begin;
+            InstanceIndex pick = candidates[0];
+            for (const InstanceIndex c : candidates) {
+              if (sent[c] < sent[pick]) pick = c;
+            }
+            ++sent[pick];
+            return pick;
+          }
+        }
+        return d.table->route(key, d.fanout);
       }
       case RouteDesc::Kind::kIdentity:
         return static_cast<InstanceIndex>(
@@ -121,10 +139,9 @@ class RouterBank {
 
   /// Swaps descriptor `slot` to table routing through `table` (not owned) —
   /// the devirtualized TableFieldsRouter::set_table / router replacement.
-  void set_table(std::uint32_t slot, const RoutingTable* table) noexcept {
-    descs_[slot].kind = RouteDesc::Kind::kTable;
-    descs_[slot].table = table;
-  }
+  /// Like the virtual router, the slot's split sent counters reset to zero
+  /// (allocating them on first use for slots born as another kind).
+  void set_table(std::uint32_t slot, const RoutingTable* table);
 
   /// Restricts a shuffle descriptor to cycle over `instances` — the
   /// devirtualized ShuffleRouter::set_active_instances.  Appends the list to

@@ -1,0 +1,83 @@
+#include "split/degree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/flat_map.hpp"
+#include "common/hash.hpp"
+
+namespace lar::split {
+
+namespace {
+
+struct OpKey {
+  OperatorId op = 0;
+  Key key = 0;
+
+  friend bool operator==(const OpKey&, const OpKey&) = default;
+};
+
+struct OpKeyHash {
+  [[nodiscard]] std::size_t operator()(const OpKey& v) const noexcept {
+    return static_cast<std::size_t>(hash_pair(v.op, v.key));
+  }
+};
+
+}  // namespace
+
+std::vector<KeyDegree> choose_degrees(
+    const std::vector<HopView>& hops, const SplitOptions& options,
+    double alpha, const std::vector<OpInstances>& instances_by_op) {
+  std::vector<KeyDegree> out;
+  if (options.max_degree <= 1) return out;
+
+  // Key mass = sum of incident pair counts, exactly the bipartite builder's
+  // vertex weight.  Integer sums are order-independent, so the masses — and
+  // everything below — depend only on the pair *set*.
+  FlatMap<OpKey, std::uint64_t, OpKeyHash> mass;
+  FlatMap<OperatorId, std::uint64_t> totals;
+  for (const HopView& hop : hops) {
+    if (hop.pairs == nullptr) continue;
+    for (const core::PairCount& pc : *hop.pairs) {
+      if (pc.count == 0) continue;
+      mass[OpKey{hop.in_op, pc.in}] += pc.count;
+      mass[OpKey{hop.out_op, pc.out}] += pc.count;
+      totals[hop.in_op] += pc.count;
+      totals[hop.out_op] += pc.count;
+    }
+  }
+
+  auto instances_of = [&instances_by_op](OperatorId op) -> std::uint32_t {
+    for (const OpInstances& oi : instances_by_op) {
+      if (oi.op == op) return oi.instances;
+    }
+    return 1;  // unknown op: never split
+  };
+
+  mass.for_each([&](const OpKey& ok, std::uint64_t f) {
+    const std::uint32_t parts = instances_of(ok.op);
+    if (parts < 2) return;
+    const std::uint64_t* total = totals.find(ok.op);
+    if (total == nullptr || *total == 0) return;
+    // Same shape as the planner's per-op repair cap: alpha times the average
+    // per-instance mass, +1.0 so integer masses at the bound never split.
+    const double cap = alpha * static_cast<double>(*total) /
+                           static_cast<double>(parts) +
+                       1.0;
+    if (static_cast<double>(f) <= cap) return;
+    const auto needed = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(f) / cap));
+    const std::uint32_t degree = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        {needed, options.max_degree, parts}));
+    if (degree >= 2) out.push_back(KeyDegree{ok.op, ok.key, degree});
+  });
+
+  // FlatMap iteration order is an implementation detail; the contract is
+  // ascending (op, key).
+  std::sort(out.begin(), out.end(), [](const KeyDegree& a, const KeyDegree& b) {
+    return a.op != b.op ? a.op < b.op : a.key < b.key;
+  });
+  return out;
+}
+
+}  // namespace lar::split

@@ -1,0 +1,75 @@
+// lar::split — hot-key split-degree selection (DESIGN.md §14).
+//
+// Pure fields grouping caps per-key throughput at one instance; under Zipf
+// skew the head key saturates its POI long before the fleet does.  Partial
+// Key Grouping (Nasir et al., arXiv:1510.07623) and its W-choices extension
+// (arXiv:1510.05714) restore balance by splitting only the heavy hitters.
+// This module fuses that idea with the locality planner: the Manager assigns
+// each key a split degree d — 1 keeps today's explicit single-instance
+// mapping, 2 is PKG's two choices, d up to max_degree for the heaviest
+// hitters — chosen deterministically from the merged pair statistics it
+// already gathers.  Split keys run as d partial-aggregation replicas placed
+// by the bipartite partitioner; the unsplit tail stays locality-routed.
+//
+// Determinism contract: choose_degrees is a pure function of the pair
+// statistics *set* (counts are accumulated by order-independent integer
+// sums and the result is emitted in ascending (op, key) order), the options,
+// and the instance counts — identical statistics always yield identical
+// degrees, no matter how the caller ordered the pair lists.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pair_stats.hpp"
+#include "topology/types.hpp"
+
+namespace lar::split {
+
+/// Split tuning carried in core::ManagerOptions.
+struct SplitOptions {
+  /// Maximum replicas per key.  1 (the default) disables splitting entirely:
+  /// choose_degrees returns nothing, the planner builds the exact graph it
+  /// builds today, and every no-split code path stays byte-identical.
+  std::uint32_t max_degree = 1;
+};
+
+/// One hop's merged statistics, viewed without depending on core::HopStats
+/// (which lives in manager.hpp, which includes this header for SplitOptions).
+struct HopView {
+  OperatorId in_op = 0;
+  OperatorId out_op = 0;
+  const std::vector<core::PairCount>* pairs = nullptr;
+};
+
+/// The chosen degree of one (operator, key); only degrees >= 2 are emitted.
+struct KeyDegree {
+  OperatorId op = 0;
+  Key key = 0;
+  std::uint32_t degree = 1;
+
+  friend bool operator==(const KeyDegree&, const KeyDegree&) = default;
+};
+
+/// Per-op active instance count, ascending by op — the fleet each op's keys
+/// could split across in this epoch.
+struct OpInstances {
+  OperatorId op = 0;
+  std::uint32_t instances = 1;
+};
+
+/// Selects split degrees from merged pair statistics.
+///
+/// A key's mass is the sum of the counts of its incident pairs (the same
+/// quantity the bipartite builder uses as vertex weight).  With P active
+/// instances of the key's operator and `alpha` the planner's balance bound,
+/// any key whose mass f exceeds cap = alpha * total / P + 1.0 cannot fit on
+/// one POI without violating the per-PO bound, so it splits into
+/// d = min(max_degree, P, ceil(f / cap)) replicas.  Keys at or under the cap
+/// keep degree 1 (not emitted).  Ops absent from `instances_by_op` or with
+/// fewer than two instances never split.
+[[nodiscard]] std::vector<KeyDegree> choose_degrees(
+    const std::vector<HopView>& hops, const SplitOptions& options,
+    double alpha, const std::vector<OpInstances>& instances_by_op);
+
+}  // namespace lar::split

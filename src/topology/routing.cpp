@@ -1,5 +1,7 @@
 #include "topology/routing.hpp"
 
+#include <algorithm>
+
 namespace lar {
 
 ShuffleRouter::ShuffleRouter(std::uint32_t fanout, std::uint64_t seed)
@@ -110,22 +112,46 @@ InstanceIndex PartialKeyRouter::route(const Tuple& tuple) {
   return pick;
 }
 
+void PartialKeyRouter::set_table(
+    std::shared_ptr<const RoutingTable> /*table*/) {
+  std::fill(sent_.begin(), sent_.end(), 0);
+}
+
 TableFieldsRouter::TableFieldsRouter(std::uint32_t key_field,
                                      std::uint32_t fanout,
                                      std::shared_ptr<const RoutingTable> table)
-    : key_field_(key_field), fanout_(fanout), table_(std::move(table)) {
+    : key_field_(key_field),
+      fanout_(fanout),
+      table_(std::move(table)),
+      sent_(fanout, 0) {
   LAR_CHECK(fanout >= 1);
   LAR_CHECK(table_ != nullptr);
 }
 
 InstanceIndex TableFieldsRouter::route(const Tuple& tuple) {
   LAR_CHECK(key_field_ < tuple.fields.size());
-  return table_->route(tuple.fields[key_field_], fanout_);
+  const Key key = tuple.fields[key_field_];
+  if (table_->has_splits()) {
+    const auto candidates = table_->split_candidates(key);
+    if (!candidates.empty()) {
+      // Least-loaded-of-d by local sent counters; strict less keeps the
+      // first-listed candidate on ties (the 2-choice PKG `<=` rule
+      // generalized to candidate order).
+      InstanceIndex pick = candidates[0];
+      for (const InstanceIndex c : candidates) {
+        if (sent_[c] < sent_[pick]) pick = c;
+      }
+      ++sent_[pick];
+      return pick;
+    }
+  }
+  return table_->route(key, fanout_);
 }
 
 void TableFieldsRouter::set_table(std::shared_ptr<const RoutingTable> table) {
   LAR_CHECK(table != nullptr);
   table_ = std::move(table);
+  std::fill(sent_.begin(), sent_.end(), 0);
 }
 
 std::unique_ptr<Router> make_router(const EdgeSpec& edge,

@@ -346,6 +346,28 @@ TEST(Routing, PartialKeyBalancesSkewBetterThanHash) {
   EXPECT_LT(imbalance(pkg_load), 1.5);
 }
 
+TEST(Routing, PartialKeySentCountersResetOnTableSwap) {
+  // PKG carries no routing table, but reconfiguration swaps still call
+  // set_table on every router: the per-instance sent counters must reset so
+  // post-swap choices are a pure function of post-swap tuples — a swapped
+  // router and a fresh one route the same sequence identically.
+  PartialKeyRouter swapped(0, 6);
+  Rng rng(71);
+  for (int i = 0; i < 5'000; ++i) {  // skew the counter history
+    const Key key = rng.chance(0.6) ? 7 : 100 + rng.below(1000);
+    Tuple t{.fields = {key}, .padding = 0};
+    (void)swapped.route(t);
+  }
+
+  swapped.set_table(nullptr);
+  PartialKeyRouter fresh(0, 6);
+  for (int i = 0; i < 2'000; ++i) {
+    const Key key = rng.chance(0.5) ? 7 : rng.below(64);
+    Tuple t{.fields = {key}, .padding = 0};
+    ASSERT_EQ(swapped.route(t), fresh.route(t)) << "step " << i;
+  }
+}
+
 TEST(Routing, MakeRouterBuildsPartialKey) {
   const Topology topo = make_two_stage_topology(4);
   const Placement place = Placement::round_robin(topo, 4);
