@@ -1,0 +1,206 @@
+// Ablation: multi-tenant joint planning (lar::fleet) vs independent planning.
+//
+// Sweeps the tenant count T in {1, 2, 4} against the planning mode
+// {joint, independent} on a shared 6-server fleet.  Every tenant runs the
+// two-stage topology (parallelism 6) over the SAME Zipf-skewed correlated
+// stream — the worst case for independent planning: each tenant's planner
+// solves an identical key graph in isolation, so every tenant's hot keys
+// land on the same shared servers and stack, while joint planning sees the
+// summed per-server mass and interleaves tenants (DESIGN.md §15).
+//
+// Self-checks (nonzero exit on violation):
+//   * determinism — every (T, mode) cell runs twice and the two obs reports
+//     must match byte for byte;
+//   * single-tenant equivalence — at T=1 joint and independent planning are
+//     the same planner, so their reports must be byte-identical;
+//   * conservation — per tenant, the measure window's summed B-stage
+//     instance load equals the window tuple count (no tuple lost or
+//     duplicated by slicing);
+//   * shared-fleet imbalance — for T >= 2 the joint plan's per-server
+//     max/mean CPU load must beat the independent plan's.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fleet/fleet.hpp"
+#include "sim/simulator.hpp"
+#include "sketch/zipf.hpp"
+#include "workload/workload.hpp"
+
+using namespace lar;
+
+namespace {
+
+constexpr std::uint32_t kParallelism = 6;
+constexpr std::uint32_t kServers = 6;
+constexpr std::uint64_t kWindow = 100'000;
+constexpr std::uint32_t kNumKeys = 40;
+constexpr double kSkew = 1.4;
+constexpr double kLocality = 0.9;
+
+/// Zipf-skewed correlated pair stream: field 0 draws a Zipf(s) rank, field 1
+/// repeats it with probability `locality` (else uniform) — the synthetic
+/// workload's correlation structure with the Zipf marginal the paper argues
+/// real streams have.  At s = 1.4 the head key carries ~1/3 of the stream:
+/// more than one server's fair share, so *where* the head keys of different
+/// tenants land decides the fleet's balance.
+class ZipfPairGenerator final : public workload::TupleGenerator {
+ public:
+  ZipfPairGenerator(std::uint32_t num_keys, double skew, double locality,
+                    std::uint64_t seed)
+      : zipf_(num_keys, skew), locality_(locality), rng_(seed) {}
+
+  [[nodiscard]] Tuple next() override {
+    Tuple t;
+    const Key a = zipf_.sample(rng_);
+    const bool correlated =
+        static_cast<double>(rng_.next() % 1'000'000) / 1'000'000.0 < locality_;
+    const Key b = correlated ? a : rng_.next() % zipf_.size();
+    t.fields = {a, b};
+    return t;
+  }
+
+ private:
+  sketch::ZipfSampler zipf_;
+  double locality_;
+  Rng rng_;
+};
+
+struct CellResult {
+  double imbalance = 0.0;   // per-server CPU max/mean over the shared fleet
+  double locality = 0.0;    // mean A -> B hop locality over tenants
+  double throughput = 0.0;  // tuples/s
+  bool conserved = true;    // per-tenant B-stage load == window tuples
+  std::string report;       // canonical obs report (byte-stable)
+};
+
+/// Learn for one window, run one tenant-scoped reconfiguration per tenant
+/// (joint or independent planning), measure for one window.  Deterministic:
+/// everything flows from the fixed seeds.
+CellResult run_cell(std::uint32_t tenants, sim::Simulator::FleetPlanMode mode) {
+  std::vector<fleet::AppSpec> specs;
+  specs.reserve(tenants);
+  for (std::uint32_t t = 0; t < tenants; ++t) {
+    specs.push_back({"tenant" + std::to_string(t),
+                     make_two_stage_topology(kParallelism)});
+  }
+  fleet::FleetManager fleet(std::move(specs),
+                            {.num_servers = kServers, .manager = {}});
+  sim::SimConfig cfg;
+  cfg.source_mode = SourceMode::kRoundRobin;
+  sim::Simulator simulator(fleet.combined_topology(),
+                           fleet.combined_placement(), cfg,
+                           FieldsRouting::kTable);
+  fleet.set_metrics_registry(&simulator.registry());
+  ZipfPairGenerator gen(kNumKeys, kSkew, kLocality, 83);
+
+  simulator.run_window(gen, kWindow);  // learn, then per-tenant waves
+  for (fleet::AppId app = 0; app < tenants; ++app) {
+    (void)simulator.reconfigure_app(fleet, app, mode);
+  }
+  const auto window = simulator.run_window(gen, kWindow);
+
+  CellResult out;
+  const auto& stats = simulator.model().stats();
+  double max_cpu = 0.0;
+  double sum_cpu = 0.0;
+  for (const double c : stats.cpu_units) {
+    max_cpu = max_cpu > c ? max_cpu : c;
+    sum_cpu += c;
+  }
+  out.imbalance = max_cpu / (sum_cpu / static_cast<double>(kServers));
+  out.throughput = window.throughput;
+  for (fleet::AppId app = 0; app < tenants; ++app) {
+    const fleet::AppContext& ctx = fleet.app(app);
+    // Edge ids follow composition order: (S->A, A->B) per tenant.
+    out.locality += window.edge_locality[2 * app + 1];
+    std::uint64_t processed = 0;
+    for (const std::uint64_t l : stats.instance_load[ctx.op_begin + 2]) {
+      processed += l;
+    }
+    if (processed != window.window_tuples) out.conserved = false;
+  }
+  out.locality /= static_cast<double>(tenants);
+  out.report = obs::report_json(simulator.registry());
+  return out;
+}
+
+const char* mode_name(sim::Simulator::FleetPlanMode mode) {
+  return mode == sim::Simulator::FleetPlanMode::kJoint ? "joint" : "indep";
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "# Ablation — multi-tenant joint vs independent planning on one shared "
+      "fleet; T two-stage tenants, parallelism %u, %u servers\n"
+      "# identical Zipf(%.1f) correlated stream per tenant (%u keys, "
+      "locality %.1f); one learn + one measure window of %llu tuples\n"
+      "# columns: T, mode, imbalance (server CPU max/mean), locality, "
+      "throughput (Ktuples/s), conserved\n"
+      "# expected shape: independent stacks every tenant's hot keys on the "
+      "same servers (imbalance grows with T); joint interleaves tenants\n",
+      kParallelism, kServers, kSkew, kNumKeys, kLocality,
+      static_cast<unsigned long long>(kWindow));
+
+  const std::uint32_t tenant_counts[] = {1, 2, 4};
+  const sim::Simulator::FleetPlanMode modes[] = {
+      sim::Simulator::FleetPlanMode::kJoint,
+      sim::Simulator::FleetPlanMode::kIndependent};
+  bench::JsonBenchReport report("ablate_fleet");
+  int failures = 0;
+
+  for (const std::uint32_t tenants : tenant_counts) {
+    std::vector<CellResult> row;
+    for (const auto mode : modes) {
+      CellResult first = run_cell(tenants, mode);
+      const CellResult second = run_cell(tenants, mode);
+      if (first.report != second.report) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: two runs at T=%u mode=%s "
+                     "produced different observability reports\n",
+                     tenants, mode_name(mode));
+        ++failures;
+      }
+      if (!first.conserved) {
+        std::fprintf(stderr,
+                     "CONSERVATION VIOLATION: T=%u mode=%s lost or duplicated "
+                     "tuples across tenant slices\n",
+                     tenants, mode_name(mode));
+        ++failures;
+      }
+      char label[32];
+      std::snprintf(label, sizeof(label), "T=%u,%s", tenants, mode_name(mode));
+      report.add_panel_report(label, first.report);
+      std::printf("%-4u %-8s %-11.3f %-9.3f %-10.1f %s\n", tenants,
+                  mode_name(mode), first.imbalance, first.locality,
+                  first.throughput / 1000.0, first.conserved ? "yes" : "NO");
+      row.push_back(std::move(first));
+    }
+
+    if (tenants == 1) {
+      // One tenant: joint and independent are the same planner — identical
+      // plans, identical measurements, byte-identical reports.
+      if (row[0].report != row[1].report) {
+        std::fprintf(stderr,
+                     "EQUIVALENCE VIOLATION: T=1 joint and independent "
+                     "reports differ\n");
+        ++failures;
+      }
+    } else if (row[0].imbalance >= row[1].imbalance) {
+      // Shared fleet: joint planning must spread what independent stacks.
+      std::fprintf(stderr,
+                   "IMBALANCE VIOLATION: T=%u joint %.3f not better than "
+                   "independent %.3f\n",
+                   tenants, row[0].imbalance, row[1].imbalance);
+      ++failures;
+    }
+  }
+
+  std::printf("# determinism self-check: all cells byte-identical across two "
+              "runs\n");
+  report.write();
+  return failures == 0 ? 0 : 1;
+}

@@ -3,11 +3,12 @@
 #
 #   scripts/check.sh            # configure + build (zero warnings), full
 #                               # ctest, TSan obs+chaos+elastic+ckpt+queue+
-#                               # split, ASan ckpt+queue+split, perf smoke,
-#                               # runtime throughput floor + batch
-#                               # equivalence, obs v2 byte-identity,
-#                               # elasticity + checkpoint + split ablation
-#                               # self-checks
+#                               # split+fleet, ASan ckpt+queue+split+fleet,
+#                               # perf smoke, runtime throughput floor +
+#                               # batch equivalence, obs v2 byte-identity,
+#                               # elasticity + checkpoint + split + fleet
+#                               # ablation self-checks, single-tenant
+#                               # byte-identity
 #
 # Exits nonzero on the first failure.  Build trees: build/ (release-ish,
 # whatever CMakeLists defaults to), build-tsan/ (-DLAR_SANITIZE=thread) and
@@ -31,15 +32,15 @@ ctest --test-dir build -j "$(nproc)" --output-on-failure
 log "split label (degree selection, split routing, exactly-once merge)"
 ctest --test-dir build -L split --output-on-failure
 
-log "ThreadSanitizer: obs + chaos + elastic + ckpt + queue + split (registry, wave, injector, scale, recovery, lane, replica races)"
+log "ThreadSanitizer: obs + chaos + elastic + ckpt + queue + split + fleet (registry, wave, injector, scale, recovery, lane, replica, staggered-wave races)"
 cmake -B build-tsan -G Ninja -DLAR_SANITIZE=thread >/dev/null
 cmake --build build-tsan >/dev/null
-ctest --test-dir build-tsan -L 'obs|chaos|elastic|ckpt|queue|split' --output-on-failure
+ctest --test-dir build-tsan -L 'obs|chaos|elastic|ckpt|queue|split|fleet' --output-on-failure
 
-log "AddressSanitizer+UBSan: ckpt + queue + split (crash recovery frees/respawns state under load; lane slot reuse; replica partials)"
+log "AddressSanitizer+UBSan: ckpt + queue + split + fleet (crash recovery frees/respawns state under load; lane slot reuse; replica partials; tenant slices)"
 cmake -B build-asan -G Ninja -DLAR_SANITIZE=address >/dev/null
 cmake --build build-asan >/dev/null
-ctest --test-dir build-asan -L 'ckpt|queue|split' --output-on-failure
+ctest --test-dir build-asan -L 'ckpt|queue|split|fleet' --output-on-failure
 
 log "perf smoke (devirtualized-routing + channel hand-off differential checks)"
 ./build/bench/micro_hotpath --ops 20000 >/dev/null
@@ -78,5 +79,25 @@ split_dir=$(mktemp -d)
 (cd "$split_dir" && "$OLDPWD"/build/bench/ablate_split >/dev/null)
 rm -rf "$split_dir"
 
+log "fleet ablation (self-checking: byte-identity, conservation, joint beats independent on shared-server imbalance)"
+fleet_dir=$(mktemp -d)
+(cd "$fleet_dir" && "$OLDPWD"/build/bench/ablate_fleet >/dev/null)
+rm -rf "$fleet_dir"
+
+log "single-tenant full-suite byte-identity (every fig bench, twice, stdout + artifacts)"
+# lar::fleet (like chaos/ckpt/elastic/split before it) must be a structural
+# no-op when no FleetManager is attached: every paper-figure bench runs the
+# single-tenant path end to end, so any byte-level shift — stdout tables or
+# emitted BENCH_/TIMELINE_ artifacts — across two same-build runs is the
+# canary for fleet (or any) state leaking into the deterministic outputs.
+single_a=$(mktemp -d); single_b=$(mktemp -d)
+for b in build/bench/fig*; do
+  name=$(basename "$b")
+  (cd "$single_a" && "$OLDPWD/$b" > "$name.out")
+  (cd "$single_b" && "$OLDPWD/$b" > "$name.out")
+done
+diff -r "$single_a" "$single_b"
+rm -rf "$single_a" "$single_b"
+
 echo
-echo "OK: build clean, all tests green, TSan + ASan clean, perf + runtime-floor + elastic + ckpt + split smoke passed"
+echo "OK: build clean, all tests green, TSan + ASan clean, perf + runtime-floor + elastic + ckpt + split + fleet smoke passed"

@@ -137,4 +137,44 @@ void publish_decision(obs::Registry& registry, const ScaleDecision& decision) {
       .inc();
 }
 
+Signals aggregate_signals(const std::vector<Signals>& per_app) {
+  Signals out;
+  if (per_app.empty()) return out;
+  out.locality = 1.0;
+  for (const Signals& s : per_app) {
+    out.utilization = std::max(out.utilization, s.utilization);
+    out.locality = std::min(out.locality, s.locality);
+    out.balance = std::max(out.balance, s.balance);
+    out.queue_hwm = std::max(out.queue_hwm, s.queue_hwm);
+    out.migration_backlog =
+        std::max(out.migration_backlog, s.migration_backlog);
+    out.health_pressure = std::max(out.health_pressure, s.health_pressure);
+    out.health_veto = std::max(out.health_veto, s.health_veto);
+  }
+  return out;
+}
+
+std::size_t dominant_app(const std::vector<Signals>& per_app) {
+  LAR_CHECK(!per_app.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < per_app.size(); ++i) {
+    if (per_app[i].utilization > per_app[best].utilization) best = i;
+  }
+  return best;
+}
+
+void publish_decision(obs::Registry& registry, const ScaleDecision& decision,
+                      std::string_view app) {
+  registry
+      .gauge("lar_elastic_target_servers", {},
+             "Server count the autoscaling controller last asked for.")
+      .set(static_cast<double>(decision.target_servers));
+  registry
+      .counter("lar_elastic_decisions_total",
+               {{"app", std::string(app)},
+                {"reason", to_string(decision.reason)}},
+               "Controller evaluations by decision reason.")
+      .inc();
+}
+
 }  // namespace lar::elastic

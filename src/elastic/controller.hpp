@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
+#include <vector>
 
 #include "obs/metrics.hpp"
 
@@ -151,5 +153,25 @@ class Controller {
 /// Publishes a decision into `registry`: the `lar_elastic_target_servers`
 /// gauge and one `lar_elastic_decisions_total{reason}` counter increment.
 void publish_decision(obs::Registry& registry, const ScaleDecision& decision);
+
+/// Fleet aggregation (lar::fleet): folds per-tenant signal snapshots into
+/// the one Signals the shared controller evaluates.  Pressure-like signals
+/// take the worst tenant (max), locality the worst-served tenant (min), and
+/// any tenant's veto pins the fleet (max over the 0/1 health_veto gauge ==
+/// any).  Order-independent up to ties, so the canonical app order makes it
+/// deterministic.  An empty input returns the Signals defaults.
+[[nodiscard]] Signals aggregate_signals(const std::vector<Signals>& per_app);
+
+/// The tenant driving the aggregate pressure: argmax utilization, first
+/// index winning ties (canonical app order) — the deterministic
+/// noisy-neighbor attribution for `lar_elastic_decisions_total{app}`.
+/// Precondition: !per_app.empty().
+[[nodiscard]] std::size_t dominant_app(const std::vector<Signals>& per_app);
+
+/// Tenant-attributed variant (lar::fleet): like publish_decision, but the
+/// decisions counter names the tenant the aggregate pressure was attributed
+/// to — `lar_elastic_decisions_total{app,reason}`.
+void publish_decision(obs::Registry& registry, const ScaleDecision& decision,
+                      std::string_view app);
 
 }  // namespace lar::elastic

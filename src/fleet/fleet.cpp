@@ -1,0 +1,213 @@
+#include "fleet/fleet.hpp"
+
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace lar::fleet {
+
+FleetManager::FleetManager(std::vector<AppSpec> apps, FleetOptions options)
+    : options_(std::move(options)) {
+  LAR_CHECK(!apps.empty());
+  LAR_CHECK(options_.num_servers >= 1);
+  apps_.reserve(apps.size());
+  for (AppId id = 0; id < apps.size(); ++id) {
+    AppSpec& spec = apps[id];
+    LAR_CHECK(!spec.name.empty());
+    LAR_CHECK(spec.topology.validate().is_ok());
+    AppContext ctx;
+    ctx.id = id;
+    ctx.name = std::move(spec.name);
+    for (const AppContext& prev : apps_) LAR_CHECK(prev.name != ctx.name);
+    ctx.op_begin = static_cast<OperatorId>(combined_.num_operators());
+    // Compose the tenant's DAG into the combined topology at an id offset.
+    // Prefixed names keep per-op metric labels unambiguous across tenants.
+    for (OperatorId op = 0; op < spec.topology.num_operators(); ++op) {
+      OperatorSpec o = spec.topology.op(op);
+      o.name = ctx.name + "/" + o.name;
+      combined_.add_operator(std::move(o));
+    }
+    for (const EdgeSpec& e : spec.topology.edges()) {
+      combined_.connect(ctx.op_begin + e.from, ctx.op_begin + e.to,
+                        e.grouping, e.key_field);
+    }
+    ctx.op_end = static_cast<OperatorId>(combined_.num_operators());
+    for (OperatorId s : spec.topology.sources()) {
+      ctx.sources.push_back(ctx.op_begin + s);
+    }
+    apps_.push_back(std::move(ctx));
+  }
+  LAR_CHECK(combined_.validate().is_ok());
+  placement_.emplace(
+      Placement::round_robin(combined_, options_.num_servers));
+  joint_ = std::make_unique<core::Manager>(combined_, *placement_,
+                                           options_.manager);
+  independent_.resize(apps_.size());
+  remembered_.resize(apps_.size());
+}
+
+AppId FleetManager::app_of(OperatorId op) const {
+  for (const AppContext& a : apps_) {
+    if (a.contains(op)) return a.id;
+  }
+  LAR_CHECK(false);  // not a combined-topology operator id
+  return 0;
+}
+
+void FleetManager::set_metrics_registry(obs::Registry* registry) {
+  registry_ = registry;
+  if (registry_ != nullptr) {
+    registry_
+        ->gauge("lar_fleet_apps", {},
+                "Tenant applications sharing this server fleet.")
+        .set(static_cast<double>(apps_.size()));
+  }
+}
+
+core::ReconfigurationPlan FleetManager::plan_app(
+    AppId id, const std::vector<core::HopStats>& stats,
+    std::uint32_t active_servers) {
+  const AppContext& ctx = app(id);
+  const std::vector<core::HopStats> joint_stats = complete_stats(stats);
+  core::ReconfigurationPlan joint =
+      active_servers > 0 ? joint_->plan_for(joint_stats, active_servers)
+                         : joint_->compute_plan(joint_stats);
+  core::ReconfigurationPlan sliced = slice(ctx, joint);
+  publish_app_plan(ctx, sliced);
+  return sliced;
+}
+
+core::ReconfigurationPlan FleetManager::plan_app_independent(
+    AppId id, const std::vector<core::HopStats>& stats,
+    std::uint32_t active_servers) {
+  const AppContext& ctx = app(id);
+  // The isolated planner must only ever see this tenant's statistics: its
+  // balance constraint then runs over one tenant's load, blind to the
+  // others — the production failure mode the joint plan exists to fix.
+  // (Completion still applies to the tenant's OWN statistics, so both modes
+  // handle a just-waved tenant identically.)
+  std::vector<core::HopStats> own;
+  for (const core::HopStats& h : complete_stats(stats)) {
+    if (ctx.contains(h.in_op)) own.push_back(h);
+  }
+  core::Manager& mgr = independent_manager(id);
+  core::ReconfigurationPlan plan = active_servers > 0
+                                       ? mgr.plan_for(own, active_servers)
+                                       : mgr.compute_plan(own);
+  core::ReconfigurationPlan sliced = slice(ctx, plan);
+  publish_app_plan(ctx, sliced);
+  return sliced;
+}
+
+core::ReconfigurationPlan FleetManager::plan_all(
+    const std::vector<core::HopStats>& stats, std::uint32_t active_servers) {
+  const std::vector<core::HopStats> joint_stats = complete_stats(stats);
+  return active_servers > 0 ? joint_->plan_for(joint_stats, active_servers)
+                            : joint_->compute_plan(joint_stats);
+}
+
+void FleetManager::mark_deployed(AppId id,
+                                 const core::ReconfigurationPlan& sliced) {
+  const AppContext& ctx = app(id);
+  for (const auto& [op, table] : sliced.tables) LAR_CHECK(ctx.contains(op));
+  joint_->mark_deployed(sliced);
+  // The deployed slice is ground truth no matter which planner computed it;
+  // advancing both diff bases keeps joint and independent move sets honest.
+  if (independent_[id]) independent_[id]->mark_deployed(sliced);
+  apps_[id].plan_version = sliced.version;
+}
+
+void FleetManager::mark_deployed_all(const core::ReconfigurationPlan& plan) {
+  joint_->mark_deployed(plan);
+  for (std::size_t id = 0; id < independent_.size(); ++id) {
+    if (independent_[id]) independent_[id]->mark_deployed(plan);
+  }
+  for (AppContext& a : apps_) a.plan_version = plan.version;
+}
+
+void FleetManager::note_checkpoint(std::uint64_t epoch) {
+  for (AppContext& a : apps_) a.checkpoint_epoch = epoch;
+}
+
+FleetManager::Arbitration FleetManager::arbitrate(
+    const std::vector<elastic::Signals>& per_app) const {
+  LAR_CHECK(per_app.size() == apps_.size());
+  return {elastic::aggregate_signals(per_app),
+          static_cast<AppId>(elastic::dominant_app(per_app))};
+}
+
+std::vector<core::HopStats> FleetManager::complete_stats(
+    const std::vector<core::HopStats>& stats) {
+  std::vector<std::vector<core::HopStats>> fresh(apps_.size());
+  for (const core::HopStats& h : stats) {
+    fresh[app_of(h.in_op)].push_back(h);
+  }
+  std::vector<core::HopStats> out;
+  out.reserve(stats.size());
+  for (AppId id = 0; id < apps_.size(); ++id) {
+    bool has_pairs = false;
+    for (const core::HopStats& h : fresh[id]) {
+      if (!h.pairs.empty()) {
+        has_pairs = true;
+        break;
+      }
+    }
+    // A gather that carries the tenant's pairs is its newest cumulative
+    // view: use it and remember it.  An empty one means the tenant's own
+    // wave just consumed its statistics — stand in with the remembered
+    // gather so the joint balance constraint still sees this tenant's load.
+    const std::vector<core::HopStats>& use =
+        has_pairs ? fresh[id] : remembered_[id];
+    out.insert(out.end(), use.begin(), use.end());
+    if (has_pairs) remembered_[id] = std::move(fresh[id]);
+  }
+  return out;
+}
+
+core::ReconfigurationPlan FleetManager::slice(
+    const AppContext& app, const core::ReconfigurationPlan& joint) const {
+  core::ReconfigurationPlan out = joint;
+  out.tables.clear();
+  out.moves.clear();
+  out.keys_assigned = 0;
+  for (const auto& [op, table] : joint.tables) {
+    if (!app.contains(op)) continue;
+    out.tables.emplace(op, table);
+    out.keys_assigned += table->size();
+  }
+  for (const auto& [op, moves] : joint.moves) {
+    if (!app.contains(op) || moves.empty()) continue;
+    out.moves.emplace(op, moves);
+  }
+  return out;
+}
+
+void FleetManager::publish_app_plan(
+    const AppContext& app, const core::ReconfigurationPlan& sliced) const {
+  if (registry_ == nullptr) return;
+  // The Scoped view stamps app identity on the whole per-tenant surface;
+  // hostile tenant names are escaped by the exporters like any label value.
+  const obs::Scoped scoped(*registry_, {{"app", app.name}});
+  scoped.gauge("lar_fleet_plan_version", {},
+               "Plan version last computed for this tenant.")
+      .set(static_cast<double>(sliced.version));
+  scoped.gauge("lar_fleet_plan_tables", {},
+               "Routing tables in the tenant's latest plan slice.")
+      .set(static_cast<double>(sliced.tables.size()));
+  scoped.gauge("lar_fleet_plan_keys_assigned", {},
+               "Keys explicitly placed for this tenant by the latest plan.")
+      .set(static_cast<double>(sliced.keys_assigned));
+  scoped.gauge("lar_fleet_plan_key_moves", {},
+               "Key migrations the tenant's latest plan slice requires.")
+      .set(static_cast<double>(sliced.total_moves()));
+}
+
+core::Manager& FleetManager::independent_manager(AppId id) {
+  if (!independent_[id]) {
+    independent_[id] = std::make_unique<core::Manager>(
+        combined_, *placement_, options_.manager);
+  }
+  return *independent_[id];
+}
+
+}  // namespace lar::fleet

@@ -1,0 +1,197 @@
+// lar::fleet — multi-tenant serving: many concurrent applications planned
+// jointly on one shared server fleet (DESIGN.md §15).
+//
+// The paper plans one topology per fleet.  Production means many pipelines
+// sharing the same servers, and concurrent applications must be planned
+// against *shared* per-server capacity or one app's placement wrecks
+// another's (Benoit et al., arXiv:0903.0710).  The FleetManager therefore
+// composes every tenant's Topology into ONE combined topology over disjoint
+// operator-id ranges (no cross-tenant edges; operator names prefixed
+// "<app>/") and runs the unmodified locality planner on the union of all
+// tenants' pair statistics:
+//
+//   - shared capacity: the bipartite partitioner's balance constraint runs
+//     over each server's TOTAL vertex mass — the sum of all tenants'
+//     instance loads — so a heavy tenant's hot keys are placed around a
+//     light tenant's instead of colliding on the same server;
+//   - per-tenant alpha: the planner's per-operator balance repair is per
+//     OPERATOR, and tenant operator ranges are disjoint, so every tenant
+//     keeps its own max/avg instance-load bound with no algorithm changes;
+//   - per-tenant plans: the joint plan is *sliced* to one tenant's operator
+//     range before deployment, which is what makes reconfiguration waves
+//     per-tenant and staggered — deploying tenant A's slice touches none of
+//     tenant B's tables, statistics or data plane.
+//
+// Pair statistics are cumulative since each tenant's own last deployment
+// (table installation resets them per-operator).  A tenant that just waved
+// therefore gathers as empty until it re-accumulates traffic — which would
+// blind the NEXT tenant's joint plan to its load and re-collide the hot
+// keys a wave just separated.  plan_app() closes that window by remembering
+// each tenant's last non-empty gathered statistics and completing every
+// joint gather with the remembered set for tenants whose fresh statistics
+// were just consumed: back-to-back tenant waves all solve the same joint
+// picture and their slices compose into one consistent fleet-wide plan.
+//
+// The engine/sim embed one FleetManager behind a null-default pointer; with
+// no fleet attached every existing single-tenant code path and output is
+// byte-identical (same discipline as chaos/ckpt/split).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/manager.hpp"
+#include "elastic/controller.hpp"
+#include "obs/metrics.hpp"
+#include "topology/placement.hpp"
+#include "topology/topology.hpp"
+
+namespace lar::fleet {
+
+using AppId = std::uint32_t;
+
+/// One tenant application handed to the FleetManager constructor.
+struct AppSpec {
+  std::string name;  ///< unique; becomes the `app` metric label
+  Topology topology; ///< the tenant's own DAG (validated on composition)
+};
+
+/// Per-tenant identity and bookkeeping inside the combined fleet.  The
+/// heavyweight per-app state the engine threads through its wave/checkpoint
+/// machinery (tables, dedup cursors, split state) stays keyed by combined
+/// operator id — disjoint ranges make "per app" a range predicate, not a
+/// parallel data structure.
+struct AppContext {
+  AppId id = 0;
+  std::string name;
+  OperatorId op_begin = 0;  ///< combined-id range [op_begin, op_end)
+  OperatorId op_end = 0;
+  std::vector<OperatorId> sources;  ///< combined ids of the tenant's sources
+
+  std::uint64_t plan_version = 0;      ///< last plan deployed for this app
+  std::uint64_t checkpoint_epoch = 0;  ///< last global epoch covering it
+
+  [[nodiscard]] bool contains(OperatorId op) const noexcept {
+    return op >= op_begin && op < op_end;
+  }
+  [[nodiscard]] std::uint32_t num_ops() const noexcept {
+    return op_end - op_begin;
+  }
+};
+
+struct FleetOptions {
+  std::uint32_t num_servers = 0;  ///< shared fleet size (required, >= 1)
+  core::ManagerOptions manager;   ///< planner knobs (alpha, split, ...)
+};
+
+/// Owns the combined topology/placement, the joint planner, and the tenant
+/// contexts.  Must outlive any engine/sim deploying combined_topology() —
+/// the Manager and the engines hold references into it.
+class FleetManager {
+ public:
+  FleetManager(std::vector<AppSpec> apps, FleetOptions options);
+
+  [[nodiscard]] const Topology& combined_topology() const noexcept {
+    return combined_;
+  }
+  [[nodiscard]] const Placement& combined_placement() const noexcept {
+    return *placement_;
+  }
+  [[nodiscard]] std::size_t num_apps() const noexcept { return apps_.size(); }
+  [[nodiscard]] const AppContext& app(AppId id) const {
+    LAR_CHECK(id < apps_.size());
+    return apps_[id];
+  }
+  /// Tenant owning a combined operator id.
+  [[nodiscard]] AppId app_of(OperatorId op) const;
+
+  /// The joint planner (for whole-fleet paths: engine resize, snapshots).
+  [[nodiscard]] core::Manager& manager() noexcept { return *joint_; }
+
+  /// Attaches a registry: per-tenant plan gauges (`lar_fleet_plan_*{app}`)
+  /// publish through an obs::Scoped on every plan_app(), and the
+  /// `lar_fleet_apps` gauge registers immediately.  Null detaches.
+  void set_metrics_registry(obs::Registry* registry);
+
+  /// Joint plan over ALL tenants' statistics, sliced to tenant `id`:
+  /// tables and moves outside [op_begin, op_end) are dropped and
+  /// keys_assigned recomputed for the slice; fleet-level diagnostics
+  /// (expected_locality, edge_cut, imbalance) stay joint.  `stats` is the
+  /// full gather — cross-tenant hops don't exist, per-tenant filtering
+  /// happens by construction; tenants whose fresh statistics are empty
+  /// (their own wave just consumed them) contribute their remembered last
+  /// gather instead, so the joint balance constraint never goes blind to a
+  /// recently-waved neighbor.  active_servers > 0 plans for that active
+  /// prefix via plan_for (elastic); 0 keeps the fixed-fleet compute_plan.
+  [[nodiscard]] core::ReconfigurationPlan plan_app(
+      AppId id, const std::vector<core::HopStats>& stats,
+      std::uint32_t active_servers = 0);
+
+  /// Ablation baseline: plans tenant `id` in ISOLATION — a lazily built
+  /// per-tenant Manager over the same combined topology/placement is fed
+  /// only this tenant's hops, so the balance constraint sees one tenant's
+  /// load and tenants collide on shared servers exactly the way
+  /// independent planning does in production.  Same slicing as plan_app.
+  [[nodiscard]] core::ReconfigurationPlan plan_app_independent(
+      AppId id, const std::vector<core::HopStats>& stats,
+      std::uint32_t active_servers = 0);
+
+  /// Whole-fleet plan, NOT sliced — the engine's resize path must deploy
+  /// every tenant's fallback-domain tables in one wave (slicing a resize
+  /// would leave other tenants hashing over a stale active set).
+  [[nodiscard]] core::ReconfigurationPlan plan_all(
+      const std::vector<core::HopStats>& stats,
+      std::uint32_t active_servers = 0);
+
+  /// Records a deployed per-tenant slice: the joint planner's (and, when it
+  /// exists, the tenant's independent planner's) diff base advances for
+  /// exactly the sliced operators, and the tenant's plan_version follows.
+  void mark_deployed(AppId id, const core::ReconfigurationPlan& sliced);
+
+  /// Records a deployed whole-fleet plan (resize path) for every tenant.
+  void mark_deployed_all(const core::ReconfigurationPlan& plan);
+
+  /// Records a global checkpoint epoch — the aligned cut covers every app.
+  void note_checkpoint(std::uint64_t epoch);
+
+  /// Controller arbitration across tenants: the shared controller evaluates
+  /// the max-pressure/any-veto aggregate, and scale-out blame lands on the
+  /// dominant (argmax-utilization) tenant.  One Signals per app, app order.
+  struct Arbitration {
+    elastic::Signals combined;
+    AppId dominant = 0;
+  };
+  [[nodiscard]] Arbitration arbitrate(
+      const std::vector<elastic::Signals>& per_app) const;
+
+ private:
+  /// Partitions `stats` by tenant, refreshes each tenant's remembered
+  /// gather wherever the fresh portion carries pairs, and returns the
+  /// fresh-or-remembered union in app-id order (plan computation is a pure
+  /// function of the *set*, the order is just kept canonical).
+  [[nodiscard]] std::vector<core::HopStats> complete_stats(
+      const std::vector<core::HopStats>& stats);
+
+  [[nodiscard]] core::ReconfigurationPlan slice(
+      const AppContext& app, const core::ReconfigurationPlan& joint) const;
+  void publish_app_plan(const AppContext& app,
+                        const core::ReconfigurationPlan& sliced) const;
+  [[nodiscard]] core::Manager& independent_manager(AppId id);
+
+  Topology combined_;
+  std::optional<Placement> placement_;
+  FleetOptions options_;
+  std::vector<AppContext> apps_;
+  std::unique_ptr<core::Manager> joint_;
+  std::vector<std::unique_ptr<core::Manager>> independent_;  ///< lazy, per app
+  /// Per app: the last gather that carried this tenant's pairs — the
+  /// neighbor-load stand-in while the tenant's fresh statistics rebuild
+  /// after its own wave consumed them.
+  std::vector<std::vector<core::HopStats>> remembered_;
+  obs::Registry* registry_ = nullptr;
+};
+
+}  // namespace lar::fleet

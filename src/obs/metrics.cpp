@@ -118,4 +118,16 @@ std::vector<Registry::FamilyView> Registry::families() const {
   return out;
 }
 
+// --- Scoped ------------------------------------------------------------------
+
+Labels Scoped::merged(Labels labels) const {
+  for (const Label& c : constant_) {
+    for (const Label& l : labels) {
+      LAR_CHECK(l.key != c.key);  // call sites must not shadow a constant key
+    }
+    labels.push_back(c);
+  }
+  return labels;
+}
+
 }  // namespace lar::obs

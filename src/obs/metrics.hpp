@@ -205,4 +205,43 @@ class Registry {
   std::map<std::string, Family, std::less<>> families_;
 };
 
+/// A constant-label view over a Registry: every instrument resolved through
+/// a Scoped carries the view's labels in addition to the call-site ones —
+/// the first-class way to scope a component's whole metric surface to one
+/// entity (e.g. `app="twitter"` for a fleet tenant), replacing ad-hoc label
+/// concatenation at every site.  Values pass through the normal intern path,
+/// so canonical ordering and exporter escaping (hostile label values — see
+/// export.hpp) apply unchanged.  Copyable handle; the Registry must outlive
+/// it.  Call-site labels must not reuse a constant key (checked).
+class Scoped {
+ public:
+  Scoped(Registry& registry, Labels constant)
+      : registry_(&registry), constant_(std::move(constant)) {}
+
+  Counter& counter(std::string_view name, Labels labels = {},
+                   std::string_view help = "") const {
+    return registry_->counter(name, merged(std::move(labels)), help);
+  }
+  Gauge& gauge(std::string_view name, Labels labels = {},
+               std::string_view help = "") const {
+    return registry_->gauge(name, merged(std::move(labels)), help);
+  }
+  Histogram& histogram(std::string_view name, std::vector<double> upper_bounds,
+                       Labels labels = {}, std::string_view help = "") const {
+    return registry_->histogram(name, std::move(upper_bounds),
+                                merged(std::move(labels)), help);
+  }
+
+  [[nodiscard]] Registry& registry() const noexcept { return *registry_; }
+  [[nodiscard]] const Labels& constant_labels() const noexcept {
+    return constant_;
+  }
+
+ private:
+  [[nodiscard]] Labels merged(Labels labels) const;
+
+  Registry* registry_;
+  Labels constant_;
+};
+
 }  // namespace lar::obs

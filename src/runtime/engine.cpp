@@ -295,6 +295,21 @@ Engine::Engine(const Topology& topology, const Placement& placement,
     inject_out_seq_.assign(pois_.size(), 0);
     inject_replay_.resize(pois_.size());
   }
+
+  // lar::fleet: the engine must be deployed over the fleet's own combined
+  // topology/placement — tenant operator-id ranges and source positions are
+  // only meaningful against them.
+  fleet_ = options_.fleet;
+  if (fleet_ != nullptr) {
+    LAR_CHECK(&topology_ == &fleet_->combined_topology());
+    LAR_CHECK(&placement_ == &fleet_->combined_placement());
+    app_source_pos_.resize(fleet_->num_apps());
+    for (std::size_t pos = 0; pos < sources_.size(); ++pos) {
+      app_source_pos_[fleet_->app_of(sources_[pos])].push_back(pos);
+    }
+    app_inject_seq_.assign(fleet_->num_apps(), 0);
+    app_tuples_injected_.assign(fleet_->num_apps(), 0);
+  }
 }
 
 Engine::~Engine() { shutdown(); }
@@ -356,32 +371,64 @@ void Engine::inject(Tuple tuple) {
         break;
     }
     inject_seq_.fetch_add(1, std::memory_order_relaxed);
-    // The injector's SPSC lane: source_mutex_ is its producer serialization
-    // domain, so pushing while still holding the mutex keeps the inject log
-    // order, the sequence numbers and the lane order in agreement — and a
-    // checkpoint barrier injected under this same mutex lands after exactly
-    // the tuples logged so far.  The source POI drains its inbox without
-    // ever taking this mutex, so a back-pressured push cannot deadlock.
-    // Every inject flushes: callers may flush() right after, and a staged
-    // tuple nobody publishes would hang that fence.
-    Poi& target = poi_at(src, instance);
-    const std::uint32_t lane = inject_lane_[target.flat];
-    if (ckpt_enabled_) {
-      DataMsg dm{std::move(tuple), DataMsg::kInjected};
-      dm.from = BarrierMsg::kCoordinator;
-      dm.seq = ++inject_out_seq_[target.flat];
-      inject_replay_[target.flat].push_back(dm);
-      tuples_injected_.fetch_add(1, std::memory_order_relaxed);
-      in_flight_.fetch_add(1, std::memory_order_acq_rel);
-      target.inbox.lane_push(lane, Message{DataMsg{std::move(dm)}});
-    } else {
-      tuples_injected_.fetch_add(1, std::memory_order_relaxed);
-      in_flight_.fetch_add(1, std::memory_order_acq_rel);
-      target.inbox.lane_push(
-          lane, Message{DataMsg{std::move(tuple), DataMsg::kInjected}});
-    }
-    target.inbox.lane_flush(lane);
+    inject_push_locked(src, instance, std::move(tuple));
   }
+}
+
+void Engine::inject_push_locked(OperatorId src, InstanceIndex instance,
+                                Tuple&& tuple) {
+  // The injector's SPSC lane: source_mutex_ is its producer serialization
+  // domain, so pushing while still holding the mutex keeps the inject log
+  // order, the sequence numbers and the lane order in agreement — and a
+  // checkpoint barrier injected under this same mutex lands after exactly
+  // the tuples logged so far.  The source POI drains its inbox without
+  // ever taking this mutex, so a back-pressured push cannot deadlock.
+  // Every inject flushes: callers may flush() right after, and a staged
+  // tuple nobody publishes would hang that fence.
+  Poi& target = poi_at(src, instance);
+  const std::uint32_t lane = inject_lane_[target.flat];
+  if (ckpt_enabled_) {
+    DataMsg dm{std::move(tuple), DataMsg::kInjected};
+    dm.from = BarrierMsg::kCoordinator;
+    dm.seq = ++inject_out_seq_[target.flat];
+    inject_replay_[target.flat].push_back(dm);
+    tuples_injected_.fetch_add(1, std::memory_order_relaxed);
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    target.inbox.lane_push(lane, Message{DataMsg{std::move(dm)}});
+  } else {
+    tuples_injected_.fetch_add(1, std::memory_order_relaxed);
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    target.inbox.lane_push(
+        lane, Message{DataMsg{std::move(tuple), DataMsg::kInjected}});
+  }
+  target.inbox.lane_flush(lane);
+}
+
+void Engine::inject_app(fleet::AppId app, Tuple tuple) {
+  LAR_CHECK(started_ && !shut_down_);
+  LAR_CHECK(fleet_ != nullptr && app < app_source_pos_.size());
+  const std::vector<std::size_t>& positions = app_source_pos_[app];
+  LAR_CHECK(!positions.empty());
+  std::lock_guard<std::mutex> lock(source_mutex_);
+  // Per-tenant round-robin over the tenant's own source positions with a
+  // per-tenant sequence: each tenant's arrival order is independent of how
+  // the driver interleaves tenants.
+  const std::uint64_t seq = app_inject_seq_[app]++;
+  const std::size_t pos = positions[seq % positions.size()];
+  const OperatorId src = sources_[pos];
+  const std::vector<InstanceIndex>& act = source_actives_[pos];
+  InstanceIndex instance = 0;
+  switch (options_.source_mode) {
+    case SourceMode::kAlignedField0:
+      LAR_CHECK(!tuple.fields.empty());
+      instance = act[tuple.fields[0] % act.size()];
+      break;
+    case SourceMode::kRoundRobin:
+      instance = act[seq % act.size()];
+      break;
+  }
+  ++app_tuples_injected_[app];
+  inject_push_locked(src, instance, std::move(tuple));
 }
 
 void Engine::flush() {
@@ -1007,6 +1054,41 @@ core::ReconfigurationPlan Engine::reconfigure(core::Manager& manager) {
   return plan;
 }
 
+core::ReconfigurationPlan Engine::reconfigure_app(fleet::AppId app) {
+  LAR_CHECK(started_ && !shut_down_);
+  LAR_CHECK(fleet_ != nullptr && app < fleet_->num_apps());
+  core::ReconfigurationPlan plan =
+      run_protocol(fleet_->manager(), active_servers_, active_servers_,
+                   &fleet_->app(app));
+  // Post-wave work mirrors reconfigure().  The drain fence blocks only this
+  // driver thread (other tenants' data planes keep flowing through their
+  // untouched lanes), and the auto-checkpoint stays global — the aligned
+  // cut must cover every tenant or a later crash would restore one tenant
+  // across another's wave.
+  if (elastic_) drain_fence();
+  if (ckpt_enabled_) checkpoint();
+  end_wave_span();
+  return plan;
+}
+
+core::ReconfigurationPlan Engine::resize_fleet(std::uint32_t target_servers) {
+  LAR_CHECK(fleet_ != nullptr);
+  LAR_CHECK(target_servers != active_servers_);
+  // A resize is always a whole-fleet wave: plan_for gives EVERY tenant's
+  // fields-destination ops fresh fallback-domain tables, and slicing any of
+  // them away would leave that tenant hashing unknown keys over the stale
+  // active set.  The joint planner drives the ordinary elastic machinery.
+  core::Manager& manager = fleet_->manager();
+  core::ReconfigurationPlan plan =
+      target_servers > active_servers_
+          ? add_servers(manager, target_servers)
+          : retire_servers(manager, target_servers);
+  // run_protocol already marked the joint planner; fold the deployment into
+  // every tenant's bookkeeping (idempotent for the joint planner).
+  fleet_->mark_deployed_all(plan);
+  return plan;
+}
+
 void Engine::end_wave_span() {
   if (wave_span_ == 0) return;
   if (options_.trace != nullptr) {
@@ -1015,15 +1097,21 @@ void Engine::end_wave_span() {
   wave_span_ = 0;
 }
 
-core::ReconfigurationPlan Engine::run_protocol(core::Manager& manager,
-                                               std::uint32_t current_n,
-                                               std::uint32_t target_n) {
+core::ReconfigurationPlan Engine::run_protocol(
+    core::Manager& manager, std::uint32_t current_n, std::uint32_t target_n,
+    const fleet::AppContext* app_scope) {
   const std::uint32_t max_n = std::max(current_n, target_n);
   const bool resizing = current_n != target_n;
+  const bool scoped = app_scope != nullptr;
+  LAR_CHECK(!scoped || (fleet_ != nullptr && !resizing));
 
   // 1) + 2) GET_METRICS -> SEND_METRICS, from the POIs live *before* the
   // wave (a scale-out's fresh POIs have no statistics yet; a scale-in's
-  // retirees still hold theirs).
+  // retirees still hold theirs).  A tenant-scoped round still gathers from
+  // EVERYONE: pair statistics are cumulative since each tenant's own last
+  // table install, so the full gather is the complete joint picture the
+  // shared-capacity plan needs — and a SEND_METRICS reply snapshots without
+  // resetting, leaving other tenants' statistics to their own waves.
   std::size_t gather_members = 0;
   for (auto& poi : pois_) {
     if (poi->server >= current_n) continue;
@@ -1110,10 +1198,13 @@ core::ReconfigurationPlan Engine::run_protocol(core::Manager& manager,
   // compute_reconfiguration.  Once elastic, ALL plans flow through
   // plan_for — a fixed-fleet compute_plan would drop the fallback domain
   // and silently re-split unknown keys over the full modulus with no
-  // migration to match.
+  // migration to match.  Tenant-scoped rounds plan jointly over every
+  // tenant's statistics and deploy one tenant's slice (lar::fleet).
   core::ReconfigurationPlan plan =
-      elastic_ ? manager.plan_for(hop_stats, target_n)
-               : manager.compute_plan(hop_stats);
+      scoped ? fleet_->plan_app(app_scope->id, hop_stats,
+                                elastic_ ? target_n : 0)
+             : (elastic_ ? manager.plan_for(hop_stats, target_n)
+                         : manager.compute_plan(hop_stats));
   // One wave = one control epoch, the engine's logical span clock (the
   // runtime has no virtual time; wall-clock is banned).  The span stays
   // open past run_protocol so the caller's post-wave work — drain fence,
@@ -1133,15 +1224,21 @@ core::ReconfigurationPlan Engine::run_protocol(core::Manager& manager,
                            /*bytes=*/plan.graph_edges);
   }
   if (plan.tables.empty() && !resizing) {
-    manager.mark_deployed(plan);
+    if (scoped) {
+      fleet_->mark_deployed(app_scope->id, plan);
+    } else {
+      manager.mark_deployed(plan);
+    }
     end_wave_span();  // empty wave: nothing staged, close it here
     return plan;  // nothing observed yet; stay on current routing
   }
 
   // Advisor gate (Section 6 future work): a steady-state plan whose
   // predicted benefit does not cover its migration cost is not pushed.
-  // Resize waves are never gated — the controller already decided.
-  if (manager.options().advise_deploys && !resizing) {
+  // Resize waves are never gated — the controller already decided — and
+  // neither are tenant-scoped ones (the engine-wide measured locality the
+  // advisor scores against is meaningless for one tenant's slice).
+  if (!scoped && manager.options().advise_deploys && !resizing) {
     const auto [locality, balance] = measured_locality_balance();
     const core::AdvisorVerdict verdict =
         manager.advise(plan, locality, balance);
@@ -1162,6 +1259,12 @@ core::ReconfigurationPlan Engine::run_protocol(core::Manager& manager,
   wave->target_servers = target_n;
   wave->members.resize(topology_.num_operators());
   for (OperatorId op = 0; op < topology_.num_operators(); ++op) {
+    // Stagger rule (lar::fleet): a tenant-scoped wave's member lists are
+    // empty outside the tenant's operator range.  Tenant DAGs share no
+    // edges, so propagate_expected derived from these lists keeps the wave
+    // entirely inside the tenant — no other tenant's POI ever enters
+    // reconfiguration mode, stalls on a drain, or stashes a tuple.
+    if (scoped && !app_scope->contains(op)) continue;
     wave->members[op] = placement_.active_instances(op, max_n);
   }
   if (resizing) {
@@ -1176,6 +1279,7 @@ core::ReconfigurationPlan Engine::run_protocol(core::Manager& manager,
   std::size_t wave_size = 0;
   for (auto& poi : pois_) {
     if (poi->server >= max_n) continue;
+    if (scoped && !app_scope->contains(poi->op)) continue;
     ++wave_size;
     ReconfMsg msg;
     msg.version = plan.version;
@@ -1243,7 +1347,11 @@ core::ReconfigurationPlan Engine::run_protocol(core::Manager& manager,
     LAR_CHECK(done != nullptr && done->version == plan.version);
   }
 
-  manager.mark_deployed(plan);
+  if (scoped) {
+    fleet_->mark_deployed(app_scope->id, plan);
+  } else {
+    manager.mark_deployed(plan);
+  }
   last_plan_version_ = plan.version;
   LAR_INFO << "engine: reconfiguration v" << plan.version << " deployed ("
            << plan.total_moves() << " key states migrated)";
@@ -1513,6 +1621,8 @@ std::uint64_t Engine::checkpoint() {
   if (ckpt_span != 0 && options_.trace != nullptr) {
     options_.trace->end_span(ckpt_span, static_cast<double>(control_epoch_));
   }
+  // The aligned cut covers every tenant (barriers flow through all sources).
+  if (fleet_ != nullptr) fleet_->note_checkpoint(epoch);
   return epoch;
 }
 
@@ -2100,24 +2210,47 @@ void Engine::publish_metrics() {
         .advance_to(tuples_lost_at_crash_.load(std::memory_order_relaxed));
   }
 
+  // lar::fleet: every per-tenant family below gains an `app` label (tenant
+  // of the edge's producer / the instance's operator), and per-tenant
+  // injected counts publish next to the engine-wide total.  All of it is
+  // fleet-only, so single-tenant exports stay byte-identical.
+  if (fleet_ != nullptr) {
+    std::lock_guard<std::mutex> lock(source_mutex_);
+    for (fleet::AppId app = 0; app < fleet_->num_apps(); ++app) {
+      reg->counter("lar_tuples_injected_total",
+                   {{"app", fleet_->app(app).name}},
+                   "Tuples fed to source POIs via inject().")
+          .advance_to(app_tuples_injected_[app]);
+    }
+  }
+
   for (std::size_t eid = 0; eid < edge_counters_.size(); ++eid) {
     const EdgeSpec& edge = topology_.edges()[eid];
     const std::string name =
         topology_.op(edge.from).name + "->" + topology_.op(edge.to).name;
+    obs::Labels edge_labels = {{"edge", name}};
+    if (fleet_ != nullptr) {
+      edge_labels.push_back(
+          {"app", fleet_->app(fleet_->app_of(edge.from)).name});
+    }
     const EdgeCounters& c = edge_counters_[eid];
     const std::uint64_t local = c.local.load(std::memory_order_relaxed);
     const std::uint64_t remote = c.remote.load(std::memory_order_relaxed);
-    reg->counter("lar_edge_tuples_total", {{"edge", name}, {"path", "local"}},
+    obs::Labels local_labels = edge_labels;
+    local_labels.push_back({"path", "local"});
+    reg->counter("lar_edge_tuples_total", std::move(local_labels),
                  "Tuples moved over an edge, split by local/remote hop.")
         .advance_to(local);
-    reg->counter("lar_edge_tuples_total", {{"edge", name}, {"path", "remote"}},
+    obs::Labels remote_labels = edge_labels;
+    remote_labels.push_back({"path", "remote"});
+    reg->counter("lar_edge_tuples_total", std::move(remote_labels),
                  "Tuples moved over an edge, split by local/remote hop.")
         .advance_to(remote);
-    reg->counter("lar_edge_remote_bytes_total", {{"edge", name}},
+    reg->counter("lar_edge_remote_bytes_total", edge_labels,
                  "Serialized bytes for cross-server hops of an edge.")
         .advance_to(c.remote_bytes.load(std::memory_order_relaxed));
     if (local + remote > 0) {
-      reg->gauge("lar_edge_locality_ratio", {{"edge", name}},
+      reg->gauge("lar_edge_locality_ratio", edge_labels,
                  "Fraction of an edge's tuples delivered server-locally "
                  "(paper Figure 8).")
           .set(static_cast<double>(local) /
@@ -2126,13 +2259,16 @@ void Engine::publish_metrics() {
   }
 
   for (const auto& poi : pois_) {
-    const obs::Labels labels = {{"op", topology_.op(poi->op).name},
-                                {"inst", std::to_string(poi->index)}};
+    obs::Labels labels = {{"op", topology_.op(poi->op).name},
+                          {"inst", std::to_string(poi->index)}};
+    if (fleet_ != nullptr) {
+      labels.push_back({"app", fleet_->app(fleet_->app_of(poi->op)).name});
+    }
     reg->counter("lar_tuples_processed_total", labels,
                  "Tuples processed per operator instance.")
         .advance_to(poi->processed.load(std::memory_order_relaxed));
     // Scheduling-dependent: byte-stable exports filter `lar_queue_` out.
-    reg->gauge("lar_queue_depth_hwm", labels,
+    reg->gauge("lar_queue_depth_hwm", std::move(labels),
                "Deepest a POI inbox has ever been (items).")
         .max_of(static_cast<double>(poi->inbox.high_water_mark()));
   }

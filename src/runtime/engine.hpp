@@ -34,6 +34,7 @@
 #include "ckpt/checkpoint.hpp"
 #include "core/manager.hpp"
 #include "core/plan.hpp"
+#include "fleet/fleet.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
 #include "obs/timeline.hpp"
@@ -118,6 +119,16 @@ struct EngineOptions {
   /// registry/injector pattern: one null-check branch per hook, no data-path
   /// cost, no `lar_ckpt_*` metric families.
   ckpt::CheckpointCoordinator* checkpoint = nullptr;
+
+  /// Multi-tenant fleet (lar::fleet; null = single-tenant, the default;
+  /// must outlive the engine).  When attached, the engine must be deployed
+  /// over fleet->combined_topology() / fleet->combined_placement();
+  /// inject_app() / reconfigure_app() become available, reconfiguration
+  /// waves are per-tenant and staggered (app-scoped wave control over the
+  /// shared channels/lanes), and every per-op / per-edge metric family
+  /// gains an `app` label.  The disabled mode is the usual structural
+  /// no-op: one null-check per hook, byte-identical output.
+  fleet::FleetManager* fleet = nullptr;
 
   /// Live-server count at startup (lar::elastic).  0 = all servers of the
   /// placement (the default, byte-identical to the fixed-fleet engine).
@@ -281,6 +292,33 @@ class Engine {
     return active_servers_;
   }
 
+  // --- lar::fleet: multi-tenant serving ------------------------------------
+
+  /// Feeds one tuple to one of tenant `app`'s source POIs (blocking under
+  /// back pressure).  Per-tenant round-robin over the tenant's own sources
+  /// with a per-tenant sequence; otherwise identical to inject() — same
+  /// mutex, same checkpoint inject log, same lane discipline.  Requires
+  /// options().fleet.
+  void inject_app(fleet::AppId app, Tuple tuple);
+
+  /// Runs one online reconfiguration round scoped to tenant `app`: gathers
+  /// statistics from EVERY live POI (pair statistics are cumulative since
+  /// each tenant's own last wave, so a full gather is the complete joint
+  /// picture), computes the joint plan via the FleetManager, and deploys
+  /// only this tenant's slice.  The wave's member lists are empty outside
+  /// the tenant's operator range, so no other tenant's POI receives
+  /// SEND_RECONF or PROPAGATE and no other tenant's data plane stalls —
+  /// the stagger rule (DESIGN.md §15).  Never resizes: the active prefix
+  /// is fleet-shared, so resizes go through resize_fleet().  Requires
+  /// options().fleet.
+  core::ReconfigurationPlan reconfigure_app(fleet::AppId app);
+
+  /// Whole-fleet elastic resize: one joint wave over ALL tenants (slicing
+  /// a resize would leave other tenants hashing over a stale fallback
+  /// domain) via add_servers/retire_servers on the fleet's joint planner,
+  /// with every tenant's plan version advanced.  Requires options().fleet.
+  core::ReconfigurationPlan resize_fleet(std::uint32_t target_servers);
+
   // --- lar::ckpt: aligned checkpoints + crash recovery ---------------------
 
   /// Runs one aligned checkpoint round and returns its epoch number.
@@ -364,10 +402,19 @@ class Engine {
   /// POIs on servers [0, max(current_n, target_n)).  current_n == target_n
   /// is the fixed-fleet round reconfigure() runs; otherwise the wave carries
   /// the elastic membership/activity change.  Calls mark_deployed on the
-  /// manager iff the plan was actually pushed.
-  core::ReconfigurationPlan run_protocol(core::Manager& manager,
-                                         std::uint32_t current_n,
-                                         std::uint32_t target_n);
+  /// manager iff the plan was actually pushed.  `app_scope` non-null makes
+  /// the round tenant-scoped (lar::fleet): the plan comes from the
+  /// FleetManager sliced to the tenant, wave membership is empty outside
+  /// the tenant's operator range, and only the tenant's POIs participate in
+  /// SEND_RECONF/PROPAGATE.  Scoped rounds never resize.
+  core::ReconfigurationPlan run_protocol(
+      core::Manager& manager, std::uint32_t current_n, std::uint32_t target_n,
+      const fleet::AppContext* app_scope = nullptr);
+
+  /// Shared tail of inject()/inject_app(): logs, counts and lane-pushes one
+  /// tuple into the chosen source POI.  Caller holds source_mutex_.
+  void inject_push_locked(OperatorId src, InstanceIndex instance,
+                          Tuple&& tuple);
 
   /// LAR_CHECKs the topology/options shape elasticity supports.
   void require_elastic_capable() const;
@@ -456,6 +503,15 @@ class Engine {
   std::atomic<std::uint64_t> states_restored_bytes_{0};
   std::atomic<std::uint64_t> tuples_replayed_{0};
   std::atomic<std::uint64_t> tuples_lost_at_crash_{0};
+
+  // lar::fleet state (empty without options_.fleet).  The per-app inject
+  // sequence and injected-tuple counts live under source_mutex_ like the
+  // inject log; app_source_pos_ maps each tenant to its positions in
+  // sources_ and is immutable after construction.
+  fleet::FleetManager* fleet_ = nullptr;
+  std::vector<std::vector<std::size_t>> app_source_pos_;  // [app]
+  std::vector<std::uint64_t> app_inject_seq_;             // [app]
+  std::vector<std::uint64_t> app_tuples_injected_;        // [app]
 
   // Chaos / recovery counters (stay zero in the disabled mode).
   std::atomic<std::uint64_t> tuples_spilled_{0};

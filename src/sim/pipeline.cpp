@@ -287,6 +287,14 @@ void PipelineModel::reset_pair_stats() {
   }
 }
 
+void PipelineModel::reset_pair_stats(OperatorId op_begin, OperatorId op_end) {
+  for (std::size_t eid = 0; eid < pair_stats_.size(); ++eid) {
+    const EdgeSpec& edge = topology_.edges()[eid];
+    if (edge.to < op_begin || edge.to >= op_end) continue;
+    for (auto& ps : pair_stats_[eid]) ps.reset();
+  }
+}
+
 void PipelineModel::reset_stats() {
   stats_.tuples = 0;
   std::fill(stats_.edge_traffic.begin(), stats_.edge_traffic.end(),

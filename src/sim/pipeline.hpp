@@ -109,6 +109,12 @@ class PipelineModel {
   /// Clears pair statistics (the paper resets them after reconfiguration).
   void reset_pair_stats();
 
+  /// Clears pair statistics only for edges into operators in
+  /// [op_begin, op_end) — the deploy-consumed subset of a tenant-scoped
+  /// reconfiguration (lar::fleet); other tenants' statistics keep
+  /// accumulating toward their own waves.
+  void reset_pair_stats(OperatorId op_begin, OperatorId op_end);
+
   [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
   void reset_stats();
 

@@ -312,6 +312,33 @@ core::ReconfigurationPlan Simulator::reconfigure(core::Manager& manager) {
   return plan;
 }
 
+core::ReconfigurationPlan Simulator::reconfigure_app(fleet::FleetManager& fleet,
+                                                     fleet::AppId app,
+                                                     FleetPlanMode mode) {
+  LAR_CHECK(&model_.topology() == &fleet.combined_topology());
+  const fleet::AppContext& ctx = fleet.app(app);
+  const std::vector<core::HopStats> stats = gather_hop_stats();
+  std::uint64_t pairs = 0;
+  for (const auto& h : stats) pairs += h.pairs.size();
+  core::ReconfigurationPlan plan =
+      mode == FleetPlanMode::kJoint ? fleet.plan_app(app, stats)
+                                    : fleet.plan_app_independent(app, stats);
+  const std::uint64_t wave =
+      trace_.begin_span(plan.version, obs::Phase::kWave, "wave",
+                        /*count=*/0, /*bytes=*/0,
+                        static_cast<double>(windows_run_));
+  const double wave_end = record_reconfig_trace(plan, stats.size(), pairs);
+  inject_migration_faults(plan);
+  // The plan is already sliced: installing it and resetting only the
+  // tenant's statistics leaves every other tenant's routing and evidence
+  // untouched — the sim analogue of the engine's staggered wave.
+  apply_plan(plan);
+  fleet.mark_deployed(app, plan);
+  model_.reset_pair_stats(ctx.op_begin, ctx.op_end);
+  trace_.end_span(wave, wave_end);
+  return plan;
+}
+
 core::ReconfigurationPlan Simulator::resize(core::Manager& manager,
                                             std::uint32_t target_servers) {
   const std::uint32_t current = model_.active_servers();

@@ -22,6 +22,7 @@
 #include "chaos/injector.hpp"
 #include "core/advisor.hpp"
 #include "core/manager.hpp"
+#include "fleet/fleet.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
 #include "obs/timeline.hpp"
@@ -78,6 +79,22 @@ class Simulator {
   /// measured locality/balance) is computed but NOT installed — routing and
   /// statistics stay untouched so evidence keeps accumulating.
   core::ReconfigurationPlan reconfigure(core::Manager& manager);
+
+  /// How a tenant-scoped reconfiguration plans (lar::fleet).
+  enum class FleetPlanMode {
+    kJoint,        ///< shared-capacity joint plan (FleetManager::plan_app)
+    kIndependent,  ///< isolation baseline (plan_app_independent)
+  };
+
+  /// One optimization round scoped to tenant `app` of a multi-tenant fleet
+  /// (lar::fleet): gathers the full statistics picture, plans via the
+  /// FleetManager (joint shared-capacity planning, or the independent
+  /// baseline for ablations), installs only the tenant's table slice and
+  /// resets only the tenant's pair statistics.  The simulator must be
+  /// deployed over fleet.combined_topology() / combined_placement().
+  core::ReconfigurationPlan reconfigure_app(
+      fleet::FleetManager& fleet, fleet::AppId app,
+      FleetPlanMode mode = FleetPlanMode::kJoint);
 
   /// Elastic resize (lar::elastic): re-plans for `target_servers` live
   /// servers via Manager::plan_for, installs the epoch-consistent tables,

@@ -2,6 +2,7 @@
 // graph, Manager plans and migration diffs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <set>
@@ -411,6 +412,78 @@ TEST(SnapshotV3, RejectsUnknownFormatVersion) {
   const auto r = load_plan(path);
   ASSERT_FALSE(r.is_ok());
   EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+// --- Snapshot format v4 (split candidate lists, lar::fleet multi-table) ------
+
+// v4 round-trip with TWO tables carrying different fallback domains and
+// different split degrees — the shape a multi-tenant fleet snapshot takes
+// when each tenant's operators route over its own slice of the server
+// prefix.  Everything must restore losslessly: explicit entries, fallback
+// domains, and per-key candidate lists with their order.
+TEST(SnapshotV4, MultiTableRoundTripPreservesFallbacksAndSplits) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lar_snapshot_v4_multi.larp")
+          .string();
+  ReconfigurationPlan plan;
+  plan.version = 11;
+  plan.active_servers = 6;
+
+  // Table for operator 2: fallback over {0..3}, one degree-2 split key.
+  auto t2 = std::make_shared<RoutingTable>();
+  t2->set_version(11);
+  for (Key k = 0; k < 20; ++k) {
+    t2->assign(k * 7, static_cast<InstanceIndex>(k % 4));
+  }
+  const std::vector<InstanceIndex> cand2{3, 1};
+  t2->assign_split(1'000, cand2);
+  t2->set_fallback({0, 1, 2, 3});
+
+  // Table for operator 5: different fallback domain {2..5} and a
+  // degree-4 split key plus a degree-3 one.
+  auto t5 = std::make_shared<RoutingTable>();
+  t5->set_version(11);
+  for (Key k = 0; k < 10; ++k) {
+    t5->assign(k * 13 + 1, static_cast<InstanceIndex>(2 + k % 4));
+  }
+  const std::vector<InstanceIndex> cand5a{5, 2, 4, 3};
+  const std::vector<InstanceIndex> cand5b{4, 5, 2};
+  t5->assign_split(2'000, cand5a);
+  t5->assign_split(2'001, cand5b);
+  t5->set_fallback({2, 3, 4, 5});
+
+  plan.tables.emplace(2, t2);
+  plan.tables.emplace(5, t5);
+  plan.link_cursors = {{3, 77}, {9, 0}};
+
+  ASSERT_TRUE(save_plan(plan, path).is_ok());
+  auto restored = load_plan(path);
+  ASSERT_TRUE(restored.is_ok());
+  const auto& r = restored.value();
+  EXPECT_EQ(r.version, 11u);
+  EXPECT_EQ(r.active_servers, 6u);
+  EXPECT_EQ(r.link_cursors, plan.link_cursors);
+  ASSERT_TRUE(r.tables.contains(2));
+  ASSERT_TRUE(r.tables.contains(5));
+
+  const RoutingTable& r2 = *r.tables.at(2);
+  EXPECT_EQ(r2.sorted_entries(), t2->sorted_entries());
+  EXPECT_EQ(r2.fallback(), t2->fallback());
+  ASSERT_EQ(r2.num_split_keys(), 1u);
+  const auto s2 = r2.split_candidates(1'000);
+  EXPECT_TRUE(std::equal(s2.begin(), s2.end(), cand2.begin(), cand2.end()));
+
+  const RoutingTable& r5 = *r.tables.at(5);
+  EXPECT_EQ(r5.sorted_entries(), t5->sorted_entries());
+  EXPECT_EQ(r5.fallback(), t5->fallback());
+  ASSERT_EQ(r5.num_split_keys(), 2u);
+  const auto s5a = r5.split_candidates(2'000);
+  EXPECT_TRUE(std::equal(s5a.begin(), s5a.end(), cand5a.begin(), cand5a.end()));
+  const auto s5b = r5.split_candidates(2'001);
+  EXPECT_TRUE(std::equal(s5b.begin(), s5b.end(), cand5b.begin(), cand5b.end()));
+  // A split key's primary owner is its first candidate.
+  EXPECT_EQ(r5.lookup(2'000).value(), 5u);
   std::filesystem::remove(path);
 }
 

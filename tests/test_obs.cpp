@@ -455,6 +455,27 @@ TEST(Exporters, PrometheusEscapesHostileLabelValues) {
   EXPECT_EQ(obs::to_prometheus(reg), expected);
 }
 
+// A hostile tenant name flows through a Scoped view (lar::fleet publishes
+// every per-tenant family through one) into the canonical label order and
+// the Prometheus escaper, byte-for-byte.  The constant `app` label must
+// sort canonically against per-series labels, merge without shadowing, and
+// escape exactly like a directly-passed label would.
+TEST(Exporters, ScopedEscapesHostileTenantName) {
+  Registry reg;
+  const obs::Scoped scoped(reg, {{"app", "A\"B\\C\nD"}});
+  scoped.counter("lar_tenant_total", {{"edge", "x"}}, "Per-tenant series.")
+      .inc(2);
+  scoped.gauge("lar_tenant_gauge", {}, "Constant labels only.").set(1.5);
+  const std::string expected =
+      "# HELP lar_tenant_gauge Constant labels only.\n"
+      "# TYPE lar_tenant_gauge gauge\n"
+      "lar_tenant_gauge{app=\"A\\\"B\\\\C\\nD\"} 1.5\n"
+      "# HELP lar_tenant_total Per-tenant series.\n"
+      "# TYPE lar_tenant_total counter\n"
+      "lar_tenant_total{app=\"A\\\"B\\\\C\\nD\",edge=\"x\"} 2\n";
+  EXPECT_EQ(obs::to_prometheus(reg), expected);
+}
+
 // --- obs v2: causal spans ----------------------------------------------------
 
 TEST(Spans, DisabledByDefaultAndOptIn) {
