@@ -26,18 +26,37 @@
 // crash; long intervals run near-clean until a crash makes them re-earn up
 // to a whole epoch.
 //
+// A second, durable section runs the REAL threaded runtime against a
+// file-backed DurableCheckpointStore (ckpt/durable.hpp) over the grid
+// interval x {full, incremental} x state size, and reports the alignment
+// pause proxy (state captured per epoch), the bytes spilled to disk and the
+// compaction count.  Gate: at the large state size, incremental epochs must
+// write strictly fewer bytes than full ones.  Store directories live under
+// the working directory with deterministic names, and every cell runs twice
+// — the two store directories must match byte for byte (scripts/check.sh
+// additionally diffs the whole working tree across two bench processes).
+//
 // Every panel is run twice and the two obs reports must match byte for
 // byte; a nonzero exit means the determinism invariant broke.
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "chaos/fault_plan.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/durable.hpp"
 #include "core/manager.hpp"
 #include "obs/export.hpp"
+#include "runtime/engine.hpp"
 #include "sim/simulator.hpp"
 #include "workload/flickr_like.hpp"
+#include "workload/synthetic.hpp"
 
 using namespace lar;
 
@@ -126,6 +145,86 @@ PanelResult run(double rate, int interval) {
   return out;
 }
 
+// --- durable store: the threaded runtime against real epoch files -----------
+
+constexpr int kDurableBatches = 24;
+constexpr int kDurableBatchTuples = 4'000;
+
+struct DurableCell {
+  std::uint64_t epochs = 0;
+  double captured_kb_per_epoch = 0;  // alignment-pause proxy
+  std::uint64_t disk_bytes = 0;
+  std::uint64_t compactions = 0;
+  std::string report;  // lar_ckpt_*-filtered obs report (byte-stable)
+};
+
+std::map<std::string, std::string> dir_bytes(const std::string& dir) {
+  std::map<std::string, std::string> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out[entry.path().filename().string()] = std::move(buf).str();
+  }
+  return out;
+}
+
+DurableCell run_durable(int interval, bool incremental, std::size_t keys,
+                        const std::string& dir) {
+  const std::uint32_t n = 4;
+  const Topology topo = make_two_stage_topology(n);
+  const Placement place = Placement::round_robin(topo, n);
+  std::filesystem::remove_all(dir);
+  obs::Registry registry;
+  ckpt::DurableStoreOptions sopts;
+  sopts.dir = dir;
+  sopts.incremental = incremental;
+  sopts.compact_every = 4;
+  sopts.registry = &registry;
+  auto store = std::make_unique<ckpt::DurableCheckpointStore>(sopts);
+  const ckpt::DurableCheckpointStore* durable = store.get();
+  ckpt::CheckpointCoordinator coord(std::move(store), &registry);
+  runtime::Engine engine(
+      topo, place,
+      [](OperatorId op, InstanceIndex) -> std::unique_ptr<runtime::Operator> {
+        if (op == 0) return std::make_unique<runtime::PassThroughOperator>();
+        return std::make_unique<runtime::CountingOperator>(op == 1 ? 0 : 1);
+      },
+      {.fields_mode = FieldsRouting::kTable,
+       .registry = &registry,
+       .checkpoint = &coord});
+  engine.start();
+  workload::SyntheticGenerator gen({.num_values =
+                                        static_cast<std::uint32_t>(keys),
+                                    .locality = 0.8,
+                                    .padding = 0,
+                                    .seed = 13});
+  DurableCell out;
+  std::uint64_t captured_bytes = 0;
+  for (int batch = 1; batch <= kDurableBatches; ++batch) {
+    for (int i = 0; i < kDurableBatchTuples; ++i) engine.inject(gen.next());
+    engine.flush();
+    if (batch % interval == 0) {
+      engine.checkpoint();
+      captured_bytes += coord.store().last_committed_meta().captured_state_bytes;
+    }
+  }
+  out.epochs = coord.checkpoints_committed();
+  out.captured_kb_per_epoch = out.epochs == 0
+                                  ? 0.0
+                                  : static_cast<double>(captured_bytes) /
+                                        (1024.0 * static_cast<double>(out.epochs));
+  out.disk_bytes = durable->bytes_written();
+  out.compactions = durable->compactions();
+  engine.publish_metrics();
+  engine.shutdown();
+  out.report = obs::report_json(
+      registry, nullptr,
+      [](std::string_view name) { return name.starts_with("lar_ckpt_"); });
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -189,6 +288,70 @@ int main() {
           static_cast<double>(results[r].replayed_bytes) / 1e6);
     }
   }
+  // --- durable section: real runtime, real epoch files ----------------------
+  std::printf(
+      "# --- durable checkpoints: threaded runtime over a file-backed store "
+      "---\n"
+      "# grid: interval x {full, incremental} x resident keyspace; %d "
+      "batches of %d tuples, compaction every 4 deltas\n"
+      "# columns: cell, epochs, captured KB/epoch (alignment-pause proxy), "
+      "disk KB written, compactions\n",
+      kDurableBatches, kDurableBatchTuples);
+  const std::size_t key_sizes[] = {200, 20'000};
+  const char* key_labels[] = {"small", "large"};
+  // disk bytes at [interval index][mode][state size] for the gate below.
+  std::uint64_t disk[2][2][2] = {};
+  for (std::size_t ii = 0; ii < 2; ++ii) {
+    const int interval = intervals[ii];
+    for (int mode = 0; mode < 2; ++mode) {
+      const bool incremental = mode == 1;
+      for (std::size_t ks = 0; ks < 2; ++ks) {
+        const std::string cell = "interval=" + std::to_string(interval) +
+                                 ",mode=" +
+                                 (incremental ? "incremental" : "full") +
+                                 ",state=" + key_labels[ks];
+        const std::string base = "ablate_ckpt_store/i" +
+                                 std::to_string(interval) +
+                                 (incremental ? "_inc_" : "_full_") +
+                                 key_labels[ks];
+        const DurableCell first =
+            run_durable(interval, incremental, key_sizes[ks], base + "_a");
+        const DurableCell second =
+            run_durable(interval, incremental, key_sizes[ks], base + "_b");
+        if (first.report != second.report ||
+            dir_bytes(base + "_a") != dir_bytes(base + "_b")) {
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: two same-seed durable runs at "
+                       "%s differ (report or store files)\n",
+                       cell.c_str());
+          return 1;
+        }
+        disk[ii][mode][ks] = first.disk_bytes;
+        report.add_panel_report("durable," + cell, first.report);
+        std::printf("%-44s %-7llu %-10.1f %-10.1f %llu\n", cell.c_str(),
+                    static_cast<unsigned long long>(first.epochs),
+                    first.captured_kb_per_epoch,
+                    static_cast<double>(first.disk_bytes) / 1024.0,
+                    static_cast<unsigned long long>(first.compactions));
+      }
+    }
+  }
+  for (std::size_t ii = 0; ii < 2; ++ii) {
+    if (disk[ii][1][1] >= disk[ii][0][1]) {
+      std::fprintf(stderr,
+                   "GATE FAILURE: incremental epochs wrote %llu bytes, full "
+                   "wrote %llu at the large state size (interval %d) — "
+                   "deltas must be strictly cheaper\n",
+                   static_cast<unsigned long long>(disk[ii][1][1]),
+                   static_cast<unsigned long long>(disk[ii][0][1]),
+                   intervals[ii]);
+      return 1;
+    }
+  }
+  std::printf(
+      "# durability gate: incremental < full disk bytes at the large state "
+      "size for every interval\n");
+
   std::printf("# determinism self-check: all panels byte-identical across "
               "two runs\n");
   report.write();

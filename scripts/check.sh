@@ -69,10 +69,16 @@ elastic_dir=$(mktemp -d)
 (cd "$elastic_dir" && "$OLDPWD"/build/bench/ablate_elastic >/dev/null)
 rm -rf "$elastic_dir"
 
-log "checkpoint ablation (self-checking: same-seed byte-identity)"
-ckpt_dir=$(mktemp -d)
-(cd "$ckpt_dir" && "$OLDPWD"/build/bench/ablate_ckpt >/dev/null)
-rm -rf "$ckpt_dir"
+log "checkpoint + durability ablation (twice: BENCH json AND durable store files byte-identical across processes)"
+# ablate_ckpt already self-checks within one process (reports + store dirs
+# per cell); running the whole bench twice and diffing the working trees —
+# epoch-*.base / epoch-*.delta files included — pins the durable format's
+# cross-process same-seed byte-identity.
+ckpt_a=$(mktemp -d); ckpt_b=$(mktemp -d)
+(cd "$ckpt_a" && "$OLDPWD"/build/bench/ablate_ckpt >/dev/null)
+(cd "$ckpt_b" && "$OLDPWD"/build/bench/ablate_ckpt >/dev/null)
+diff -r "$ckpt_a" "$ckpt_b"
+rm -rf "$ckpt_a" "$ckpt_b"
 
 log "split ablation (self-checking: byte-identity, balance held, tail locality within 5%)"
 split_dir=$(mktemp -d)

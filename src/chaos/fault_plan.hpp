@@ -38,9 +38,12 @@ enum class FaultSite : std::uint8_t {
   kMigrateDelay,       ///< a MIGRATE payload is redelivered after a backoff
   kMigrateDuplicate,   ///< a MIGRATE payload is delivered twice
   kServerCrash,        ///< kill every POI of one server (lar::ckpt recovers)
+  kCkptIoError,        ///< one durable epoch-file write fails (chain intact)
 };
 
-inline constexpr std::size_t kNumFaultSites = 8;
+// Sites are only ever appended (salts expand from the seed in array order,
+// so existing sites' decisions are stable across additions).
+inline constexpr std::size_t kNumFaultSites = 9;
 
 [[nodiscard]] constexpr const char* to_string(FaultSite s) noexcept {
   switch (s) {
@@ -52,6 +55,7 @@ inline constexpr std::size_t kNumFaultSites = 8;
     case FaultSite::kMigrateDelay: return "migrate_delay";
     case FaultSite::kMigrateDuplicate: return "migrate_duplicate";
     case FaultSite::kServerCrash: return "server_crash";
+    case FaultSite::kCkptIoError: return "ckpt_io_error";
   }
   return "?";
 }

@@ -31,6 +31,8 @@ void CheckpointStore::commit(std::uint64_t epoch) {
   auto it = epochs_.find(epoch);
   LAR_CHECK(it != epochs_.end());
   it->second.committed = true;
+  captured_states_ = it->second.total_states();
+  captured_state_bytes_ = it->second.total_state_bytes();
   last_committed_ = epoch;
   // Older epochs can never be restored to again: the replay buffers are
   // about to be truncated to this epoch's watermarks.
@@ -50,6 +52,39 @@ Checkpoint CheckpointStore::last_committed() const {
   return {};
 }
 
+CheckpointMeta CheckpointStore::last_committed_meta() const {
+  std::lock_guard lock(mutex_);
+  CheckpointMeta meta;
+  if (auto it = epochs_.find(last_committed_); it != epochs_.end()) {
+    const Checkpoint& ck = it->second;
+    meta.epoch = ck.epoch;
+    meta.committed = ck.committed;
+    meta.active_servers = ck.active_servers;
+    meta.plan_version = ck.plan_version;
+    meta.pois = ck.pois.size();
+    meta.total_states = ck.total_states();
+    meta.total_state_bytes = ck.total_state_bytes();
+    meta.captured_states = captured_states_;
+    meta.captured_state_bytes = captured_state_bytes_;
+  }
+  return meta;
+}
+
+std::map<std::uint32_t, PoiCheckpoint> CheckpointStore::last_committed_slices(
+    const std::vector<std::uint32_t>& flats) const {
+  std::lock_guard lock(mutex_);
+  std::map<std::uint32_t, PoiCheckpoint> slices;
+  const auto it = epochs_.find(last_committed_);
+  if (it == epochs_.end()) return slices;
+  for (const std::uint32_t flat : flats) {
+    if (const auto pc = it->second.pois.find(flat);
+        pc != it->second.pois.end()) {
+      slices.emplace(flat, pc->second);
+    }
+  }
+  return slices;
+}
+
 std::size_t CheckpointStore::num_epochs_held() const {
   std::lock_guard lock(mutex_);
   return epochs_.size();
@@ -61,19 +96,30 @@ std::size_t CheckpointStore::num_epochs_held() const {
 
 CheckpointCoordinator::CheckpointCoordinator(obs::Registry* registry,
                                              obs::TraceRecorder* trace)
-    : registry_(registry), trace_(trace) {}
+    : CheckpointCoordinator(std::make_unique<CheckpointStore>(), registry,
+                            trace) {}
+
+CheckpointCoordinator::CheckpointCoordinator(
+    std::unique_ptr<CheckpointStore> store, obs::Registry* registry,
+    obs::TraceRecorder* trace)
+    : store_(std::move(store)), registry_(registry), trace_(trace) {
+  LAR_CHECK(store_ != nullptr);
+  // A durable store may already hold a recovered chain: continue its epoch
+  // numbering so a cold restart never re-commits an existing epoch.
+  next_epoch_ = store_->last_committed_epoch();
+}
 
 std::uint64_t CheckpointCoordinator::begin_epoch(std::uint32_t active_servers,
                                                  std::uint64_t plan_version) {
   const std::uint64_t epoch = ++next_epoch_;
-  store_.begin(epoch, active_servers, plan_version);
+  store_->begin(epoch, active_servers, plan_version);
   return epoch;
 }
 
 void CheckpointCoordinator::committed(std::uint64_t epoch) {
-  store_.commit(epoch);
+  store_->commit(epoch);
   ++commits_;
-  const Checkpoint ck = store_.last_committed();
+  const CheckpointMeta meta = store_->last_committed_meta();
   if (registry_ != nullptr) {
     registry_
         ->counter("lar_ckpt_checkpoints_total", {},
@@ -86,8 +132,8 @@ void CheckpointCoordinator::committed(std::uint64_t epoch) {
   }
   if (trace_ != nullptr) {
     trace_->record(epoch, obs::Phase::kCheckpoint, "manager",
-                   /*count=*/ck.pois.size(),
-                   /*bytes=*/ck.total_state_bytes());
+                   /*count=*/meta.pois,
+                   /*bytes=*/meta.total_state_bytes);
   }
 }
 

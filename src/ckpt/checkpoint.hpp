@@ -17,6 +17,11 @@
 // receivers' restored link cursors make the replay exactly-once (seq <=
 // cursor is dropped, everything newer is applied in link order).
 //
+// The store surface is virtual: the in-memory CheckpointStore here is the
+// default, and ckpt/durable.hpp derives a file-backed store that spills
+// committed epochs to disk (incremental dirty-key deltas folded onto a full
+// base, cold-restart recovery).  The engine only talks to the base surface.
+//
 // Everything here is deterministic and wall-clock-free: epochs are logical,
 // the store keeps canonical (flat-index, key-ascending) order, and the
 // crash schedule comes from a chaos::FaultPlan seed.  With no coordinator
@@ -27,10 +32,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
 
+#include "core/plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "topology/types.hpp"
@@ -67,6 +74,12 @@ struct PoiCheckpoint {
   /// current version: a checkpoint predating a wave is never restored.
   std::uint64_t table_version = 0;
 
+  /// True when `states` holds only the keys dirtied since this POI's
+  /// previous snapshot (an incremental slice of a delta epoch); cursors are
+  /// always complete.  The durable store folds delta slices onto the
+  /// chain's base at commit; full slices replace the base's entry.
+  bool delta = false;
+
   [[nodiscard]] std::uint64_t state_bytes() const noexcept {
     std::uint64_t b = 0;
     for (const auto& [key, state] : states) b += state.size();
@@ -98,6 +111,25 @@ struct Checkpoint {
   }
 };
 
+/// Cheap header view of the last committed epoch: everything recovery has
+/// to validate (and the stats the engine publishes) without copying any
+/// state under the store mutex.
+struct CheckpointMeta {
+  std::uint64_t epoch = 0;
+  bool committed = false;
+  std::uint32_t active_servers = 0;
+  std::uint64_t plan_version = 0;
+  std::uint64_t pois = 0;
+  std::uint64_t total_states = 0;
+  std::uint64_t total_state_bytes = 0;
+
+  /// What the epoch's barrier round actually captured, before any delta
+  /// folding: equals the totals for the in-memory store, the raw delta
+  /// volume for the durable store's incremental epochs.
+  std::uint64_t captured_states = 0;
+  std::uint64_t captured_state_bytes = 0;
+};
+
 /// Deterministic in-memory checkpoint store.  Thread-safe: POI threads add
 /// their slices concurrently during alignment; the coordinator thread
 /// begins/commits epochs and recovery reads committed ones.  Keeps the last
@@ -106,29 +138,70 @@ struct Checkpoint {
 /// checkpoints could never be replayed to anyway).
 class CheckpointStore {
  public:
+  CheckpointStore() = default;
+  virtual ~CheckpointStore() = default;
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+
   /// Opens `epoch` for POI slices.  Called by the coordinator before the
   /// barriers go out.
-  void begin(std::uint64_t epoch, std::uint32_t active_servers,
-             std::uint64_t plan_version);
+  virtual void begin(std::uint64_t epoch, std::uint32_t active_servers,
+                     std::uint64_t plan_version);
 
   /// Adds one POI's slice to the open epoch (POI threads, concurrent).
-  void add(std::uint64_t epoch, PoiCheckpoint poi);
+  virtual void add(std::uint64_t epoch, PoiCheckpoint poi);
 
   /// Marks `epoch` committed and drops every older epoch.
-  void commit(std::uint64_t epoch);
+  virtual void commit(std::uint64_t epoch);
+
+  /// True when the engine should track dirty keys and snapshot only deltas
+  /// on delta epochs.  The in-memory store snapshots everything, always.
+  [[nodiscard]] virtual bool incremental() const noexcept { return false; }
+
+  /// True when the epoch just opened by begin() wants delta slices from
+  /// delta-capable POIs.  The engine stamps the answer onto the barrier.
+  [[nodiscard]] virtual bool epoch_is_delta(std::uint64_t /*epoch*/) const {
+    return false;
+  }
+
+  /// Hands the store the engine's current deployed routing configuration
+  /// (called after every wave deploy).  The durable store serializes it
+  /// into the next full epoch file so a cold restart can restore tables.
+  virtual void note_plan(const core::ReconfigurationPlan& /*plan*/) {}
+
+  /// The routing configuration recovered from disk at open, if any.  Valid
+  /// until the next note_plan(); null for the in-memory store.
+  [[nodiscard]] virtual const core::ReconfigurationPlan* restored_plan()
+      const noexcept {
+    return nullptr;
+  }
 
   /// Epoch number of the last committed checkpoint (0 = none yet).
   [[nodiscard]] std::uint64_t last_committed_epoch() const;
 
-  /// Copy of the last committed checkpoint (empty-epoch 0 if none).
+  /// Copy of the last committed checkpoint (empty-epoch 0 if none).  Cold
+  /// restart uses this; crash recovery wants last_committed_slices().
   [[nodiscard]] Checkpoint last_committed() const;
+
+  /// Header of the last committed checkpoint without copying any state.
+  [[nodiscard]] CheckpointMeta last_committed_meta() const;
+
+  /// Only the slices of `flats` (ascending) from the last committed epoch —
+  /// what crash recovery copies instead of the whole fleet's state.
+  [[nodiscard]] std::map<std::uint32_t, PoiCheckpoint> last_committed_slices(
+      const std::vector<std::uint32_t>& flats) const;
 
   [[nodiscard]] std::size_t num_epochs_held() const;
 
- private:
+ protected:
   mutable std::mutex mutex_;
   std::map<std::uint64_t, Checkpoint> epochs_;
   std::uint64_t last_committed_ = 0;
+
+  /// Raw capture volume of the last committed epoch (set by commit, before
+  /// any folding).
+  std::uint64_t captured_states_ = 0;
+  std::uint64_t captured_state_bytes_ = 0;
 };
 
 /// Drives checkpoint epochs for one engine: owns the store and the epoch
@@ -138,17 +211,23 @@ class CheckpointStore {
 /// driver thread, exactly like the gather loop drives GET_METRICS.
 class CheckpointCoordinator {
  public:
-  /// `registry` / `trace` may be null; when given they must outlive the
-  /// coordinator.
+  /// In-memory store.  `registry` / `trace` may be null; when given they
+  /// must outlive the coordinator.
   explicit CheckpointCoordinator(obs::Registry* registry = nullptr,
+                                 obs::TraceRecorder* trace = nullptr);
+
+  /// Custom (e.g. durable) store.  Epoch numbering continues from the
+  /// store's last committed epoch, so a cold restart never reuses one.
+  explicit CheckpointCoordinator(std::unique_ptr<CheckpointStore> store,
+                                 obs::Registry* registry = nullptr,
                                  obs::TraceRecorder* trace = nullptr);
 
   CheckpointCoordinator(const CheckpointCoordinator&) = delete;
   CheckpointCoordinator& operator=(const CheckpointCoordinator&) = delete;
 
-  [[nodiscard]] CheckpointStore& store() noexcept { return store_; }
+  [[nodiscard]] CheckpointStore& store() noexcept { return *store_; }
   [[nodiscard]] const CheckpointStore& store() const noexcept {
-    return store_;
+    return *store_;
   }
 
   /// Allocates the next epoch number and opens it in the store.
@@ -175,7 +254,7 @@ class CheckpointCoordinator {
   }
 
  private:
-  CheckpointStore store_;
+  std::unique_ptr<CheckpointStore> store_;
   obs::Registry* registry_;
   obs::TraceRecorder* trace_;
   std::uint64_t next_epoch_ = 0;

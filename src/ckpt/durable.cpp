@@ -1,0 +1,524 @@
+#include "ckpt/durable.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <utility>
+
+#include "common/checksum.hpp"
+#include "common/status.hpp"
+#include "core/snapshot.hpp"
+
+namespace lar::ckpt {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[4] = {'L', 'A', 'R', 'C'};
+constexpr std::uint32_t kFormatVersion = 1;
+// magic + format + epoch + total_len; the epoch seeds the checksum, the
+// length frames the record (a truncated rename target can never validate).
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8;
+constexpr std::size_t kTotalLenOffset = 4 + 4 + 8;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+void append_pod(std::vector<std::byte>& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* bytes = reinterpret_cast<const std::byte*>(&value);
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+struct ByteReader {
+  const std::byte* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  template <typename T>
+  bool read(T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (size - pos < sizeof(T)) return false;
+    std::memcpy(&value, data + pos, sizeof(T));
+    pos += sizeof(T);
+    return true;
+  }
+  bool read_bytes(std::vector<std::byte>& out, std::size_t len) {
+    if (size - pos < len) return false;
+    out.assign(data + pos, data + pos + len);
+    pos += len;
+    return true;
+  }
+};
+
+std::string epoch_file_name(std::uint64_t epoch, bool delta) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "epoch-%020llu.%s",
+                static_cast<unsigned long long>(epoch),
+                delta ? "delta" : "base");
+  return buf;
+}
+
+/// Parses "epoch-<20 digits>.(base|delta)"; returns false for anything else
+/// (including leftover ".tmp" files from a crashed writer).
+bool parse_epoch_file_name(const std::string& name, std::uint64_t& epoch,
+                           bool& delta) {
+  constexpr std::string_view kPrefix = "epoch-";
+  constexpr std::size_t kDigits = 20;
+  if (name.size() < kPrefix.size() + kDigits + 2 ||
+      name.compare(0, kPrefix.size(), kPrefix) != 0) {
+    return false;
+  }
+  epoch = 0;
+  for (std::size_t i = 0; i < kDigits; ++i) {
+    const char c = name[kPrefix.size() + i];
+    if (c < '0' || c > '9') return false;
+    epoch = epoch * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  const std::string ext = name.substr(kPrefix.size() + kDigits);
+  if (ext == ".base") {
+    delta = false;
+    return true;
+  }
+  if (ext == ".delta") {
+    delta = true;
+    return true;
+  }
+  return false;
+}
+
+/// One decoded epoch file.
+struct LoadedEpoch {
+  Checkpoint ck;
+  bool delta = false;
+  std::uint64_t base_epoch = 0;
+  std::vector<std::byte> plan_bytes;
+};
+
+void encode_slice(std::vector<std::byte>& out, const PoiCheckpoint& pc) {
+  append_pod(out, pc.flat);
+  append_pod(out, pc.op);
+  append_pod(out, pc.index);
+  append_pod(out, static_cast<std::uint8_t>(pc.delta ? 1 : 0));
+  append_pod(out, pc.table_version);
+  append_pod(out, static_cast<std::uint64_t>(pc.states.size()));
+  for (const auto& [key, state] : pc.states) {
+    append_pod(out, key);
+    append_pod(out, static_cast<std::uint32_t>(state.size()));
+    out.insert(out.end(), state.begin(), state.end());
+  }
+  append_pod(out, static_cast<std::uint64_t>(pc.in_cursors.size()));
+  for (const auto& [link, seq] : pc.in_cursors) {
+    append_pod(out, link);
+    append_pod(out, seq);
+  }
+  append_pod(out, static_cast<std::uint64_t>(pc.out_cursors.size()));
+  for (const auto& [link, seq] : pc.out_cursors) {
+    append_pod(out, link);
+    append_pod(out, seq);
+  }
+}
+
+bool decode_slice(ByteReader& in, PoiCheckpoint& pc) {
+  std::uint8_t delta = 0;
+  if (!in.read(pc.flat) || !in.read(pc.op) || !in.read(pc.index) ||
+      !in.read(delta) || !in.read(pc.table_version)) {
+    return false;
+  }
+  pc.delta = delta != 0;
+  std::uint64_t n = 0;
+  if (!in.read(n)) return false;
+  pc.states.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Key key = 0;
+    std::uint32_t len = 0;
+    std::vector<std::byte> state;
+    if (!in.read(key) || !in.read(len) || !in.read_bytes(state, len)) {
+      return false;
+    }
+    pc.states.emplace_back(key, std::move(state));
+  }
+  if (!in.read(n)) return false;
+  pc.in_cursors.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t link = 0;
+    std::uint64_t seq = 0;
+    if (!in.read(link) || !in.read(seq)) return false;
+    pc.in_cursors.emplace_back(link, seq);
+  }
+  if (!in.read(n)) return false;
+  pc.out_cursors.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t link = 0;
+    std::uint64_t seq = 0;
+    if (!in.read(link) || !in.read(seq)) return false;
+    pc.out_cursors.emplace_back(link, seq);
+  }
+  return true;
+}
+
+std::vector<std::byte> encode_epoch(const Checkpoint& ck, bool delta,
+                                    std::uint64_t base_epoch,
+                                    const std::vector<std::byte>& plan_bytes) {
+  std::vector<std::byte> out;
+  out.insert(out.end(), reinterpret_cast<const std::byte*>(kMagic),
+             reinterpret_cast<const std::byte*>(kMagic) + 4);
+  append_pod(out, kFormatVersion);
+  append_pod(out, ck.epoch);
+  append_pod(out, std::uint64_t{0});  // total_len, patched below
+  append_pod(out, static_cast<std::uint8_t>(delta ? 1 : 0));
+  append_pod(out, base_epoch);
+  append_pod(out, ck.active_servers);
+  append_pod(out, ck.plan_version);
+  append_pod(out, static_cast<std::uint64_t>(plan_bytes.size()));
+  out.insert(out.end(), plan_bytes.begin(), plan_bytes.end());
+  append_pod(out, static_cast<std::uint32_t>(ck.pois.size()));
+  for (const auto& [flat, pc] : ck.pois) encode_slice(out, pc);
+  const std::uint64_t total = out.size() + sizeof(std::uint64_t);
+  std::memcpy(out.data() + kTotalLenOffset, &total, sizeof(total));
+  append_pod(out, checksum64(ck.epoch, out.data(), out.size()));
+  return out;
+}
+
+/// Reads and validates one epoch file; nullopt for torn/corrupt/foreign
+/// files (the caller falls back to an earlier epoch).
+std::optional<LoadedEpoch> decode_epoch_file(const fs::path& path) {
+  File file(std::fopen(path.string().c_str(), "rb"));
+  if (file == nullptr) return std::nullopt;
+  std::vector<std::byte> buf;
+  std::byte chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file.get())) > 0) {
+    buf.insert(buf.end(), chunk, chunk + got);
+  }
+  if (buf.size() < kHeaderBytes + sizeof(std::uint64_t) ||
+      std::memcmp(buf.data(), kMagic, 4) != 0) {
+    return std::nullopt;
+  }
+  ByteReader in{buf.data(), buf.size() - sizeof(std::uint64_t), 4};
+  std::uint32_t format = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t total = 0;
+  if (!in.read(format) || format != kFormatVersion || !in.read(epoch) ||
+      !in.read(total) || total != buf.size()) {
+    return std::nullopt;
+  }
+  std::uint64_t expected = 0;
+  std::memcpy(&expected, buf.data() + buf.size() - sizeof(expected),
+              sizeof(expected));
+  if (checksum64(epoch, buf.data(), buf.size() - sizeof(expected)) !=
+      expected) {
+    return std::nullopt;
+  }
+  LoadedEpoch loaded;
+  loaded.ck.epoch = epoch;
+  loaded.ck.committed = true;
+  std::uint8_t delta = 0;
+  std::uint64_t plan_len = 0;
+  std::uint32_t num_pois = 0;
+  if (!in.read(delta) || !in.read(loaded.base_epoch) ||
+      !in.read(loaded.ck.active_servers) || !in.read(loaded.ck.plan_version) ||
+      !in.read(plan_len) || !in.read_bytes(loaded.plan_bytes, plan_len) ||
+      !in.read(num_pois)) {
+    return std::nullopt;
+  }
+  loaded.delta = delta != 0;
+  for (std::uint32_t i = 0; i < num_pois; ++i) {
+    PoiCheckpoint pc;
+    if (!decode_slice(in, pc)) return std::nullopt;
+    loaded.ck.pois.insert_or_assign(pc.flat, std::move(pc));
+  }
+  return loaded;
+}
+
+/// Overwrite-merge of two ascending (key, state) lists: `src` wins ties.
+void merge_states(std::vector<std::pair<Key, std::vector<std::byte>>>& dst,
+                  std::vector<std::pair<Key, std::vector<std::byte>>>&& src) {
+  std::vector<std::pair<Key, std::vector<std::byte>>> merged;
+  merged.reserve(dst.size() + src.size());
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < dst.size() && b < src.size()) {
+    if (dst[a].first < src[b].first) {
+      merged.push_back(std::move(dst[a++]));
+    } else if (src[b].first < dst[a].first) {
+      merged.push_back(std::move(src[b++]));
+    } else {
+      merged.push_back(std::move(src[b++]));
+      ++a;
+    }
+  }
+  while (a < dst.size()) merged.push_back(std::move(dst[a++]));
+  while (b < src.size()) merged.push_back(std::move(src[b++]));
+  dst = std::move(merged);
+}
+
+/// Folds a committed delta epoch onto the chain's folded base, exactly like
+/// the Timeline folds its oldest delta into the base tick: full slices
+/// replace, delta slices overwrite the dirtied keys and refresh cursors.
+/// POIs absent from the delta keep their base state — between two epochs of
+/// one plan version no key ever changes owner, so nothing can go stale.
+void fold_into(Checkpoint& base, Checkpoint&& delta) {
+  for (auto& [flat, pc] : delta.pois) {
+    if (!pc.delta) {
+      base.pois.insert_or_assign(flat, std::move(pc));
+      continue;
+    }
+    PoiCheckpoint& dst = base.pois[flat];
+    dst.op = pc.op;
+    dst.index = pc.index;
+    dst.flat = flat;
+    dst.table_version = pc.table_version;
+    dst.in_cursors = std::move(pc.in_cursors);
+    dst.out_cursors = std::move(pc.out_cursors);
+    dst.delta = false;
+    merge_states(dst.states, std::move(pc.states));
+  }
+  base.epoch = delta.epoch;
+  base.active_servers = delta.active_servers;
+  base.plan_version = delta.plan_version;
+  base.committed = true;
+}
+
+}  // namespace
+
+DurableCheckpointStore::DurableCheckpointStore(DurableStoreOptions options)
+    : options_(std::move(options)) {
+  LAR_CHECK(!options_.dir.empty());
+  LAR_CHECK(options_.compact_every >= 1);
+  open_chain();
+}
+
+void DurableCheckpointStore::open_chain() {
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  std::vector<std::pair<std::uint64_t, fs::path>> bases;
+  std::vector<std::pair<std::uint64_t, fs::path>> deltas;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    std::uint64_t epoch = 0;
+    bool delta = false;
+    if (!parse_epoch_file_name(entry.path().filename().string(), epoch,
+                               delta)) {
+      continue;
+    }
+    (delta ? deltas : bases).emplace_back(epoch, entry.path());
+  }
+  std::sort(bases.begin(), bases.end());
+  std::sort(deltas.begin(), deltas.end());
+
+  // Newest valid base wins; a torn tail falls back to the one before it.
+  Checkpoint chain;
+  bool found = false;
+  for (auto it = bases.rbegin(); it != bases.rend(); ++it) {
+    auto loaded = decode_epoch_file(it->second);
+    if (!loaded || loaded->delta || loaded->ck.epoch != it->first) continue;
+    chain = std::move(loaded->ck);
+    plan_bytes_ = std::move(loaded->plan_bytes);
+    found = true;
+    break;
+  }
+  if (!found) return;  // fresh directory (or nothing intact): empty store
+
+  // Apply the contiguous run of valid deltas chained onto the base; the
+  // first gap, checksum failure, or dangling back-reference ends the chain
+  // — everything after it predates a failed write and is unreachable.
+  std::uint32_t depth = 0;
+  for (const auto& [epoch, path] : deltas) {
+    if (epoch <= chain.epoch) continue;
+    auto loaded = decode_epoch_file(path);
+    if (!loaded || !loaded->delta || loaded->ck.epoch != epoch ||
+        loaded->base_epoch != chain.epoch) {
+      break;
+    }
+    fold_into(chain, std::move(loaded->ck));
+    ++depth;
+  }
+
+  chain_plan_version_ = chain.plan_version;
+  captured_states_ = chain.total_states();
+  captured_state_bytes_ = chain.total_state_bytes();
+  delta_depth_ = depth;
+  need_full_ = false;
+  last_committed_ = chain.epoch;
+  if (!plan_bytes_.empty()) {
+    auto plan = core::parse_plan(plan_bytes_.data(), plan_bytes_.size());
+    if (plan.is_ok()) restored_plan_ = std::move(plan).value();
+  }
+  epochs_.emplace(chain.epoch, std::move(chain));
+}
+
+void DurableCheckpointStore::begin(std::uint64_t epoch,
+                                   std::uint32_t active_servers,
+                                   std::uint64_t plan_version) {
+  std::lock_guard lock(mutex_);
+  LAR_CHECK(epoch > last_committed_);
+  Checkpoint& ck = epochs_[epoch];
+  ck.epoch = epoch;
+  ck.active_servers = active_servers;
+  ck.plan_version = plan_version;
+  open_epoch_ = epoch;
+  // Full when: first epoch of a fresh chain, re-anchoring after a failed
+  // write, or a plan-version change (keys may have migrated — folding a
+  // delta across a wave could resurrect a key on its old owner).
+  pending_delta_ = options_.incremental && !need_full_ &&
+                   last_committed_ != 0 &&
+                   plan_version == chain_plan_version_;
+}
+
+bool DurableCheckpointStore::epoch_is_delta(std::uint64_t epoch) const {
+  std::lock_guard lock(mutex_);
+  return pending_delta_ && epoch == open_epoch_;
+}
+
+void DurableCheckpointStore::note_plan(const core::ReconfigurationPlan& plan) {
+  std::lock_guard lock(mutex_);
+  plan_bytes_.clear();
+  core::serialize_plan(plan, plan_bytes_);
+  restored_plan_.reset();  // superseded: the live engine owns the tables now
+}
+
+void DurableCheckpointStore::commit(std::uint64_t epoch) {
+  std::lock_guard lock(mutex_);
+  auto it = epochs_.find(epoch);
+  LAR_CHECK(it != epochs_.end());
+  Checkpoint raw = std::move(it->second);
+  raw.committed = true;
+  captured_states_ = raw.total_states();
+  captured_state_bytes_ = raw.total_state_bytes();
+  const bool is_delta = pending_delta_ && epoch == open_epoch_;
+  Checkpoint result;
+  if (is_delta) {
+    auto prev = epochs_.find(last_committed_);
+    LAR_CHECK(prev != epochs_.end());
+    const bool compact = delta_depth_ + 1 >= options_.compact_every;
+    bool wrote_delta = false;
+    if (!compact) {
+      wrote_delta =
+          write_epoch_file(raw, /*delta=*/true, last_committed_,
+                           /*with_plan=*/false);
+    }
+    result = std::move(prev->second);
+    fold_into(result, std::move(raw));
+    if (compact) {
+      // Every K-th delta commit writes the folded state as a new base
+      // instead of another delta (the Timeline eviction move) and drops
+      // the superseded files.
+      if (write_epoch_file(result, /*delta=*/false, 0, /*with_plan=*/true)) {
+        ++compactions_;
+        delta_depth_ = 0;
+        need_full_ = false;
+        remove_superseded(epoch);
+      }
+    } else if (wrote_delta) {
+      ++delta_depth_;
+    }
+  } else {
+    if (write_epoch_file(raw, /*delta=*/false, 0, /*with_plan=*/true)) {
+      delta_depth_ = 0;
+      need_full_ = false;
+      remove_superseded(epoch);
+    }
+    result = std::move(raw);
+  }
+  result.committed = true;
+  it->second = std::move(result);
+  last_committed_ = epoch;
+  epochs_.erase(epochs_.begin(), it);
+  chain_plan_version_ = it->second.plan_version;
+  pending_delta_ = false;
+  open_epoch_ = 0;
+  publish_metrics();
+}
+
+bool DurableCheckpointStore::write_epoch_file(const Checkpoint& ck, bool delta,
+                                              std::uint64_t base_epoch,
+                                              bool with_plan) {
+  static const std::vector<std::byte> kNoPlan;
+  const std::vector<std::byte> buffer =
+      encode_epoch(ck, delta, base_epoch, with_plan ? plan_bytes_ : kNoPlan);
+  const fs::path path =
+      fs::path(options_.dir) / epoch_file_name(ck.epoch, delta);
+  const std::string tmp = path.string() + ".tmp";
+  bool ok = options_.injector == nullptr ||
+            !options_.injector->fire(chaos::FaultSite::kCkptIoError, ck.epoch);
+  if (ok) {
+    File file(std::fopen(tmp.c_str(), "wb"));
+    ok = file != nullptr &&
+         std::fwrite(buffer.data(), 1, buffer.size(), file.get()) ==
+             buffer.size();
+    file.reset();
+    ok = ok && std::rename(tmp.c_str(), path.string().c_str()) == 0;
+  }
+  if (!ok) {
+    std::remove(tmp.c_str());
+    ++io_errors_;
+    need_full_ = true;  // the on-disk chain stays a valid (shorter) prefix
+    return false;
+  }
+  bytes_written_ += buffer.size();
+  return true;
+}
+
+void DurableCheckpointStore::remove_superseded(std::uint64_t epoch) {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    std::uint64_t e = 0;
+    bool delta = false;
+    if (!parse_epoch_file_name(entry.path().filename().string(), e, delta)) {
+      continue;
+    }
+    if (e < epoch || (e == epoch && delta)) {
+      std::error_code rm;
+      fs::remove(entry.path(), rm);
+    }
+  }
+}
+
+void DurableCheckpointStore::publish_metrics() {
+  if (options_.registry == nullptr) return;
+  options_.registry
+      ->counter("lar_ckpt_bytes_written_total", {},
+                "Bytes written to durable epoch files.")
+      .advance_to(bytes_written_);
+  options_.registry
+      ->counter("lar_ckpt_compactions_total", {},
+                "Delta chains folded into a new durable base file.")
+      .advance_to(compactions_);
+  options_.registry
+      ->gauge("lar_ckpt_delta_depth", {},
+              "Delta files chained onto the current durable base.")
+      .set(static_cast<double>(delta_depth_));
+  if (io_errors_ > 0) {
+    options_.registry
+        ->counter("lar_ckpt_io_errors_total", {},
+                  "Durable epoch writes that failed (chain re-anchored).")
+        .advance_to(io_errors_);
+  }
+}
+
+std::uint64_t DurableCheckpointStore::bytes_written() const {
+  std::lock_guard lock(mutex_);
+  return bytes_written_;
+}
+std::uint64_t DurableCheckpointStore::compactions() const {
+  std::lock_guard lock(mutex_);
+  return compactions_;
+}
+std::uint64_t DurableCheckpointStore::io_errors() const {
+  std::lock_guard lock(mutex_);
+  return io_errors_;
+}
+std::uint32_t DurableCheckpointStore::delta_depth() const {
+  std::lock_guard lock(mutex_);
+  return delta_depth_;
+}
+
+}  // namespace lar::ckpt

@@ -1,0 +1,145 @@
+// lar::ckpt durability — a file-backed CheckpointStore.
+//
+// DurableCheckpointStore keeps the exact in-memory semantics of the base
+// store (the engine and crash recovery never see a delta: the committed
+// view is always the folded full state) and additionally spills every
+// committed epoch to one file in a store directory:
+//
+//   epoch-<epoch, 20-digit>.base    full epoch: every POI's complete state,
+//                                   plus the engine's deployed routing
+//                                   configuration (core/snapshot codec), so
+//                                   one base file is a self-contained cut
+//   epoch-<epoch, 20-digit>.delta   incremental epoch: only the keys each
+//                                   delta-capable POI dirtied since its
+//                                   previous snapshot; cursors complete;
+//                                   chains onto the previous epoch
+//
+// Every file is framed with a total length and a seeded checksum
+// (common/checksum.hpp) and written via write-to-temp + atomic rename, so a
+// torn write is detected at open and recovery falls back to the previous
+// committed epoch: open scans for the newest valid base, then applies the
+// contiguous run of valid deltas chained onto it and stops at the first
+// gap.  A failed write (real I/O error or an injected chaos `ckpt_io_error`)
+// never touches existing files — it marks the chain broken so the *next*
+// epoch is taken full and re-anchors it.
+//
+// Compaction mirrors the Timeline's delta eviction (DESIGN.md §12): every
+// K-th delta commit writes the folded full state as a new base instead of
+// another delta, then drops the superseded files; wave auto-checkpoints
+// compact for free because a plan-version change forces a full epoch (keys
+// migrate between plan versions, and delta folding must never resurrect a
+// key on its old owner).
+//
+// Determinism: epoch files are byte-identical across same-seed runs — the
+// payload iterates the canonical (flat, key-ascending) store order, the
+// plan section uses core::serialize_plan's sorted-table order, and the
+// checksum is seeded arithmetic, never std::hash.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/injector.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "core/plan.hpp"
+#include "obs/metrics.hpp"
+
+namespace lar::ckpt {
+
+/// Configuration for a DurableCheckpointStore.
+struct DurableStoreOptions {
+  /// Store directory; created if absent.  One engine per directory.
+  std::string dir;
+
+  /// Fold the chain into a new base every K delta commits ("compact").
+  std::uint32_t compact_every = 8;
+
+  /// When false, every epoch is taken and written full — the ablation
+  /// baseline.  When true (default), the engine tracks dirty keys and
+  /// delta-capable POIs snapshot only the delta on chained epochs.
+  bool incremental = true;
+
+  /// Optional observability: lar_ckpt_bytes_written_total /
+  /// lar_ckpt_compactions_total / lar_ckpt_delta_depth register only when a
+  /// durable store commits (plus lar_ckpt_io_errors_total once a write has
+  /// failed).  Must outlive the store when given.
+  obs::Registry* registry = nullptr;
+
+  /// Optional chaos: each epoch-file write consults FaultSite::kCkptIoError
+  /// (entity = epoch).  Must outlive the store when given.
+  chaos::Injector* injector = nullptr;
+};
+
+/// File-backed checkpoint store; see the file comment for the protocol.
+class DurableCheckpointStore final : public CheckpointStore {
+ public:
+  /// Opens `options.dir`, recovering the newest valid epoch chain into the
+  /// in-memory committed view (so a fresh Engine restores from it before
+  /// admitting traffic).  Torn or corrupt tail files are skipped.
+  explicit DurableCheckpointStore(DurableStoreOptions options);
+
+  void begin(std::uint64_t epoch, std::uint32_t active_servers,
+             std::uint64_t plan_version) override;
+  void commit(std::uint64_t epoch) override;
+
+  [[nodiscard]] bool incremental() const noexcept override {
+    return options_.incremental;
+  }
+  [[nodiscard]] bool epoch_is_delta(std::uint64_t epoch) const override;
+  void note_plan(const core::ReconfigurationPlan& plan) override;
+  [[nodiscard]] const core::ReconfigurationPlan* restored_plan()
+      const noexcept override {
+    return restored_plan_ ? &*restored_plan_ : nullptr;
+  }
+
+  /// Stats (driver-thread reads; also published as lar_ckpt_* metrics).
+  [[nodiscard]] std::uint64_t bytes_written() const;
+  [[nodiscard]] std::uint64_t compactions() const;
+  [[nodiscard]] std::uint64_t io_errors() const;
+  [[nodiscard]] std::uint32_t delta_depth() const;
+
+ private:
+  /// Reads the chain back from disk (constructor body).
+  void open_chain();
+
+  /// Serializes `ck` and writes epoch file `epoch-<epoch>.<kind>`; returns
+  /// false (and marks the chain broken) on injected or real write failure.
+  bool write_epoch_file(const Checkpoint& ck, bool delta,
+                        std::uint64_t base_epoch, bool with_plan);
+
+  /// Drops every epoch file superseded by the new base `epoch`.
+  void remove_superseded(std::uint64_t epoch);
+
+  void publish_metrics();
+
+  DurableStoreOptions options_;
+
+  /// Epoch currently open (begin() ran, commit() pending) and whether it
+  /// was opened as a delta.
+  std::uint64_t open_epoch_ = 0;
+  bool pending_delta_ = false;
+
+  /// Plan version anchored by the chain's tip; a differing begin() forces a
+  /// full epoch (keys may have migrated).
+  std::uint64_t chain_plan_version_ = 0;
+
+  /// True after a failed write: the on-disk chain is a valid prefix only,
+  /// so the next epoch must be full to re-anchor it.
+  bool need_full_ = true;  ///< first epoch of a fresh chain is always full
+
+  std::uint32_t delta_depth_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t io_errors_ = 0;
+
+  /// Serialized current routing configuration (core::serialize_plan),
+  /// embedded in every base file; refreshed by note_plan().
+  std::vector<std::byte> plan_bytes_;
+
+  /// Routing configuration recovered from the chain's base file at open.
+  std::optional<core::ReconfigurationPlan> restored_plan_;
+};
+
+}  // namespace lar::ckpt

@@ -1,0 +1,24 @@
+#include "common/checksum.hpp"
+
+#include "common/hash.hpp"
+
+namespace lar {
+
+std::uint64_t checksum64(std::uint64_t seed, const void* data,
+                         std::size_t len) noexcept {
+  // FNV-1a with the seed mixed into the offset basis.  The byte loop is the
+  // textbook xor-then-multiply; the final mix64 gives avalanche over the
+  // high bits so truncations near the end of long buffers flip the whole
+  // word, not just the low byte's worth of state.
+  constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t state = kOffsetBasis ^ mix64(seed);
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    state ^= static_cast<std::uint64_t>(bytes[i]);
+    state *= kPrime;
+  }
+  return mix64(state);
+}
+
+}  // namespace lar

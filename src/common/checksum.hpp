@@ -1,0 +1,31 @@
+// Seeded checksums for on-disk framing.
+//
+// The durable checkpoint store frames every epoch file with a checksum so a
+// torn or corrupted write is detected at open time (lar::ckpt falls back to
+// the previous committed epoch).  Like everything else that ends up in a
+// byte-compared artifact, the checksum must be implementation-defined-free:
+// plain uint64 arithmetic over the byte stream, identical on every platform
+// and standard library.  The seed folds a caller-chosen domain (e.g. the
+// epoch number) into the state so two files with identical payloads in
+// different positions of a chain still carry distinct checksums.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace lar {
+
+/// Seeded 64-bit FNV-1a over a byte range, finalized through mix64.  The
+/// empty range with seed 0 returns the finalized offset basis (a fixed,
+/// documented vector — see tests/test_common.cpp).
+[[nodiscard]] std::uint64_t checksum64(std::uint64_t seed, const void* data,
+                                       std::size_t len) noexcept;
+
+/// Convenience overload for string views (test vectors, manifests).
+[[nodiscard]] inline std::uint64_t checksum64(std::uint64_t seed,
+                                              std::string_view s) noexcept {
+  return checksum64(seed, s.data(), s.size());
+}
+
+}  // namespace lar

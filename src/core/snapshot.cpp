@@ -1,8 +1,10 @@
 #include "core/snapshot.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <utility>
 #include <vector>
 
 namespace lar::core {
@@ -30,83 +32,210 @@ struct FileCloser {
 using File = std::unique_ptr<std::FILE, FileCloser>;
 
 template <typename T>
-bool write_pod(std::FILE* f, const T& value) {
-  return std::fwrite(&value, sizeof(T), 1, f) == 1;
+void append_pod(std::vector<std::byte>& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* bytes = reinterpret_cast<const std::byte*>(&value);
+  out.insert(out.end(), bytes, bytes + sizeof(T));
 }
 
-template <typename T>
-bool read_pod(std::FILE* f, T& value) {
-  return std::fread(&value, sizeof(T), 1, f) == 1;
+/// Bounds-checked sequential reader over the snapshot byte stream.
+struct ByteReader {
+  const std::byte* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  template <typename T>
+  bool read(T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (size - pos < sizeof(T)) return false;
+    std::memcpy(&value, data + pos, sizeof(T));
+    pos += sizeof(T);
+    return true;
+  }
+};
+
+/// Ascending operator-id iteration order: serialization must not depend on
+/// the unordered_map's bucket layout.
+std::vector<OperatorId> sorted_ops(const ReconfigurationPlan& plan) {
+  std::vector<OperatorId> ops;
+  ops.reserve(plan.tables.size());
+  for (const auto& [op, table] : plan.tables) ops.push_back(op);
+  std::sort(ops.begin(), ops.end());
+  return ops;
 }
 
 }  // namespace
 
+void serialize_plan(const ReconfigurationPlan& plan,
+                    std::vector<std::byte>& out) {
+  bool has_splits = false;
+  for (const auto& [op, table] : plan.tables) {
+    if (table->has_splits()) has_splits = true;
+  }
+  const std::uint32_t format =
+      has_splits ? kFormatVersion : kSplitlessFormatVersion;
+  const std::vector<OperatorId> ops = sorted_ops(plan);
+  out.insert(out.end(), reinterpret_cast<const std::byte*>(kMagic),
+             reinterpret_cast<const std::byte*>(kMagic) + 4);
+  append_pod(out, format);
+  append_pod(out, plan.version);
+  append_pod(out, plan.active_servers);
+  append_pod(out, plan.expected_locality);
+  append_pod(out, plan.edge_cut);
+  append_pod(out, plan.imbalance);
+  append_pod(out, static_cast<std::uint32_t>(plan.tables.size()));
+  for (const OperatorId op : ops) {
+    const auto& table = plan.tables.at(op);
+    append_pod(out, op);
+    append_pod(out, table->version());
+    append_pod(out, static_cast<std::uint64_t>(table->size()));
+    // Canonical key order: two snapshots of the same configuration are
+    // byte-identical regardless of how the tables were populated.
+    for (const auto& [key, instance] : table->sorted_entries()) {
+      append_pod(out, key);
+      append_pod(out, instance);
+    }
+    append_pod(out, static_cast<std::uint32_t>(table->fallback().size()));
+    for (const InstanceIndex inst : table->fallback()) {
+      append_pod(out, inst);
+    }
+  }
+  append_pod(out, static_cast<std::uint64_t>(plan.link_cursors.size()));
+  for (const auto& [link, seq] : plan.link_cursors) {
+    append_pod(out, link);
+    append_pod(out, seq);
+  }
+  if (format >= 4) {
+    // Split section: per table (same iteration order as above), the
+    // canonical ascending-key candidate lists.
+    for (const OperatorId op : ops) {
+      const auto& table = plan.tables.at(op);
+      append_pod(out, op);
+      append_pod(out, static_cast<std::uint64_t>(table->num_split_keys()));
+      for (const auto& [key, candidates] : table->sorted_split_entries()) {
+        append_pod(out, key);
+        append_pod(out, static_cast<std::uint32_t>(candidates.size()));
+        for (const InstanceIndex inst : candidates) {
+          append_pod(out, inst);
+        }
+      }
+    }
+  }
+}
+
+Result<ReconfigurationPlan> parse_plan(const std::byte* data,
+                                       std::size_t size) {
+  ByteReader in{data, size};
+  std::uint32_t format = 0;
+  if (size < 8 || std::memcmp(data, kMagic, 4) != 0) {
+    return Status(ErrorCode::kInvalidArgument, "not a routing snapshot");
+  }
+  in.pos = 4;
+  if (!in.read(format) || format < kMinFormatVersion ||
+      format > kFormatVersion) {
+    return Status(ErrorCode::kInvalidArgument, "not a routing snapshot");
+  }
+  ReconfigurationPlan plan;
+  std::uint32_t num_tables = 0;
+  if (!in.read(plan.version) || !in.read(plan.active_servers) ||
+      !in.read(plan.expected_locality) || !in.read(plan.edge_cut) ||
+      !in.read(plan.imbalance) || !in.read(num_tables)) {
+    return Status(ErrorCode::kInvalidArgument, "snapshot is truncated");
+  }
+  for (std::uint32_t t = 0; t < num_tables; ++t) {
+    OperatorId op = 0;
+    std::uint64_t table_version = 0;
+    std::uint64_t entries = 0;
+    if (!in.read(op) || !in.read(table_version) || !in.read(entries)) {
+      return Status(ErrorCode::kInvalidArgument, "snapshot is truncated");
+    }
+    auto table = std::make_shared<RoutingTable>();
+    table->set_version(table_version);
+    for (std::uint64_t e = 0; e < entries; ++e) {
+      Key key = 0;
+      InstanceIndex instance = 0;
+      if (!in.read(key) || !in.read(instance)) {
+        return Status(ErrorCode::kInvalidArgument, "snapshot is truncated");
+      }
+      table->assign(key, instance);
+    }
+    std::uint32_t fallback = 0;
+    if (!in.read(fallback)) {
+      return Status(ErrorCode::kInvalidArgument, "snapshot is truncated");
+    }
+    std::vector<InstanceIndex> domain(fallback);
+    for (std::uint32_t i = 0; i < fallback; ++i) {
+      if (!in.read(domain[i])) {
+        return Status(ErrorCode::kInvalidArgument, "snapshot is truncated");
+      }
+    }
+    table->set_fallback(std::move(domain));
+    plan.tables.emplace(op, std::move(table));
+    plan.keys_assigned += entries;
+  }
+  if (format >= 3) {
+    std::uint64_t num_cursors = 0;
+    if (!in.read(num_cursors)) {
+      return Status(ErrorCode::kInvalidArgument, "snapshot is truncated");
+    }
+    plan.link_cursors.reserve(num_cursors);
+    for (std::uint64_t c = 0; c < num_cursors; ++c) {
+      std::uint64_t link = 0;
+      std::uint64_t seq = 0;
+      if (!in.read(link) || !in.read(seq)) {
+        return Status(ErrorCode::kInvalidArgument, "snapshot is truncated");
+      }
+      plan.link_cursors.emplace_back(link, seq);
+    }
+  }
+  if (format >= 4) {
+    for (std::size_t t = 0; t < plan.tables.size(); ++t) {
+      OperatorId op = 0;
+      std::uint64_t num_split = 0;
+      if (!in.read(op) || !in.read(num_split)) {
+        return Status(ErrorCode::kInvalidArgument, "snapshot is truncated");
+      }
+      const auto it = plan.tables.find(op);
+      if (it == plan.tables.end()) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "split section names an unknown operator");
+      }
+      // plan.tables holds const tables; the split entries are part of the
+      // same load, so mutating through the just-created object is safe.
+      auto* table = const_cast<RoutingTable*>(it->second.get());
+      for (std::uint64_t k = 0; k < num_split; ++k) {
+        Key key = 0;
+        std::uint32_t len = 0;
+        if (!in.read(key) || !in.read(len) || len < 2) {
+          return Status(ErrorCode::kInvalidArgument, "snapshot is truncated");
+        }
+        std::vector<InstanceIndex> candidates(len);
+        for (std::uint32_t i = 0; i < len; ++i) {
+          if (!in.read(candidates[i])) {
+            return Status(ErrorCode::kInvalidArgument,
+                          "snapshot is truncated");
+          }
+        }
+        table->assign_split(key, candidates);
+      }
+    }
+  }
+  return plan;
+}
+
 Status save_plan(const ReconfigurationPlan& plan, const std::string& path) {
+  std::vector<std::byte> buffer;
+  serialize_plan(plan, buffer);
   const std::string tmp = path + ".tmp";
   {
     File file(std::fopen(tmp.c_str(), "wb"));
     if (file == nullptr) {
       return {ErrorCode::kInvalidArgument, "cannot open " + tmp};
     }
-    std::FILE* f = file.get();
-    bool has_splits = false;
-    for (const auto& [op, table] : plan.tables) {
-      if (table->has_splits()) has_splits = true;
-    }
-    const std::uint32_t format =
-        has_splits ? kFormatVersion : kSplitlessFormatVersion;
-    bool ok = std::fwrite(kMagic, 1, 4, f) == 4;
-    ok = ok && write_pod(f, format);
-    ok = ok && write_pod(f, plan.version);
-    ok = ok && write_pod(f, plan.active_servers);
-    ok = ok && write_pod(f, plan.expected_locality);
-    ok = ok && write_pod(f, plan.edge_cut);
-    ok = ok && write_pod(f, plan.imbalance);
-    const auto num_tables = static_cast<std::uint32_t>(plan.tables.size());
-    ok = ok && write_pod(f, num_tables);
-    for (const auto& [op, table] : plan.tables) {
-      ok = ok && write_pod(f, op);
-      const std::uint64_t table_version = table->version();
-      ok = ok && write_pod(f, table_version);
-      const auto entries = static_cast<std::uint64_t>(table->size());
-      ok = ok && write_pod(f, entries);
-      // Canonical key order: two snapshots of the same configuration are
-      // byte-identical regardless of how the tables were populated.
-      for (const auto& [key, instance] : table->sorted_entries()) {
-        ok = ok && write_pod(f, key) && write_pod(f, instance);
-      }
-      const auto fallback =
-          static_cast<std::uint32_t>(table->fallback().size());
-      ok = ok && write_pod(f, fallback);
-      for (const InstanceIndex inst : table->fallback()) {
-        ok = ok && write_pod(f, inst);
-      }
-    }
-    const auto num_cursors =
-        static_cast<std::uint64_t>(plan.link_cursors.size());
-    ok = ok && write_pod(f, num_cursors);
-    for (const auto& [link, seq] : plan.link_cursors) {
-      ok = ok && write_pod(f, link) && write_pod(f, seq);
-    }
-    if (format >= 4) {
-      // Split section: per table (same iteration order as above), the
-      // canonical ascending-key candidate lists.
-      for (const auto& [op, table] : plan.tables) {
-        ok = ok && write_pod(f, op);
-        const auto num_split =
-            static_cast<std::uint64_t>(table->num_split_keys());
-        ok = ok && write_pod(f, num_split);
-        for (const auto& [key, candidates] : table->sorted_split_entries()) {
-          ok = ok && write_pod(f, key);
-          const auto len = static_cast<std::uint32_t>(candidates.size());
-          ok = ok && write_pod(f, len);
-          for (const InstanceIndex inst : candidates) {
-            ok = ok && write_pod(f, inst);
-          }
-        }
-      }
-    }
-    if (!ok) {
+    if (!buffer.empty() &&
+        std::fwrite(buffer.data(), 1, buffer.size(), file.get()) !=
+            buffer.size()) {
+      file.reset();
       std::remove(tmp.c_str());
       return {ErrorCode::kInternal, "short write to " + tmp};
     }
@@ -123,100 +252,15 @@ Result<ReconfigurationPlan> load_plan(const std::string& path) {
   if (file == nullptr) {
     return Status(ErrorCode::kNotFound, "cannot open " + path);
   }
-  std::FILE* f = file.get();
-  char magic[4];
-  std::uint32_t format = 0;
-  if (std::fread(magic, 1, 4, f) != 4 || std::memcmp(magic, kMagic, 4) != 0 ||
-      !read_pod(f, format) || format < kMinFormatVersion ||
-      format > kFormatVersion) {
-    return Status(ErrorCode::kInvalidArgument,
-                  path + " is not a routing snapshot");
+  std::vector<std::byte> buffer;
+  std::byte chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file.get())) > 0) {
+    buffer.insert(buffer.end(), chunk, chunk + got);
   }
-  ReconfigurationPlan plan;
-  std::uint32_t num_tables = 0;
-  if (!read_pod(f, plan.version) || !read_pod(f, plan.active_servers) ||
-      !read_pod(f, plan.expected_locality) ||
-      !read_pod(f, plan.edge_cut) || !read_pod(f, plan.imbalance) ||
-      !read_pod(f, num_tables)) {
-    return Status(ErrorCode::kInvalidArgument, path + " is truncated");
-  }
-  for (std::uint32_t t = 0; t < num_tables; ++t) {
-    OperatorId op = 0;
-    std::uint64_t table_version = 0;
-    std::uint64_t entries = 0;
-    if (!read_pod(f, op) || !read_pod(f, table_version) ||
-        !read_pod(f, entries)) {
-      return Status(ErrorCode::kInvalidArgument, path + " is truncated");
-    }
-    auto table = std::make_shared<RoutingTable>();
-    table->set_version(table_version);
-    for (std::uint64_t e = 0; e < entries; ++e) {
-      Key key = 0;
-      InstanceIndex instance = 0;
-      if (!read_pod(f, key) || !read_pod(f, instance)) {
-        return Status(ErrorCode::kInvalidArgument, path + " is truncated");
-      }
-      table->assign(key, instance);
-    }
-    std::uint32_t fallback = 0;
-    if (!read_pod(f, fallback)) {
-      return Status(ErrorCode::kInvalidArgument, path + " is truncated");
-    }
-    std::vector<InstanceIndex> domain(fallback);
-    for (std::uint32_t i = 0; i < fallback; ++i) {
-      if (!read_pod(f, domain[i])) {
-        return Status(ErrorCode::kInvalidArgument, path + " is truncated");
-      }
-    }
-    table->set_fallback(std::move(domain));
-    plan.tables.emplace(op, std::move(table));
-    plan.keys_assigned += entries;
-  }
-  if (format >= 3) {
-    std::uint64_t num_cursors = 0;
-    if (!read_pod(f, num_cursors)) {
-      return Status(ErrorCode::kInvalidArgument, path + " is truncated");
-    }
-    plan.link_cursors.reserve(num_cursors);
-    for (std::uint64_t c = 0; c < num_cursors; ++c) {
-      std::uint64_t link = 0;
-      std::uint64_t seq = 0;
-      if (!read_pod(f, link) || !read_pod(f, seq)) {
-        return Status(ErrorCode::kInvalidArgument, path + " is truncated");
-      }
-      plan.link_cursors.emplace_back(link, seq);
-    }
-  }
-  if (format >= 4) {
-    for (std::size_t t = 0; t < plan.tables.size(); ++t) {
-      OperatorId op = 0;
-      std::uint64_t num_split = 0;
-      if (!read_pod(f, op) || !read_pod(f, num_split)) {
-        return Status(ErrorCode::kInvalidArgument, path + " is truncated");
-      }
-      const auto it = plan.tables.find(op);
-      if (it == plan.tables.end()) {
-        return Status(ErrorCode::kInvalidArgument,
-                      path + " split section names an unknown operator");
-      }
-      // plan.tables holds const tables; the split entries are part of the
-      // same load, so mutating through the just-created object is safe.
-      auto* table = const_cast<RoutingTable*>(it->second.get());
-      for (std::uint64_t k = 0; k < num_split; ++k) {
-        Key key = 0;
-        std::uint32_t len = 0;
-        if (!read_pod(f, key) || !read_pod(f, len) || len < 2) {
-          return Status(ErrorCode::kInvalidArgument, path + " is truncated");
-        }
-        std::vector<InstanceIndex> candidates(len);
-        for (std::uint32_t i = 0; i < len; ++i) {
-          if (!read_pod(f, candidates[i])) {
-            return Status(ErrorCode::kInvalidArgument, path + " is truncated");
-          }
-        }
-        table->assign_split(key, candidates);
-      }
-    }
+  Result<ReconfigurationPlan> plan = parse_plan(buffer.data(), buffer.size());
+  if (!plan.is_ok()) {
+    return Status(plan.status().code(), path + ": " + plan.status().message());
   }
   return plan;
 }

@@ -13,14 +13,32 @@
 // cursor section (count + (link, seq) pairs — lar::ckpt replay watermarks).
 // v2 snapshots (no cursor section) still load, with empty link_cursors.
 // Little-endian binary.
+//
+// The codec is split into a buffer layer (serialize_plan / parse_plan) and
+// a file layer (save_plan / load_plan) so the durable checkpoint store can
+// embed plan snapshots inside its epoch files without a second format.
+// Tables serialize in ascending operator-id order — byte-identical output
+// for a given configuration regardless of how plan.tables was populated.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "common/status.hpp"
 #include "core/plan.hpp"
 
 namespace lar::core {
+
+/// Appends the snapshot byte stream for `plan` to `out` (the exact bytes
+/// save_plan would write to disk).
+void serialize_plan(const ReconfigurationPlan& plan,
+                    std::vector<std::byte>& out);
+
+/// Parses a snapshot byte stream produced by serialize_plan/save_plan.  The
+/// returned plan carries tables and diagnostics; its `moves` are empty.
+[[nodiscard]] Result<ReconfigurationPlan> parse_plan(const std::byte* data,
+                                                     std::size_t size);
 
 /// Writes `plan`'s routing tables to `path` (atomically: temp file + rename).
 [[nodiscard]] Status save_plan(const ReconfigurationPlan& plan,

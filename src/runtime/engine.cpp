@@ -117,6 +117,17 @@ struct Engine::Poi {
   // without a checkpoint coordinator. ---------------------------------------
   std::uint64_t applied_version = 0;  ///< last reconfiguration applied here
   std::uint64_t ckpt_epoch = 0;       ///< epoch currently aligning (0 = idle)
+
+  /// Incremental checkpointing (durable stores only).  delta_capable is
+  /// fixed at construction: true iff every in-edge is fields-grouped, so the
+  /// operator's state keys coincide with the routing keys the engine sees
+  /// (the migration contract) and a dirty-key set fully covers its state
+  /// churn.  Sources and shuffle-fed POIs always snapshot full slices.
+  /// `dirty` holds the keys touched since this POI's previous snapshot;
+  /// cleared at every snapshot and on crash restore (the pre-crash set is
+  /// scheduling-dependent — replay re-marks exactly the post-cut effects).
+  bool delta_capable = false;
+  std::unordered_set<Key> dirty;
   std::uint32_t barriers_seen = 0;
   std::uint32_t barriers_expected = 0;
   std::shared_ptr<const std::vector<std::vector<InstanceIndex>>>
@@ -294,6 +305,24 @@ Engine::Engine(const Topology& topology, const Placement& placement,
   if (ckpt_enabled_) {
     inject_out_seq_.assign(pois_.size(), 0);
     inject_replay_.resize(pois_.size());
+    for (const OperatorId src : sources_) {
+      for (const std::size_t flat : poi_index_[src]) {
+        source_flats_.push_back(static_cast<std::uint32_t>(flat));
+      }
+    }
+    std::sort(source_flats_.begin(), source_flats_.end());
+    ckpt_delta_enabled_ = options_.checkpoint->store().incremental();
+    if (ckpt_delta_enabled_) {
+      for (auto& poi : pois_) {
+        bool capable = !topology.op(poi->op).is_source;
+        for (const std::uint32_t eid : topology.in_edges(poi->op)) {
+          if (topology.edges()[eid].grouping != GroupingType::kFields) {
+            capable = false;
+          }
+        }
+        poi->delta_capable = capable;
+      }
+    }
   }
 
   // lar::fleet: the engine must be deployed over the fleet's own combined
@@ -316,11 +345,142 @@ Engine::~Engine() { shutdown(); }
 
 void Engine::start() {
   LAR_CHECK(!started_);
+  if (ckpt_enabled_) restore_from_store();
   started_ = true;
   for (auto& poi : pois_) {
     if (!poi->active) continue;  // dormant until add_servers() reaches it
     poi->thread = std::thread([this, p = poi.get()] { poi_loop(*p); });
   }
+}
+
+void Engine::restore_from_store() {
+  ckpt::CheckpointStore& store = options_.checkpoint->store();
+  const ckpt::CheckpointMeta meta = store.last_committed_meta();
+  if (meta.epoch == 0) return;  // fresh store: nothing to restore
+  const ckpt::Checkpoint snap = store.last_committed();
+  LAR_CHECK(snap.committed);
+
+  // Re-activate the snapshotted server prefix: the epoch is the truth, not
+  // this process's EngineOptions (a restarted driver usually passes the
+  // default full fleet).  Dormant POIs get no thread, exactly like a
+  // restricted construction.
+  LAR_CHECK(snap.active_servers >= 1 &&
+            snap.active_servers <= placement_.num_servers());
+  active_servers_ = snap.active_servers;
+  const bool restricted = active_servers_ < placement_.num_servers();
+  // Constructed restricted: non-fields routers start limited to the
+  // EngineOptions prefix and must be re-widened even when the snapshot
+  // restores the full fleet (construction already proved elastic-capable).
+  const bool constructed_restricted =
+      options_.active_servers != 0 &&
+      options_.active_servers < placement_.num_servers();
+  if (restricted) require_elastic_capable();
+  for (auto& poi : pois_) poi->active = poi->server < active_servers_;
+  set_inject_actives(active_servers_);
+  last_plan_version_ = snap.plan_version;
+
+  // Reinstall the recovered routing configuration (the chain's base file
+  // embeds the engine-wide deployed-table union).  Fields edges without a
+  // recovered table — nothing was ever deployed for them — fall back to a
+  // fresh fallback-domain table when restricted, i.e. the restricted-start
+  // construction; shuffle edges re-restrict to the active prefix.
+  const core::ReconfigurationPlan* const plan = store.restored_plan();
+  bool elastic_tables = false;
+  if (plan != nullptr) {
+    deployed_tables_ = plan->tables;
+    // Tables with a fallback domain came from plan_for: the engine was
+    // elastic, and future plans must keep flowing through plan_for.
+    for (const auto& [op, table] : deployed_tables_) {
+      if (!table->fallback().empty()) elastic_tables = true;
+    }
+  }
+  elastic_ = elastic_ || restricted || elastic_tables;
+  std::unordered_map<OperatorId, std::shared_ptr<const RoutingTable>>
+      restored_tables = deployed_tables_;
+  if (restricted) {
+    for (const EdgeSpec& edge : topology_.edges()) {
+      if (edge.grouping != GroupingType::kFields) continue;
+      auto [it, inserted] = restored_tables.try_emplace(edge.to);
+      if (!inserted) continue;
+      auto table = std::make_shared<RoutingTable>();
+      table->set_fallback(
+          placement_.active_instances(edge.to, active_servers_));
+      it->second = std::move(table);
+    }
+  }
+  for (auto& poi : pois_) {
+    const auto& out = topology_.out_edges(poi->op);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      const EdgeSpec& edge = topology_.edges()[out[k]];
+      if (edge.grouping != GroupingType::kFields) {
+        if (restricted || constructed_restricted) {
+          poi->routers[k]->set_active_instances(
+              placement_.active_instances(edge.to, active_servers_));
+        }
+        continue;
+      }
+      const auto it = restored_tables.find(edge.to);
+      if (it == restored_tables.end()) continue;
+      poi->routers[k] = std::make_unique<TableFieldsRouter>(
+          edge.key_field, topology_.op(edge.to).parallelism, it->second);
+    }
+  }
+
+  // Restore every snapshotted POI: key states through the migration codec,
+  // both cursor sets (regenerated emissions reuse their original sequence
+  // numbers; replayed inputs dedup against the restored cut), and the plan
+  // version it had applied.
+  std::uint64_t restored = 0;
+  std::uint64_t restored_bytes = 0;
+  for (const auto& [flat, pc] : snap.pois) {
+    LAR_CHECK(flat < pois_.size());
+    Poi& poi = *pois_[flat];
+    for (const auto& [key, state] : pc.states) {
+      poi.logic->import_key_state(key, state);
+      ++restored;
+      restored_bytes += state.size();
+    }
+    for (const auto& [link, seq] : pc.in_cursors) poi.last_seq[link] = seq;
+    for (const auto& [tgt, seq] : pc.out_cursors) poi.out_seq[tgt] = seq;
+    poi.applied_version = pc.table_version;
+    poi.dirty.clear();
+  }
+  states_restored_.fetch_add(restored, std::memory_order_relaxed);
+  states_restored_bytes_.fetch_add(restored_bytes, std::memory_order_relaxed);
+
+  // Resume the inject sequencing where the cut left it: each source's
+  // coordinator-link cursor is exactly how many tuples inject() had pushed
+  // to it before the epoch's barrier (barriers ride the same mutex), so the
+  // sum is the global inject prefix the chain covers.  The driver replays
+  // its stream from restored_inject_offset(); re-injected tuples get fresh
+  // sequence numbers past the restored receiver cursors.
+  std::uint64_t offset = 0;
+  for (const std::uint32_t flat : source_flats_) {
+    const auto pc = snap.pois.find(flat);
+    if (pc == snap.pois.end()) continue;  // dormant source: no slice
+    std::uint64_t cursor = 0;
+    for (const auto& [link, seq] : pc->second.in_cursors) {
+      if (link == BarrierMsg::kCoordinator) cursor = seq;
+    }
+    inject_out_seq_[flat] = cursor;
+    offset += cursor;
+  }
+  restored_inject_offset_ = offset;
+  inject_seq_.store(offset, std::memory_order_relaxed);
+  if (fleet_ != nullptr) {
+    std::lock_guard<std::mutex> lock(source_mutex_);
+    for (fleet::AppId app = 0; app < fleet_->num_apps(); ++app) {
+      std::uint64_t app_offset = 0;
+      for (const std::size_t pos : app_source_pos_[app]) {
+        for (const std::size_t flat : poi_index_[sources_[pos]]) {
+          app_offset += inject_out_seq_[flat];
+        }
+      }
+      app_inject_seq_[app] = app_offset;
+    }
+  }
+  LAR_INFO << "engine: cold restart from checkpoint epoch " << snap.epoch
+           << " (" << restored << " states, inject offset " << offset << ")";
 }
 
 void Engine::shutdown() {
@@ -639,6 +799,11 @@ void Engine::flush_all_delayed(Poi& poi) {
 
 void Engine::process_tuple(Poi& poi, const Tuple& tuple, Key in_key) {
   poi.processed.fetch_add(1, std::memory_order_relaxed);
+  // Incremental checkpointing: the routing key is the state key for every
+  // delta-capable POI (all-fields inputs), so marking it here covers every
+  // state mutation process() can make.  delta_capable is only ever set when
+  // the store asked for increments — one branch, the structural-no-op rule.
+  if (poi.delta_capable && in_key != kNoKey) poi.dirty.insert(in_key);
   // Emitter bound to the POI currently processing a tuple; routes emissions
   // on every outbound edge and records pair statistics.  A local class so it
   // shares this member function's access to Engine internals.
@@ -892,6 +1057,7 @@ void Engine::handle_migrate(Poi& poi, MigrateMsg msg) {
     states_migrated_.fetch_add(1, std::memory_order_relaxed);
     states_migrated_bytes_.fetch_add(msg.state.size(),
                                      std::memory_order_relaxed);
+    if (poi.delta_capable) poi.dirty.insert(msg.key);
     poi.logic->import_key_state(msg.key, msg.state);
     if (drains_in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       drains_in_flight_.notify_all();
@@ -939,6 +1105,7 @@ void Engine::handle_migrate(Poi& poi, MigrateMsg msg) {
                            obs::key_entity(msg.key), /*count=*/1,
                            /*bytes=*/msg.state.size());
   }
+  if (poi.delta_capable) poi.dirty.insert(msg.key);
   poi.logic->import_key_state(msg.key, msg.state);
   std::vector<InstanceIndex>& senders = awaiting_it->second;
   senders.erase(std::find(senders.begin(), senders.end(), msg.from));
@@ -1353,9 +1520,25 @@ core::ReconfigurationPlan Engine::run_protocol(
     manager.mark_deployed(plan);
   }
   last_plan_version_ = plan.version;
+  if (ckpt_enabled_) note_deployed_plan(plan, target_n);
   LAR_INFO << "engine: reconfiguration v" << plan.version << " deployed ("
            << plan.total_moves() << " key states migrated)";
   return plan;
+}
+
+void Engine::note_deployed_plan(const core::ReconfigurationPlan& plan,
+                                std::uint32_t target_servers) {
+  for (const auto& [op, table] : plan.tables) {
+    deployed_tables_.insert_or_assign(op, table);
+  }
+  // The store persists the *union* — a tenant-scoped wave deploys one
+  // tenant's slice, but a cold restart must recover every tenant's tables.
+  // Cursors stay empty: the epoch files carry the per-POI cursor truth.
+  core::ReconfigurationPlan persisted;
+  persisted.version = plan.version;
+  persisted.active_servers = target_servers;
+  persisted.tables = deployed_tables_;
+  options_.checkpoint->store().note_plan(persisted);
 }
 
 // ---------------------------------------------------------------------------
@@ -1550,6 +1733,9 @@ std::uint64_t Engine::checkpoint() {
 
   const std::uint64_t epoch =
       coord->begin_epoch(active_servers_, last_plan_version_);
+  // Incremental stores open chained epochs: delta-capable POIs then
+  // snapshot only their dirtied keys.  The answer rides in the barrier.
+  const bool full_epoch = !coord->store().epoch_is_delta(epoch);
   // One checkpoint = one control epoch.  The span nests under an open wave
   // span (the auto-checkpoint case) and encloses the coordinator's own
   // kCheckpoint commit record when both share the recorder.
@@ -1573,7 +1759,8 @@ std::uint64_t Engine::checkpoint() {
         // the tuples inject() logged before it.
         p.inbox.push_unbounded_after(
             inject_lane_[p.flat],
-            Message{BarrierMsg{epoch, BarrierMsg::kCoordinator, members}});
+            Message{BarrierMsg{epoch, BarrierMsg::kCoordinator, members,
+                               full_epoch}});
       }
     }
   }
@@ -1587,10 +1774,14 @@ std::uint64_t Engine::checkpoint() {
   }
   coord->committed(epoch);
   checkpoints_committed_.fetch_add(1, std::memory_order_relaxed);
-  const ckpt::Checkpoint snap = coord->store().last_committed();
-  ckpt_states_captured_.fetch_add(snap.total_states(),
+  // Header + source slices only — copying the whole epoch under the store
+  // mutex would pause every concurrent reader for the full state volume.
+  // `captured` is what this epoch's barrier round actually wrote (the raw
+  // delta volume on incremental epochs, the fold notwithstanding).
+  const ckpt::CheckpointMeta meta = coord->store().last_committed_meta();
+  ckpt_states_captured_.fetch_add(meta.captured_states,
                                   std::memory_order_relaxed);
-  ckpt_state_bytes_.fetch_add(snap.total_state_bytes(),
+  ckpt_state_bytes_.fetch_add(meta.captured_state_bytes,
                               std::memory_order_relaxed);
 
   // Commit notification: every live POI truncates its replay buffers at the
@@ -1604,9 +1795,10 @@ std::uint64_t Engine::checkpoint() {
   // The inject log is the coordinator's own replay buffer; truncate it at
   // each source's snapshotted coordinator-link cursor.
   {
+    const std::map<std::uint32_t, ckpt::PoiCheckpoint> slices =
+        coord->store().last_committed_slices(source_flats_);
     std::lock_guard<std::mutex> lock(source_mutex_);
-    for (const auto& [flat, pc] : snap.pois) {
-      if (!topology_.op(pc.op).is_source) continue;
+    for (const auto& [flat, pc] : slices) {
       std::uint64_t cut = 0;
       for (const auto& [link, seq] : pc.in_cursors) {
         if (link == BarrierMsg::kCoordinator) cut = seq;
@@ -1667,7 +1859,7 @@ void Engine::handle_barrier(Poi& poi, const BarrierMsg& msg) {
       target.inbox.push_unbounded_after(
           *poi.lane_to.find(target.flat),
           Message{BarrierMsg{msg.epoch, static_cast<std::uint32_t>(poi.flat),
-                             poi.barrier_members}});
+                             poi.barrier_members, msg.full}});
     }
   }
   manager_inbox_.push_unbounded(ManagerReply{
@@ -1700,11 +1892,18 @@ void Engine::take_snapshot(Poi& poi, const BarrierMsg& msg) {
   pc.table_version = poi.applied_version;
   // Reuse the migration codec: export without dropping.  owned_keys() is
   // ascending, so the slice is canonical for the store's golden byte runs.
+  // On a delta epoch a delta-capable POI exports only the keys dirtied
+  // since its previous snapshot — filtering the ascending owned list keeps
+  // the slice canonical; the dirty set resets at EVERY snapshot (full
+  // slices re-anchor the "since last snapshot" meaning too).
+  pc.delta = !msg.full && poi.delta_capable;
   const std::vector<Key> keys = poi.logic->owned_keys();
   pc.states.reserve(keys.size());
   for (const Key key : keys) {
+    if (pc.delta && !poi.dirty.contains(key)) continue;
     pc.states.emplace_back(key, poi.logic->export_key_state(key));
   }
+  if (poi.delta_capable) poi.dirty.clear();
   for (const auto& item : poi.last_seq.sorted_items()) {
     // The dedup cursor advances when a tuple is *stashed*, not when it is
     // applied — so a link blocked mid-alignment may have post-barrier
@@ -1794,14 +1993,15 @@ void Engine::crash_and_recover(std::uint32_t server) {
   LAR_CHECK(coord != nullptr);
   LAR_CHECK(server < active_servers_);
 
-  const ckpt::Checkpoint snap = coord->store().last_committed();
   // Recovery needs a committed checkpoint consistent with the current
   // routing epoch and fleet — guaranteed by the automatic checkpoint after
   // every wave: restoring across a wave would resurrect migrated keys under
-  // their old owners (DESIGN.md §11).
-  LAR_CHECK(snap.committed && snap.epoch > 0);
-  LAR_CHECK(snap.plan_version == last_plan_version_);
-  LAR_CHECK(snap.active_servers == active_servers_);
+  // their old owners (DESIGN.md §11).  The header is enough to validate;
+  // the state itself is pulled below, filtered to the actual victims.
+  const ckpt::CheckpointMeta meta = coord->store().last_committed_meta();
+  LAR_CHECK(meta.committed && meta.epoch > 0);
+  LAR_CHECK(meta.plan_version == last_plan_version_);
+  LAR_CHECK(meta.active_servers == active_servers_);
 
   crashes_.fetch_add(1, std::memory_order_relaxed);
   // One crash+recovery = one control epoch; the coordinator's kCrash
@@ -1811,11 +2011,11 @@ void Engine::crash_and_recover(std::uint32_t server) {
       options_.trace != nullptr
           ? options_.trace->begin_span(last_plan_version_, obs::Phase::kCrash,
                                        "server" + std::to_string(server),
-                                       /*count=*/snap.epoch, /*bytes=*/0,
+                                       /*count=*/meta.epoch, /*bytes=*/0,
                                        static_cast<double>(control_epoch_))
           : 0;
   LAR_INFO << "engine: crashing server " << server
-           << " (recovering from checkpoint epoch " << snap.epoch << ")";
+           << " (recovering from checkpoint epoch " << meta.epoch << ")";
 
   // 1) Roll-back region: the crashed server's POIs plus the downstream
   // closure of their operators.  A recovered multi-input POI merges its
@@ -1856,6 +2056,17 @@ void Engine::crash_and_recover(std::uint32_t server) {
     }
   }
   LAR_CHECK(!victims.empty());
+  // Only the victims' slices leave the store (the filtered accessor): the
+  // rest of the fleet keeps its live state, so copying it would be pure
+  // mutex-held waste — on a large fleet, most of the epoch.
+  std::vector<std::uint32_t> victim_flats;
+  victim_flats.reserve(victims.size());
+  for (const Poi* p : victims) {
+    victim_flats.push_back(static_cast<std::uint32_t>(p->flat));
+  }
+  std::sort(victim_flats.begin(), victim_flats.end());
+  const std::map<std::uint32_t, ckpt::PoiCheckpoint> snap_slices =
+      coord->store().last_committed_slices(victim_flats);
   // 2) Kill.  The sentinel makes each POI thread exit where it stands:
   // everything queued behind it stays unprocessed, and the thread's stashes
   // and operator state lose their owner.  A victim can be parked mid-send on
@@ -1943,6 +2154,10 @@ void Engine::crash_and_recover(std::uint32_t server) {
     p->snap_out.clear();
     p->last_seq.clear();
     p->out_seq.clear();
+    // The pre-crash dirty set is scheduling-dependent (how far the thread
+    // ran past the cut before dying); replay deterministically re-marks
+    // exactly the post-cut effects, so recovery starts it clean.
+    p->dirty.clear();
     drop_data_in_flight(dropped);
     lost += dropped;
 
@@ -1953,8 +2168,8 @@ void Engine::crash_and_recover(std::uint32_t server) {
     // the buffer stays complete for a later crash of a successor.
     p->logic = factory_(p->op, p->index);
     LAR_CHECK(p->logic != nullptr);
-    const auto pc_it = snap.pois.find(static_cast<std::uint32_t>(p->flat));
-    LAR_CHECK(pc_it != snap.pois.end());
+    const auto pc_it = snap_slices.find(static_cast<std::uint32_t>(p->flat));
+    LAR_CHECK(pc_it != snap_slices.end());
     const ckpt::PoiCheckpoint& pc = pc_it->second;
     for (const auto& [key, state] : pc.states) {
       p->logic->import_key_state(key, state);
@@ -2038,7 +2253,7 @@ void Engine::crash_and_recover(std::uint32_t server) {
   }
 
   coord->recovered(
-      snap.epoch, server, victims.size(), restored, restored_bytes,
+      meta.epoch, server, victims.size(), restored, restored_bytes,
       tuples_replayed_.load(std::memory_order_relaxed) - replayed_before);
   if (crash_span != 0 && options_.trace != nullptr) {
     options_.trace->end_span(crash_span, static_cast<double>(control_epoch_));

@@ -27,6 +27,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -354,6 +355,18 @@ class Engine {
   /// or nullopt.  No-op without both an injector and a coordinator.
   std::optional<std::uint32_t> maybe_crash();
 
+  /// Cold-restart resume point (lar::ckpt durability): how many inject()
+  /// calls the restored checkpoint chain already covers.  start() restores
+  /// every POI's state and the inject sequence counters from the
+  /// coordinator's store when it holds a committed epoch (a
+  /// DurableCheckpointStore opened on an existing directory), so a driver
+  /// replaying its source stream must skip this prefix — injecting it again
+  /// would double-count, the restored state already holds its effects.
+  /// Zero when nothing was restored.
+  [[nodiscard]] std::uint64_t restored_inject_offset() const noexcept {
+    return restored_inject_offset_;
+  }
+
   /// Flushes, then stops and joins all POI threads.  Idempotent.
   void shutdown();
 
@@ -426,6 +439,19 @@ class Engine {
   /// Blocks until every residual-drain MIGRATE has been imported.
   void drain_fence();
 
+  /// Cold restore (start() before any thread spawns): when the checkpoint
+  /// store already holds a committed epoch, restores every POI's key states,
+  /// link cursors and applied plan version, re-activates the snapshotted
+  /// server prefix, reinstalls the recovered routing configuration, and
+  /// resumes the inject sequence counters (restored_inject_offset()).
+  void restore_from_store();
+
+  /// Folds a deployed plan's tables into deployed_tables_ and hands the
+  /// resulting engine-wide routing configuration to the checkpoint store
+  /// (note_plan), so the next full epoch file embeds it.
+  void note_deployed_plan(const core::ReconfigurationPlan& plan,
+                          std::uint32_t target_servers);
+
   /// Closes the wave span run_protocol() opened (no-op when spans are off
   /// or no wave is open).  Callers close after the post-wave work — drain
   /// fence, auto-checkpoint — so those nest inside the wave.
@@ -486,7 +512,19 @@ class Engine {
   // counters are atomics for the metrics snapshot; the driver-side recovery
   // bookkeeping is externally synchronized like the rest of the control API.
   bool ckpt_enabled_ = false;
+  /// Incremental checkpointing (set when the coordinator's store asks for
+  /// it): POIs track dirty keys and delta epochs snapshot only those.
+  bool ckpt_delta_enabled_ = false;
   std::uint64_t last_plan_version_ = 0;  ///< last deployed wave version
+  /// Flat indices of all source POIs, ascending (ckpt only: the inject-log
+  /// truncation and cold restore pull exactly these slices from the store).
+  std::vector<std::uint32_t> source_flats_;
+  /// inject() calls already covered by the restored checkpoint chain.
+  std::uint64_t restored_inject_offset_ = 0;
+  /// Union of every deployed wave's routing tables (driver thread only) —
+  /// the engine-wide configuration note_deployed_plan() hands the store.
+  std::unordered_map<OperatorId, std::shared_ptr<const RoutingTable>>
+      deployed_tables_;
   /// Injector-owned SPSC lane id on each source POI's inbox ([flat]; only
   /// source entries are meaningful).  inject(), barrier injection, and
   /// crashed-source replay all push on it under source_mutex_, which is the

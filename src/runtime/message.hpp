@@ -155,6 +155,12 @@ struct BarrierMsg {
   std::uint64_t epoch = 0;
   std::uint32_t link = kCoordinator;
   std::shared_ptr<const std::vector<std::vector<InstanceIndex>>> members;
+
+  /// False when the epoch is an incremental (delta) one: delta-capable POIs
+  /// snapshot only the keys dirtied since their previous snapshot.  Stamped
+  /// by the coordinator from the store's epoch_is_delta() answer and
+  /// propagated unchanged as the barrier is forwarded.
+  bool full = true;
 };
 
 /// Coordinator -> POI: epoch committed; truncate your replay buffers up to

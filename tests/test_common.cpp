@@ -4,6 +4,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "common/checksum.hpp"
 #include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -55,6 +56,32 @@ TEST(Hash, HashCombineIsOrderDependent) {
 
 TEST(Hash, HashPairDistinguishesSwappedKeys) {
   EXPECT_NE(hash_pair(3, 7), hash_pair(7, 3));
+}
+
+// --- checksum ---------------------------------------------------------------
+
+TEST(Checksum, MatchesFixedVectors) {
+  // Pinned values: the epoch-file format (ckpt/durable.cpp) embeds these
+  // checksums on disk, so the function may never change silently.
+  EXPECT_EQ(checksum64(0, nullptr, 0), 0xefd01f60ba992926ULL);
+  EXPECT_EQ(checksum64(1, nullptr, 0), 0x85bad54dda0e0188ULL);
+  EXPECT_EQ(checksum64(0, std::string_view{"abc"}), 0x33ebaf9927cbc5bdULL);
+  EXPECT_EQ(checksum64(7, std::string_view{"abc"}), 0xe2b37b825f76aa45ULL);
+  EXPECT_EQ(checksum64(42, std::string_view{"locality-aware"}),
+            0xa35ea9ccddc86ceeULL);
+  const unsigned char bytes[4] = {0x00, 0xff, 0x10, 0x80};
+  EXPECT_EQ(checksum64(9, bytes, 4), 0x095379e61bf12742ULL);
+}
+
+TEST(Checksum, SeedAndContentBothMatter) {
+  EXPECT_NE(checksum64(0, std::string_view{"abc"}),
+            checksum64(1, std::string_view{"abc"}));
+  EXPECT_NE(checksum64(0, std::string_view{"abc"}),
+            checksum64(0, std::string_view{"abd"}));
+  // A trailing zero byte must change the sum (length is not absorbed into
+  // padding) — torn-write detection depends on it.
+  const unsigned char z[1] = {0};
+  EXPECT_NE(checksum64(5, nullptr, 0), checksum64(5, z, 1));
 }
 
 // --- rng ---------------------------------------------------------------------
